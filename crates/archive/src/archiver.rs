@@ -1,0 +1,233 @@
+//! The Pattern Archiver (§6): selective archival and budget/accuracy-aware
+//! resolution selection.
+//!
+//! The archiver sits between the extractor and the pattern base (Fig. 4).
+//! Per §6.2 it supports sampling-based selection (archive a fraction of the
+//! detected clusters) and feature-based selection (archive only clusters
+//! reaching a population or volume bar). Per §6.1 it can archive at a
+//! coarser resolution, either fixed or chosen per cluster to fit a byte
+//! budget — the space cost of any level is exactly computable without
+//! materializing it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgs_core::WindowId;
+use sgs_summarize::{multires, Sgs};
+
+use crate::pattern_base::{PatternBase, PatternId};
+
+/// Which clusters to archive (§6.2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArchivePolicy {
+    /// Archive every extracted cluster.
+    All,
+    /// Archive each cluster independently with this probability
+    /// (sampling-based selection).
+    Sample(f64),
+    /// Archive only clusters with at least this many member objects
+    /// (feature-based selection).
+    MinPopulation(u32),
+    /// Archive only clusters spanning at least this many skeletal cells
+    /// (feature-based selection).
+    MinVolume(usize),
+}
+
+impl ArchivePolicy {
+    fn admits(&self, sgs: &Sgs, rng: &mut StdRng) -> bool {
+        match self {
+            ArchivePolicy::All => true,
+            ArchivePolicy::Sample(p) => rng.gen_range(0.0..1.0) < *p,
+            ArchivePolicy::MinPopulation(min) => sgs.population() >= *min,
+            ArchivePolicy::MinVolume(min) => sgs.volume() >= *min,
+        }
+    }
+}
+
+/// Pick the finest resolution level whose archived size fits
+/// `budget_bytes` (§6.1's budget-aware selection). Returns `max_level` if
+/// even the coarsest does not fit — the analyst's floor on accuracy wins.
+pub fn choose_level(sgs: &Sgs, theta: u32, budget_bytes: usize, max_level: u8) -> u8 {
+    for level in 0..=max_level {
+        if multires::archived_bytes_at_level(sgs, theta, level) <= budget_bytes {
+            return level;
+        }
+    }
+    max_level
+}
+
+/// The archiver: owns the pattern base and applies policy + resolution on
+/// every window's output.
+#[derive(Debug)]
+pub struct PatternArchiver {
+    policy: ArchivePolicy,
+    /// Compression rate θ between resolution levels (§6.1).
+    theta: u32,
+    /// Fixed archive level (0 = basic SGS) when `budget_bytes` is `None`.
+    level: u8,
+    /// Per-cluster byte budget enabling budget-aware level selection.
+    budget_bytes: Option<usize>,
+    /// Coarsest level the budget search may fall back to.
+    max_level: u8,
+    base: PatternBase,
+    rng: StdRng,
+    /// Clusters offered / archived counters.
+    pub offered: u64,
+    /// Clusters actually archived.
+    pub archived: u64,
+}
+
+impl PatternArchiver {
+    /// Archiver storing basic SGSs under `policy`.
+    pub fn new(policy: ArchivePolicy, seed: u64) -> Self {
+        PatternArchiver {
+            policy,
+            theta: 3,
+            level: 0,
+            budget_bytes: None,
+            max_level: 3,
+            base: PatternBase::new(),
+            rng: StdRng::seed_from_u64(seed),
+            offered: 0,
+            archived: 0,
+        }
+    }
+
+    /// Archive at a fixed coarser resolution.
+    pub fn with_level(mut self, theta: u32, level: u8) -> Self {
+        assert!(theta >= 2);
+        self.theta = theta;
+        self.level = level;
+        self
+    }
+
+    /// Enable budget-aware resolution selection (§6.1): per cluster, the
+    /// finest level fitting `budget_bytes` is archived.
+    pub fn with_budget(mut self, theta: u32, budget_bytes: usize, max_level: u8) -> Self {
+        assert!(theta >= 2);
+        self.theta = theta;
+        self.budget_bytes = Some(budget_bytes);
+        self.max_level = max_level;
+        self
+    }
+
+    /// The underlying pattern base.
+    pub fn base(&self) -> &PatternBase {
+        &self.base
+    }
+
+    /// Consume the archiver, returning the pattern base.
+    pub fn into_base(self) -> PatternBase {
+        self.base
+    }
+
+    /// Offer one window's extracted summaries; returns the handles of the
+    /// archived ones.
+    pub fn observe<'a>(
+        &mut self,
+        window: WindowId,
+        summaries: impl IntoIterator<Item = &'a Sgs>,
+    ) -> Vec<PatternId> {
+        let mut out = Vec::new();
+        for sgs in summaries {
+            self.offered += 1;
+            if !self.policy.admits(sgs, &mut self.rng) {
+                continue;
+            }
+            let level = match self.budget_bytes {
+                Some(budget) => choose_level(sgs, self.theta, budget, self.max_level),
+                None => self.level,
+            };
+            let mut stored = sgs.clone();
+            for _ in 0..level {
+                stored = multires::coarsen(&stored, self.theta);
+            }
+            if let Some(id) = self.base.insert(stored, window) {
+                self.archived += 1;
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_core::GridGeometry;
+    use sgs_summarize::MemberSet;
+
+    fn blob(n: usize) -> Sgs {
+        let cores: Vec<Box<[f64]>> = (0..n)
+            .map(|i| vec![0.05 + (i % 10) as f64 * 0.3, 0.05 + (i / 10) as f64 * 0.3].into())
+            .collect();
+        Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0))
+    }
+
+    #[test]
+    fn policy_all_archives_everything() {
+        let mut a = PatternArchiver::new(ArchivePolicy::All, 0);
+        let s = blob(20);
+        let ids = a.observe(WindowId(0), [&s, &s, &s]);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(a.base().len(), 3);
+        assert_eq!((a.offered, a.archived), (3, 3));
+    }
+
+    #[test]
+    fn sampling_archives_a_fraction() {
+        let mut a = PatternArchiver::new(ArchivePolicy::Sample(0.3), 7);
+        let s = blob(20);
+        for w in 0..200 {
+            a.observe(WindowId(w), [&s]);
+        }
+        let frac = a.archived as f64 / a.offered as f64;
+        assert!((0.15..0.45).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn feature_selection_filters_small_clusters() {
+        let mut a = PatternArchiver::new(ArchivePolicy::MinPopulation(15), 0);
+        let big = blob(30);
+        let small = blob(5);
+        let ids = a.observe(WindowId(0), [&big, &small]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(a.base().get(ids[0]).unwrap().sgs.population(), 30);
+
+        let mut v = PatternArchiver::new(ArchivePolicy::MinVolume(4), 0);
+        let ids = v.observe(WindowId(0), [&big, &blob(2)]);
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn fixed_level_archives_coarse() {
+        let mut a = PatternArchiver::new(ArchivePolicy::All, 0).with_level(3, 1);
+        let s = blob(60);
+        let ids = a.observe(WindowId(0), [&s]);
+        let stored = &a.base().get(ids[0]).unwrap().sgs;
+        assert_eq!(stored.level, 1);
+        assert!(stored.volume() < s.volume());
+        assert_eq!(stored.population(), s.population());
+    }
+
+    #[test]
+    fn budget_selection_picks_finest_fitting() {
+        let s = blob(60);
+        let level0 = multires::archived_bytes_at_level(&s, 3, 0);
+        // Budget just below level 0 forces level ≥ 1.
+        assert_eq!(choose_level(&s, 3, level0, 3), 0);
+        let picked = choose_level(&s, 3, level0 - 1, 3);
+        assert!(picked >= 1);
+        // Hopeless budget falls back to the coarsest allowed level.
+        assert_eq!(choose_level(&s, 3, 1, 2), 2);
+    }
+
+    #[test]
+    fn budget_archiver_stores_within_budget() {
+        let s = blob(60);
+        let budget = multires::archived_bytes_at_level(&s, 3, 1);
+        let mut a = PatternArchiver::new(ArchivePolicy::All, 0).with_budget(3, budget, 3);
+        let ids = a.observe(WindowId(0), [&s]);
+        let stored = &a.base().get(ids[0]).unwrap().sgs;
+        assert!(sgs_summarize::packed::archived_bytes(stored) <= budget);
+    }
+}

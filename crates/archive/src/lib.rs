@@ -1,0 +1,36 @@
+//! # sgs-archive
+//!
+//! The **Pattern Archiver** (§6) and **Pattern Base** (§7.1):
+//!
+//! * [`PatternArchiver`] — decides *which* clusters to keep (sampling- or
+//!   feature-based selection, §6.2) and *at which resolution* (§6.1,
+//!   budget/accuracy-aware level selection on the multi-resolution SGS
+//!   hierarchy),
+//! * [`PatternBase`] — stores the archived summaries behind two feature
+//!   indexes: an R-tree over cluster MBRs (locational) and a 4-d feature
+//!   grid over (volume, core-cell count, average density, average
+//!   connectivity), and executes **cluster matching queries** with the
+//!   filter-and-refine strategy of §7.2,
+//! * [`SharedPatternBase`] — a `parking_lot`-locked handle for the
+//!   extractor → archiver → analyst pipeline (the system diagram of
+//!   Fig. 4, where matching queries run against a base that is being
+//!   appended to concurrently).
+
+pub mod archiver;
+pub mod pattern_base;
+pub mod persist;
+
+use std::sync::Arc;
+
+pub use archiver::{choose_level, ArchivePolicy, PatternArchiver};
+pub use pattern_base::{ArchivedPattern, MatchOutcome, MatchResult, PatternBase, PatternId};
+pub use persist::{load, save, PersistError};
+
+/// Thread-safe handle to a pattern base (writer: archiver; readers:
+/// matching queries).
+pub type SharedPatternBase = Arc<parking_lot::RwLock<PatternBase>>;
+
+/// Create an empty shared pattern base.
+pub fn shared_pattern_base() -> SharedPatternBase {
+    Arc::new(parking_lot::RwLock::new(PatternBase::new()))
+}

@@ -1,0 +1,389 @@
+//! The Pattern Base (§7.1) and the cluster matching query execution (§7.2).
+//!
+//! Archived SGSs are organized under two indexes:
+//!
+//! * the **locational feature index** — an R-tree over cluster MBRs,
+//!   driving position-sensitive candidate search, and
+//! * the **non-locational feature index** — a grid over the 4-d feature
+//!   vector (volume, core-cell count, avg density, avg connectivity),
+//!   driving non-position-sensitive candidate search via the per-dimension
+//!   admissible ranges of §7.2.
+//!
+//! A matching query runs **filter-and-refine**: the index narrows the base
+//! to candidates, the cluster-level feature metric discards most of them,
+//! and only the survivors pay for the grid-cell-level match (with the
+//! anytime alignment search when position-insensitive). [`MatchOutcome`]
+//! reports how many candidates reached each phase — the statistic behind
+//! the "only 6 % needed the grid-level match" claim of §8.2.
+
+use sgs_core::WindowId;
+use sgs_index::{FeatureGrid, RTree, Rect};
+use sgs_matching::{
+    best_alignment, cluster_distance, feature_ranges, grid_level_distance, MatchConfig,
+};
+use sgs_summarize::{packed, Sgs};
+
+/// Handle of an archived pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternId(pub u64);
+
+/// One archived cluster summary.
+#[derive(Clone, Debug)]
+pub struct ArchivedPattern {
+    /// Stable handle.
+    pub id: PatternId,
+    /// Window the cluster was extracted from.
+    pub window: WindowId,
+    /// The archived summary (basic or coarsened resolution).
+    pub sgs: Sgs,
+    /// Cached feature vector (volume, cores, density, connectivity).
+    pub features: [f64; 4],
+}
+
+/// One match found by a cluster matching query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchResult {
+    /// The archived pattern.
+    pub id: PatternId,
+    /// Final (grid-level) distance to the query cluster.
+    pub distance: f64,
+}
+
+/// Result of a matching query, with filter-phase statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MatchOutcome {
+    /// Matches with distance ≤ threshold, sorted ascending by distance.
+    pub matches: Vec<MatchResult>,
+    /// Candidates produced by the index search.
+    pub candidates: usize,
+    /// Candidates that survived the cluster-level filter and paid for the
+    /// grid-level match.
+    pub refined: usize,
+}
+
+/// The archive of extracted cluster summaries with its two feature indexes.
+#[derive(Debug)]
+pub struct PatternBase {
+    patterns: Vec<ArchivedPattern>,
+    locational: RTree<u64>,
+    non_locational: FeatureGrid<u64>,
+}
+
+impl Default for PatternBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PatternBase {
+    /// Empty base. Feature-grid bucket widths follow the scale of typical
+    /// summaries (tens of cells, a handful of cores, unit-scale densities).
+    pub fn new() -> Self {
+        PatternBase {
+            patterns: Vec::new(),
+            locational: RTree::new(),
+            non_locational: FeatureGrid::new(vec![16.0, 8.0, 2.0, 1.0]),
+        }
+    }
+
+    /// Number of archived patterns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the base is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Archive a summary; returns its handle. Empty summaries are rejected.
+    pub fn insert(&mut self, sgs: Sgs, window: WindowId) -> Option<PatternId> {
+        let mbr = sgs.mbr()?;
+        let id = PatternId(self.patterns.len() as u64);
+        let features = sgs.features();
+        self.locational.insert(mbr, id.0);
+        self.non_locational.insert(&features, id.0);
+        self.patterns.push(ArchivedPattern {
+            id,
+            window,
+            sgs,
+            features,
+        });
+        Some(id)
+    }
+
+    /// Look up an archived pattern.
+    pub fn get(&self, id: PatternId) -> Option<&ArchivedPattern> {
+        self.patterns.get(id.0 as usize)
+    }
+
+    /// Iterate over all archived patterns.
+    pub fn iter(&self) -> impl Iterator<Item = &ArchivedPattern> {
+        self.patterns.iter()
+    }
+
+    /// Total bytes of the archived summaries in packed form (the §8.2
+    /// storage accounting).
+    pub fn archived_bytes(&self) -> usize {
+        self.patterns
+            .iter()
+            .map(|p| packed::archived_bytes(&p.sgs))
+            .sum()
+    }
+
+    /// Bytes of in-memory index structures (R-tree + feature grid).
+    pub fn index_bytes(&self) -> usize {
+        self.locational.heap_bytes() + self.non_locational.heap_bytes()
+    }
+
+    /// Execute a cluster matching query (§7.2) for `query` under `config`.
+    pub fn match_query(&self, query: &Sgs, config: &MatchConfig) -> MatchOutcome {
+        let mut outcome = MatchOutcome::default();
+        let Some(query_mbr) = query.mbr() else {
+            return outcome;
+        };
+        let query_features = query.features();
+
+        // ---- Filter phase: index-driven candidate search.
+        let mut candidate_ids: Vec<u64> = Vec::new();
+        if config.position_sensitive {
+            let mut hits: Vec<&u64> = Vec::new();
+            self.locational.search(&query_mbr, &mut hits);
+            candidate_ids.extend(hits.into_iter().copied());
+        } else {
+            let ranges = feature_ranges(&query_features, &config.weights, config.threshold);
+            let lo: Vec<f64> = ranges.iter().map(|r| r.0).collect();
+            // The feature grid needs finite bounds; cap unbounded ranges by
+            // the maximum archived feature value per dimension.
+            let caps = self.feature_caps();
+            let hi: Vec<f64> = ranges
+                .iter()
+                .zip(caps.iter())
+                .map(|(r, cap)| if r.1.is_finite() { r.1 } else { *cap })
+                .collect();
+            let mut hits: Vec<&u64> = Vec::new();
+            self.non_locational.range_search(&lo, &hi, &mut hits);
+            candidate_ids.extend(hits.into_iter().copied());
+        }
+        candidate_ids.sort_unstable();
+        candidate_ids.dedup();
+        outcome.candidates = candidate_ids.len();
+
+        // ---- Cluster-level filter, then grid-level refine.
+        for id in candidate_ids {
+            let pattern = &self.patterns[id as usize];
+            let coarse = cluster_distance(&pattern.sgs, query, config);
+            if coarse > config.threshold {
+                continue;
+            }
+            outcome.refined += 1;
+            let distance = if config.position_sensitive {
+                let zero = vec![0i32; query.dim];
+                grid_level_distance(query, &pattern.sgs, &zero)
+            } else {
+                best_alignment(query, &pattern.sgs, config.alignment_budget).distance
+            };
+            if distance <= config.threshold {
+                outcome.matches.push(MatchResult {
+                    id: pattern.id,
+                    distance,
+                });
+            }
+        }
+        outcome
+            .matches
+            .sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        outcome
+    }
+
+    /// Maximum archived value per feature dimension (used to bound open
+    /// search ranges).
+    fn feature_caps(&self) -> [f64; 4] {
+        let mut caps = [1.0f64; 4];
+        for p in &self.patterns {
+            for d in 0..4 {
+                caps[d] = caps[d].max(p.features[d]);
+            }
+        }
+        caps
+    }
+
+    /// Brute-force matching (no indexes, every pattern refined) — the
+    /// correctness oracle for `match_query` and the baseline that shows
+    /// what the filter saves.
+    pub fn match_query_exhaustive(&self, query: &Sgs, config: &MatchConfig) -> MatchOutcome {
+        let mut outcome = MatchOutcome {
+            candidates: self.patterns.len(),
+            ..Default::default()
+        };
+        for pattern in &self.patterns {
+            outcome.refined += 1;
+            let distance = if config.position_sensitive {
+                if sgs_matching::metric::location_distance(query, &pattern.sgs) > 0.0 {
+                    continue;
+                }
+                let zero = vec![0i32; query.dim];
+                grid_level_distance(query, &pattern.sgs, &zero)
+            } else {
+                best_alignment(query, &pattern.sgs, config.alignment_budget).distance
+            };
+            if distance <= config.threshold {
+                outcome.matches.push(MatchResult {
+                    id: pattern.id,
+                    distance,
+                });
+            }
+        }
+        outcome
+            .matches
+            .sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        outcome
+    }
+
+    /// All archived MBRs overlapping `rect` (diagnostic / visualization).
+    pub fn overlapping(&self, rect: &Rect) -> Vec<PatternId> {
+        let mut hits: Vec<&u64> = Vec::new();
+        self.locational.search(rect, &mut hits);
+        let mut ids: Vec<PatternId> = hits.into_iter().map(|&i| PatternId(i)).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_core::GridGeometry;
+    use sgs_summarize::MemberSet;
+
+    fn blob(x0: f64, y0: f64, n: usize) -> Sgs {
+        let cores: Vec<Box<[f64]>> = (0..n)
+            .map(|i| vec![x0 + 0.05 + (i % 6) as f64 * 0.3, y0 + 0.05 + (i / 6) as f64 * 0.3].into())
+            .collect();
+        Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0))
+    }
+
+    fn base_with(patterns: Vec<Sgs>) -> PatternBase {
+        let mut base = PatternBase::new();
+        for (i, p) in patterns.into_iter().enumerate() {
+            base.insert(p, WindowId(i as u64));
+        }
+        base
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut base = PatternBase::new();
+        let id = base.insert(blob(0.0, 0.0, 10), WindowId(3)).unwrap();
+        assert_eq!(base.len(), 1);
+        let p = base.get(id).unwrap();
+        assert_eq!(p.window, WindowId(3));
+        assert_eq!(p.features, p.sgs.features());
+    }
+
+    #[test]
+    fn empty_summary_rejected() {
+        let mut base = PatternBase::new();
+        let empty = Sgs {
+            dim: 2,
+            side: 1.0,
+            level: 0,
+            cells: vec![],
+        };
+        assert!(base.insert(empty, WindowId(0)).is_none());
+    }
+
+    #[test]
+    fn position_sensitive_match_finds_overlapping_twin() {
+        let side = GridGeometry::basic(2, 1.0).side();
+        let base = base_with(vec![
+            blob(0.0, 0.0, 12),
+            blob(50.0 * side, 0.0, 12), // same shape far away
+            blob(0.0, 40.0 * side, 30), // different shape far away
+        ]);
+        let query = blob(0.0, 0.0, 12);
+        let cfg = MatchConfig::equal_weights(true, 0.2);
+        let out = base.match_query(&query, &cfg);
+        assert_eq!(out.matches.len(), 1);
+        assert_eq!(out.matches[0].id, PatternId(0));
+        assert!(out.matches[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn non_position_sensitive_finds_translated_twin() {
+        let side = GridGeometry::basic(2, 1.0).side();
+        let base = base_with(vec![
+            blob(50.0 * side, 17.0 * side, 12), // translated twin
+            blob(0.0, 40.0 * side, 30),         // decoy, different size
+        ]);
+        let query = blob(0.0, 0.0, 12);
+        let cfg = MatchConfig::equal_weights(false, 0.2);
+        let out = base.match_query(&query, &cfg);
+        assert_eq!(out.matches.len(), 1);
+        assert_eq!(out.matches[0].id, PatternId(0));
+        assert!(out.matches[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn filter_agrees_with_exhaustive_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let side = GridGeometry::basic(2, 1.0).side();
+        let patterns: Vec<Sgs> = (0..60)
+            .map(|_| {
+                blob(
+                    rng.gen_range(0..60) as f64 * side,
+                    rng.gen_range(0..60) as f64 * side,
+                    rng.gen_range(6..40),
+                )
+            })
+            .collect();
+        let base = base_with(patterns);
+        let query = blob(12.0 * side, 9.0 * side, 18);
+        for ps in [true, false] {
+            let cfg = MatchConfig::equal_weights(ps, 0.25);
+            let fast = base.match_query(&query, &cfg);
+            let slow = base.match_query_exhaustive(&query, &cfg);
+            let fast_ids: Vec<PatternId> = fast.matches.iter().map(|m| m.id).collect();
+            let slow_ids: Vec<PatternId> = slow.matches.iter().map(|m| m.id).collect();
+            assert_eq!(fast_ids, slow_ids, "ps={ps}");
+            assert!(fast.candidates <= slow.candidates);
+        }
+    }
+
+    #[test]
+    fn filter_reduces_refine_load() {
+        let side = GridGeometry::basic(2, 1.0).side();
+        let mut patterns = vec![blob(0.0, 0.0, 12)];
+        // Many decoys with very different volume.
+        for i in 0..50 {
+            patterns.push(blob(i as f64 * 3.0, 30.0 * side, 60));
+        }
+        let base = base_with(patterns);
+        let query = blob(0.0, 0.0, 12);
+        let cfg = MatchConfig::equal_weights(false, 0.1);
+        let out = base.match_query(&query, &cfg);
+        assert!(out.refined < base.len() / 2, "refined {} of {}", out.refined, base.len());
+        assert_eq!(out.matches[0].id, PatternId(0));
+    }
+
+    #[test]
+    fn archived_bytes_accounting() {
+        let base = base_with(vec![blob(0.0, 0.0, 12), blob(5.0, 5.0, 12)]);
+        let expect: usize = base
+            .iter()
+            .map(|p| sgs_summarize::packed::archived_bytes(&p.sgs))
+            .sum();
+        assert_eq!(base.archived_bytes(), expect);
+        assert!(base.index_bytes() > 0);
+    }
+
+    #[test]
+    fn overlapping_query() {
+        let base = base_with(vec![blob(0.0, 0.0, 12), blob(100.0, 100.0, 12)]);
+        let hits = base.overlapping(&Rect::new(vec![-1.0, -1.0], vec![1.0, 1.0]));
+        assert_eq!(hits, vec![PatternId(0)]);
+    }
+}

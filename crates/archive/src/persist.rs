@@ -1,0 +1,194 @@
+//! Pattern-base persistence: the on-disk stream history.
+//!
+//! §6's premise is that patterns are kept "for long-term analysis" — the
+//! archive must survive the process. The format is deliberately simple and
+//! self-describing: a magic/version header, then one record per pattern
+//! (window id + packed SGS, §8.2's byte layout). Loading rebuilds both
+//! feature indexes from the summaries, so index structures are never
+//! serialized and can evolve freely.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use sgs_core::WindowId;
+use sgs_summarize::packed;
+
+use crate::pattern_base::PatternBase;
+
+const MAGIC: &[u8; 8] = b"SGSBASE\x01";
+
+/// Errors raised by archive persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a pattern-base archive (bad magic or version).
+    BadMagic,
+    /// A record could not be decoded.
+    Corrupt(String),
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl core::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "archive I/O error: {e}"),
+            PersistError::BadMagic => write!(f, "not a pattern-base archive"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt archive: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize the pattern base into a writer.
+pub fn save_to(base: &PatternBase, mut w: impl Write) -> Result<(), PersistError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(base.len() as u64).to_le_bytes())?;
+    for pattern in base.iter() {
+        w.write_all(&pattern.window.0.to_le_bytes())?;
+        let bytes = packed::encode(&pattern.sgs);
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&bytes)?;
+    }
+    Ok(())
+}
+
+/// Deserialize a pattern base from a reader, rebuilding all indexes.
+pub fn load_from(mut r: impl Read) -> Result<PatternBase, PersistError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut count_buf = [0u8; 8];
+    r.read_exact(&mut count_buf)?;
+    let count = u64::from_le_bytes(count_buf);
+
+    let mut base = PatternBase::new();
+    for i in 0..count {
+        let mut window_buf = [0u8; 8];
+        r.read_exact(&mut window_buf)?;
+        let window = WindowId(u64::from_le_bytes(window_buf));
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        let sgs = packed::decode(bytes::Bytes::from(body))
+            .ok_or_else(|| PersistError::Corrupt(format!("pattern {i} undecodable")))?;
+        base.insert(sgs, window)
+            .ok_or_else(|| PersistError::Corrupt(format!("pattern {i} empty")))?;
+    }
+    Ok(base)
+}
+
+/// Save the base to a file path.
+pub fn save(base: &PatternBase, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    save_to(base, io::BufWriter::new(file))
+}
+
+/// Load a base from a file path.
+pub fn load(path: impl AsRef<Path>) -> Result<PatternBase, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load_from(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_core::GridGeometry;
+    use sgs_matching::MatchConfig;
+    use sgs_summarize::{MemberSet, Sgs};
+
+    fn sample_base(n: usize) -> PatternBase {
+        let g = GridGeometry::basic(2, 1.0);
+        let mut base = PatternBase::new();
+        for k in 0..n {
+            let cores: Vec<Box<[f64]>> = (0..30 + k * 3)
+                .map(|i| {
+                    vec![
+                        k as f64 * 7.0 + 0.05 + (i % 6) as f64 * 0.3,
+                        0.05 + (i / 6) as f64 * 0.3,
+                    ]
+                    .into()
+                })
+                .collect();
+            let sgs = Sgs::from_members(&MemberSet::new(cores, vec![]), &g);
+            base.insert(sgs, WindowId(k as u64));
+        }
+        base
+    }
+
+    #[test]
+    fn roundtrip_preserves_patterns() {
+        let base = sample_base(12);
+        let mut buf = Vec::new();
+        save_to(&base, &mut buf).unwrap();
+        let loaded = load_from(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), base.len());
+        for (a, b) in base.iter().zip(loaded.iter()) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.sgs.cells.len(), b.sgs.cells.len());
+            assert_eq!(a.features[0], b.features[0]);
+            assert_eq!(a.features[1], b.features[1]);
+        }
+    }
+
+    #[test]
+    fn loaded_base_answers_matching_queries() {
+        let base = sample_base(10);
+        let mut buf = Vec::new();
+        save_to(&base, &mut buf).unwrap();
+        let loaded = load_from(buf.as_slice()).unwrap();
+        let query = base.iter().nth(4).unwrap().sgs.clone();
+        let cfg = MatchConfig::equal_weights(true, 0.2);
+        let orig = base.match_query(&query, &cfg);
+        let redo = loaded.match_query(&query, &cfg);
+        // Same matches (face connections survive packing; connectivity is a
+        // non-locational feature, so distances can shift slightly — ids
+        // must agree on the self-match).
+        assert_eq!(redo.matches[0].id, orig.matches[0].id);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let base = sample_base(3);
+        let mut buf = Vec::new();
+        save_to(&base, &mut buf).unwrap();
+        assert!(matches!(
+            load_from(&b"NOTANARC"[..]),
+            Err(PersistError::BadMagic) | Err(PersistError::Io(_))
+        ));
+        let truncated = &buf[..buf.len() - 5];
+        assert!(load_from(truncated).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let base = sample_base(5);
+        let path = std::env::temp_dir().join(format!(
+            "sgs_persist_test_{}.bin",
+            std::process::id()
+        ));
+        save(&base, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_base_roundtrips() {
+        let base = PatternBase::new();
+        let mut buf = Vec::new();
+        save_to(&base, &mut buf).unwrap();
+        let loaded = load_from(buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Extraction benchmarks: one full windowed run per algorithm on a GMTI
+//! slice — the Criterion companion to the `fig7_cpu` harness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sgs_bench::harness::{run_csgs, run_extra_n, Summarizer};
+use sgs_bench::workload::Dataset;
+use sgs_cluster::NaiveClusterer;
+use sgs_core::{ClusterQuery, WindowSpec};
+use sgs_stream::replay;
+
+fn query() -> ClusterQuery {
+    ClusterQuery::new(0.5, 4, 2, WindowSpec::count(1000, 250).unwrap()).unwrap()
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let points = Dataset::Gmti.points(4000);
+    let q = query();
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(10);
+    group.bench_function("naive_dbscan", |b| {
+        b.iter(|| {
+            let mut naive = NaiveClusterer::new(q.clone());
+            black_box(
+                replay(q.window, points.iter().cloned(), 2, &mut naive)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("extra_n", |b| {
+        b.iter(|| black_box(run_extra_n(&q, &points, Summarizer::None).windows))
+    });
+    group.bench_function("csgs", |b| {
+        b.iter(|| black_box(run_csgs(&q, &points).windows))
+    });
+    group.bench_function("extra_n_plus_skps", |b| {
+        b.iter(|| black_box(run_extra_n(&q, &points, Summarizer::SkPs).windows))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

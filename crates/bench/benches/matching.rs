@@ -1,0 +1,62 @@
+//! Matching benchmarks: indexed filter-and-refine queries against a study
+//! archive, and single-pair distances for every summary format — the
+//! Criterion companion to the `fig8_matching` harness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use sgs_archive::PatternBase;
+use sgs_bench::harness::MultiFormat;
+use sgs_bench::quality::build_study;
+use sgs_core::WindowId;
+use sgs_matching::{chamfer_distance, graph_edit_distance, MatchConfig};
+use sgs_summarize::Sgs;
+
+fn bench_matching(c: &mut Criterion) {
+    let study = build_study(6, 2, 2, 60, 0xBEEF);
+    let theta_r = study.geometry.theta_r();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let entries: Vec<MultiFormat> = study
+        .archive
+        .iter()
+        .map(|e| {
+            let sgs = Sgs::from_members(&e.members, &study.geometry);
+            MultiFormat::build(e.members.clone(), sgs, theta_r, &mut rng).unwrap()
+        })
+        .collect();
+    let queries: Vec<MultiFormat> = study
+        .queries
+        .iter()
+        .map(|m| {
+            let sgs = Sgs::from_members(m, &study.geometry);
+            MultiFormat::build(m.clone(), sgs, theta_r, &mut rng).unwrap()
+        })
+        .collect();
+
+    let mut base = PatternBase::new();
+    for (i, e) in entries.iter().enumerate() {
+        base.insert(e.sgs.clone(), WindowId(i as u64));
+    }
+
+    let mut group = c.benchmark_group("matching");
+    let cfg_ps = MatchConfig::equal_weights(true, 0.25);
+    let cfg_nps = MatchConfig::equal_weights(false, 0.25);
+    group.bench_function("sgs_query_position_sensitive", |b| {
+        b.iter(|| black_box(base.match_query(&queries[0].sgs, &cfg_ps).matches.len()))
+    });
+    group.bench_function("sgs_query_alignment_search", |b| {
+        b.iter(|| black_box(base.match_query(&queries[0].sgs, &cfg_nps).matches.len()))
+    });
+    group.bench_function("crd_pair", |b| {
+        b.iter(|| black_box(queries[0].crd.distance(&entries[0].crd)))
+    });
+    group.bench_function("rsp_pair_chamfer", |b| {
+        b.iter(|| black_box(chamfer_distance(&queries[0].rsp, &entries[0].rsp)))
+    });
+    group.bench_function("skps_pair_ged", |b| {
+        b.iter(|| black_box(graph_edit_distance(&queries[0].skps, &entries[0].skps)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the hot substrates: grid range-query search,
+//! lifespan histograms, union-find, Hungarian assignment, alignment
+//! search, and the packed SGS codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use sgs_core::{GridGeometry, Point, PointId, WindowId};
+use sgs_index::{GridIndex, UnionFind};
+use sgs_matching::{best_alignment, hungarian};
+use sgs_stream::ExpiryHistogram;
+use sgs_summarize::{packed, MemberSet, Sgs};
+
+fn grid_points(n: usize) -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                vec![rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)],
+                0,
+            )
+        })
+        .collect()
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let pts = grid_points(2000);
+    c.bench_function("grid/insert_2000", |b| {
+        b.iter(|| {
+            let mut g = GridIndex::new(GridGeometry::basic(2, 0.3));
+            for (i, p) in pts.iter().enumerate() {
+                g.insert(PointId(i as u32), p);
+            }
+            black_box(g.len())
+        })
+    });
+    let mut g = GridIndex::new(GridGeometry::basic(2, 0.3));
+    for (i, p) in pts.iter().enumerate() {
+        g.insert(PointId(i as u32), p);
+    }
+    c.bench_function("grid/range_query", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            g.range_query(&[2.5, 2.5], 0.3, PointId(u32::MAX), &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+fn bench_lifespan(c: &mut Criterion) {
+    c.bench_function("lifespan/histogram_add_and_core_until", |b| {
+        b.iter(|| {
+            let mut h = ExpiryHistogram::new();
+            for e in 0..64u64 {
+                h.add(WindowId(e % 16));
+            }
+            black_box(h.core_until(WindowId(100), WindowId(0), 8))
+        })
+    });
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    c.bench_function("union_find/build_1000", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::with_len(1000);
+            for i in 0..999 {
+                uf.union(i, i + 1);
+            }
+            black_box(uf.find(0))
+        })
+    });
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let n = 24;
+    let cost: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..10.0)).collect();
+    c.bench_function("hungarian/24x24", |b| {
+        b.iter(|| black_box(hungarian(&cost, n).1))
+    });
+}
+
+fn study_sgs(x0: f64) -> Sgs {
+    let cores: Vec<Box<[f64]>> = (0..60)
+        .map(|i| vec![x0 + 0.05 + (i % 10) as f64 * 0.3, 0.05 + (i / 10) as f64 * 0.3].into())
+        .collect();
+    Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0))
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let a = study_sgs(0.0);
+    let b2 = study_sgs(4.0);
+    c.bench_function("alignment/best_alignment_64", |b| {
+        b.iter(|| black_box(best_alignment(&a, &b2, 64).distance))
+    });
+}
+
+fn bench_packed(c: &mut Criterion) {
+    let s = study_sgs(0.0);
+    c.bench_function("packed/encode", |b| b.iter(|| black_box(packed::encode(&s))));
+    let bytes = packed::encode(&s);
+    c.bench_function("packed/decode", |b| {
+        b.iter(|| black_box(packed::decode(bytes.clone()).unwrap().volume()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grid,
+    bench_lifespan,
+    bench_union_find,
+    bench_hungarian,
+    bench_alignment,
+    bench_packed
+);
+criterion_main!(benches);

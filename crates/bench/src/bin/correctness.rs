@@ -1,0 +1,74 @@
+//! §8.1 correctness claim — "in all the test cases, the clusters extracted
+//! by C-SGS are identical with those extracted by Extra-N" (and both agree
+//! with from-scratch DBSCAN, footnote 3).
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin correctness [-- --scale 0.5 --dataset gmti]
+//! ```
+
+use sgs_bench::table::print_table;
+use sgs_bench::workload::{config_grid, parse_dataset, parse_scale};
+use sgs_cluster::{CanonicalClustering, ExtraN, FullCluster, NaiveClusterer};
+use sgs_csgs::CSgs;
+use sgs_stream::replay;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = parse_dataset(&args);
+    let scale = parse_scale(&args);
+
+    let win = ((2_000.0 * scale) as u64).max(300);
+    let slides = [win / 10, win / 4];
+    let configs = config_grid(dataset, win, &slides);
+    let points = dataset.points((win * 6) as usize);
+
+    println!("Correctness: C-SGS ≡ Extra-N ≡ DBSCAN — dataset {dataset:?}");
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for config in configs {
+        let mut naive = NaiveClusterer::new(config.query.clone());
+        let mut extra = ExtraN::new(config.query.clone());
+        let mut csgs = CSgs::new(config.query.clone());
+        let dim = config.query.dim;
+        let spec = config.query.window;
+        let naive_out = replay(spec, points.iter().cloned(), dim, &mut naive).unwrap();
+        let extra_out = replay(spec, points.iter().cloned(), dim, &mut extra).unwrap();
+        let csgs_out = replay(spec, points.iter().cloned(), dim, &mut csgs).unwrap();
+
+        let mut windows_checked = 0usize;
+        let mut identical = true;
+        for (((_, a), (_, b)), (_, c)) in naive_out
+            .iter()
+            .zip(extra_out.iter())
+            .zip(csgs_out.iter())
+        {
+            let ca = CanonicalClustering::from(a.clone());
+            let cb = CanonicalClustering::from(b.clone());
+            let cc = CanonicalClustering::from(
+                c.iter()
+                    .map(|x| FullCluster {
+                        cores: x.cores.clone(),
+                        edges: x.edges.clone(),
+                    })
+                    .collect(),
+            );
+            if ca != cb || cb != cc {
+                identical = false;
+            }
+            windows_checked += 1;
+        }
+        all_ok &= identical;
+        rows.push(vec![
+            config.label.clone(),
+            windows_checked.to_string(),
+            if identical { "IDENTICAL" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    print_table("per-configuration verdicts", &["config", "windows", "verdict"], &rows);
+    if all_ok {
+        println!("\nAll configurations: C-SGS ≡ Extra-N ≡ DBSCAN. ✔");
+    } else {
+        println!("\nMISMATCH DETECTED — investigate before trusting other results.");
+        std::process::exit(1);
+    }
+}

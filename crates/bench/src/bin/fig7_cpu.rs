@@ -1,0 +1,64 @@
+//! Fig. 7 (top) — average response time per window for every alternative:
+//! Extra-N (extraction only), C-SGS (extraction + SGS), and the two-phase
+//! Extra-N + CRD / RSP / SkPS pipelines (§8.1).
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin fig7_cpu [-- --scale 0.2 --dataset gmti]
+//! ```
+//!
+//! Expected shape (paper): the C-SGS overhead over Extra-N stays small
+//! (< 6 % in the paper's runs); +CRD and +RSP are modest; +SkPS is far more
+//! expensive; Extra-N's cost grows with win/slide while the C-SGS
+//! summarization overhead does not (§8.1, E10).
+
+use sgs_bench::harness::{run_csgs, run_extra_n, Summarizer};
+use sgs_bench::table::{fmt_ms, print_table};
+use sgs_bench::workload::{config_grid, parse_dataset, parse_scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = parse_dataset(&args);
+    let scale = parse_scale(&args);
+
+    // Paper: win = 10K tuples, slides 0.1K / 1K / 5K, averaged over many
+    // windows. Scaled so the default run finishes in a few minutes.
+    let win = ((10_000.0 * scale) as u64).max(400);
+    let slides = [win / 100, win / 10, win / 2];
+    let n_windows = 12u64;
+    let configs = config_grid(dataset, win, &slides);
+
+    println!("Fig. 7 (top): CPU time per window — dataset {dataset:?}, win={win}");
+    for config in configs {
+        let n_points =
+            (config.query.window.slide * n_windows) as usize + 2 * win as usize;
+        let points = dataset.points(n_points);
+        let extra = run_extra_n(&config.query, &points, Summarizer::None);
+        let csgs = run_csgs(&config.query, &points);
+        let crd = run_extra_n(&config.query, &points, Summarizer::Crd);
+        let rsp = run_extra_n(&config.query, &points, Summarizer::Rsp);
+        let skps = run_extra_n(&config.query, &points, Summarizer::SkPs);
+
+        let base = extra.avg_response_ms;
+        let rows: Vec<Vec<String>> = [&extra, &csgs, &crd, &rsp, &skps]
+            .iter()
+            .map(|s| {
+                vec![
+                    s.label.clone(),
+                    fmt_ms(s.avg_response_ms),
+                    format!("{:+.1}%", (s.avg_response_ms / base - 1.0) * 100.0),
+                    format!("{:.1}", s.clusters_per_window),
+                    s.windows.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &config.label,
+            &["alternative", "resp/window", "vs Extra-N", "clusters/win", "windows"],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape check: C-SGS should sit within a few percent of Extra-N; \
+         Extra-N + SkPS should dominate all other overheads."
+    );
+}

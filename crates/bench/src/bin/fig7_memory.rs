@@ -1,0 +1,57 @@
+//! Fig. 7 (bottom) — peak memory footprint of every alternative (§8.1).
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin fig7_memory [-- --scale 0.2 --dataset gmti]
+//! ```
+//!
+//! Expected shape (paper): C-SGS carries very limited overhead because the
+//! SGS is generated in place with extraction; Extra-N's retained meta-data
+//! grows with the number of views (win/slide) while C-SGS's does not.
+
+use sgs_bench::harness::{run_csgs, run_extra_n, Summarizer};
+use sgs_bench::table::{fmt_bytes, print_table};
+use sgs_bench::workload::{config_grid, parse_dataset, parse_scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = parse_dataset(&args);
+    let scale = parse_scale(&args);
+
+    let win = ((10_000.0 * scale) as u64).max(400);
+    let slides = [win / 100, win / 10, win / 2];
+    let n_windows = 12u64;
+    let configs = config_grid(dataset, win, &slides);
+
+    println!("Fig. 7 (bottom): peak memory — dataset {dataset:?}, win={win}");
+    for config in configs {
+        let n_points =
+            (config.query.window.slide * n_windows) as usize + 2 * win as usize;
+        let points = dataset.points(n_points);
+        let extra = run_extra_n(&config.query, &points, Summarizer::None);
+        let csgs = run_csgs(&config.query, &points);
+        let crd = run_extra_n(&config.query, &points, Summarizer::Crd);
+        let rsp = run_extra_n(&config.query, &points, Summarizer::Rsp);
+        let skps = run_extra_n(&config.query, &points, Summarizer::SkPs);
+
+        let base = extra.peak_meta_bytes as f64;
+        let rows: Vec<Vec<String>> = [&extra, &csgs, &crd, &rsp, &skps]
+            .iter()
+            .map(|s| {
+                vec![
+                    s.label.clone(),
+                    fmt_bytes(s.peak_meta_bytes),
+                    format!("{:+.1}%", (s.peak_meta_bytes as f64 / base - 1.0) * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            &config.label,
+            &["alternative", "peak meta", "vs Extra-N"],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape check: within each case, Extra-N's footprint should rise as \
+         the slide shrinks (more views); C-SGS should not track that growth."
+    );
+}

@@ -1,0 +1,66 @@
+//! Fig. 8 (right) + §8.2 storage accounting — memory to store archives of
+//! 0.1K / 1K / 10K clusters as SGS vs the full representation, the
+//! per-cell byte cost, the average cells per cluster, and the compression
+//! rate (paper: 23 B/cell, ~68 cells/cluster, ~98 % compression).
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin fig8_storage [-- --scale 0.5]
+//! ```
+
+use sgs_bench::harness::build_archive;
+use sgs_bench::table::{fmt_bytes, print_table};
+use sgs_bench::workload::{parse_dataset, parse_scale};
+use sgs_core::{ClusterQuery, WindowSpec};
+use sgs_summarize::packed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = parse_dataset(&args);
+    let scale = parse_scale(&args);
+
+    let (theta_r, theta_c) = dataset.cases()[1];
+    let win = ((10_000.0 * scale) as u64).max(500);
+    let spec = WindowSpec::count(win, win / 10).unwrap();
+    let query = ClusterQuery::new(theta_r, theta_c, dataset.dim(), spec).unwrap();
+
+    println!(
+        "Fig. 8 (right): archive storage — dataset {dataset:?}, \
+         {} bytes per skeletal cell in {}-d",
+        packed::bytes_per_cell(dataset.dim()),
+        dataset.dim()
+    );
+
+    let archive_sizes = [
+        (100.0 * scale).max(20.0) as usize,
+        (1_000.0 * scale).max(50.0) as usize,
+        (10_000.0 * scale).max(100.0) as usize,
+    ];
+    let mut rows = Vec::new();
+    for &n in &archive_sizes {
+        let points = dataset.points((win as usize) * (4 + n / 2));
+        let bundle = build_archive(&query, &points, n, 0);
+        if bundle.base.is_empty() {
+            continue;
+        }
+        let sgs_bytes = bundle.base.archived_bytes();
+        let full_bytes = bundle.full_repr_bytes;
+        let cells: usize = bundle.base.iter().map(|p| p.sgs.volume()).sum();
+        let compression = 100.0 * (1.0 - sgs_bytes as f64 / full_bytes as f64);
+        rows.push(vec![
+            bundle.base.len().to_string(),
+            fmt_bytes(sgs_bytes),
+            fmt_bytes(full_bytes),
+            format!("{:.1}", cells as f64 / bundle.base.len() as f64),
+            format!("{compression:.1}%"),
+        ]);
+    }
+    print_table(
+        "storage by archive size",
+        &["clusters", "SGS bytes", "full-repr bytes", "cells/cluster", "compression"],
+        &rows,
+    );
+    println!(
+        "\nShape check: compression rate should be high (paper: ~98 %); \
+         SGS bytes should scale linearly with archive size."
+    );
+}

@@ -1,0 +1,166 @@
+//! Fig. 9 — matching quality: the "similar rate" of each summarization
+//! format (§8.3), with the 20-analyst panel replaced by ground truth (see
+//! `sgs_bench::quality` and DESIGN.md §2).
+//!
+//! For every query cluster, each format ranks the whole archive by its own
+//! distance; the similar rate is the fraction of its top-3 retrievals that
+//! are ground-truth variants (lightly jittered = "very similar",
+//! moderately deformed = "similar") of that query.
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin fig9_quality [-- --scale 1.0]
+//! ```
+//!
+//! Expected shape (paper): SGS's similar rate clearly exceeds CRD, RSP and
+//! SkPS — the decoy set contains rings and discs with identical CRD
+//! statistics, so shape-blind summaries retrieve look-alikes that are not.
+
+use rand::SeedableRng;
+use sgs_bench::harness::MultiFormat;
+use sgs_bench::quality::{build_study, Relation};
+use sgs_bench::table::print_table;
+use sgs_bench::workload::parse_scale;
+use sgs_matching::metric::rel_diff;
+use sgs_matching::{best_alignment, graph_edit_distance, pointset};
+use sgs_summarize::{Rsp, SkPs, Sgs};
+
+/// Center a point buffer at its centroid (position-insensitive study:
+/// every format is compared translation-free, like SGS's alignment
+/// search).
+fn centered(points: &[Box<[f64]>]) -> Vec<Box<[f64]>> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dim = points[0].len();
+    let mut c = vec![0.0; dim];
+    for p in points {
+        for d in 0..dim {
+            c[d] += p[d];
+        }
+    }
+    for v in &mut c {
+        *v /= points.len() as f64;
+    }
+    points
+        .iter()
+        .map(|p| p.iter().zip(&c).map(|(x, m)| x - m).collect())
+        .collect()
+}
+
+/// Structural (location-free) CRD distance: radius, density and
+/// population only — the three aggregates CRD actually summarizes shape
+/// with.
+fn crd_structural(a: &sgs_summarize::Crd, b: &sgs_summarize::Crd) -> f64 {
+    (rel_diff(a.radius, b.radius)
+        + rel_diff(a.density, b.density)
+        + rel_diff(a.population as f64, b.population as f64))
+        / 3.0
+}
+
+/// Location-free RSP distance: Chamfer on centroid-centered samples.
+fn rsp_structural(a: &Rsp, b: &Rsp) -> f64 {
+    pointset::chamfer_points(&centered(&a.sample), &centered(&b.sample))
+}
+
+/// Location-free SkPS distance: GED on centroid-centered graphs.
+fn skps_structural(a: &SkPs, b: &SkPs) -> f64 {
+    let re = |s: &SkPs| SkPs {
+        points: centered(&s.points),
+        edges: s.edges.clone(),
+        population: s.population,
+    };
+    graph_edit_distance(&re(a), &re(b))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let n_queries = ((10.0 * scale) as usize).clamp(5, 20);
+    let n_decoys = ((60.0 * scale) as usize).clamp(20, 120);
+
+    let study = build_study(n_queries, 2, 2, n_decoys, 0xF19);
+    let theta_r = study.geometry.theta_r();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF19 + 1);
+
+    // Build all formats for queries and archive entries.
+    let queries: Vec<MultiFormat> = study
+        .queries
+        .iter()
+        .map(|m| {
+            let sgs = Sgs::from_members(m, &study.geometry);
+            MultiFormat::build(m.clone(), sgs, theta_r, &mut rng).expect("non-empty query")
+        })
+        .collect();
+    let archive: Vec<MultiFormat> = study
+        .archive
+        .iter()
+        .map(|e| {
+            let sgs = Sgs::from_members(&e.members, &study.geometry);
+            MultiFormat::build(e.members.clone(), sgs, theta_r, &mut rng)
+                .expect("non-empty entry")
+        })
+        .collect();
+
+    const TOP_K: usize = 3;
+    type Distance = Box<dyn Fn(&MultiFormat, &MultiFormat) -> f64>;
+    let formats: [(&str, Distance); 4] = [
+        (
+            "SGS",
+            Box::new(|q, a| best_alignment(&q.sgs, &a.sgs, 64).distance),
+        ),
+        ("CRD", Box::new(|q, a| crd_structural(&q.crd, &a.crd))),
+        ("RSP", Box::new(|q, a| rsp_structural(&q.rsp, &a.rsp))),
+        ("SkPS", Box::new(|q, a| skps_structural(&q.skps, &a.skps))),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, dist) in &formats {
+        let mut hits_very = 0usize;
+        let mut hits_similar = 0usize;
+        let mut total = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            let mut scored: Vec<(f64, usize)> = archive
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (dist(q, a), i))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (_, idx) in scored.iter().take(TOP_K) {
+                total += 1;
+                let entry = &study.archive[*idx];
+                if entry.query_of == Some(qi) {
+                    match entry.relation {
+                        Relation::VerySimilar => hits_very += 1,
+                        Relation::Similar => hits_similar += 1,
+                        Relation::Decoy => unreachable!(),
+                    }
+                }
+            }
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}%", 100.0 * hits_very as f64 / total as f64),
+            format!("{:.0}%", 100.0 * hits_similar as f64 / total as f64),
+            format!(
+                "{:.0}%",
+                100.0 * (hits_very + hits_similar) as f64 / total as f64
+            ),
+        ]);
+    }
+    println!(
+        "Fig. 9: similar rate over top-{TOP_K} retrievals \
+         ({} queries, {} archived clusters, {} decoys)",
+        queries.len(),
+        archive.len(),
+        n_decoys
+    );
+    print_table(
+        "similar rate by format",
+        &["format", "very similar", "similar", "total similar rate"],
+        &rows,
+    );
+    println!(
+        "\nShape check: SGS's total similar rate should clearly exceed \
+         CRD, RSP and SkPS (the paper's Fig. 9 ordering)."
+    );
+}

@@ -1,0 +1,93 @@
+//! Multi-resolution experiment (tech-report extension, E9) — how archive
+//! resolution trades storage and matching time against matching quality
+//! (§6.1's budget/accuracy-aware resolution selection).
+//!
+//! The ground-truth retrieval study of Fig. 9 is repeated with both the
+//! archive and the queries coarsened to SGS levels 0, 1 and 2 (θ = 3).
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin multires [-- --scale 1.0]
+//! ```
+//!
+//! Expected shape: storage shrinks sharply with level; matching gets
+//! faster; the similar rate degrades gracefully (coarse summaries still
+//! beat shape-blind formats).
+
+use std::time::Instant;
+
+use sgs_bench::quality::build_study;
+use sgs_bench::table::{fmt_bytes, fmt_ms, print_table};
+use sgs_bench::workload::parse_scale;
+use sgs_matching::best_alignment;
+use sgs_summarize::{coarsen, packed, Sgs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let n_queries = ((10.0 * scale) as usize).clamp(5, 20);
+    let n_decoys = ((60.0 * scale) as usize).clamp(20, 120);
+    const THETA: u32 = 3;
+    const TOP_K: usize = 3;
+
+    let study = build_study(n_queries, 2, 2, n_decoys, 0xE9);
+    let base_queries: Vec<Sgs> = study
+        .queries
+        .iter()
+        .map(|m| Sgs::from_members(m, &study.geometry))
+        .collect();
+    let base_archive: Vec<Sgs> = study
+        .archive
+        .iter()
+        .map(|e| Sgs::from_members(&e.members, &study.geometry))
+        .collect();
+
+    let mut rows = Vec::new();
+    for level in 0u8..=2 {
+        let lift = |sgs: &Sgs| -> Sgs {
+            let mut s = sgs.clone();
+            for _ in 0..level {
+                s = coarsen(&s, THETA);
+            }
+            s
+        };
+        let queries: Vec<Sgs> = base_queries.iter().map(&lift).collect();
+        let archive: Vec<Sgs> = base_archive.iter().map(&lift).collect();
+        let bytes: usize = archive.iter().map(packed::archived_bytes).sum();
+
+        let t = Instant::now();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            let mut scored: Vec<(f64, usize)> = archive
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (best_alignment(q, a, 64).distance, i))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (_, idx) in scored.iter().take(TOP_K) {
+                total += 1;
+                if study.archive[*idx].query_of == Some(qi) {
+                    hits += 1;
+                }
+            }
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+        rows.push(vec![
+            format!("level {level} (θ={THETA})"),
+            fmt_bytes(bytes),
+            fmt_ms(ms),
+            format!("{:.0}%", 100.0 * hits as f64 / total as f64),
+        ]);
+    }
+    println!(
+        "Multi-resolution SGS: storage / matching time / quality trade-off \
+         ({} queries, {} archived)",
+        base_queries.len(),
+        base_archive.len()
+    );
+    print_table(
+        "by resolution level",
+        &["resolution", "archive bytes", "avg match time", "similar rate"],
+        &rows,
+    );
+}

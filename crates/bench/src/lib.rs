@@ -1,0 +1,22 @@
+//! # sgs-bench
+//!
+//! Benchmark harnesses reproducing every table and figure of the paper's
+//! evaluation (§8). Each binary in `src/bin/` regenerates one artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig7_cpu` | Fig. 7 (top): per-window CPU time of Extra-N, C-SGS, Extra-N+CRD/+RSP/+SkPS |
+//! | `fig7_memory` | Fig. 7 (bottom): memory footprints of the same |
+//! | `correctness` | §8.1: C-SGS ≡ Extra-N ≡ DBSCAN cluster equivalence |
+//! | `fig8_matching` | Fig. 8 (left): matching-query response time vs archive size, + the §8.2 filter-rate statistic |
+//! | `fig8_storage` | Fig. 8 (right): summary storage vs full representation (~98 % compression) |
+//! | `fig9_quality` | Fig. 9: matching quality ("similar rate") via the ground-truth retrieval study |
+//! | `multires` | tech-report extension: multi-resolution matching efficiency/effectiveness |
+//!
+//! This support library holds the shared workload definitions, timing
+//! harness, quality-study cluster shapes, and the table printer.
+
+pub mod harness;
+pub mod quality;
+pub mod table;
+pub mod workload;

@@ -1,0 +1,23 @@
+//! # sgs-cluster
+//!
+//! Density-based clustering over sliding windows:
+//!
+//! * [`model`] — the *full representation* of clusters (Def. 3.1): every
+//!   cluster member object labelled core or edge, plus canonicalization
+//!   helpers used by the equivalence tests,
+//! * [`dbscan`] — a from-scratch DBSCAN over a window snapshot (the ground
+//!   truth every incremental algorithm must agree with; footnote 3 of the
+//!   paper: all algorithms following the definition of \[8\] produce the same
+//!   clusters), and a naive re-cluster-every-window consumer,
+//! * [`extra_n`] — the Extra-N algorithm of Yang et al. (EDBT 2009), the
+//!   state-of-the-art baseline the paper compares C-SGS against: it
+//!   maintains one *predicted view* per future window, so its cost and
+//!   memory grow with `win/slide`.
+
+pub mod dbscan;
+pub mod extra_n;
+pub mod model;
+
+pub use dbscan::{cluster_snapshot, NaiveClusterer};
+pub use extra_n::ExtraN;
+pub use model::{CanonicalClustering, Clustering, FullCluster};

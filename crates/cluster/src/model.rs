@@ -1,0 +1,159 @@
+//! The full representation of density-based clusters (Def. 3.1).
+//!
+//! A cluster is a maximal group of connected core objects plus the edge
+//! objects attached to them. Note the definition allows one edge object to
+//! be attached to **several** clusters (the classic DBSCAN border
+//! ambiguity); we keep multi-membership, which also makes cluster outputs
+//! order-independent and therefore directly comparable across algorithms.
+
+use sgs_core::{HeapSize, PointId};
+
+/// One density-based cluster in full representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FullCluster {
+    /// Connected core objects (Def. 3.1), sorted by id.
+    pub cores: Vec<PointId>,
+    /// Edge objects attached to at least one of the cores, sorted by id.
+    pub edges: Vec<PointId>,
+}
+
+impl FullCluster {
+    /// Total member count (cores + edges).
+    #[inline]
+    pub fn population(&self) -> usize {
+        self.cores.len() + self.edges.len()
+    }
+
+    /// Sort member lists — establishes the canonical intra-cluster order.
+    pub fn normalize(&mut self) {
+        self.cores.sort_unstable();
+        self.cores.dedup();
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Whether `id` is a member (core or edge).
+    pub fn contains(&self, id: PointId) -> bool {
+        self.cores.binary_search(&id).is_ok() || self.edges.binary_search(&id).is_ok()
+    }
+}
+
+impl HeapSize for FullCluster {
+    fn heap_size(&self) -> usize {
+        (self.cores.capacity() + self.edges.capacity()) * core::mem::size_of::<PointId>()
+    }
+}
+
+/// The set of clusters extracted from one window.
+pub type Clustering = Vec<FullCluster>;
+
+/// Canonical form of a clustering: clusters normalized internally and
+/// sorted by their smallest core id. Two clusterings are equal iff their
+/// canonical forms are equal — regardless of extraction order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalClustering(pub Vec<FullCluster>);
+
+impl CanonicalClustering {
+    /// Canonicalize a clustering.
+    pub fn from(mut clusters: Clustering) -> Self {
+        for c in &mut clusters {
+            c.normalize();
+        }
+        // A valid density-based cluster always has at least one core.
+        clusters.retain(|c| !c.cores.is_empty());
+        clusters.sort_unstable_by_key(|c| c.cores[0]);
+        CanonicalClustering(clusters)
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no clusters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Total population across clusters (multi-membership counted once per
+    /// cluster).
+    pub fn total_population(&self) -> usize {
+        self.0.iter().map(FullCluster::population).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> PointId {
+        PointId(v)
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut c = FullCluster {
+            cores: vec![p(3), p(1), p(3)],
+            edges: vec![p(9), p(2), p(9)],
+        };
+        c.normalize();
+        assert_eq!(c.cores, vec![p(1), p(3)]);
+        assert_eq!(c.edges, vec![p(2), p(9)]);
+        assert_eq!(c.population(), 4);
+        assert!(c.contains(p(1)));
+        assert!(c.contains(p(9)));
+        assert!(!c.contains(p(5)));
+    }
+
+    #[test]
+    fn canonical_is_order_independent() {
+        let a = vec![
+            FullCluster {
+                cores: vec![p(5), p(4)],
+                edges: vec![p(6)],
+            },
+            FullCluster {
+                cores: vec![p(1)],
+                edges: vec![],
+            },
+        ];
+        let b = vec![
+            FullCluster {
+                cores: vec![p(1)],
+                edges: vec![],
+            },
+            FullCluster {
+                cores: vec![p(4), p(5)],
+                edges: vec![p(6)],
+            },
+        ];
+        assert_eq!(CanonicalClustering::from(a), CanonicalClustering::from(b));
+    }
+
+    #[test]
+    fn canonical_drops_coreless_clusters() {
+        let a = vec![FullCluster {
+            cores: vec![],
+            edges: vec![p(1)],
+        }];
+        assert!(CanonicalClustering::from(a).is_empty());
+    }
+
+    #[test]
+    fn total_population_sums() {
+        let cc = CanonicalClustering::from(vec![
+            FullCluster {
+                cores: vec![p(1), p(2)],
+                edges: vec![p(3)],
+            },
+            FullCluster {
+                cores: vec![p(7)],
+                edges: vec![],
+            },
+        ]);
+        assert_eq!(cc.total_population(), 4);
+        assert_eq!(cc.len(), 2);
+    }
+}

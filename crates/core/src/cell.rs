@@ -1,0 +1,401 @@
+//! Grid geometry: the uniform cell decomposition underlying SGS.
+//!
+//! §4.3 of the paper fixes the *basic* (finest, level-0) grid so that the
+//! **diagonal of each cell equals the range threshold θr**. In a
+//! `d`-dimensional space that makes the side length `θr / √d`, which yields
+//! the two structural lemmas the whole design rests on:
+//!
+//! * **Lemma 4.1** — all objects inside one core cell belong to the same
+//!   cluster (any two objects in a cell are at most one diagonal — θr —
+//!   apart, hence mutual neighbors), and
+//! * **Lemma 4.2** — an edge cell holds fewer than θc objects.
+//!
+//! [`GridGeometry`] maps points to integer cell coordinates and enumerates
+//! the bounded set of cells a range-query search must visit.
+
+use crate::memsize::HeapSize;
+use crate::point::Point;
+
+/// Integer coordinates of a grid cell (one `i32` per dimension).
+///
+/// The cell with coordinate `c` on a dimension covers the half-open interval
+/// `[c * side, (c + 1) * side)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CellCoord(pub Box<[i32]>);
+
+impl CellCoord {
+    /// Build from a slice of per-dimension indices.
+    pub fn new(coords: impl Into<Box<[i32]>>) -> Self {
+        CellCoord(coords.into())
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Chebyshev (max-norm) distance to another cell coordinate — two cells
+    /// are *adjacent* iff this is exactly 1, identical iff 0.
+    pub fn chebyshev(&self, other: &CellCoord) -> u32 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a.abs_diff(*b))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether `other` is one of the 3^d − 1 adjacent cells.
+    #[inline]
+    pub fn is_adjacent(&self, other: &CellCoord) -> bool {
+        self.chebyshev(other) == 1
+    }
+
+    /// Translate by an integer shift vector (used by the alignment search of
+    /// the matcher, §7.2).
+    pub fn shifted(&self, shift: &[i32]) -> CellCoord {
+        debug_assert_eq!(self.dim(), shift.len());
+        CellCoord(
+            self.0
+                .iter()
+                .zip(shift.iter())
+                .map(|(c, s)| c + s)
+                .collect(),
+        )
+    }
+}
+
+impl core::fmt::Debug for CellCoord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl HeapSize for CellCoord {
+    fn heap_size(&self) -> usize {
+        self.0.len() * core::mem::size_of::<i32>()
+    }
+}
+
+/// The geometry of a uniform grid over a `d`-dimensional data space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridGeometry {
+    dim: usize,
+    side: f64,
+    theta_r: f64,
+    /// How many cells away (per dimension) a range query of radius θr can
+    /// reach: `ceil(θr / side)`.
+    reach: i32,
+}
+
+impl GridGeometry {
+    /// Basic (level-0) geometry for a clustering query: cell diagonal = θr.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `theta_r <= 0`.
+    pub fn basic(dim: usize, theta_r: f64) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(theta_r > 0.0, "theta_r must be positive");
+        let side = theta_r / (dim as f64).sqrt();
+        GridGeometry {
+            dim,
+            side,
+            theta_r,
+            reach: (theta_r / side).ceil() as i32,
+        }
+    }
+
+    /// Geometry with an explicit side length (used by coarser resolutions,
+    /// §6.1, where the side is the basic side times θ^level).
+    pub fn with_side(dim: usize, theta_r: f64, side: f64) -> Self {
+        assert!(dim > 0 && side > 0.0 && theta_r > 0.0);
+        GridGeometry {
+            dim,
+            side,
+            theta_r,
+            reach: (theta_r / side).ceil() as i32,
+        }
+    }
+
+    /// Dimensionality of the data space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Side length of each cell.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// The range threshold this grid was built for.
+    #[inline]
+    pub fn theta_r(&self) -> f64 {
+        self.theta_r
+    }
+
+    /// Cell diagonal length: `side * √d`. Equals θr for a basic grid.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.side * (self.dim as f64).sqrt()
+    }
+
+    /// How many cell layers a range query of radius θr can reach.
+    #[inline]
+    pub fn reach(&self) -> i32 {
+        self.reach
+    }
+
+    /// Volume of one cell.
+    #[inline]
+    pub fn cell_volume(&self) -> f64 {
+        self.side.powi(self.dim as i32)
+    }
+
+    /// Map a point to the coordinates of the cell containing it.
+    pub fn cell_of(&self, p: &Point) -> CellCoord {
+        debug_assert_eq!(p.dim(), self.dim, "point dimensionality mismatch");
+        CellCoord(
+            p.coords
+                .iter()
+                .map(|&x| (x / self.side).floor() as i32)
+                .collect(),
+        )
+    }
+
+    /// The minimum corner (location vector of Def. 4.4) of a cell.
+    pub fn min_corner(&self, cell: &CellCoord) -> Vec<f64> {
+        cell.0.iter().map(|&c| c as f64 * self.side).collect()
+    }
+
+    /// The center of a cell, used as the representative position for
+    /// alignment seeding in the matcher.
+    pub fn center(&self, cell: &CellCoord) -> Vec<f64> {
+        cell.0
+            .iter()
+            .map(|&c| (c as f64 + 0.5) * self.side)
+            .collect()
+    }
+
+    /// Enumerate the coordinates of every cell that a ball of radius θr
+    /// centered anywhere inside `cell` can intersect, i.e. all cells within
+    /// Chebyshev distance [`Self::reach`]. The center cell itself is
+    /// included. Visits `(2·reach + 1)^d` cells.
+    pub fn reachable_cells(&self, cell: &CellCoord) -> Vec<CellCoord> {
+        let mut out = Vec::new();
+        let mut offset = vec![-self.reach; self.dim];
+        loop {
+            out.push(CellCoord(
+                cell.0
+                    .iter()
+                    .zip(offset.iter())
+                    .map(|(c, o)| c + o)
+                    .collect(),
+            ));
+            // odometer increment over the offset vector
+            let mut i = 0;
+            loop {
+                if i == self.dim {
+                    return out;
+                }
+                offset[i] += 1;
+                if offset[i] <= self.reach {
+                    break;
+                }
+                offset[i] = -self.reach;
+                i += 1;
+            }
+        }
+    }
+
+    /// Enumerate the 3^d − 1 cells adjacent to `cell` (Chebyshev distance
+    /// exactly 1) — the neighborhood over which SGS connection vectors are
+    /// defined (Def. 4.4, attribute 5).
+    pub fn adjacent_cells(&self, cell: &CellCoord) -> Vec<CellCoord> {
+        let mut out = Vec::with_capacity(3usize.pow(self.dim as u32) - 1);
+        let mut offset = vec![-1i32; self.dim];
+        loop {
+            if offset.iter().any(|&o| o != 0) {
+                out.push(CellCoord(
+                    cell.0
+                        .iter()
+                        .zip(offset.iter())
+                        .map(|(c, o)| c + o)
+                        .collect(),
+                ));
+            }
+            let mut i = 0;
+            loop {
+                if i == self.dim {
+                    return out;
+                }
+                offset[i] += 1;
+                if offset[i] <= 1 {
+                    break;
+                }
+                offset[i] = -1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Index of an adjacent cell within the canonical 3^d − 1 ordering used
+    /// by packed connection bitmasks. Returns `None` if `other` is not
+    /// adjacent to `cell`.
+    pub fn adjacency_slot(&self, cell: &CellCoord, other: &CellCoord) -> Option<usize> {
+        if !cell.is_adjacent(other) {
+            return None;
+        }
+        // Mixed-radix encoding of the offset vector in base 3 (offset+1 per
+        // digit), skipping the all-zero combination.
+        let mut code = 0usize;
+        for (c, o) in cell.0.iter().zip(other.0.iter()) {
+            let d = o - c;
+            debug_assert!((-1..=1).contains(&d));
+            code = code * 3 + (d + 1) as usize;
+        }
+        let center = {
+            let mut v = 0usize;
+            for _ in 0..self.dim {
+                v = v * 3 + 1;
+            }
+            v
+        };
+        Some(if code < center { code } else { code - 1 })
+    }
+
+    /// Minimum possible distance between any point of `a` and any point of
+    /// `b` — used to prune cell pairs that can never host a neighbor pair.
+    pub fn min_cell_dist(&self, a: &CellCoord, b: &CellCoord) -> f64 {
+        let mut acc = 0.0;
+        for (ca, cb) in a.0.iter().zip(b.0.iter()) {
+            let gap = (ca.abs_diff(*cb) as f64 - 1.0).max(0.0) * self.side;
+            acc += gap * gap;
+        }
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_grid_diagonal_equals_theta_r() {
+        for dim in 1..=5 {
+            let g = GridGeometry::basic(dim, 0.7);
+            assert!((g.diagonal() - 0.7).abs() < 1e-12, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn cell_of_floors_coordinates() {
+        let g = GridGeometry::with_side(2, 1.0, 1.0);
+        let c = g.cell_of(&Point::new(vec![2.5, -0.5], 0));
+        assert_eq!(c, CellCoord::new(vec![2, -1]));
+    }
+
+    #[test]
+    fn objects_in_same_basic_cell_are_neighbors() {
+        // Lemma 4.1 precondition: any two positions in one cell are <= θr apart.
+        let g = GridGeometry::basic(3, 2.0);
+        let corner_a = Point::new(vec![0.0, 0.0, 0.0], 0);
+        let eps = 1e-9;
+        let corner_b = Point::new(vec![g.side() - eps; 3], 0);
+        assert!(corner_a.is_neighbor(&corner_b, 2.0));
+    }
+
+    #[test]
+    fn reachable_cells_cover_radius() {
+        let g = GridGeometry::basic(2, 1.0);
+        let center = CellCoord::new(vec![0, 0]);
+        let cells = g.reachable_cells(&center);
+        // reach = ceil(sqrt(2)) = 2 → 5x5 block
+        assert_eq!(g.reach(), 2);
+        assert_eq!(cells.len(), 25);
+        assert!(cells.contains(&CellCoord::new(vec![-2, 2])));
+        assert!(cells.contains(&center));
+    }
+
+    #[test]
+    fn reachable_cells_suffice_for_neighbor_search() {
+        // Any point within θr of a point in the center cell must fall in a
+        // reachable cell.
+        let g = GridGeometry::basic(2, 1.0);
+        let p = Point::new(vec![0.01, 0.01], 0);
+        let center = g.cell_of(&p);
+        let q = Point::new(vec![0.01 - 1.0, 0.01], 0); // exactly θr away
+        let qc = g.cell_of(&q);
+        assert!(g.reachable_cells(&center).contains(&qc));
+    }
+
+    #[test]
+    fn adjacent_cells_count_and_membership() {
+        let g = GridGeometry::basic(2, 1.0);
+        let c = CellCoord::new(vec![5, 5]);
+        let adj = g.adjacent_cells(&c);
+        assert_eq!(adj.len(), 8);
+        assert!(adj.iter().all(|a| c.is_adjacent(a)));
+        assert!(!adj.contains(&c));
+    }
+
+    #[test]
+    fn adjacency_slots_are_unique_and_dense() {
+        let g = GridGeometry::basic(3, 1.0);
+        let c = CellCoord::new(vec![0, 0, 0]);
+        let adj = g.adjacent_cells(&c);
+        let mut seen = vec![false; 26];
+        for a in &adj {
+            let slot = g.adjacency_slot(&c, a).expect("adjacent");
+            assert!(!seen[slot], "slot {slot} reused");
+            seen[slot] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // non-adjacent → None
+        assert_eq!(g.adjacency_slot(&c, &CellCoord::new(vec![2, 0, 0])), None);
+        assert_eq!(g.adjacency_slot(&c, &c), None);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        let a = CellCoord::new(vec![0, 0]);
+        let b = CellCoord::new(vec![3, -2]);
+        assert_eq!(a.chebyshev(&b), 3);
+        assert_eq!(a.chebyshev(&a), 0);
+    }
+
+    #[test]
+    fn min_cell_dist_zero_for_adjacent() {
+        let g = GridGeometry::basic(2, 1.0);
+        let a = CellCoord::new(vec![0, 0]);
+        let b = CellCoord::new(vec![1, 1]);
+        assert_eq!(g.min_cell_dist(&a, &b), 0.0);
+        let far = CellCoord::new(vec![3, 0]);
+        assert!((g.min_cell_dist(&a, &far) - 2.0 * g.side()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_translates() {
+        let c = CellCoord::new(vec![1, 2]);
+        assert_eq!(c.shifted(&[3, -5]), CellCoord::new(vec![4, -3]));
+    }
+
+    #[test]
+    fn min_corner_and_center() {
+        let g = GridGeometry::with_side(2, 1.0, 0.5);
+        let c = CellCoord::new(vec![2, -1]);
+        assert_eq!(g.min_corner(&c), vec![1.0, -0.5]);
+        assert_eq!(g.center(&c), vec![1.25, -0.25]);
+    }
+}

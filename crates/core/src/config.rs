@@ -1,0 +1,103 @@
+//! Continuous clustering query configuration.
+//!
+//! Mirrors the query template of Figure 2 in the paper:
+//!
+//! ```text
+//! DETECT DensityBasedClusters(f+s) FROM stream
+//! USING theta_range = r AND theta_cnt = c
+//! IN Windows WITH win = w AND slide = s
+//! ```
+
+use crate::cell::GridGeometry;
+use crate::error::{Error, Result};
+use crate::window::WindowSpec;
+
+/// Parameters of a continuous density-based clustering query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterQuery {
+    /// Range threshold θr: two objects are neighbors iff their distance is
+    /// at most θr (Def. 3.1).
+    pub theta_r: f64,
+    /// Count threshold θc: an object with at least θc neighbors is a core
+    /// object (Def. 3.1). The object itself is not counted.
+    pub theta_c: u32,
+    /// Dimensionality of the data space.
+    pub dim: usize,
+    /// Sliding-window specification.
+    pub window: WindowSpec,
+}
+
+impl ClusterQuery {
+    /// Build and validate a query.
+    pub fn new(theta_r: f64, theta_c: u32, dim: usize, window: WindowSpec) -> Result<Self> {
+        // `!(x > 0)` rather than `x <= 0` deliberately: it also rejects NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(theta_r > 0.0) || !theta_r.is_finite() {
+            return Err(Error::InvalidQuery(format!(
+                "theta_r must be positive and finite, got {theta_r}"
+            )));
+        }
+        if theta_c == 0 {
+            return Err(Error::InvalidQuery(
+                "theta_c must be at least 1 (a core object needs neighbors)".into(),
+            ));
+        }
+        if dim == 0 {
+            return Err(Error::InvalidQuery("dimensionality must be positive".into()));
+        }
+        Ok(ClusterQuery {
+            theta_r,
+            theta_c,
+            dim,
+            window,
+        })
+    }
+
+    /// The basic (finest, level-0) grid geometry for this query: cell
+    /// diagonal = θr (§4.3).
+    pub fn basic_grid(&self) -> GridGeometry {
+        GridGeometry::basic(self.dim, self.theta_r)
+    }
+
+    /// Squared range threshold for hot-path comparisons.
+    #[inline]
+    pub fn theta_r_sq(&self) -> f64 {
+        self.theta_r * self.theta_r
+    }
+
+    /// Number of window views (`win / slide`).
+    #[inline]
+    pub fn views(&self) -> u64 {
+        self.window.views()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WindowSpec {
+        WindowSpec::count(100, 10).unwrap()
+    }
+
+    #[test]
+    fn valid_query_builds() {
+        let q = ClusterQuery::new(0.5, 4, 2, spec()).unwrap();
+        assert_eq!(q.views(), 10);
+        assert!((q.basic_grid().diagonal() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_theta_r() {
+        assert!(ClusterQuery::new(0.0, 4, 2, spec()).is_err());
+        assert!(ClusterQuery::new(-1.0, 4, 2, spec()).is_err());
+        assert!(ClusterQuery::new(f64::NAN, 4, 2, spec()).is_err());
+        assert!(ClusterQuery::new(f64::INFINITY, 4, 2, spec()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_theta_c_and_dim() {
+        assert!(ClusterQuery::new(0.5, 0, 2, spec()).is_err());
+        assert!(ClusterQuery::new(0.5, 4, 0, spec()).is_err());
+    }
+}

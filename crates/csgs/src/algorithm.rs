@@ -1,0 +1,599 @@
+//! The C-SGS algorithm (§5.4): integrated extraction + summarization.
+//!
+//! **Insertion** (the only place structural work happens):
+//!
+//! 1. one range-query search finds the new object's neighbors (§5.3
+//!    guarantees exactly one RQS per object, ever);
+//! 2. the object's core career is derived from its neighbors' lifespans
+//!    (Obs. 5.4) and pushed into its cell's `core_until` watermark
+//!    (status *promotion*, Fig. 6 case 1);
+//! 3. each neighbor's expiry histogram gains the new object; careers that
+//!    extend push their cells' watermarks (status *prolong* / neighbor
+//!    *upgrade*, Fig. 6 case 2) and re-evaluate that neighbor's cell-pair
+//!    links;
+//! 4. cell-pair links between the new object's cell and each neighbor's
+//!    cell are raised per Lemma 5.2.
+//!
+//! **Expiration** needs no structural work: all watermarks are absolute
+//! window indices, so at window `w` liveness is `w < watermark`. The slide
+//! handler only drops expired objects' raw data and emits the output.
+//!
+//! **Output** (§5.4 output stage): DFS over live core cells through live
+//! core-core links forms the cluster skeletons; attached edge cells join
+//! their groups; the full representation is derived object-level (cores by
+//! career watermark, edges via their live core neighbors).
+
+use sgs_core::{CellCoord, ClusterQuery, Point, PointId, WindowId};
+use sgs_index::{FxHashMap, GridIndex};
+use sgs_stream::{ExpiryHistogram, WindowConsumer};
+use sgs_summarize::{CellStatus, Sgs, SkeletalCell};
+
+use crate::cell_store::CellStore;
+use crate::output::{ExtractedCluster, WindowOutput};
+
+/// Per-point state retained by C-SGS.
+#[derive(Clone, Debug)]
+struct PointState {
+    coords: Box<[f64]>,
+    cell: CellCoord,
+    expires_at: WindowId,
+    /// End of the core career (absolute window index); only ever raised.
+    core_until: u64,
+    /// Histogram of neighbor expiries — answers Obs. 5.4 queries in
+    /// O(views).
+    hist: ExpiryHistogram,
+    /// Current neighbor ids (pruned of expired entries lazily).
+    neighbors: Vec<PointId>,
+}
+
+/// The integrated C-SGS extractor. Implements [`WindowConsumer`]; each
+/// slide returns the window's clusters in full + SGS representation.
+pub struct CSgs {
+    query: ClusterQuery,
+    index: GridIndex,
+    points: FxHashMap<PointId, PointState>,
+    cells: CellStore,
+    current: WindowId,
+    /// Points to drop when each window becomes current.
+    expiry: FxHashMap<u64, Vec<PointId>>,
+    scratch: Vec<(PointId, CellCoord)>,
+    /// Number of range query searches executed (one per object, §5.3).
+    pub rqs_count: u64,
+}
+
+impl CSgs {
+    /// New extractor for `query`.
+    pub fn new(query: ClusterQuery) -> Self {
+        CSgs {
+            index: GridIndex::new(query.basic_grid()),
+            query,
+            points: FxHashMap::default(),
+            cells: CellStore::new(),
+            current: WindowId(0),
+            expiry: FxHashMap::default(),
+            scratch: Vec::new(),
+            rqs_count: 0,
+        }
+    }
+
+    /// The query this extractor runs.
+    pub fn query(&self) -> &ClusterQuery {
+        &self.query
+    }
+
+    /// Number of live points.
+    pub fn live_len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Coordinates of a live point (for building member sets from output).
+    pub fn coords_of(&self, id: PointId) -> Option<&[f64]> {
+        self.points.get(&id).map(|p| p.coords.as_ref())
+    }
+
+    /// Approximate bytes of retained meta-data. Unlike Extra-N this is
+    /// independent of `win/slide` — no per-view state exists.
+    pub fn meta_bytes(&self) -> usize {
+        let pts: usize = self
+            .points
+            .values()
+            .map(|p| {
+                p.coords.len() * 8
+                    + p.cell.0.len() * 4
+                    + p.neighbors.capacity() * 4
+                    + p.hist.heap_bytes()
+            })
+            .sum();
+        pts + self.cells.heap_bytes() + sgs_core::HeapSize::heap_size(&self.index)
+    }
+
+    /// Re-evaluate all cell-pair links of `q` after its core career
+    /// extended (the connection-prolong path).
+    fn propagate_extension(&mut self, q_id: PointId) {
+        let (q_cell, q_cu, q_exp, q_neighbors) = {
+            let q = &self.points[&q_id];
+            (
+                q.cell.clone(),
+                q.core_until,
+                q.expires_at.0,
+                q.neighbors.clone(),
+            )
+        };
+        for r_id in q_neighbors {
+            let Some(r) = self.points.get(&r_id) else {
+                continue; // expired; pruned during maintenance
+            };
+            if r.cell != q_cell {
+                let (r_cell, r_cu, r_exp) = (r.cell.clone(), r.core_until, r.expires_at.0);
+                self.cells
+                    .update_pair(&q_cell, &r_cell, q_cu, q_exp, r_cu, r_exp);
+            }
+        }
+    }
+
+    /// Build the window's output from the live watermarks.
+    fn emit(&self, w: WindowId) -> WindowOutput {
+        // 1. Live core cells and their adjacency through live links.
+        let mut core_cells: Vec<&CellCoord> = self
+            .cells
+            .iter()
+            .filter(|(_, c)| c.is_core_at(w))
+            .map(|(coord, _)| coord)
+            .collect();
+        core_cells.sort_unstable();
+        let gid_of: FxHashMap<&CellCoord, usize> = {
+            // DFS over core cells.
+            let index_of: FxHashMap<&CellCoord, usize> = core_cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (*c, i))
+                .collect();
+            let mut gid = vec![usize::MAX; core_cells.len()];
+            let mut next = 0usize;
+            let mut stack = Vec::new();
+            for start in 0..core_cells.len() {
+                if gid[start] != usize::MAX {
+                    continue;
+                }
+                gid[start] = next;
+                stack.push(start);
+                while let Some(i) = stack.pop() {
+                    let state = self.cells.get(core_cells[i]).expect("core cell exists");
+                    for (other, link) in &state.links {
+                        if link.core_core_until <= w.0 {
+                            continue;
+                        }
+                        let Some(&j) = index_of.get(other) else {
+                            continue;
+                        };
+                        if gid[j] == usize::MAX {
+                            gid[j] = gid[i];
+                            stack.push(j);
+                        }
+                    }
+                }
+                next += 1;
+            }
+            core_cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (*c, gid[i]))
+                .collect()
+        };
+        let n_groups = gid_of.values().copied().max().map_or(0, |m| m + 1);
+        if n_groups == 0 {
+            return Vec::new();
+        }
+
+        // 2. Per group: core cells + attached edge cells. Status is
+        //    cluster-relative (Def. 4.2: "core object *of Ci*"): a cell
+        //    holding cores of another cluster can still be an edge cell of
+        //    this one, so only cells of *this* group count as core here.
+        let mut group_cells: Vec<Vec<(CellCoord, CellStatus)>> = vec![Vec::new(); n_groups];
+        for coord in &core_cells {
+            let g = gid_of[*coord];
+            group_cells[g].push(((*coord).clone(), CellStatus::Core));
+            let state = self.cells.get(coord).unwrap();
+            for (other, link) in &state.links {
+                if link.attach_until <= w.0 {
+                    continue;
+                }
+                let Some(other_state) = self.cells.get(other) else {
+                    continue;
+                };
+                if other_state.population == 0 || gid_of.get(other) == Some(&g) {
+                    continue;
+                }
+                group_cells[g].push((other.clone(), CellStatus::Edge));
+            }
+        }
+
+        // 3. Full representation, object-level.
+        let mut group_cores: Vec<Vec<PointId>> = vec![Vec::new(); n_groups];
+        let mut group_edges: Vec<Vec<PointId>> = vec![Vec::new(); n_groups];
+        for (&id, p) in &self.points {
+            if p.expires_at <= w {
+                continue;
+            }
+            if p.core_until > w.0 {
+                // Core object: its cell is a live core cell by Lemma 5.1.
+                if let Some(&g) = gid_of.get(&p.cell) {
+                    group_cores[g].push(id);
+                }
+            } else {
+                // Edge object iff it has a live core neighbor; may attach
+                // to several groups.
+                let mut gs: Vec<usize> = p
+                    .neighbors
+                    .iter()
+                    .filter_map(|nb| {
+                        let q = self.points.get(nb)?;
+                        if q.expires_at > w && q.core_until > w.0 {
+                            gid_of.get(&q.cell).copied()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                gs.sort_unstable();
+                gs.dedup();
+                for g in gs {
+                    group_edges[g].push(id);
+                }
+            }
+        }
+
+        // 4. Assemble clusters with their SGS.
+        let mut out = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let mut cells = std::mem::take(&mut group_cells[g]);
+            cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            cells.dedup_by(|a, b| a.0 == b.0);
+            let local: FxHashMap<&CellCoord, u32> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, (c, _))| (c, i as u32))
+                .collect();
+            let skeletal: Vec<SkeletalCell> = cells
+                .iter()
+                .map(|(coord, status)| {
+                    let state = self.cells.get(coord).unwrap();
+                    let connections = if *status == CellStatus::Core {
+                        let mut conns: Vec<u32> = state
+                            .links
+                            .iter()
+                            .filter_map(|(other, link)| {
+                                let &j = local.get(other)?;
+                                // Group-relative status: core-core liveness
+                                // applies only to cells of this group; every
+                                // other in-summary cell is an edge cell here
+                                // and connects through its attachment.
+                                let live = if gid_of.get(other) == Some(&g) {
+                                    link.core_core_until > w.0
+                                } else {
+                                    link.attach_until > w.0
+                                };
+                                live.then_some(j)
+                            })
+                            .collect();
+                        conns.sort_unstable();
+                        conns.dedup();
+                        conns
+                    } else {
+                        Vec::new()
+                    };
+                    SkeletalCell {
+                        coord: coord.clone(),
+                        population: state.population,
+                        status: *status,
+                        connections,
+                    }
+                })
+                .collect();
+            let mut cores = std::mem::take(&mut group_cores[g]);
+            let mut edges = std::mem::take(&mut group_edges[g]);
+            cores.sort_unstable();
+            edges.sort_unstable();
+            out.push(ExtractedCluster {
+                cores,
+                edges,
+                sgs: Sgs {
+                    dim: self.query.dim,
+                    side: self.index.geometry().side(),
+                    level: 0,
+                    cells: skeletal,
+                },
+            });
+        }
+        out
+    }
+}
+
+impl WindowConsumer for CSgs {
+    type Output = WindowOutput;
+
+    fn insert(&mut self, id: PointId, point: &Point, expires_at: WindowId) {
+        let theta_c = self.query.theta_c;
+        let now = self.current;
+
+        // 1. One range query search.
+        self.scratch.clear();
+        self.index
+            .range_query_with_cells(&point.coords, self.query.theta_r, id, &mut self.scratch);
+        self.rqs_count += 1;
+        let neighbors_found = std::mem::take(&mut self.scratch);
+
+        // 2. Load into the grid and the cell store.
+        let cell = self.index.insert(id, point);
+        self.cells.increment_population(&cell);
+        self.expiry.entry(expires_at.0).or_default().push(id);
+
+        // 3. The new object's own career (Obs. 5.4) → status promotion.
+        let mut hist = ExpiryHistogram::new();
+        let mut neighbor_ids = Vec::with_capacity(neighbors_found.len());
+        for (q_id, _) in &neighbors_found {
+            hist.add(self.points[q_id].expires_at);
+            neighbor_ids.push(*q_id);
+        }
+        let p_core_until = hist.core_until(expires_at, now, theta_c).0;
+        if p_core_until > now.0 {
+            self.cells.raise_core_until(&cell, p_core_until);
+        }
+
+        // 4. Neighbors gain the new object; extended careers prolong their
+        //    cells' status and re-evaluate their links.
+        let mut extended: Vec<PointId> = Vec::new();
+        for (q_id, q_cell) in &neighbors_found {
+            let q = self.points.get_mut(q_id).expect("live neighbor");
+            q.neighbors.push(id);
+            q.hist.add(expires_at);
+            let new_cu = q.hist.core_until(q.expires_at, now, theta_c).0;
+            if new_cu > q.core_until {
+                q.core_until = new_cu;
+                self.cells.raise_core_until(q_cell, new_cu);
+                extended.push(*q_id);
+            }
+        }
+
+        // 5. Store the point, then raise pair links for (p, q) pairs.
+        self.points.insert(
+            id,
+            PointState {
+                coords: point.coords.clone(),
+                cell: cell.clone(),
+                expires_at,
+                core_until: p_core_until,
+                hist,
+                neighbors: neighbor_ids,
+            },
+        );
+        for (q_id, q_cell) in &neighbors_found {
+            if *q_cell == cell {
+                continue; // intra-cell pairs are connected by Lemma 4.1
+            }
+            let q = &self.points[q_id];
+            let (q_cu, q_exp) = (q.core_until, q.expires_at.0);
+            self.cells
+                .update_pair(&cell, q_cell, p_core_until, expires_at.0, q_cu, q_exp);
+        }
+
+        // 6. Connection prolong: extended careers touch all their pairs.
+        for q_id in extended {
+            self.propagate_extension(q_id);
+        }
+        self.scratch = neighbors_found;
+    }
+
+    fn slide(&mut self, completed: WindowId) -> WindowOutput {
+        debug_assert_eq!(completed, self.current);
+        let out = self.emit(completed);
+
+        // Advance and drop expired raw data (no watermark maintenance —
+        // the paper's zero-cost expiration property).
+        self.current = completed.next();
+        if let Some(dead) = self.expiry.remove(&self.current.0) {
+            for id in dead {
+                if let Some(p) = self.points.remove(&id) {
+                    self.index.remove(id, &p.cell);
+                    self.cells.decrement_population(&p.cell);
+                }
+            }
+        }
+        self.cells.gc(self.current);
+        // Periodic maintenance: prune dead neighbor ids and old histogram
+        // buckets to keep per-point state tight.
+        if self.current.0.is_multiple_of(8) {
+            let ids: Vec<PointId> = self.points.keys().copied().collect();
+            for id in ids {
+                let mut st = self.points.remove(&id).unwrap();
+                st.neighbors.retain(|nb| self.points.contains_key(nb) || *nb == id);
+                st.hist.prune(self.current);
+                self.points.insert(id, st);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use sgs_cluster::{CanonicalClustering, ExtraN, FullCluster, NaiveClusterer};
+    use sgs_core::WindowSpec;
+    use sgs_stream::replay;
+    use sgs_summarize::MemberSet;
+
+    fn to_canonical(out: &WindowOutput) -> CanonicalClustering {
+        CanonicalClustering::from(
+            out.iter()
+                .map(|c| FullCluster {
+                    cores: c.cores.clone(),
+                    edges: c.edges.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    fn random_stream(seed: u64, n: usize, extent: f64) -> Vec<Point> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    vec![rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)],
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dbscan_per_window() {
+        let spec = WindowSpec::count(100, 20).unwrap();
+        let q = ClusterQuery::new(0.25, 4, 2, spec).unwrap();
+        let pts = random_stream(42, 600, 3.0);
+        let mut naive = NaiveClusterer::new(q.clone());
+        let mut csgs = CSgs::new(q);
+        let naive_out = replay(spec, pts.clone(), 2, &mut naive).unwrap();
+        let csgs_out = replay(spec, pts, 2, &mut csgs).unwrap();
+        assert_eq!(naive_out.len(), csgs_out.len());
+        for ((w1, a), (w2, b)) in naive_out.iter().zip(csgs_out.iter()) {
+            assert_eq!(w1, w2);
+            assert_eq!(
+                CanonicalClustering::from(a.clone()),
+                to_canonical(b),
+                "window {w1}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_extra_n_with_many_views() {
+        let spec = WindowSpec::count(60, 2).unwrap(); // 30 views
+        let q = ClusterQuery::new(0.3, 3, 2, spec).unwrap();
+        let pts = random_stream(7, 300, 2.0);
+        let mut extra = ExtraN::new(q.clone());
+        let mut csgs = CSgs::new(q);
+        let extra_out = replay(spec, pts.clone(), 2, &mut extra).unwrap();
+        let csgs_out = replay(spec, pts, 2, &mut csgs).unwrap();
+        for ((w, a), (_, b)) in extra_out.iter().zip(csgs_out.iter()) {
+            assert_eq!(
+                CanonicalClustering::from(a.clone()),
+                to_canonical(b),
+                "window {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_sgs_matches_offline_construction() {
+        let spec = WindowSpec::count(80, 16).unwrap();
+        let q = ClusterQuery::new(0.3, 3, 2, spec).unwrap();
+        let pts = random_stream(13, 400, 2.5);
+        let geometry = q.basic_grid();
+        let mut csgs = CSgs::new(q);
+        let mut engine = sgs_stream::WindowEngine::new(spec, 2);
+        let mut outs = Vec::new();
+        let mut coords_of: std::collections::HashMap<PointId, Box<[f64]>> = Default::default();
+        let mut next_id = 0u32;
+        for p in pts {
+            coords_of.insert(PointId(next_id), p.coords.clone());
+            next_id += 1;
+            engine.push(p, &mut csgs, &mut outs).unwrap();
+            // Compare at each completed window.
+            for (_, clusters) in outs.drain(..) {
+                for cluster in &clusters {
+                    let members = MemberSet::new(
+                        cluster
+                            .cores
+                            .iter()
+                            .map(|id| coords_of[id].clone())
+                            .collect(),
+                        cluster
+                            .edges
+                            .iter()
+                            .map(|id| coords_of[id].clone())
+                            .collect(),
+                    );
+                    let offline = Sgs::from_members(&members, &geometry);
+                    let inc = &cluster.sgs;
+                    inc.validate().unwrap();
+                    assert_eq!(inc.cells.len(), offline.cells.len(), "cell sets differ");
+                    for (a, b) in inc.cells.iter().zip(offline.cells.iter()) {
+                        assert_eq!(a.coord, b.coord);
+                        assert_eq!(a.status, b.status);
+                        assert_eq!(a.connections, b.connections, "cell {:?}", a.coord);
+                        if a.status == CellStatus::Core {
+                            assert_eq!(a.population, b.population, "cell {:?}", a.coord);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_rqs_per_object_ever() {
+        let spec = WindowSpec::count(50, 10).unwrap();
+        let q = ClusterQuery::new(0.3, 3, 2, spec).unwrap();
+        let pts = random_stream(1, 200, 2.0);
+        let mut csgs = CSgs::new(q);
+        replay(spec, pts, 2, &mut csgs).unwrap();
+        assert_eq!(csgs.rqs_count, 200);
+    }
+
+    #[test]
+    fn meta_bytes_independent_of_views() {
+        let pts = random_stream(5, 400, 2.0);
+        let mut sizes = Vec::new();
+        for slide in [50u64, 10, 2] {
+            let spec = WindowSpec::count(100, slide).unwrap();
+            let q = ClusterQuery::new(0.3, 3, 2, spec).unwrap();
+            let mut csgs = CSgs::new(q);
+            replay(spec, pts.clone(), 2, &mut csgs).unwrap();
+            sizes.push(csgs.meta_bytes() as f64);
+        }
+        // C-SGS meta-data must not blow up with view count: allow noise but
+        // reject the Extra-N-style multiplicative growth (50/2 = 25 views).
+        assert!(
+            sizes[2] < sizes[0] * 3.0,
+            "meta bytes grew with views: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn empty_stream_produces_empty_windows() {
+        let spec = WindowSpec::count(4, 2).unwrap();
+        let q = ClusterQuery::new(0.5, 2, 2, spec).unwrap();
+        let mut csgs = CSgs::new(q);
+        // Far-apart singletons → no clusters.
+        let pts: Vec<Point> = (0..8)
+            .map(|i| Point::new(vec![i as f64 * 100.0, 0.0], 0))
+            .collect();
+        let outs = replay(spec, pts, 2, &mut csgs).unwrap();
+        assert!(outs.iter().all(|(_, o)| o.is_empty()));
+    }
+
+    #[test]
+    fn output_population_matches_live_members() {
+        let spec = WindowSpec::count(30, 10).unwrap();
+        let q = ClusterQuery::new(0.5, 2, 2, spec).unwrap();
+        // One tight blob that persists across windows.
+        let pts: Vec<Point> = (0..60)
+            .map(|i| {
+                Point::new(
+                    vec![(i % 5) as f64 * 0.1, (i % 7) as f64 * 0.1],
+                    0,
+                )
+            })
+            .collect();
+        let mut csgs = CSgs::new(q);
+        let outs = replay(spec, pts, 2, &mut csgs).unwrap();
+        for (w, clusters) in &outs {
+            assert_eq!(clusters.len(), 1, "window {w}");
+            let c = &clusters[0];
+            assert_eq!(c.population(), 30, "window {w}");
+            assert_eq!(c.sgs.population(), 30, "window {w}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The skeletal grid cell store: per-cell lifespan watermarks.
+//!
+//! Each touched cell keeps its population, a `core_until` watermark
+//! (Lemma 5.1: the max of its members' core careers) and per-neighbor-cell
+//! link watermarks (Lemma 5.2). All watermarks are absolute window indices
+//! and only ever move *later* on insertion; a cell attribute is live at
+//! window `w` iff `w < watermark`. Nothing is updated on expiration —
+//! that is the heart of C-SGS.
+
+use sgs_core::{CellCoord, WindowId};
+use sgs_index::FxHashMap;
+
+/// Watermarks for the relation between two cells (stored on each side).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Link {
+    /// Core-core connection (Def. 4.3 / Lemma 5.2): live at `w` while some
+    /// neighbor pair is core-core, i.e. `w < core_core_until`.
+    pub core_core_until: u64,
+    /// Attachment *from this cell's cores to the other cell's objects*:
+    /// live while some core object here neighbors some (alive) object
+    /// there. Used when the other cell is an edge cell at output time.
+    pub attach_until: u64,
+}
+
+impl Link {
+    /// Raise the core-core watermark.
+    #[inline]
+    pub fn raise_core_core(&mut self, until: u64) {
+        self.core_core_until = self.core_core_until.max(until);
+    }
+
+    /// Raise the attachment watermark.
+    #[inline]
+    pub fn raise_attach(&mut self, until: u64) {
+        self.attach_until = self.attach_until.max(until);
+    }
+}
+
+/// Mutable state of one skeletal grid cell.
+#[derive(Clone, Debug, Default)]
+pub struct CellState {
+    /// Objects currently in the cell (all live objects, not only cluster
+    /// members — noise objects count until they expire).
+    pub population: u32,
+    /// First window in which the cell stops being a core cell
+    /// (Lemma 5.1 watermark).
+    pub core_until: u64,
+    /// Link watermarks to other cells this cell's objects have neighbors
+    /// in.
+    pub links: FxHashMap<CellCoord, Link>,
+}
+
+impl CellState {
+    /// Whether the cell is a core cell at window `w`.
+    #[inline]
+    pub fn is_core_at(&self, w: WindowId) -> bool {
+        self.population > 0 && w.0 < self.core_until
+    }
+}
+
+/// The store of all touched cells.
+#[derive(Clone, Debug, Default)]
+pub struct CellStore {
+    cells: FxHashMap<CellCoord, CellState>,
+}
+
+impl CellStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked (non-empty or not-yet-pruned) cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Get or create the state for `coord`.
+    pub fn entry(&mut self, coord: &CellCoord) -> &mut CellState {
+        self.cells.entry(coord.clone()).or_default()
+    }
+
+    /// Look up a cell.
+    pub fn get(&self, coord: &CellCoord) -> Option<&CellState> {
+        self.cells.get(coord)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, coord: &CellCoord) -> Option<&mut CellState> {
+        self.cells.get_mut(coord)
+    }
+
+    /// Raise the cell's core watermark (status promotion / prolong,
+    /// Fig. 6 of the paper).
+    pub fn raise_core_until(&mut self, coord: &CellCoord, until: u64) {
+        let cell = self.entry(coord);
+        cell.core_until = cell.core_until.max(until);
+    }
+
+    /// Update the pair watermarks between two distinct cells after
+    /// discovering (or re-evaluating) a neighbor pair `(a ∈ pa, b ∈ pb)`:
+    ///
+    /// * `a_core_until`, `b_core_until` — the pair's core careers,
+    /// * `a_expires`, `b_expires` — their lifespans.
+    ///
+    /// Core-core: live while both are core → `min(core, core)`.
+    /// Attachment pa→pb: live while `a` is core and `b` alive.
+    /// Attachment pb→pa: live while `b` is core and `a` alive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_pair(
+        &mut self,
+        pa: &CellCoord,
+        pb: &CellCoord,
+        a_core_until: u64,
+        a_expires: u64,
+        b_core_until: u64,
+        b_expires: u64,
+    ) {
+        debug_assert_ne!(pa, pb, "intra-cell pairs carry no link");
+        let cc = a_core_until.min(b_core_until);
+        {
+            let link = self.entry(pa).links.entry(pb.clone()).or_default();
+            link.raise_core_core(cc);
+            link.raise_attach(a_core_until.min(b_expires));
+        }
+        {
+            let link = self.entry(pb).links.entry(pa.clone()).or_default();
+            link.raise_core_core(cc);
+            link.raise_attach(b_core_until.min(a_expires));
+        }
+    }
+
+    /// Decrement a cell's population (object expiry).
+    pub fn decrement_population(&mut self, coord: &CellCoord) {
+        if let Some(cell) = self.cells.get_mut(coord) {
+            debug_assert!(cell.population > 0);
+            cell.population -= 1;
+        }
+    }
+
+    /// Increment a cell's population (object arrival).
+    pub fn increment_population(&mut self, coord: &CellCoord) {
+        self.entry(coord).population += 1;
+    }
+
+    /// Drop dead watermarks and empty cells. `now` is the current window;
+    /// links whose two watermarks are both `<= now` can never fire again,
+    /// and empty cells with no future core career hold no information.
+    pub fn gc(&mut self, now: WindowId) {
+        self.cells.retain(|_, cell| {
+            cell.links
+                .retain(|_, l| l.core_core_until > now.0 || l.attach_until > now.0);
+            cell.population > 0 || cell.core_until > now.0
+        });
+    }
+
+    /// Iterate over all cells.
+    pub fn iter(&self) -> impl Iterator<Item = (&CellCoord, &CellState)> {
+        self.cells.iter()
+    }
+
+    /// Approximate retained heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let mut bytes = self.cells.capacity()
+            * (core::mem::size_of::<(CellCoord, CellState)>() + 1);
+        for (coord, cell) in &self.cells {
+            bytes += coord.0.len() * 4;
+            bytes += cell.links.capacity() * (core::mem::size_of::<(CellCoord, Link)>() + 1);
+            bytes += cell.links.keys().map(|c| c.0.len() * 4).sum::<usize>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc(x: i32, y: i32) -> CellCoord {
+        CellCoord::new(vec![x, y])
+    }
+
+    #[test]
+    fn core_watermark_semantics() {
+        let mut store = CellStore::new();
+        store.increment_population(&cc(0, 0));
+        store.raise_core_until(&cc(0, 0), 5);
+        let cell = store.get(&cc(0, 0)).unwrap();
+        assert!(cell.is_core_at(WindowId(4)));
+        assert!(!cell.is_core_at(WindowId(5)));
+        // Watermarks only move later.
+        store.raise_core_until(&cc(0, 0), 3);
+        assert_eq!(store.get(&cc(0, 0)).unwrap().core_until, 5);
+    }
+
+    #[test]
+    fn empty_cell_is_never_core() {
+        let mut store = CellStore::new();
+        store.raise_core_until(&cc(0, 0), 10);
+        assert!(!store.get(&cc(0, 0)).unwrap().is_core_at(WindowId(1)));
+    }
+
+    #[test]
+    fn pair_update_sets_both_sides() {
+        let mut store = CellStore::new();
+        // a: core until 4, expires 6; b: core until 2, expires 9.
+        store.update_pair(&cc(0, 0), &cc(1, 0), 4, 6, 2, 9);
+        let a = store.get(&cc(0, 0)).unwrap();
+        let b = store.get(&cc(1, 0)).unwrap();
+        let ab = a.links[&cc(1, 0)];
+        let ba = b.links[&cc(0, 0)];
+        assert_eq!(ab.core_core_until, 2); // min(4, 2)
+        assert_eq!(ba.core_core_until, 2);
+        assert_eq!(ab.attach_until, 4); // a core (4) ∧ b alive (9)
+        assert_eq!(ba.attach_until, 2); // b core (2) ∧ a alive (6)
+    }
+
+    #[test]
+    fn pair_update_is_monotone() {
+        let mut store = CellStore::new();
+        store.update_pair(&cc(0, 0), &cc(1, 0), 4, 6, 2, 9);
+        store.update_pair(&cc(0, 0), &cc(1, 0), 1, 6, 1, 9);
+        let ab = store.get(&cc(0, 0)).unwrap().links[&cc(1, 0)];
+        assert_eq!(ab.core_core_until, 2, "must not regress");
+        store.update_pair(&cc(0, 0), &cc(1, 0), 8, 9, 7, 9);
+        let ab = store.get(&cc(0, 0)).unwrap().links[&cc(1, 0)];
+        assert_eq!(ab.core_core_until, 7);
+    }
+
+    #[test]
+    fn gc_drops_dead_state() {
+        let mut store = CellStore::new();
+        store.increment_population(&cc(0, 0));
+        store.update_pair(&cc(0, 0), &cc(1, 0), 3, 3, 3, 3);
+        store.decrement_population(&cc(0, 0));
+        store.gc(WindowId(5));
+        assert!(store.is_empty(), "dead cells should be collected");
+    }
+
+    #[test]
+    fn gc_keeps_live_state() {
+        let mut store = CellStore::new();
+        store.increment_population(&cc(0, 0));
+        store.update_pair(&cc(0, 0), &cc(1, 0), 9, 9, 9, 9);
+        store.gc(WindowId(5));
+        // The populated cell survives with its live link; the empty cell
+        // with no core career is dropped (its watermarks are provably dead:
+        // an empty cell cannot host a live pair endpoint).
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&cc(0, 0)).unwrap().links.contains_key(&cc(1, 0)));
+    }
+
+    #[test]
+    fn population_counting() {
+        let mut store = CellStore::new();
+        store.increment_population(&cc(2, 2));
+        store.increment_population(&cc(2, 2));
+        store.decrement_population(&cc(2, 2));
+        assert_eq!(store.get(&cc(2, 2)).unwrap().population, 1);
+    }
+}

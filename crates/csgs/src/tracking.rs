@@ -1,0 +1,315 @@
+//! Cluster tracking across windows.
+//!
+//! The paper's motivation (§1) is longitudinal: analysts watch *the same*
+//! congestion evolve, and the archiver's future work (§6.2) calls for
+//! evolution-driven pattern selection. This module supplies the missing
+//! piece: stable **track identities** for clusters across consecutive
+//! windows, with explicit evolution events.
+//!
+//! Matching rule: two clusters in consecutive windows belong to the same
+//! track when they share core objects (the sliding window guarantees
+//! surviving cores keep their ids). Each new window's clusters are matched
+//! against the previous window's by core-overlap; unmatched old tracks
+//! end, unmatched new clusters start tracks, and many-to-one / one-to-many
+//! overlaps surface as merges and splits.
+
+use sgs_core::{PointId, WindowId};
+use sgs_index::FxHashMap;
+
+use crate::output::WindowOutput;
+
+/// Stable identity of a tracked cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u64);
+
+/// An evolution event observed at a window boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A cluster appeared with no predecessor.
+    Born(TrackId),
+    /// A track found no successor cluster.
+    Died(TrackId),
+    /// Several tracks merged into one (survivor listed first).
+    Merged {
+        /// The track that carries on.
+        survivor: TrackId,
+        /// Tracks absorbed into it.
+        absorbed: Vec<TrackId>,
+    },
+    /// One track split into several (continuation listed first).
+    Split {
+        /// The track that carries on (largest fragment).
+        survivor: TrackId,
+        /// Newly created tracks for the other fragments.
+        fragments: Vec<TrackId>,
+    },
+}
+
+/// Assignment of this window's clusters to tracks.
+#[derive(Clone, Debug, Default)]
+pub struct TrackedWindow {
+    /// `tracks[i]` is the track of cluster `i` in the window output.
+    pub tracks: Vec<TrackId>,
+    /// Evolution events at this boundary.
+    pub events: Vec<Event>,
+    /// The window these assignments belong to.
+    pub window: WindowId,
+}
+
+/// The tracker: feed each window's output in order.
+#[derive(Debug, Default)]
+pub struct ClusterTracker {
+    next_track: u64,
+    /// Core membership of the previous window's clusters, per track.
+    prev: Vec<(TrackId, Vec<PointId>)>,
+}
+
+impl ClusterTracker {
+    /// New tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh(&mut self) -> TrackId {
+        let id = TrackId(self.next_track);
+        self.next_track += 1;
+        id
+    }
+
+    /// Process one window's clusters; returns the track assignment and
+    /// the evolution events at this boundary.
+    pub fn observe(&mut self, window: WindowId, output: &WindowOutput) -> TrackedWindow {
+        // Map: core id -> previous track index.
+        let mut core_to_prev: FxHashMap<PointId, usize> = FxHashMap::default();
+        for (pi, (_, cores)) in self.prev.iter().enumerate() {
+            for c in cores {
+                core_to_prev.insert(*c, pi);
+            }
+        }
+
+        // Overlap counts: cluster i -> (prev index -> shared cores).
+        let overlaps: Vec<FxHashMap<usize, usize>> = output
+            .iter()
+            .map(|c| {
+                let mut m: FxHashMap<usize, usize> = FxHashMap::default();
+                for core in &c.cores {
+                    if let Some(&pi) = core_to_prev.get(core) {
+                        *m.entry(pi).or_default() += 1;
+                    }
+                }
+                m
+            })
+            .collect();
+
+        // For each previous track, the new clusters it flows into.
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); self.prev.len()];
+        for (ci, m) in overlaps.iter().enumerate() {
+            for &pi in m.keys() {
+                succ[pi].push(ci);
+            }
+        }
+
+        let mut events = Vec::new();
+        let mut tracks: Vec<Option<TrackId>> = vec![None; output.len()];
+
+        // Assign each new cluster the previous track with the largest
+        // shared-core count (deterministic tie-break by track id).
+        for (ci, m) in overlaps.iter().enumerate() {
+            let best = m
+                .iter()
+                .map(|(&pi, &cnt)| (cnt, std::cmp::Reverse(self.prev[pi].0), pi))
+                .max();
+            if let Some((_, _, pi)) = best {
+                tracks[ci] = Some(self.prev[pi].0);
+            }
+        }
+
+        // Splits: a previous track claimed by several new clusters keeps
+        // its id on the largest fragment; the rest become new tracks.
+        for (pi, (tid, _)) in self.prev.iter().enumerate() {
+            let claimed: Vec<usize> = tracks
+                .iter()
+                .enumerate()
+                .filter(|(ci, t)| **t == Some(*tid) && overlaps[*ci].contains_key(&pi))
+                .map(|(ci, _)| ci)
+                .collect();
+            if claimed.len() > 1 {
+                let survivor_ci = *claimed
+                    .iter()
+                    .max_by_key(|&&ci| (output[ci].cores.len(), std::cmp::Reverse(ci)))
+                    .unwrap();
+                let mut fragments = Vec::new();
+                for &ci in &claimed {
+                    if ci != survivor_ci {
+                        let fresh = TrackId(self.next_track);
+                        self.next_track += 1;
+                        tracks[ci] = Some(fresh);
+                        fragments.push(fresh);
+                    }
+                }
+                events.push(Event::Split {
+                    survivor: *tid,
+                    fragments,
+                });
+            }
+        }
+
+        // Merges: a new cluster overlapping several previous tracks (after
+        // the assignment above) absorbs the non-surviving ones.
+        for (ci, m) in overlaps.iter().enumerate() {
+            if m.len() > 1 {
+                let survivor = tracks[ci].expect("overlapping cluster has a track");
+                let absorbed: Vec<TrackId> = {
+                    let mut v: Vec<TrackId> = m
+                        .keys()
+                        .map(|&pi| self.prev[pi].0)
+                        .filter(|t| *t != survivor)
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    // A track only counts as absorbed if no other new
+                    // cluster carries it on.
+                    v.retain(|t| !tracks.contains(&Some(*t)));
+                    v
+                };
+                if !absorbed.is_empty() {
+                    events.push(Event::Merged { survivor, absorbed });
+                }
+            }
+        }
+
+        // Births.
+        for t in tracks.iter_mut() {
+            if t.is_none() {
+                let fresh = self.fresh();
+                *t = Some(fresh);
+                events.push(Event::Born(fresh));
+            }
+        }
+
+        // Deaths: previous tracks with no successor at all.
+        for (pi, (tid, _)) in self.prev.iter().enumerate() {
+            if succ[pi].is_empty() {
+                events.push(Event::Died(*tid));
+            }
+        }
+
+        let tracks: Vec<TrackId> = tracks.into_iter().map(Option::unwrap).collect();
+        self.prev = tracks
+            .iter()
+            .zip(output.iter())
+            .map(|(t, c)| (*t, c.cores.clone()))
+            .collect();
+        TrackedWindow {
+            tracks,
+            events,
+            window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::ExtractedCluster;
+    use sgs_summarize::Sgs;
+
+    fn cluster(cores: &[u32]) -> ExtractedCluster {
+        ExtractedCluster {
+            cores: cores.iter().map(|c| PointId(*c)).collect(),
+            edges: vec![],
+            sgs: Sgs {
+                dim: 2,
+                side: 1.0,
+                level: 0,
+                cells: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn stable_identity_across_windows() {
+        let mut t = ClusterTracker::new();
+        let w0 = t.observe(WindowId(0), &vec![cluster(&[1, 2, 3])]);
+        assert_eq!(w0.events, vec![Event::Born(TrackId(0))]);
+        // Next window: same cluster, one core rotated out.
+        let w1 = t.observe(WindowId(1), &vec![cluster(&[2, 3, 4])]);
+        assert_eq!(w1.tracks, vec![TrackId(0)]);
+        assert!(w1.events.is_empty());
+    }
+
+    #[test]
+    fn birth_and_death() {
+        let mut t = ClusterTracker::new();
+        t.observe(WindowId(0), &vec![cluster(&[1, 2])]);
+        let w1 = t.observe(WindowId(1), &vec![cluster(&[10, 11])]);
+        assert_eq!(w1.tracks, vec![TrackId(1)]);
+        assert!(w1.events.contains(&Event::Born(TrackId(1))));
+        assert!(w1.events.contains(&Event::Died(TrackId(0))));
+    }
+
+    #[test]
+    fn merge_event() {
+        let mut t = ClusterTracker::new();
+        let w0 = t.observe(
+            WindowId(0),
+            &vec![cluster(&[1, 2, 3]), cluster(&[10, 11])],
+        );
+        let (ta, tb) = (w0.tracks[0], w0.tracks[1]);
+        // Both flow into one cluster.
+        let w1 = t.observe(WindowId(1), &vec![cluster(&[2, 3, 10, 11])]);
+        assert_eq!(w1.tracks.len(), 1);
+        // Larger overlap wins: track A (3 shared? 2 shared vs 2 shared — tie
+        // broken deterministically); the other is absorbed.
+        let survivor = w1.tracks[0];
+        assert!(survivor == ta || survivor == tb);
+        let absorbed_expect = if survivor == ta { tb } else { ta };
+        assert!(w1.events.iter().any(|e| matches!(
+            e,
+            Event::Merged { survivor: s, absorbed } if *s == survivor && absorbed == &vec![absorbed_expect]
+        )));
+    }
+
+    #[test]
+    fn split_event() {
+        let mut t = ClusterTracker::new();
+        let w0 = t.observe(WindowId(0), &vec![cluster(&[1, 2, 3, 4, 5])]);
+        let tid = w0.tracks[0];
+        let w1 = t.observe(
+            WindowId(1),
+            &vec![cluster(&[1, 2, 3]), cluster(&[4, 5])],
+        );
+        // Largest fragment keeps the id; the other becomes a new track.
+        assert_eq!(w1.tracks[0], tid);
+        assert_ne!(w1.tracks[1], tid);
+        assert!(w1
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Split { survivor, fragments }
+                if *survivor == tid && fragments.len() == 1)));
+    }
+
+    #[test]
+    fn empty_windows_are_fine() {
+        let mut t = ClusterTracker::new();
+        let w0 = t.observe(WindowId(0), &vec![]);
+        assert!(w0.tracks.is_empty());
+        assert!(w0.events.is_empty());
+        t.observe(WindowId(1), &vec![cluster(&[1])]);
+        let w2 = t.observe(WindowId(2), &vec![]);
+        assert_eq!(w2.events, vec![Event::Died(TrackId(0))]);
+    }
+
+    #[test]
+    fn track_ids_never_reused() {
+        let mut t = ClusterTracker::new();
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..10u64 {
+            let out = vec![cluster(&[(w * 100) as u32, (w * 100 + 1) as u32])];
+            let tw = t.observe(WindowId(w), &out);
+            for tr in tw.tracks {
+                assert!(seen.insert(tr), "track {tr:?} reused");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! GMTI-like moving-object stream.
+//!
+//! The paper's GMTI data (\[6\]) records ~100K positions of vehicles and
+//! helicopters (speeds 0–200 mph) observed by 24 stations over 6 hours.
+//! This generator reproduces the structure the clustering experiments
+//! exercise: **convoys** — dense groups that move coherently, form the
+//! arbitrary-shaped clusters, and drift so clusters evolve, merge and
+//! split across windows — embedded in sparse background traffic, with
+//! per-station observation jitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgs_core::Point;
+
+/// Configuration of the GMTI-like generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GmtiConfig {
+    /// Number of records to emit (the paper's dataset: ~100,000).
+    pub n_records: usize,
+    /// Number of convoys (dense moving groups).
+    pub n_convoys: usize,
+    /// Fraction of records that belong to convoys (the rest is background
+    /// traffic).
+    pub convoy_fraction: f64,
+    /// Region side length (arbitrary distance units).
+    pub region: f64,
+    /// Convoy radius — how tightly convoy members pack.
+    pub convoy_radius: f64,
+    /// Per-record observation jitter (station measurement noise).
+    pub jitter: f64,
+    /// RNG seed; equal seeds give identical streams.
+    pub seed: u64,
+}
+
+impl Default for GmtiConfig {
+    fn default() -> Self {
+        GmtiConfig {
+            n_records: 100_000,
+            n_convoys: 12,
+            convoy_fraction: 0.7,
+            region: 100.0,
+            convoy_radius: 1.2,
+            jitter: 0.05,
+            seed: 0x6713,
+        }
+    }
+}
+
+/// One convoy's kinematic state.
+struct Convoy {
+    center: [f64; 2],
+    velocity: [f64; 2],
+}
+
+/// Generate a GMTI-like stream. Records are time-ordered; `ts` advances
+/// one unit per record (6 simulated hours spread uniformly).
+pub fn generate_gmti(cfg: &GmtiConfig) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut convoys: Vec<Convoy> = (0..cfg.n_convoys)
+        .map(|_| {
+            let speed = rng.gen_range(0.001..0.02); // region units per record
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            Convoy {
+                center: [
+                    rng.gen_range(0.1 * cfg.region..0.9 * cfg.region),
+                    rng.gen_range(0.1 * cfg.region..0.9 * cfg.region),
+                ],
+                velocity: [speed * angle.cos(), speed * angle.sin()],
+            }
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(cfg.n_records);
+    for t in 0..cfg.n_records {
+        // Advance convoy kinematics; bounce off the region border.
+        for c in &mut convoys {
+            for d in 0..2 {
+                c.center[d] += c.velocity[d];
+                if c.center[d] < 0.0 || c.center[d] > cfg.region {
+                    c.velocity[d] = -c.velocity[d];
+                    c.center[d] = c.center[d].clamp(0.0, cfg.region);
+                }
+            }
+        }
+        let coords = if rng.gen_range(0.0..1.0) < cfg.convoy_fraction {
+            // A convoy member: offset within the convoy radius, plus
+            // station jitter.
+            let c = &convoys[rng.gen_range(0..convoys.len())];
+            let r = cfg.convoy_radius * rng.gen_range(0.0f64..1.0).sqrt();
+            let a = rng.gen_range(0.0..std::f64::consts::TAU);
+            vec![
+                c.center[0] + r * a.cos() + rng.gen_range(-cfg.jitter..cfg.jitter),
+                c.center[1] + r * a.sin() + rng.gen_range(-cfg.jitter..cfg.jitter),
+            ]
+        } else {
+            // Background traffic: uniform over the region.
+            vec![
+                rng.gen_range(0.0..cfg.region),
+                rng.gen_range(0.0..cfg.region),
+            ]
+        };
+        out.push(Point::new(coords, t as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GmtiConfig {
+        GmtiConfig {
+            n_records: 4000,
+            ..GmtiConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = generate_gmti(&small());
+        let b = generate_gmti(&small());
+        assert_eq!(a, b);
+        let c = generate_gmti(&GmtiConfig {
+            seed: 999,
+            ..small()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn emits_requested_count_and_dim() {
+        let pts = generate_gmti(&small());
+        assert_eq!(pts.len(), 4000);
+        assert!(pts.iter().all(|p| p.dim() == 2));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let pts = generate_gmti(&small());
+        assert!(pts.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn positions_stay_near_region() {
+        let cfg = small();
+        let pts = generate_gmti(&cfg);
+        let slack = cfg.convoy_radius + cfg.jitter;
+        for p in &pts {
+            for d in 0..2 {
+                assert!(p.coords[d] >= -slack && p.coords[d] <= cfg.region + slack);
+            }
+        }
+    }
+
+    #[test]
+    fn convoys_form_density_based_clusters() {
+        // A window of the stream must contain actual density-based
+        // clusters — the property every experiment relies on.
+        use sgs_cluster::cluster_snapshot;
+        use sgs_core::{ClusterQuery, PointId, WindowSpec};
+        let pts = generate_gmti(&small());
+        let window: Vec<(PointId, Point)> = pts[..2000]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PointId(i as u32), p.clone()))
+            .collect();
+        let q = ClusterQuery::new(0.5, 4, 2, WindowSpec::count(2000, 500).unwrap()).unwrap();
+        let clusters = cluster_snapshot(&window, &q);
+        assert!(
+            clusters.len() >= 3,
+            "expected several convoy clusters, got {}",
+            clusters.len()
+        );
+        let biggest = clusters.iter().map(|c| c.population()).max().unwrap();
+        assert!(biggest >= 30, "largest cluster too small: {biggest}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # sgs-datagen
+//!
+//! Seeded synthetic equivalents of the two real streams the paper
+//! evaluates on (§8). The real data is unavailable, so each generator
+//! reproduces the *structural* properties the experiments depend on —
+//! moving dense groups for GMTI, bursty intensive-transaction areas for
+//! STT — with deterministic output for a given seed. See `DESIGN.md` §2
+//! for the substitution rationale.
+//!
+//! * [`gmti`] — Ground Moving Target Indicator-like stream: 2-d positions
+//!   of vehicles/helicopters reported by ground stations; convoys (dense
+//!   moving groups) drift through background traffic.
+//! * [`stt`] — Stock Trading Traces-like stream: 4-d records (transaction
+//!   type, price, volume, time-of-day) with burst periods that create the
+//!   dense transaction areas the paper clusters.
+
+pub mod gmti;
+pub mod stt;
+
+pub use gmti::{generate_gmti, GmtiConfig};
+pub use stt::{generate_stt, SttConfig};

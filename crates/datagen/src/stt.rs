@@ -1,0 +1,186 @@
+//! STT-like stock-trade stream.
+//!
+//! The paper's Stock Trading Traces data (\[11\]) holds one million
+//! transaction records over a trading day, clustered on four dimensions:
+//! transaction type (buy/sell), price, volume and time (§8.1). The
+//! generator reproduces the density structure: most records are scattered
+//! background trades, while **burst periods** concentrate many trades of
+//! one stock into a tight price/volume/time region — the
+//! "intensive-transaction areas" the paper's queries detect.
+//!
+//! All four dimensions are emitted in comparable numeric scales (roughly
+//! `[0, 10]`) so a single range threshold θr is meaningful, mirroring how
+//! the paper applies one θr across the four attributes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgs_core::Point;
+
+/// Configuration of the STT-like generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SttConfig {
+    /// Number of records (the paper's dataset: 1,000,000).
+    pub n_records: usize,
+    /// Number of distinct stocks.
+    pub n_stocks: usize,
+    /// Fraction of records belonging to bursts (intensive-transaction
+    /// areas).
+    pub burst_fraction: f64,
+    /// Mean burst length in records.
+    pub burst_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SttConfig {
+    fn default() -> Self {
+        SttConfig {
+            n_records: 1_000_000,
+            n_stocks: 40,
+            burst_fraction: 0.6,
+            burst_len: 400,
+            seed: 0x57A7,
+        }
+    }
+}
+
+/// State of an in-progress burst.
+struct Burst {
+    price: f64,
+    volume: f64,
+    buy_bias: f64,
+    remaining: usize,
+}
+
+/// Generate an STT-like stream. Record dimensions:
+/// `[type, price, volume, time-of-day]`, `ts` = record index.
+pub fn generate_stt(cfg: &SttConfig) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Per-stock base price (random walk over the day), in [1, 9].
+    let mut prices: Vec<f64> = (0..cfg.n_stocks)
+        .map(|_| rng.gen_range(1.0..9.0))
+        .collect();
+    let mut burst: Option<Burst> = None;
+    let mut out = Vec::with_capacity(cfg.n_records);
+    let day = cfg.n_records as f64;
+
+    for t in 0..cfg.n_records {
+        // Slow price drift.
+        if t.is_multiple_of(64) {
+            for p in &mut prices {
+                *p = (*p + rng.gen_range(-0.02..0.02)).clamp(0.5, 9.5);
+            }
+        }
+        // Possibly start a burst.
+        if burst.is_none() && rng.gen_range(0.0..1.0) < cfg.burst_fraction / cfg.burst_len as f64 {
+            let stock = rng.gen_range(0..cfg.n_stocks);
+            burst = Some(Burst {
+                price: prices[stock],
+                volume: rng.gen_range(2.0..8.0),
+                buy_bias: if rng.gen_bool(0.5) { 0.8 } else { 0.2 },
+                remaining: (cfg.burst_len as f64 * rng.gen_range(0.5..1.5)) as usize,
+            });
+        }
+        let in_burst = match &mut burst {
+            Some(b) if rng.gen_range(0.0..1.0) < cfg.burst_fraction => {
+                b.remaining = b.remaining.saturating_sub(1);
+                true
+            }
+            _ => false,
+        };
+        let tod = 10.0 * t as f64 / day; // time-of-day in [0, 10]
+        let coords = if in_burst {
+            let b = burst.as_ref().unwrap();
+            vec![
+                if rng.gen_bool(b.buy_bias) { 0.0 } else { 0.1 },
+                b.price + rng.gen_range(-0.05..0.05),
+                b.volume + rng.gen_range(-0.08..0.08),
+                tod,
+            ]
+        } else {
+            let stock = rng.gen_range(0..cfg.n_stocks);
+            vec![
+                if rng.gen_bool(0.5) { 0.0 } else { 0.1 },
+                prices[stock] + rng.gen_range(-0.3..0.3),
+                rng.gen_range(0.5..9.5),
+                tod,
+            ]
+        };
+        if let Some(b) = &burst {
+            if b.remaining == 0 {
+                burst = None;
+            }
+        }
+        out.push(Point::new(coords, t as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SttConfig {
+        SttConfig {
+            n_records: 20_000,
+            ..SttConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        assert_eq!(generate_stt(&small()), generate_stt(&small()));
+        assert_ne!(
+            generate_stt(&small()),
+            generate_stt(&SttConfig {
+                seed: 1,
+                ..small()
+            })
+        );
+    }
+
+    #[test]
+    fn emits_requested_count_and_dim() {
+        let pts = generate_stt(&small());
+        assert_eq!(pts.len(), 20_000);
+        assert!(pts.iter().all(|p| p.dim() == 4));
+    }
+
+    #[test]
+    fn dimensions_have_comparable_scales() {
+        let pts = generate_stt(&small());
+        for p in &pts {
+            assert!((0.0..=0.1).contains(&p.coords[0]), "type {}", p.coords[0]);
+            assert!((0.0..=10.0).contains(&p.coords[1]), "price {}", p.coords[1]);
+            assert!((0.0..=10.0).contains(&p.coords[2]), "volume {}", p.coords[2]);
+            assert!((0.0..=10.0).contains(&p.coords[3]), "tod {}", p.coords[3]);
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let pts = generate_stt(&small());
+        assert!(pts.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn bursts_form_density_based_clusters() {
+        use sgs_cluster::cluster_snapshot;
+        use sgs_core::{ClusterQuery, PointId, WindowSpec};
+        let pts = generate_stt(&small());
+        let window: Vec<(PointId, Point)> = pts[..5000]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PointId(i as u32), p.clone()))
+            .collect();
+        // Case-2 style parameters from §8.1 (θr = 0.1, θc = 8).
+        let q = ClusterQuery::new(0.1, 8, 4, WindowSpec::count(5000, 1000).unwrap()).unwrap();
+        let clusters = cluster_snapshot(&window, &q);
+        assert!(
+            !clusters.is_empty(),
+            "burst should produce at least one intensive-transaction cluster"
+        );
+        let biggest = clusters.iter().map(|c| c.population()).max().unwrap();
+        assert!(biggest >= 20, "largest cluster too small: {biggest}");
+    }
+}

@@ -1,0 +1,247 @@
+//! The non-locational feature index of the pattern base (§7.1).
+//!
+//! Archived clusters are indexed by a small feature vector — in the paper a
+//! four-dimensional one: *volume* (number of skeletal grid cells), *status
+//! count* (number of core cells), *average density* and *average
+//! connectivity*. Candidate search derives a per-dimension interval from
+//! the distance threshold and feature weights (§7.2) and collects every
+//! cluster whose features fall inside the resulting hyper-rectangle.
+//!
+//! The index is a uniform grid over feature space: each dimension has a
+//! bucket width; clusters hash into the bucket of their feature vector, and
+//! a range search scans only the buckets intersecting the query box.
+
+use crate::fx::FxHashMap;
+
+/// Uniform grid index over `d`-dimensional feature vectors.
+#[derive(Clone, Debug)]
+pub struct FeatureGrid<T> {
+    widths: Box<[f64]>,
+    buckets: FxHashMap<Box<[i64]>, Vec<(Box<[f64]>, T)>>,
+    len: usize,
+}
+
+impl<T> FeatureGrid<T> {
+    /// New index with the given per-dimension bucket widths.
+    ///
+    /// # Panics
+    /// Panics if any width is non-positive or the vector is empty.
+    pub fn new(widths: impl Into<Box<[f64]>>) -> Self {
+        let widths = widths.into();
+        assert!(!widths.is_empty(), "at least one feature dimension");
+        assert!(
+            widths.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "bucket widths must be positive and finite"
+        );
+        FeatureGrid {
+            widths,
+            buckets: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of feature dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Number of indexed entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, features: &[f64]) -> Box<[i64]> {
+        features
+            .iter()
+            .zip(self.widths.iter())
+            .map(|(f, w)| (f / w).floor() as i64)
+            .collect()
+    }
+
+    /// Index `value` under `features`.
+    ///
+    /// # Panics
+    /// Panics if `features.len() != self.dim()`.
+    pub fn insert(&mut self, features: &[f64], value: T) {
+        assert_eq!(features.len(), self.dim(), "feature dimensionality");
+        let key = self.bucket_of(features);
+        self.buckets
+            .entry(key)
+            .or_default()
+            .push((features.into(), value));
+        self.len += 1;
+    }
+
+    /// Collect every value whose features lie inside the closed box
+    /// `[lo[i], hi[i]]` on every dimension.
+    pub fn range_search<'a>(&'a self, lo: &[f64], hi: &[f64], out: &mut Vec<&'a T>) {
+        assert_eq!(lo.len(), self.dim());
+        assert_eq!(hi.len(), self.dim());
+        let lo_b: Vec<i64> = lo
+            .iter()
+            .zip(self.widths.iter())
+            .map(|(f, w)| (f / w).floor() as i64)
+            .collect();
+        let hi_b: Vec<i64> = hi
+            .iter()
+            .zip(self.widths.iter())
+            .map(|(f, w)| (f / w).floor() as i64)
+            .collect();
+        // Odometer over the bucket box.
+        let mut cur = lo_b.clone();
+        'outer: loop {
+            if let Some(bucket) = self.buckets.get(cur.as_slice()) {
+                for (f, v) in bucket {
+                    if f.iter()
+                        .zip(lo.iter().zip(hi.iter()))
+                        .all(|(x, (l, h))| l <= x && x <= h)
+                    {
+                        out.push(v);
+                    }
+                }
+            }
+            let mut i = 0;
+            loop {
+                if i == cur.len() {
+                    break 'outer;
+                }
+                cur[i] += 1;
+                if cur[i] <= hi_b[i] {
+                    break;
+                }
+                cur[i] = lo_b[i];
+                i += 1;
+            }
+        }
+    }
+
+    /// Visit all entries (features, value).
+    pub fn for_each<'a>(&'a self, mut f: impl FnMut(&'a [f64], &'a T)) {
+        for bucket in self.buckets.values() {
+            for (feat, v) in bucket {
+                f(feat, v);
+            }
+        }
+    }
+
+    /// Approximate retained heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let mut bytes = self.buckets.capacity()
+            * (core::mem::size_of::<(Box<[i64]>, Vec<(Box<[f64]>, T)>)>() + 1);
+        for (k, v) in &self.buckets {
+            bytes += k.len() * 8;
+            bytes += v.capacity() * core::mem::size_of::<(Box<[f64]>, T)>();
+            bytes += v.iter().map(|(f, _)| f.len() * 8).sum::<usize>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> FeatureGrid<u32> {
+        FeatureGrid::new(vec![10.0, 5.0])
+    }
+
+    #[test]
+    fn insert_and_exact_search() {
+        let mut g = grid();
+        g.insert(&[12.0, 3.0], 1);
+        g.insert(&[99.0, 4.9], 2);
+        let mut out = Vec::new();
+        g.range_search(&[10.0, 0.0], &[20.0, 5.0], &mut out);
+        assert_eq!(out, vec![&1]);
+    }
+
+    #[test]
+    fn range_is_closed() {
+        let mut g = grid();
+        g.insert(&[10.0, 5.0], 7);
+        let mut out = Vec::new();
+        g.range_search(&[10.0, 5.0], &[10.0, 5.0], &mut out);
+        assert_eq!(out, vec![&7]);
+    }
+
+    #[test]
+    fn filters_within_bucket() {
+        // Two entries in the same bucket; only one inside the query box.
+        let mut g = grid();
+        g.insert(&[1.0, 1.0], 1);
+        g.insert(&[9.0, 4.0], 2);
+        let mut out = Vec::new();
+        g.range_search(&[0.0, 0.0], &[5.0, 5.0], &mut out);
+        assert_eq!(out, vec![&1]);
+    }
+
+    #[test]
+    fn matches_linear_scan() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut g = FeatureGrid::new(vec![7.0, 3.0, 11.0]);
+        let mut all = Vec::new();
+        for i in 0..300u32 {
+            let f = [
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..50.0),
+                rng.gen_range(-20.0..20.0),
+            ];
+            g.insert(&f, i);
+            all.push((f, i));
+        }
+        for _ in 0..30 {
+            let lo = [
+                rng.gen_range(0.0..80.0),
+                rng.gen_range(0.0..40.0),
+                rng.gen_range(-20.0..10.0),
+            ];
+            let hi = [lo[0] + 15.0, lo[1] + 10.0, lo[2] + 12.0];
+            let mut fast = Vec::new();
+            g.range_search(&lo, &hi, &mut fast);
+            let mut fast: Vec<u32> = fast.into_iter().copied().collect();
+            fast.sort();
+            let mut slow: Vec<u32> = all
+                .iter()
+                .filter(|(f, _)| (0..3).all(|d| lo[d] <= f[d] && f[d] <= hi[d]))
+                .map(|(_, i)| *i)
+                .collect();
+            slow.sort();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut g = grid();
+        g.insert(&[-12.0, -3.0], 5);
+        let mut out = Vec::new();
+        g.range_search(&[-20.0, -5.0], &[-10.0, 0.0], &mut out);
+        assert_eq!(out, vec![&5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_widths() {
+        FeatureGrid::<u32>::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn for_each_and_len() {
+        let mut g = grid();
+        g.insert(&[1.0, 1.0], 1);
+        g.insert(&[2.0, 2.0], 2);
+        assert_eq!(g.len(), 2);
+        let mut n = 0;
+        g.for_each(|_, _| n += 1);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! The uniform grid index used by the pattern extractor (§5.4).
+//!
+//! Every arriving object is loaded into its cell, then a single **range
+//! query search** (RQS) finds its neighbors by scanning the bounded set of
+//! reachable cells (`(2·reach+1)^d`, see [`GridGeometry::reachable_cells`])
+//! and pruning by true distance. Because the basic cell diagonal equals θr,
+//! all points co-located in a cell are mutual neighbors (Lemma 4.1) — the
+//! index exposes per-cell buckets so algorithms can exploit that.
+
+use sgs_core::{CellCoord, GridGeometry, HeapSize, Point, PointId};
+
+use crate::fx::FxHashMap;
+
+/// One indexed object: its id and an inline copy of its coordinates
+/// (coordinates are copied so the distance loop never chases a pointer into
+/// a foreign slab).
+#[derive(Clone, Debug)]
+pub struct GridEntry {
+    /// Stream object id.
+    pub id: PointId,
+    /// Position (same dimensionality as the grid).
+    pub coords: Box<[f64]>,
+}
+
+/// Uniform grid over the data space, bucketing live points by cell.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    geometry: GridGeometry,
+    cells: FxHashMap<CellCoord, Vec<GridEntry>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Empty index with the given geometry.
+    pub fn new(geometry: GridGeometry) -> Self {
+        GridIndex {
+            geometry,
+            cells: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    /// The grid geometry.
+    #[inline]
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geometry
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-empty cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Insert a point; returns the cell it landed in.
+    pub fn insert(&mut self, id: PointId, point: &Point) -> CellCoord {
+        let cell = self.geometry.cell_of(point);
+        self.cells.entry(cell.clone()).or_default().push(GridEntry {
+            id,
+            coords: point.coords.clone(),
+        });
+        self.len += 1;
+        cell
+    }
+
+    /// Remove a point from the cell it was inserted into. Returns `true`
+    /// if it was present.
+    pub fn remove(&mut self, id: PointId, cell: &CellCoord) -> bool {
+        let Some(bucket) = self.cells.get_mut(cell) else {
+            return false;
+        };
+        let Some(pos) = bucket.iter().position(|e| e.id == id) else {
+            return false;
+        };
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.cells.remove(cell);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// The live points currently bucketed in `cell`.
+    pub fn cell_points(&self, cell: &CellCoord) -> &[GridEntry] {
+        self.cells.get(cell).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate over all non-empty cells.
+    pub fn cells(&self) -> impl Iterator<Item = (&CellCoord, &[GridEntry])> {
+        self.cells.iter().map(|(c, v)| (c, v.as_slice()))
+    }
+
+    /// Range query search: every indexed point within `theta_r` of `coords`,
+    /// excluding `exclude` (the querying point itself, per Def. 3.1 a point
+    /// is not its own neighbor). Results are appended to `out`.
+    pub fn range_query(
+        &self,
+        coords: &[f64],
+        theta_r: f64,
+        exclude: PointId,
+        out: &mut Vec<PointId>,
+    ) {
+        let theta_sq = theta_r * theta_r;
+        let center = self.geometry.cell_of(&Point::new(coords.to_vec(), 0));
+        for cell in self.geometry.reachable_cells(&center) {
+            if let Some(bucket) = self.cells.get(&cell) {
+                for e in bucket {
+                    if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
+                        out.push(e.id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`range_query`](Self::range_query) but yields `(id, cell)` pairs
+    /// so callers can update per-cell state without a second lookup.
+    pub fn range_query_with_cells(
+        &self,
+        coords: &[f64],
+        theta_r: f64,
+        exclude: PointId,
+        out: &mut Vec<(PointId, CellCoord)>,
+    ) {
+        let theta_sq = theta_r * theta_r;
+        let center = self.geometry.cell_of(&Point::new(coords.to_vec(), 0));
+        for cell in self.geometry.reachable_cells(&center) {
+            if let Some(bucket) = self.cells.get(&cell) {
+                for e in bucket {
+                    if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
+                        out.push((e.id, cell.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl HeapSize for GridIndex {
+    fn heap_size(&self) -> usize {
+        let mut bytes = self.cells.capacity()
+            * (core::mem::size_of::<(CellCoord, Vec<GridEntry>)>() + 1);
+        for (c, v) in &self.cells {
+            bytes += c.heap_size();
+            bytes += v.capacity() * core::mem::size_of::<GridEntry>();
+            for e in v {
+                bytes += e.coords.len() * core::mem::size_of::<f64>();
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_core::GridGeometry;
+
+    fn index2d(theta_r: f64) -> GridIndex {
+        GridIndex::new(GridGeometry::basic(2, theta_r))
+    }
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y], 0)
+    }
+
+    #[test]
+    fn insert_and_cell_lookup() {
+        let mut g = index2d(1.0);
+        let c = g.insert(PointId(0), &pt(0.1, 0.1));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.cell_points(&c).len(), 1);
+        assert_eq!(g.cell_count(), 1);
+    }
+
+    #[test]
+    fn range_query_finds_exact_neighbors() {
+        let mut g = index2d(1.0);
+        g.insert(PointId(0), &pt(0.0, 0.0));
+        g.insert(PointId(1), &pt(0.5, 0.0)); // dist 0.5 → neighbor
+        g.insert(PointId(2), &pt(1.0, 0.0)); // dist 1.0 → neighbor (inclusive)
+        g.insert(PointId(3), &pt(1.01, 0.0)); // just outside
+        g.insert(PointId(4), &pt(5.0, 5.0)); // far away
+        let mut out = Vec::new();
+        g.range_query(&[0.0, 0.0], 1.0, PointId(0), &mut out);
+        out.sort();
+        assert_eq!(out, vec![PointId(1), PointId(2)]);
+    }
+
+    #[test]
+    fn range_query_excludes_self_only() {
+        let mut g = index2d(1.0);
+        g.insert(PointId(0), &pt(0.0, 0.0));
+        g.insert(PointId(1), &pt(0.0, 0.0)); // coincident distinct point
+        let mut out = Vec::new();
+        g.range_query(&[0.0, 0.0], 1.0, PointId(0), &mut out);
+        assert_eq!(out, vec![PointId(1)]);
+    }
+
+    #[test]
+    fn remove_clears_cells() {
+        let mut g = index2d(1.0);
+        let c0 = g.insert(PointId(0), &pt(0.0, 0.0));
+        let c1 = g.insert(PointId(1), &pt(10.0, 10.0));
+        assert!(g.remove(PointId(0), &c0));
+        assert!(!g.remove(PointId(0), &c0));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.cell_count(), 1);
+        assert!(g.remove(PointId(1), &c1));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let theta = 0.3;
+        let mut g = index2d(theta);
+        let pts: Vec<Point> = (0..400)
+            .map(|_| pt(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            g.insert(PointId(i as u32), p);
+        }
+        for (i, p) in pts.iter().enumerate() {
+            let mut fast = Vec::new();
+            g.range_query(&p.coords, theta, PointId(i as u32), &mut fast);
+            fast.sort();
+            let mut slow: Vec<PointId> = pts
+                .iter()
+                .enumerate()
+                .filter(|(j, q)| *j != i && p.is_neighbor(q, theta))
+                .map(|(j, _)| PointId(j as u32))
+                .collect();
+            slow.sort();
+            assert_eq!(fast, slow, "point {i}");
+        }
+    }
+
+    #[test]
+    fn with_cells_variant_reports_owning_cell() {
+        let mut g = index2d(1.0);
+        g.insert(PointId(0), &pt(0.0, 0.0));
+        let cell1 = g.insert(PointId(1), &pt(0.9, 0.0));
+        let mut out = Vec::new();
+        g.range_query_with_cells(&[0.0, 0.0], 1.0, PointId(0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, PointId(1));
+        assert_eq!(out[0].1, cell1);
+    }
+
+    #[test]
+    fn heap_size_grows_with_content() {
+        let mut g = index2d(1.0);
+        let before = g.heap_size();
+        for i in 0..100 {
+            g.insert(PointId(i), &pt(i as f64, 0.0));
+        }
+        assert!(g.heap_size() > before);
+    }
+}

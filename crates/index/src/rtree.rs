@@ -1,0 +1,478 @@
+//! An R-tree over minimum bounding rectangles — the *locational feature
+//! index* of the pattern base (§7.1).
+//!
+//! Position-sensitive cluster matching first asks "which archived clusters
+//! overlap the query cluster's MBR?"; this index answers that in
+//! logarithmic time. Implementation: Guttman's original R-tree with
+//! quadratic split (`M = 8`, `m = 3`), supporting insertion and overlap
+//! search. Archived patterns are append-only, so deletion is not required,
+//! but the tree supports it for completeness of the substrate.
+
+use sgs_core::HeapSize;
+
+/// Axis-aligned rectangle in `d` dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: Box<[f64]>,
+    /// Maximum corner (inclusive).
+    pub max: Box<[f64]>,
+}
+
+impl Rect {
+    /// Build from corners.
+    ///
+    /// # Panics
+    /// Panics if the corners disagree in dimensionality or are inverted.
+    pub fn new(min: impl Into<Box<[f64]>>, max: impl Into<Box<[f64]>>) -> Self {
+        let (min, max) = (min.into(), max.into());
+        assert_eq!(min.len(), max.len(), "corner dimensionality mismatch");
+        assert!(
+            min.iter().zip(max.iter()).all(|(a, b)| a <= b),
+            "inverted rectangle"
+        );
+        Rect { min, max }
+    }
+
+    /// A degenerate rectangle covering a single point.
+    pub fn point(coords: &[f64]) -> Self {
+        Rect {
+            min: coords.into(),
+            max: coords.into(),
+        }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Whether two rectangles overlap (closed intervals).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min
+            .iter()
+            .zip(other.max.iter())
+            .all(|(a, b)| a <= b)
+            && other
+                .min
+                .iter()
+                .zip(self.max.iter())
+                .all(|(a, b)| a <= b)
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.min
+            .iter()
+            .zip(other.min.iter())
+            .all(|(a, b)| a <= b)
+            && self
+                .max
+                .iter()
+                .zip(other.max.iter())
+                .all(|(a, b)| a >= b)
+    }
+
+    /// Volume (product of extents).
+    pub fn volume(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(a, b)| b - a)
+            .product()
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: self
+                .min
+                .iter()
+                .zip(other.min.iter())
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+            max: self
+                .max
+                .iter()
+                .zip(other.max.iter())
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        }
+    }
+
+    /// Volume increase needed to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec<f64> {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect()
+    }
+}
+
+impl HeapSize for Rect {
+    fn heap_size(&self) -> usize {
+        (self.min.len() + self.max.len()) * core::mem::size_of::<f64>()
+    }
+}
+
+const MAX_ENTRIES: usize = 8;
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Clone, Debug)]
+enum Node<T> {
+    Leaf(Vec<(Rect, T)>),
+    Inner(Vec<(Rect, Box<Node<T>>)>),
+}
+
+impl<T> Node<T> {
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Inner(v) => v.len(),
+        }
+    }
+}
+
+/// R-tree mapping rectangles to payloads of type `T`.
+#[derive(Clone, Debug)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+    dim: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+            dim: 0,
+        }
+    }
+}
+
+impl<T> RTree<T> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `value` with bounding rectangle `rect`.
+    ///
+    /// # Panics
+    /// Panics if `rect`'s dimensionality differs from previous insertions.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        if self.len == 0 {
+            self.dim = rect.dim();
+        } else {
+            assert_eq!(rect.dim(), self.dim, "dimensionality mismatch");
+        }
+        self.len += 1;
+        if let Some((r1, n1, r2, n2)) = Self::insert_rec(&mut self.root, rect, value) {
+            // Root split: grow the tree by one level.
+            self.root = Node::Inner(vec![(r1, Box::new(n1)), (r2, Box::new(n2))]);
+        }
+    }
+
+    /// Recursive insertion; returns the two halves if the node split.
+    fn insert_rec(node: &mut Node<T>, rect: Rect, value: T) -> Option<(Rect, Node<T>, Rect, Node<T>)> {
+        match node {
+            Node::Leaf(entries) => {
+                entries.push((rect, value));
+                if entries.len() > MAX_ENTRIES {
+                    let (g1, g2) = quadratic_split(std::mem::take(entries));
+                    let r1 = mbr_of(&g1);
+                    let r2 = mbr_of(&g2);
+                    Some((r1, Node::Leaf(g1), r2, Node::Leaf(g2)))
+                } else {
+                    None
+                }
+            }
+            Node::Inner(children) => {
+                // Choose subtree needing least enlargement (ties: smaller volume).
+                let mut best = 0usize;
+                let mut best_enl = f64::INFINITY;
+                let mut best_vol = f64::INFINITY;
+                for (i, (r, _)) in children.iter().enumerate() {
+                    let enl = r.enlargement(&rect);
+                    let vol = r.volume();
+                    if enl < best_enl || (enl == best_enl && vol < best_vol) {
+                        best = i;
+                        best_enl = enl;
+                        best_vol = vol;
+                    }
+                }
+                let (child_rect, child) = &mut children[best];
+                *child_rect = child_rect.union(&rect);
+                if let Some((r1, n1, r2, n2)) = Self::insert_rec(child, rect, value) {
+                    children[best] = (r1, Box::new(n1));
+                    children.push((r2, Box::new(n2)));
+                    if children.len() > MAX_ENTRIES {
+                        let (g1, g2) = quadratic_split(std::mem::take(children));
+                        let r1 = mbr_of(&g1);
+                        let r2 = mbr_of(&g2);
+                        return Some((r1, Node::Inner(g1), r2, Node::Inner(g2)));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Collect every payload whose rectangle intersects `query`.
+    pub fn search<'a>(&'a self, query: &Rect, out: &mut Vec<&'a T>) {
+        Self::search_rec(&self.root, query, out);
+    }
+
+    fn search_rec<'a>(node: &'a Node<T>, query: &Rect, out: &mut Vec<&'a T>) {
+        match node {
+            Node::Leaf(entries) => {
+                for (r, v) in entries {
+                    if r.intersects(query) {
+                        out.push(v);
+                    }
+                }
+            }
+            Node::Inner(children) => {
+                for (r, c) in children {
+                    if r.intersects(query) {
+                        Self::search_rec(c, query, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every `(rect, payload)` pair (diagnostics / rebuilds).
+    pub fn for_each<'a>(&'a self, mut f: impl FnMut(&'a Rect, &'a T)) {
+        fn walk<'a, T>(node: &'a Node<T>, f: &mut impl FnMut(&'a Rect, &'a T)) {
+            match node {
+                Node::Leaf(entries) => {
+                    for (r, v) in entries {
+                        f(r, v);
+                    }
+                }
+                Node::Inner(children) => {
+                    for (_, c) in children {
+                        walk(c, f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &mut f);
+    }
+
+    /// Height of the tree (leaf = 1).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner(children) = node {
+            h += 1;
+            node = &children[0].1;
+        }
+        h
+    }
+
+    /// Approximate retained heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        fn walk<T>(node: &Node<T>) -> usize {
+            match node {
+                Node::Leaf(entries) => {
+                    entries.capacity() * core::mem::size_of::<(Rect, T)>()
+                        + entries
+                            .iter()
+                            .map(|(r, _)| r.heap_size())
+                            .sum::<usize>()
+                }
+                Node::Inner(children) => {
+                    children.capacity() * core::mem::size_of::<(Rect, Box<Node<T>>)>()
+                        + children
+                            .iter()
+                            .map(|(r, c)| {
+                                r.heap_size() + core::mem::size_of::<Node<T>>() + walk(c)
+                            })
+                            .sum::<usize>()
+                }
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+/// MBR of a group of entries.
+fn mbr_of<E>(entries: &[(Rect, E)]) -> Rect {
+    let mut it = entries.iter();
+    let first = it.next().expect("non-empty group").0.clone();
+    it.fold(first, |acc, (r, _)| acc.union(r))
+}
+
+/// Guttman's quadratic split: pick the pair wasting the most area as seeds,
+/// then greedily assign remaining entries to the group whose MBR grows
+/// least, honoring the minimum fill `m`.
+fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> (Vec<(Rect, E)>, Vec<(Rect, E)>) {
+    debug_assert!(entries.len() > MAX_ENTRIES);
+    // Seed selection.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let d = entries[i].0.union(&entries[j].0).volume()
+                - entries[i].0.volume()
+                - entries[j].0.volume();
+            if d > worst {
+                worst = d;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Remove higher index first to keep the lower valid.
+    let e2 = entries.swap_remove(s2.max(s1));
+    let e1 = entries.swap_remove(s2.min(s1));
+    let mut r1 = e1.0.clone();
+    let mut r2 = e2.0.clone();
+    let mut g1 = vec![e1];
+    let mut g2 = vec![e2];
+    while let Some(e) = entries.pop() {
+        let remaining = entries.len();
+        // Force assignment if a group must take everything left to reach m.
+        if g1.len() + remaining < MIN_ENTRIES {
+            r1 = r1.union(&e.0);
+            g1.push(e);
+            continue;
+        }
+        if g2.len() + remaining < MIN_ENTRIES {
+            r2 = r2.union(&e.0);
+            g2.push(e);
+            continue;
+        }
+        let enl1 = r1.enlargement(&e.0);
+        let enl2 = r2.enlargement(&e.0);
+        if enl1 < enl2 || (enl1 == enl2 && r1.volume() <= r2.volume()) {
+            r1 = r1.union(&e.0);
+            g1.push(e);
+        } else {
+            r2 = r2.union(&e.0);
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(x: f64, y: f64, s: f64) -> Rect {
+        Rect::new(vec![x, y], vec![x + s, y + s])
+    }
+
+    #[test]
+    fn rect_predicates() {
+        let a = sq(0.0, 0.0, 2.0);
+        let b = sq(1.0, 1.0, 2.0);
+        let c = sq(5.0, 5.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(a.contains(&sq(0.5, 0.5, 1.0)));
+        assert!(!a.contains(&b));
+        // touching edges count as intersecting (closed intervals)
+        assert!(a.intersects(&sq(2.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn rect_union_and_volume() {
+        let a = sq(0.0, 0.0, 1.0);
+        let b = sq(2.0, 2.0, 1.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(vec![0.0, 0.0], vec![3.0, 3.0]));
+        assert_eq!(u.volume(), 9.0);
+        assert_eq!(a.enlargement(&b), 8.0);
+        assert_eq!(a.center(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rect_rejects_inverted() {
+        Rect::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn search_small_tree() {
+        let mut t = RTree::new();
+        t.insert(sq(0.0, 0.0, 1.0), 'a');
+        t.insert(sq(10.0, 10.0, 1.0), 'b');
+        let mut out = Vec::new();
+        t.search(&sq(0.5, 0.5, 1.0), &mut out);
+        assert_eq!(out, vec![&'a']);
+    }
+
+    #[test]
+    fn search_matches_linear_scan_after_splits() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut t = RTree::new();
+        let mut all = Vec::new();
+        for i in 0..500u32 {
+            let r = sq(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0), rng.gen_range(0.1..5.0));
+            t.insert(r.clone(), i);
+            all.push((r, i));
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() > 1, "tree should have split");
+        for _ in 0..50 {
+            let q = sq(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0), 8.0);
+            let mut fast: Vec<u32> = Vec::new();
+            let mut out = Vec::new();
+            t.search(&q, &mut out);
+            fast.extend(out.iter().copied());
+            fast.sort();
+            let mut slow: Vec<u32> = all
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, i)| *i)
+                .collect();
+            slow.sort();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let mut t = RTree::new();
+        for i in 0..100u32 {
+            t.insert(sq(i as f64, 0.0, 0.5), i);
+        }
+        let mut seen = Vec::new();
+        t.for_each(|_, v| seen.push(*v));
+        seen.sort();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_rect_is_degenerate() {
+        let p = Rect::point(&[1.0, 2.0]);
+        assert_eq!(p.volume(), 0.0);
+        assert!(p.intersects(&sq(0.0, 0.0, 3.0)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # sgs-matching
+//!
+//! Cluster matching (§7.2): the customizable distance metric, the
+//! filter-phase candidate range computation, the grid-cell-level refine
+//! match with its A*-style anytime alignment search, and the distance
+//! machinery for every alternative summarization format the evaluation
+//! compares against:
+//!
+//! * SGS — [`metric`] (cluster-level features) + [`grid_match`] /
+//!   [`alignment`] (cell-level refine),
+//! * CRD — the subtraction metric lives on
+//!   [`sgs_summarize::Crd::distance`],
+//! * RSP — [`pointset`] (symmetric Chamfer set distance, standing in for
+//!   the subset-matching algorithm of \[15\]),
+//! * SkPS — [`ged`] (suboptimal bipartite graph edit distance per Neuhaus,
+//!   Riesen & Bunke \[13\]) on top of a from-scratch [`hungarian`] assignment
+//!   solver.
+
+pub mod alignment;
+pub mod candidate;
+pub mod ged;
+pub mod grid_match;
+pub mod hungarian;
+pub mod metric;
+pub mod pointset;
+
+pub use alignment::{best_alignment, AlignmentResult};
+pub use candidate::feature_ranges;
+pub use ged::graph_edit_distance;
+pub use grid_match::grid_level_distance;
+pub use hungarian::hungarian;
+pub use metric::{cluster_distance, MatchConfig};
+pub use pointset::chamfer_distance;

@@ -1,0 +1,114 @@
+//! Parsed query representations.
+
+use sgs_core::{ClusterQuery, Result, WindowSpec};
+use sgs_matching::MatchConfig;
+
+/// Which representations a continuous query returns (Fig. 2's `f+s`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Full representation only.
+    Full,
+    /// Summarized (SGS) representation only.
+    Summarized,
+    /// Both (`f+s`).
+    Both,
+}
+
+/// A parsed continuous clustering query (Fig. 2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectQuery {
+    /// Requested output representations.
+    pub output: OutputFormat,
+    /// Source stream name (free identifier after `FROM`).
+    pub stream: String,
+    /// Range threshold θr.
+    pub theta_range: f64,
+    /// Count threshold θc.
+    pub theta_cnt: u32,
+    /// Window extent.
+    pub win: u64,
+    /// Slide extent.
+    pub slide: u64,
+    /// `true` for time-based windows (`WITH win = 10 SECONDS`-style units
+    /// are normalized by the parser).
+    pub time_based: bool,
+}
+
+impl DetectQuery {
+    /// Materialize into an executable [`ClusterQuery`]. Dimensionality is
+    /// a property of the stream source and is supplied here.
+    pub fn to_cluster_query(&self, dim: usize) -> Result<ClusterQuery> {
+        let spec = if self.time_based {
+            WindowSpec::time(self.win, self.slide)?
+        } else {
+            WindowSpec::count(self.win, self.slide)?
+        };
+        ClusterQuery::new(self.theta_range, self.theta_cnt, dim, spec)
+    }
+}
+
+/// A parsed cluster matching query (Fig. 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchQueryAst {
+    /// Name of the to-be-matched cluster (the `GIVEN` binding).
+    pub given: String,
+    /// Similarity threshold from the `WHERE Distance(..) <= t` clause.
+    pub threshold: f64,
+    /// Position sensitivity (`ps = 0|1`); defaults to non-sensitive.
+    pub position_sensitive: bool,
+    /// Feature weights; default equal.
+    pub weights: [f64; 4],
+}
+
+impl MatchQueryAst {
+    /// Materialize into an executable [`MatchConfig`].
+    pub fn to_match_config(&self) -> Result<MatchConfig> {
+        let config = MatchConfig {
+            position_sensitive: self.position_sensitive,
+            weights: self.weights,
+            threshold: self.threshold,
+            alignment_budget: 64,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_query_materializes() {
+        let q = DetectQuery {
+            output: OutputFormat::Both,
+            stream: "stream".into(),
+            theta_range: 0.1,
+            theta_cnt: 8,
+            win: 10_000,
+            slide: 1_000,
+            time_based: false,
+        };
+        let cq = q.to_cluster_query(4).unwrap();
+        assert_eq!(cq.theta_c, 8);
+        assert_eq!(cq.window.views(), 10);
+    }
+
+    #[test]
+    fn match_query_materializes_and_validates() {
+        let q = MatchQueryAst {
+            given: "C1".into(),
+            threshold: 0.2,
+            position_sensitive: true,
+            weights: [0.25; 4],
+        };
+        let cfg = q.to_match_config().unwrap();
+        assert!(cfg.position_sensitive);
+
+        let bad = MatchQueryAst {
+            weights: [0.5; 4],
+            ..q
+        };
+        assert!(bad.to_match_config().is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Tokenizer for the query surface syntax.
+//!
+//! Keywords are case-insensitive (CQL convention); identifiers keep their
+//! case. Numbers cover integers and decimals. The `f+s` output selector is
+//! tokenized as identifier / plus / identifier.
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser).
+    Word(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `=`
+    Equals,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `<=`
+    Le,
+}
+
+/// Tokenize a query string. Returns the token list or the offending
+/// character position.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, usize> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '=' => {
+                out.push(Token::Equals);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '<'
+                if bytes.get(i + 1) == Some(&b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text: String = input[start..i].chars().filter(|c| *c != '_').collect();
+                match text.parse::<f64>() {
+                    Ok(v) => out.push(Token::Number(v)),
+                    Err(_) => return Err(start),
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_string()));
+            }
+            _ => return Err(i),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_detect_fragment() {
+        let toks = tokenize("USING theta_range = 0.1 AND theta_cnt = 8").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("USING".into()),
+                Token::Word("theta_range".into()),
+                Token::Equals,
+                Token::Number(0.1),
+                Token::Word("AND".into()),
+                Token::Word("theta_cnt".into()),
+                Token::Equals,
+                Token::Number(8.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_symbols() {
+        let toks = tokenize("f+s (0.25, 0.25) <= 10_000").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("f".into()),
+                Token::Plus,
+                Token::Word("s".into()),
+                Token::LParen,
+                Token::Number(0.25),
+                Token::Comma,
+                Token::Number(0.25),
+                Token::RParen,
+                Token::Le,
+                Token::Number(10_000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(tokenize("a # b"), Err(2));
+        assert_eq!(tokenize("x < y"), Err(2));
+        assert!(tokenize("1.2.3").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(tokenize("").unwrap(), vec![]);
+        assert_eq!(tokenize("   \n\t ").unwrap(), vec![]);
+    }
+}

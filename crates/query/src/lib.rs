@@ -1,0 +1,33 @@
+//! # sgs-query
+//!
+//! A front-end for the two analytical query templates the paper defines
+//! (Figures 2 and 3), in the CQL-flavored surface syntax used throughout
+//! the text:
+//!
+//! ```text
+//! DETECT DensityBasedClusters f+s FROM stream
+//! USING theta_range = 0.1 AND theta_cnt = 8
+//! IN Windows WITH win = 10000 AND slide = 1000
+//! ```
+//!
+//! ```text
+//! GIVEN DensityBasedClusters Ci
+//! SELECT DensityBasedClusters Cj FROM History
+//! WHERE Distance(Ci, Cj) <= 0.2
+//! USING ps = 0 AND weights = (0.25, 0.25, 0.25, 0.25)
+//! ```
+//!
+//! [`parse_detect`] yields a [`DetectQuery`] convertible into a
+//! [`sgs_core::ClusterQuery`] (plus the stream's dimensionality, which is
+//! a property of the source, not the query); [`parse_match`] yields a
+//! [`MatchQueryAst`] convertible into a
+//! [`sgs_matching::MatchConfig`]. The final `USING` clause of the match
+//! template is our extension — the paper leaves metric customization to an
+//! unspecified API, and this is that API.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{DetectQuery, MatchQueryAst, OutputFormat};
+pub use parser::{parse_detect, parse_match, ParseError};

@@ -1,0 +1,354 @@
+//! Recursive-descent parser for the two query templates.
+
+use crate::ast::{DetectQuery, MatchQueryAst, OutputFormat};
+use crate::lexer::{tokenize, Token};
+
+/// Parse failure with a human-readable explanation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "query parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(input: &str) -> Result<Cursor, ParseError> {
+        let tokens = tokenize(input)
+            .map_err(|at| ParseError(format!("unexpected character at byte {at}")))?;
+        Ok(Cursor { tokens, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    /// Whether the next token is this keyword; consumes it if so.
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Number(v)) => Ok(v),
+            other => Err(ParseError(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(ParseError(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn assignment(&mut self, name: &str) -> Result<f64, ParseError> {
+        self.keyword(name)?;
+        self.expect(Token::Equals)?;
+        self.number()
+    }
+
+    fn end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError(format!(
+                "trailing tokens starting at {:?}",
+                self.tokens[self.pos]
+            )))
+        }
+    }
+}
+
+/// Parse the continuous clustering query template (Fig. 2):
+///
+/// ```text
+/// DETECT DensityBasedClusters [f | s | f+s] FROM <stream>
+/// USING theta_range = <r> AND theta_cnt = <c>
+/// IN Windows WITH win = <w> AND slide = <s> [TIME]
+/// ```
+pub fn parse_detect(input: &str) -> Result<DetectQuery, ParseError> {
+    let mut c = Cursor::new(input)?;
+    c.keyword("DETECT")?;
+    c.keyword("DensityBasedClusters")?;
+
+    // Output selector: `f`, `s`, or `f+s` (defaults to both when omitted).
+    let output = match c.peek() {
+        Some(Token::Word(w)) if w.eq_ignore_ascii_case("f") => {
+            c.next();
+            if c.peek() == Some(&Token::Plus) {
+                c.next();
+                let s = c.identifier()?;
+                if !s.eq_ignore_ascii_case("s") {
+                    return Err(ParseError(format!("expected s after f+, found {s}")));
+                }
+                OutputFormat::Both
+            } else {
+                OutputFormat::Full
+            }
+        }
+        Some(Token::Word(w)) if w.eq_ignore_ascii_case("s") => {
+            c.next();
+            OutputFormat::Summarized
+        }
+        _ => OutputFormat::Both,
+    };
+
+    c.keyword("FROM")?;
+    let stream = c.identifier()?;
+    c.keyword("USING")?;
+    let theta_range = c.assignment("theta_range")?;
+    c.keyword("AND")?;
+    let theta_cnt = c.assignment("theta_cnt")?;
+    c.keyword("IN")?;
+    c.keyword("Windows")?;
+    c.keyword("WITH")?;
+    let win = c.assignment("win")?;
+    c.keyword("AND")?;
+    let slide = c.assignment("slide")?;
+    let time_based = c.try_keyword("TIME");
+    c.end()?;
+
+    if theta_cnt.fract() != 0.0 || theta_cnt < 1.0 {
+        return Err(ParseError(format!(
+            "theta_cnt must be a positive integer, got {theta_cnt}"
+        )));
+    }
+    if win.fract() != 0.0 || slide.fract() != 0.0 || win < 1.0 || slide < 1.0 {
+        return Err(ParseError(format!(
+            "win and slide must be positive integers, got {win} / {slide}"
+        )));
+    }
+    Ok(DetectQuery {
+        output,
+        stream,
+        theta_range,
+        theta_cnt: theta_cnt as u32,
+        win: win as u64,
+        slide: slide as u64,
+        time_based,
+    })
+}
+
+/// Parse the cluster matching query template (Fig. 3):
+///
+/// ```text
+/// GIVEN DensityBasedClusters <name>
+/// SELECT DensityBasedClusters [<name>] FROM History
+/// WHERE Distance(<name>, <name>) <= <t>
+/// [USING ps = <0|1> [AND weights = (w1, w2, w3, w4)]]
+/// ```
+pub fn parse_match(input: &str) -> Result<MatchQueryAst, ParseError> {
+    let mut c = Cursor::new(input)?;
+    c.keyword("GIVEN")?;
+    c.keyword("DensityBasedClusters")?;
+    let given = c.identifier()?;
+    c.keyword("SELECT")?;
+    c.keyword("DensityBasedClusters")?;
+    // Optional binder for the result clusters.
+    let mut bound = None;
+    if let Some(Token::Word(w)) = c.peek() {
+        if !w.eq_ignore_ascii_case("FROM") {
+            bound = Some(c.identifier()?);
+        }
+    }
+    c.keyword("FROM")?;
+    c.keyword("History")?;
+    c.keyword("WHERE")?;
+    c.keyword("Distance")?;
+    c.expect(Token::LParen)?;
+    let a = c.identifier()?;
+    c.expect(Token::Comma)?;
+    let b = c.identifier()?;
+    c.expect(Token::RParen)?;
+    c.expect(Token::Le)?;
+    let threshold = c.number()?;
+
+    // The Distance arguments must mention the GIVEN binding (and the
+    // SELECT binding if present).
+    if a != given && b != given {
+        return Err(ParseError(format!(
+            "Distance must reference the GIVEN cluster {given}, found ({a}, {b})"
+        )));
+    }
+    if let Some(bound) = &bound {
+        if a != *bound && b != *bound {
+            return Err(ParseError(format!(
+                "Distance must reference the SELECT binding {bound}, found ({a}, {b})"
+            )));
+        }
+    }
+
+    // Optional metric customization (our extension).
+    let mut position_sensitive = false;
+    let mut weights = [0.25f64; 4];
+    if c.try_keyword("USING") {
+        let ps = c.assignment("ps")?;
+        position_sensitive = match ps {
+            v if v == 0.0 => false,
+            v if v == 1.0 => true,
+            v => {
+                return Err(ParseError(format!("ps must be 0 or 1, got {v}")));
+            }
+        };
+        if c.try_keyword("AND") {
+            c.keyword("weights")?;
+            c.expect(Token::Equals)?;
+            c.expect(Token::LParen)?;
+            for (i, w) in weights.iter_mut().enumerate() {
+                if i > 0 {
+                    c.expect(Token::Comma)?;
+                }
+                *w = c.number()?;
+            }
+            c.expect(Token::RParen)?;
+        }
+    }
+    c.end()?;
+
+    Ok(MatchQueryAst {
+        given,
+        threshold,
+        position_sensitive,
+        weights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = "DETECT DensityBasedClusters f+s FROM stream \
+                        USING theta_range = 0.1 AND theta_cnt = 8 \
+                        IN Windows WITH win = 10000 AND slide = 1000";
+
+    #[test]
+    fn parses_fig2_template() {
+        let q = parse_detect(FIG2).unwrap();
+        assert_eq!(q.output, OutputFormat::Both);
+        assert_eq!(q.stream, "stream");
+        assert_eq!(q.theta_range, 0.1);
+        assert_eq!(q.theta_cnt, 8);
+        assert_eq!((q.win, q.slide), (10_000, 1_000));
+        assert!(!q.time_based);
+        let cq = q.to_cluster_query(4).unwrap();
+        assert_eq!(cq.views(), 10);
+    }
+
+    #[test]
+    fn output_selector_variants() {
+        let f = parse_detect(&FIG2.replace("f+s", "f")).unwrap();
+        assert_eq!(f.output, OutputFormat::Full);
+        let s = parse_detect(&FIG2.replace("f+s", "s")).unwrap();
+        assert_eq!(s.output, OutputFormat::Summarized);
+        let none = parse_detect(&FIG2.replace("f+s ", "")).unwrap();
+        assert_eq!(none.output, OutputFormat::Both);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_detect(&FIG2.to_lowercase().replace("densitybasedclusters", "DensityBasedClusters"));
+        assert!(q.is_ok(), "{q:?}");
+    }
+
+    #[test]
+    fn time_based_windows() {
+        let q = parse_detect(&format!("{FIG2} TIME")).unwrap();
+        assert!(q.time_based);
+    }
+
+    #[test]
+    fn detect_rejections() {
+        assert!(parse_detect("").is_err());
+        assert!(parse_detect(&FIG2.replace("theta_cnt = 8", "theta_cnt = 8.5")).is_err());
+        assert!(parse_detect(&FIG2.replace("slide = 1000", "slide = 0")).is_err());
+        assert!(parse_detect(&format!("{FIG2} extra")).is_err());
+        assert!(parse_detect(&FIG2.replace("USING", "WITH")).is_err());
+    }
+
+    const FIG3: &str = "GIVEN DensityBasedClusters Ci \
+                        SELECT DensityBasedClusters Cj FROM History \
+                        WHERE Distance(Ci, Cj) <= 0.2";
+
+    #[test]
+    fn parses_fig3_template() {
+        let q = parse_match(FIG3).unwrap();
+        assert_eq!(q.given, "Ci");
+        assert_eq!(q.threshold, 0.2);
+        assert!(!q.position_sensitive);
+        assert_eq!(q.weights, [0.25; 4]);
+        q.to_match_config().unwrap();
+    }
+
+    #[test]
+    fn match_with_metric_customization() {
+        let q = parse_match(&format!(
+            "{FIG3} USING ps = 1 AND weights = (0.1, 0.2, 0.3, 0.4)"
+        ))
+        .unwrap();
+        assert!(q.position_sensitive);
+        assert_eq!(q.weights, [0.1, 0.2, 0.3, 0.4]);
+        q.to_match_config().unwrap();
+    }
+
+    #[test]
+    fn match_without_select_binding() {
+        let q = parse_match(
+            "GIVEN DensityBasedClusters C SELECT DensityBasedClusters FROM History \
+             WHERE Distance(C, C) <= 0.3",
+        )
+        .unwrap();
+        assert_eq!(q.given, "C");
+    }
+
+    #[test]
+    fn match_rejections() {
+        // Distance must reference the bindings.
+        assert!(parse_match(&FIG3.replace("Distance(Ci, Cj)", "Distance(X, Y)")).is_err());
+        assert!(parse_match(&FIG3.replace("<=", "=")).is_err());
+        assert!(parse_match(&format!("{FIG3} USING ps = 2")).is_err());
+        // Bad weights are rejected at materialization.
+        let q = parse_match(&format!(
+            "{FIG3} USING ps = 0 AND weights = (0.5, 0.5, 0.5, 0.5)"
+        ))
+        .unwrap();
+        assert!(q.to_match_config().is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The window engine: drives a clustering algorithm over a stream.
+//!
+//! The engine owns nothing but the window bookkeeping. Algorithms implement
+//! [`WindowConsumer`]; the engine calls
+//! [`insert`](WindowConsumer::insert) for every arriving point (tagged with
+//! its pre-computed expiry window, Obs. 5.2) and
+//! [`slide`](WindowConsumer::slide) whenever a window completes, collecting
+//! the per-window outputs.
+
+use crate::lifespan::expires_at;
+use sgs_core::{Error, Point, PointId, Result, WindowId, WindowKind, WindowSpec};
+
+/// A sliding-window clustering algorithm, driven by [`WindowEngine`].
+pub trait WindowConsumer {
+    /// Per-window output (e.g. the set of extracted clusters).
+    type Output;
+
+    /// A new point arrived. `expires_at` is the first window in which the
+    /// point no longer participates; the point participates in every window
+    /// from the engine's current window up to `expires_at - 1`.
+    fn insert(&mut self, id: PointId, point: &Point, expires_at: WindowId);
+
+    /// Window `completed` is full: produce its output. After this call the
+    /// engine considers `completed + 1` the current window; points with
+    /// `expires_at == completed + 1` are gone from it.
+    fn slide(&mut self, completed: WindowId) -> Self::Output;
+}
+
+/// Drives a [`WindowConsumer`] over a point stream with periodic sliding
+/// windows (count- or time-based).
+#[derive(Debug)]
+pub struct WindowEngine {
+    spec: WindowSpec,
+    dim: usize,
+    /// Next point id / arrival sequence number.
+    seq: u32,
+    /// Smallest not-yet-completed window.
+    current: u64,
+    /// Last accepted timestamp (time-based ordering check).
+    last_ts: u64,
+    started: bool,
+}
+
+impl WindowEngine {
+    /// New engine for a `dim`-dimensional stream.
+    pub fn new(spec: WindowSpec, dim: usize) -> Self {
+        WindowEngine {
+            spec,
+            dim,
+            seq: 0,
+            current: 0,
+            last_ts: 0,
+            started: false,
+        }
+    }
+
+    /// The smallest window that has not yet completed.
+    #[inline]
+    pub fn current_window(&self) -> WindowId {
+        WindowId(self.current)
+    }
+
+    /// Number of points accepted so far.
+    #[inline]
+    pub fn accepted(&self) -> u64 {
+        self.seq as u64
+    }
+
+    /// The window spec this engine runs.
+    #[inline]
+    pub fn spec(&self) -> &WindowSpec {
+        &self.spec
+    }
+
+    /// Logical time of a point under the configured window kind.
+    #[inline]
+    fn logical_time(&self, p: &Point) -> u64 {
+        match self.spec.kind {
+            WindowKind::Count => self.seq as u64,
+            WindowKind::Time => p.ts,
+        }
+    }
+
+    /// Feed one point. Completes any windows that close *before* this point
+    /// (time-based streams can close several at once), pushing their outputs
+    /// into `outputs`, then inserts the point into the consumer.
+    pub fn push<C: WindowConsumer>(
+        &mut self,
+        point: Point,
+        consumer: &mut C,
+        outputs: &mut Vec<(WindowId, C::Output)>,
+    ) -> Result<PointId> {
+        if point.dim() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                got: point.dim(),
+            });
+        }
+        if self.spec.kind == WindowKind::Time {
+            if self.started && point.ts < self.last_ts {
+                return Err(Error::OutOfOrderTimestamp {
+                    last: self.last_ts,
+                    got: point.ts,
+                });
+            }
+            self.last_ts = point.ts;
+            self.started = true;
+        }
+        let t = self.logical_time(&point);
+        // Complete every window that ends at or before this point's time.
+        while t >= self.spec.window_end(self.current) {
+            let out = consumer.slide(WindowId(self.current));
+            outputs.push((WindowId(self.current), out));
+            self.current += 1;
+        }
+        let id = PointId(self.seq);
+        self.seq += 1;
+        consumer.insert(id, &point, expires_at(&self.spec, t));
+        Ok(id)
+    }
+
+    /// Force-complete the current window (end-of-stream flush). Returns the
+    /// output of the window that was closed.
+    pub fn flush<C: WindowConsumer>(&mut self, consumer: &mut C) -> (WindowId, C::Output) {
+        let w = WindowId(self.current);
+        let out = consumer.slide(w);
+        self.current += 1;
+        (w, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test consumer that records the points alive in each window.
+    #[derive(Default)]
+    struct Recorder {
+        alive: Vec<(PointId, WindowId)>,
+    }
+
+    impl WindowConsumer for Recorder {
+        type Output = Vec<PointId>;
+
+        fn insert(&mut self, id: PointId, _point: &Point, expires_at: WindowId) {
+            self.alive.push((id, expires_at));
+        }
+
+        fn slide(&mut self, completed: WindowId) -> Vec<PointId> {
+            let out = self
+                .alive
+                .iter()
+                .filter(|(_, e)| completed < *e)
+                .map(|(id, _)| *id)
+                .collect();
+            self.alive.retain(|(_, e)| e.0 > completed.0 + 1);
+            out
+        }
+    }
+
+    fn pt(x: f64, ts: u64) -> Point {
+        Point::new(vec![x], ts)
+    }
+
+    #[test]
+    fn count_windows_complete_on_schedule() {
+        let spec = WindowSpec::count(4, 2).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        for i in 0..8 {
+            eng.push(pt(i as f64, 0), &mut rec, &mut outs).unwrap();
+        }
+        // Windows complete when tuple 4 and tuple 6 arrive.
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].0, WindowId(0));
+        assert_eq!(outs[0].1, vec![PointId(0), PointId(1), PointId(2), PointId(3)]);
+        assert_eq!(outs[1].0, WindowId(1));
+        assert_eq!(
+            outs[1].1,
+            vec![PointId(2), PointId(3), PointId(4), PointId(5)]
+        );
+    }
+
+    #[test]
+    fn flush_completes_partial_window() {
+        let spec = WindowSpec::count(4, 2).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        for i in 0..5 {
+            eng.push(pt(i as f64, 0), &mut rec, &mut outs).unwrap();
+        }
+        assert_eq!(outs.len(), 1);
+        let (w, members) = eng.flush(&mut rec);
+        assert_eq!(w, WindowId(1));
+        assert_eq!(members, vec![PointId(2), PointId(3), PointId(4)]);
+    }
+
+    #[test]
+    fn time_windows_can_close_many_at_once() {
+        let spec = WindowSpec::time(10, 5).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        eng.push(pt(0.0, 1), &mut rec, &mut outs).unwrap();
+        assert!(outs.is_empty());
+        // ts=42 closes windows 0..=6 (ends 10,15,...,40 ≤ 42 < 45)
+        eng.push(pt(1.0, 42), &mut rec, &mut outs).unwrap();
+        assert_eq!(outs.len(), 7);
+        assert_eq!(outs[0].0, WindowId(0));
+        assert_eq!(outs[0].1, vec![PointId(0)]);
+        // later windows no longer contain p0 (its ts=1 expires after window 0)
+        assert!(outs[1].1.is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_dimension() {
+        let spec = WindowSpec::count(4, 2).unwrap();
+        let mut eng = WindowEngine::new(spec, 2);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        let err = eng.push(pt(0.0, 0), &mut rec, &mut outs).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let spec = WindowSpec::time(10, 5).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        eng.push(pt(0.0, 100), &mut rec, &mut outs).unwrap();
+        let err = eng.push(pt(0.0, 99), &mut rec, &mut outs).unwrap_err();
+        assert!(matches!(err, Error::OutOfOrderTimestamp { .. }));
+    }
+
+    #[test]
+    fn count_expiry_matches_engine_window() {
+        // Every point must be reported alive in exactly win/slide windows
+        // once the stream is in steady state.
+        let spec = WindowSpec::count(6, 2).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        for i in 0..30 {
+            eng.push(pt(i as f64, 0), &mut rec, &mut outs).unwrap();
+        }
+        let mut appearances: std::collections::HashMap<PointId, u32> = Default::default();
+        for (_, members) in &outs {
+            for m in members {
+                *appearances.entry(*m).or_default() += 1;
+            }
+        }
+        // Points 0..=21 have fully completed lifecycles within the emitted
+        // windows (last emitted window covers tuples up to 27).
+        for id in 4..=21u32 {
+            assert_eq!(appearances[&PointId(id)], 3, "point {id}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Stream sources and replay helpers.
+
+use crate::engine::{WindowConsumer, WindowEngine};
+use sgs_core::{Point, Result, WindowId, WindowSpec};
+
+/// A finite, in-memory stream source.
+///
+/// The generators in `sgs-datagen` produce `Vec<Point>`; wrapping them in a
+/// `VecSource` documents the dimensionality and gives an owning iterator.
+#[derive(Clone, Debug)]
+pub struct VecSource {
+    points: Vec<Point>,
+    dim: usize,
+}
+
+impl VecSource {
+    /// Wrap a point buffer.
+    ///
+    /// # Panics
+    /// Panics if the points do not all share one dimensionality.
+    pub fn new(points: Vec<Point>) -> Self {
+        let dim = points.first().map_or(0, Point::dim);
+        assert!(
+            points.iter().all(|p| p.dim() == dim),
+            "mixed dimensionality in source"
+        );
+        VecSource { points, dim }
+    }
+
+    /// Dimensionality of the stream.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the source is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Borrow the underlying points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+}
+
+impl IntoIterator for VecSource {
+    type Item = Point;
+    type IntoIter = std::vec::IntoIter<Point>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+/// Run a consumer over an entire finite stream, returning every completed
+/// window's output. Does **not** flush the final partial window — the
+/// outputs correspond exactly to the windows the CQL semantics would emit.
+pub fn replay<C: WindowConsumer>(
+    spec: WindowSpec,
+    points: impl IntoIterator<Item = Point>,
+    dim: usize,
+    consumer: &mut C,
+) -> Result<Vec<(WindowId, C::Output)>> {
+    let mut engine = WindowEngine::new(spec, dim);
+    let mut outputs = Vec::new();
+    for p in points {
+        engine.push(p, consumer, &mut outputs)?;
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_core::PointId;
+
+    struct Counter(Vec<usize>, usize);
+
+    impl WindowConsumer for Counter {
+        type Output = usize;
+        fn insert(&mut self, _id: PointId, _p: &Point, _e: WindowId) {
+            self.1 += 1;
+        }
+        fn slide(&mut self, _w: WindowId) -> usize {
+            self.0.push(self.1);
+            self.1
+        }
+    }
+
+    #[test]
+    fn vec_source_validates_dim() {
+        let src = VecSource::new(vec![Point::new(vec![1.0, 2.0], 0)]);
+        assert_eq!(src.dim(), 2);
+        assert_eq!(src.len(), 1);
+        assert!(!src.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed dimensionality")]
+    fn vec_source_rejects_mixed_dims() {
+        VecSource::new(vec![
+            Point::new(vec![1.0], 0),
+            Point::new(vec![1.0, 2.0], 0),
+        ]);
+    }
+
+    #[test]
+    fn replay_emits_all_complete_windows() {
+        let spec = WindowSpec::count(4, 2).unwrap();
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(vec![i as f64], 0)).collect();
+        let mut c = Counter(vec![], 0);
+        let outs = replay(spec, pts, 1, &mut c).unwrap();
+        // tuples 0..9: windows complete at t=4,6,8 → 3 windows
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].0, WindowId(0));
+        assert_eq!(outs[2].0, WindowId(2));
+    }
+}

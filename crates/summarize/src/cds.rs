@@ -1,0 +1,277 @@
+//! Greedy connected-dominating-set approximation (Guha & Khuller,
+//! Algorithmica 1996) — the "MG algorithm" the paper uses (\[9\]) to compute
+//! approximate Skeletal Point Summarizations.
+//!
+//! Finding an exact minimal SkPS is NP-complete (§4.2), so the evaluation
+//! uses the classic greedy: color every target *white* (uncovered); pick
+//! the node covering the most whites; then repeatedly *scan* a gray node
+//! (one adjacent to the chosen set, keeping it connected) that covers the
+//! most remaining whites. The scan loop is what makes Extra-N + SkPS the
+//! slowest alternative in Fig. 7.
+
+/// Compute a connected dominating subset of `0..adj.len()` nodes.
+///
+/// * `adj[i]` — node indices adjacent to node `i` (the connectivity graph;
+///   must be symmetric),
+/// * `coverage[i]` — target indices covered by node `i`,
+/// * `n_targets` — total number of targets to cover.
+///
+/// Returns the chosen node set in selection order. If some targets are not
+/// coverable by any node the function covers what it can and stops — for a
+/// valid density-based cluster every member is within θr of a core, so all
+/// targets are coverable.
+pub fn greedy_cds(adj: &[Vec<u32>], coverage: &[Vec<u32>], n_targets: usize) -> Vec<u32> {
+    let n = adj.len();
+    if n == 0 || n_targets == 0 {
+        return Vec::new();
+    }
+    debug_assert_eq!(coverage.len(), n);
+
+    let mut white = vec![true; n_targets];
+    let mut whites_left = n_targets;
+    let mut chosen = vec![false; n];
+    let mut frontier = vec![false; n]; // gray: adjacent to the chosen set
+    let mut out: Vec<u32> = Vec::new();
+
+    let gain = |node: usize, white: &[bool]| -> usize {
+        coverage[node].iter().filter(|&&t| white[t as usize]).count()
+    };
+
+    // Seed: the node covering the most whites (ties: lowest index).
+    let mut best = 0usize;
+    let mut best_gain = 0usize;
+    for i in 0..n {
+        let g = gain(i, &white);
+        if g > best_gain {
+            best = i;
+            best_gain = g;
+        }
+    }
+    if best_gain == 0 {
+        return Vec::new();
+    }
+
+    let take = |node: usize,
+                    white: &mut Vec<bool>,
+                    whites_left: &mut usize,
+                    chosen: &mut Vec<bool>,
+                    frontier: &mut Vec<bool>,
+                    out: &mut Vec<u32>| {
+        chosen[node] = true;
+        frontier[node] = false;
+        for &t in &coverage[node] {
+            if white[t as usize] {
+                white[t as usize] = false;
+                *whites_left -= 1;
+            }
+        }
+        for &nb in &adj[node] {
+            if !chosen[nb as usize] {
+                frontier[nb as usize] = true;
+            }
+        }
+        out.push(node as u32);
+    };
+
+    take(
+        best,
+        &mut white,
+        &mut whites_left,
+        &mut chosen,
+        &mut frontier,
+        &mut out,
+    );
+
+    while whites_left > 0 {
+        // Scan the frontier node with maximal white gain.
+        let mut best: Option<usize> = None;
+        let mut best_gain = 0usize;
+        for i in 0..n {
+            if !frontier[i] {
+                continue;
+            }
+            let g = gain(i, &white);
+            if g > best_gain {
+                best = Some(i);
+                best_gain = g;
+            }
+        }
+        match best {
+            Some(node) => take(
+                node,
+                &mut white,
+                &mut whites_left,
+                &mut chosen,
+                &mut frontier,
+                &mut out,
+            ),
+            None => {
+                // No frontier node gains coverage: expand through a zero-gain
+                // frontier node whose neighborhood reaches uncovered
+                // territory; if none exists the remaining whites are
+                // unreachable from the current component.
+                let expand = (0..n).find(|&i| {
+                    frontier[i]
+                        && adj[i].iter().any(|&nb| {
+                            !chosen[nb as usize] && gain(nb as usize, &white) > 0
+                        })
+                });
+                match expand {
+                    Some(node) => take(
+                        node,
+                        &mut white,
+                        &mut whites_left,
+                        &mut chosen,
+                        &mut frontier,
+                        &mut out,
+                    ),
+                    None => break,
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3-4; each node covers itself and its neighbors.
+    fn path(n: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1) as u32);
+                }
+                if i + 1 < n {
+                    v.push((i + 1) as u32);
+                }
+                v
+            })
+            .collect();
+        let cov: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut v = vec![i as u32];
+                v.extend(adj[i].iter().copied());
+                v
+            })
+            .collect();
+        (adj, cov)
+    }
+
+    fn is_connected(set: &[u32], adj: &[Vec<u32>]) -> bool {
+        if set.is_empty() {
+            return true;
+        }
+        let inset: std::collections::HashSet<u32> = set.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![set[0]];
+        seen.insert(set[0]);
+        while let Some(v) = stack.pop() {
+            for &nb in &adj[v as usize] {
+                if inset.contains(&nb) && seen.insert(nb) {
+                    stack.push(nb);
+                }
+            }
+        }
+        seen.len() == set.len()
+    }
+
+    fn covers_all(set: &[u32], cov: &[Vec<u32>], n_targets: usize) -> bool {
+        let mut covered = vec![false; n_targets];
+        for &s in set {
+            for &t in &cov[s as usize] {
+                covered[t as usize] = true;
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+
+    #[test]
+    fn path_graph_dominating_set() {
+        let (adj, cov) = path(7);
+        let set = greedy_cds(&adj, &cov, 7);
+        assert!(covers_all(&set, &cov, 7));
+        assert!(is_connected(&set, &adj));
+        assert!(set.len() <= 5, "greedy should beat taking everything");
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let set = greedy_cds(&[vec![]], &[vec![0]], 1);
+        assert_eq!(set, vec![0]);
+    }
+
+    #[test]
+    fn star_graph_picks_center() {
+        // center 0 adjacent to 1..=5; center covers everything.
+        let mut adj = vec![vec![]; 6];
+        for i in 1..6u32 {
+            adj[0].push(i);
+            adj[i as usize].push(0);
+        }
+        let cov: Vec<Vec<u32>> = (0..6)
+            .map(|i| {
+                let mut v = vec![i as u32];
+                v.extend(adj[i].iter().copied());
+                v
+            })
+            .collect();
+        let set = greedy_cds(&adj, &cov, 6);
+        assert_eq!(set, vec![0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(greedy_cds(&[], &[], 0).is_empty());
+        let (adj, cov) = path(3);
+        assert!(greedy_cds(&adj, &cov, 0).is_empty());
+    }
+
+    #[test]
+    fn zero_gain_bridges_are_crossed() {
+        // 0 covers targets {0,1}; 1 covers nothing new (bridge); 2 covers {2}.
+        // Graph: 0-1-2. Greedy must route through the zero-gain bridge.
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        let cov = vec![vec![0, 1], vec![1], vec![2]];
+        let set = greedy_cds(&adj, &cov, 3);
+        assert!(covers_all(&set, &cov, 3));
+        assert!(is_connected(&set, &adj));
+        assert!(set.contains(&1), "bridge node must be included: {set:?}");
+    }
+
+    #[test]
+    fn random_graphs_yield_connected_covers() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for trial in 0..20 {
+            // Random connected graph: spanning path + extra edges.
+            let n = rng.gen_range(5..40);
+            let mut adj = vec![Vec::new(); n];
+            for i in 1..n {
+                adj[i].push((i - 1) as u32);
+                adj[i - 1].push(i as u32);
+            }
+            for _ in 0..n {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b && !adj[a].contains(&(b as u32)) {
+                    adj[a].push(b as u32);
+                    adj[b].push(a as u32);
+                }
+            }
+            let cov: Vec<Vec<u32>> = (0..n)
+                .map(|i| {
+                    let mut v = vec![i as u32];
+                    v.extend(adj[i].iter().copied());
+                    v
+                })
+                .collect();
+            let set = greedy_cds(&adj, &cov, n);
+            assert!(covers_all(&set, &cov, n), "trial {trial}");
+            assert!(is_connected(&set, &adj), "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The member set of one extracted cluster — the input to every
+//! summarization format.
+//!
+//! A cluster's *full representation* (Def. 3.1) is its member objects with
+//! their core/edge labels; summarizers only need positions and labels, not
+//! stream identities, so [`MemberSet`] owns plain coordinate buffers.
+
+use sgs_core::HeapSize;
+
+/// Positions of one cluster's members, split by label.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemberSet {
+    /// Positions of the core objects.
+    pub cores: Vec<Box<[f64]>>,
+    /// Positions of the edge objects.
+    pub edges: Vec<Box<[f64]>>,
+}
+
+impl MemberSet {
+    /// Build from position lists.
+    pub fn new(cores: Vec<Box<[f64]>>, edges: Vec<Box<[f64]>>) -> Self {
+        MemberSet { cores, edges }
+    }
+
+    /// Total member count.
+    #[inline]
+    pub fn population(&self) -> usize {
+        self.cores.len() + self.edges.len()
+    }
+
+    /// Dimensionality (0 for an empty set).
+    pub fn dim(&self) -> usize {
+        self.cores
+            .first()
+            .or_else(|| self.edges.first())
+            .map_or(0, |c| c.len())
+    }
+
+    /// Iterate over all member positions (cores first).
+    pub fn iter_all(&self) -> impl Iterator<Item = &[f64]> {
+        self.cores
+            .iter()
+            .chain(self.edges.iter())
+            .map(|b| b.as_ref())
+    }
+
+    /// Bytes needed to store the full representation: one `f64` per
+    /// coordinate plus a 4-byte cluster id per member — the storage model
+    /// behind the paper's full-representation sizes in §8.2.
+    pub fn full_repr_bytes(&self) -> usize {
+        self.population() * (self.dim() * core::mem::size_of::<f64>() + 4)
+    }
+
+    /// Centroid of all members. Returns `None` for an empty set.
+    pub fn centroid(&self) -> Option<Vec<f64>> {
+        let n = self.population();
+        if n == 0 {
+            return None;
+        }
+        let dim = self.dim();
+        let mut acc = vec![0.0; dim];
+        for p in self.iter_all() {
+            for (a, x) in acc.iter_mut().zip(p.iter()) {
+                *a += x;
+            }
+        }
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+        Some(acc)
+    }
+
+    /// Axis-aligned bounding box `(min, max)`. `None` when empty.
+    pub fn bounds(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        let mut it = self.iter_all();
+        let first = it.next()?;
+        let mut lo = first.to_vec();
+        let mut hi = first.to_vec();
+        for p in it {
+            for d in 0..lo.len() {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+impl HeapSize for MemberSet {
+    fn heap_size(&self) -> usize {
+        let per = |v: &Vec<Box<[f64]>>| {
+            v.capacity() * core::mem::size_of::<Box<[f64]>>()
+                + v.iter().map(|b| b.len() * 8).sum::<usize>()
+        };
+        per(&self.cores) + per(&self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms() -> MemberSet {
+        MemberSet::new(
+            vec![vec![0.0, 0.0].into(), vec![2.0, 0.0].into()],
+            vec![vec![1.0, 3.0].into()],
+        )
+    }
+
+    #[test]
+    fn population_and_dim() {
+        let m = ms();
+        assert_eq!(m.population(), 3);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(MemberSet::default().dim(), 0);
+    }
+
+    #[test]
+    fn centroid_averages_all_members() {
+        let c = ms().centroid().unwrap();
+        assert_eq!(c, vec![1.0, 1.0]);
+        assert!(MemberSet::default().centroid().is_none());
+    }
+
+    #[test]
+    fn bounds_cover_all() {
+        let (lo, hi) = ms().bounds().unwrap();
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn full_repr_bytes_model() {
+        // 3 members × (2 dims × 8 bytes + 4 bytes id) = 60
+        assert_eq!(ms().full_repr_bytes(), 60);
+    }
+}

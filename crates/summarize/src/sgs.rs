@@ -1,0 +1,467 @@
+//! Skeletal Grid Summarization (Def. 4.4) — the paper's core contribution.
+//!
+//! An SGS is the set of grid cells containing at least one member of the
+//! cluster. Each **skeletal cell** carries the five attributes of Def. 4.4:
+//! location (integer cell coordinate), side length (held once on the
+//! [`Sgs`]), population, status (core/edge, Def. 4.2), and its connection
+//! vector.
+//!
+//! One deliberate generalization over the paper's prose: Def. 4.4 words the
+//! connection vector over *adjacent* cells, but with the basic cell side
+//! `θr/√d`, core objects in cells up to Chebyshev distance `⌈√d⌉` apart can
+//! still be neighbors — and §5's output stage rebuilds clusters by DFS over
+//! cell connections, which is only correct if those longer-range
+//! connections are kept. We therefore record connections between any cell
+//! pair within the grid's reach; the archived byte format
+//! ([`crate::packed`]) stores the adjacent-cell bitmask exactly as §8.2
+//! accounts it.
+
+use sgs_core::{CellCoord, GridGeometry, HeapSize};
+use sgs_index::{FxHashMap, Rect};
+
+use crate::member::MemberSet;
+
+/// Status of a skeletal grid cell (Def. 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellStatus {
+    /// Contains at least one core object.
+    Core,
+    /// Contains no core object but at least one edge object.
+    Edge,
+}
+
+/// One skeletal grid cell (Def. 4.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkeletalCell {
+    /// Integer cell coordinate; the location vector of Def. 4.4 is
+    /// `coord * side` per dimension.
+    pub coord: CellCoord,
+    /// Number of cluster member objects inside the cell.
+    pub population: u32,
+    /// Core or edge (noise cells never appear in a summary).
+    pub status: CellStatus,
+    /// Indices (into [`Sgs::cells`]) of connected cells. Populated on core
+    /// cells only — a core cell lists directly-connected core cells and
+    /// attached edge cells; edge cells carry no indicators (Def. 4.4).
+    pub connections: Vec<u32>,
+}
+
+impl SkeletalCell {
+    /// Connection degree.
+    #[inline]
+    pub fn connectivity(&self) -> usize {
+        self.connections.len()
+    }
+}
+
+impl HeapSize for SkeletalCell {
+    fn heap_size(&self) -> usize {
+        self.coord.heap_size() + self.connections.capacity() * 4
+    }
+}
+
+/// A Skeletal Grid Summarization of one density-based cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sgs {
+    /// Dimensionality of the data space.
+    pub dim: usize,
+    /// Side length of every cell in this summary (uniform per Def. 4.4).
+    pub side: f64,
+    /// Resolution level: 0 = basic SGS (§6.1).
+    pub level: u8,
+    /// Skeletal cells, sorted by coordinate (canonical order).
+    pub cells: Vec<SkeletalCell>,
+}
+
+impl Sgs {
+    /// Build the **basic SGS** of a cluster from its member set.
+    ///
+    /// This is the offline (two-phase) construction: bucket members into
+    /// cells, derive statuses, then probe reachable cell pairs for
+    /// object-level neighborships to derive connections (Def. 4.3). C-SGS
+    /// produces the identical structure incrementally.
+    pub fn from_members(members: &MemberSet, geometry: &GridGeometry) -> Sgs {
+        let dim = geometry.dim();
+        let theta_sq = geometry.theta_r() * geometry.theta_r();
+
+        // Bucket members per cell.
+        #[derive(Default)]
+        struct Bucket {
+            cores: Vec<Box<[f64]>>,
+            edges: Vec<Box<[f64]>>,
+        }
+        let mut buckets: FxHashMap<CellCoord, Bucket> = FxHashMap::default();
+        for c in &members.cores {
+            let coord = geometry.cell_of(&sgs_core::Point::new(c.clone(), 0));
+            buckets.entry(coord).or_default().cores.push(c.clone());
+        }
+        for e in &members.edges {
+            let coord = geometry.cell_of(&sgs_core::Point::new(e.clone(), 0));
+            buckets.entry(coord).or_default().edges.push(e.clone());
+        }
+
+        // Canonical cell order.
+        let mut coords: Vec<CellCoord> = buckets.keys().cloned().collect();
+        coords.sort_unstable();
+        let index_of: FxHashMap<CellCoord, u32> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i as u32))
+            .collect();
+
+        let mut cells: Vec<SkeletalCell> = coords
+            .iter()
+            .map(|coord| {
+                let b = &buckets[coord];
+                SkeletalCell {
+                    coord: coord.clone(),
+                    population: (b.cores.len() + b.edges.len()) as u32,
+                    status: if b.cores.is_empty() {
+                        CellStatus::Edge
+                    } else {
+                        CellStatus::Core
+                    },
+                    connections: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Connections (Def. 4.3): probe each core cell against reachable
+        // cells; a core-core pair connects if some core objects are
+        // neighbors; an edge cell attaches if one of its objects neighbors
+        // a core object of the core cell.
+        let any_pair = |a: &[Box<[f64]>], b: &[Box<[f64]>]| {
+            a.iter()
+                .any(|x| b.iter().any(|y| sgs_core::dist_sq(x, y) <= theta_sq))
+        };
+        for (i, coord) in coords.iter().enumerate() {
+            if cells[i].status != CellStatus::Core {
+                continue;
+            }
+            for other in geometry.reachable_cells(coord) {
+                let Some(&j) = index_of.get(&other) else {
+                    continue;
+                };
+                let j = j as usize;
+                if j == i {
+                    continue;
+                }
+                if geometry.min_cell_dist(coord, &other) > geometry.theta_r() {
+                    continue;
+                }
+                let (bi, bj) = (&buckets[coord], &buckets[&other]);
+                let connected = match cells[j].status {
+                    CellStatus::Core => any_pair(&bi.cores, &bj.cores),
+                    // Attachment: any object (core or edge) of the edge
+                    // cell neighboring one of our core objects.
+                    CellStatus::Edge => {
+                        any_pair(&bi.cores, &bj.cores) || any_pair(&bi.cores, &bj.edges)
+                    }
+                };
+                if connected {
+                    cells[i].connections.push(j as u32);
+                }
+            }
+            cells[i].connections.sort_unstable();
+            cells[i].connections.dedup();
+        }
+
+        Sgs {
+            dim,
+            side: geometry.side(),
+            level: 0,
+            cells,
+        }
+    }
+
+    /// Number of skeletal cells — the *volume* feature of §7.1.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of core cells — the *status count* feature of §7.1.
+    pub fn core_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Core)
+            .count()
+    }
+
+    /// Total population across cells.
+    pub fn population(&self) -> u32 {
+        self.cells.iter().map(|c| c.population).sum()
+    }
+
+    /// Average objects per cell — the *average density* feature of §7.1
+    /// (population over volume; cell volume is uniform so the constant
+    /// factor cancels in every comparison).
+    pub fn avg_density(&self) -> f64 {
+        if self.cells.is_empty() {
+            0.0
+        } else {
+            self.population() as f64 / self.cells.len() as f64
+        }
+    }
+
+    /// Average connection degree of core cells — the *average connectivity*
+    /// feature of §7.1.
+    pub fn avg_connectivity(&self) -> f64 {
+        let cores = self.core_count();
+        if cores == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Core)
+            .map(SkeletalCell::connectivity)
+            .sum();
+        total as f64 / cores as f64
+    }
+
+    /// The four non-locational features of §7.1 in index order:
+    /// `[volume, core_count, avg_density, avg_connectivity]`.
+    pub fn features(&self) -> [f64; 4] {
+        [
+            self.volume() as f64,
+            self.core_count() as f64,
+            self.avg_density(),
+            self.avg_connectivity(),
+        ]
+    }
+
+    /// Minimum bounding rectangle in data space (for the locational index).
+    /// `None` for an empty summary.
+    pub fn mbr(&self) -> Option<Rect> {
+        let first = self.cells.first()?;
+        let dim = first.coord.dim();
+        let mut lo = vec![i32::MAX; dim];
+        let mut hi = vec![i32::MIN; dim];
+        for c in &self.cells {
+            for d in 0..dim {
+                lo[d] = lo[d].min(c.coord.0[d]);
+                hi[d] = hi[d].max(c.coord.0[d]);
+            }
+        }
+        Some(Rect::new(
+            lo.iter().map(|&v| v as f64 * self.side).collect::<Vec<_>>(),
+            hi.iter()
+                .map(|&v| (v + 1) as f64 * self.side)
+                .collect::<Vec<_>>(),
+        ))
+    }
+
+    /// Index of the cell at `coord`, if present (cells are kept sorted).
+    pub fn index_of(&self, coord: &CellCoord) -> Option<usize> {
+        self.cells
+            .binary_search_by(|c| c.coord.cmp(coord))
+            .ok()
+    }
+
+    /// Fidelity check for Lemma 4.3: every cell's data-space box is within
+    /// θr of a member (trivially true by construction — each cell contains
+    /// a member). Exposed for property tests: verifies cells are non-empty
+    /// and sorted.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self
+            .cells
+            .windows(2)
+            .all(|w| w[0].coord < w[1].coord)
+        {
+            return Err("cells not sorted by coordinate".into());
+        }
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.population == 0 {
+                return Err(format!("cell {i} has zero population"));
+            }
+            if c.status == CellStatus::Edge && !c.connections.is_empty() {
+                return Err(format!("edge cell {i} carries connection indicators"));
+            }
+            for &j in &c.connections {
+                if j as usize >= self.cells.len() {
+                    return Err(format!("cell {i} connects to out-of-range {j}"));
+                }
+                if j as usize == i {
+                    return Err(format!("cell {i} connects to itself"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Group cells into connected components: DFS over core-core
+    /// connections, pulling in attached edge cells (the output stage of
+    /// §5.4). Returns cell-index groups, one per cluster, each sorted.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.cells.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX || self.cells[start].status != CellStatus::Core {
+                continue;
+            }
+            let gid = groups.len();
+            groups.push(Vec::new());
+            comp[start] = gid;
+            stack.push(start);
+            while let Some(i) = stack.pop() {
+                groups[gid].push(i);
+                for &j in &self.cells[i].connections {
+                    let j = j as usize;
+                    match self.cells[j].status {
+                        CellStatus::Core => {
+                            if comp[j] == usize::MAX {
+                                comp[j] = gid;
+                                stack.push(j);
+                            }
+                        }
+                        CellStatus::Edge => {
+                            // Edge cells can attach to several clusters.
+                            if !groups[gid].contains(&j) {
+                                groups[gid].push(j);
+                            }
+                        }
+                    }
+                }
+            }
+            groups[gid].sort_unstable();
+            groups[gid].dedup();
+        }
+        groups
+    }
+}
+
+impl HeapSize for Sgs {
+    fn heap_size(&self) -> usize {
+        self.cells.capacity() * core::mem::size_of::<SkeletalCell>()
+            + self.cells.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_core::GridGeometry;
+
+    fn geo() -> GridGeometry {
+        GridGeometry::basic(2, 1.0)
+    }
+
+    /// Two tight core groups bridged by neighboring cores, plus an edge.
+    fn sample_members() -> MemberSet {
+        MemberSet::new(
+            vec![
+                vec![0.1, 0.1].into(),
+                vec![0.2, 0.1].into(),
+                vec![0.9, 0.1].into(), // next cell over, neighbor of the others
+            ],
+            vec![vec![1.6, 0.1].into()], // edge, neighbor of (0.9,0.1)
+        )
+    }
+
+    #[test]
+    fn from_members_buckets_and_statuses() {
+        let sgs = Sgs::from_members(&sample_members(), &geo());
+        sgs.validate().unwrap();
+        assert_eq!(sgs.population(), 4);
+        assert_eq!(sgs.level, 0);
+        // side = 1/sqrt(2) ≈ 0.707: cells x∈[0,0.707)=0, [0.707,1.414)=1, [1.414,..)=2
+        assert_eq!(sgs.volume(), 3);
+        assert_eq!(sgs.core_count(), 2);
+        let edge_cells: Vec<_> = sgs
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Edge)
+            .collect();
+        assert_eq!(edge_cells.len(), 1);
+        assert_eq!(edge_cells[0].population, 1);
+    }
+
+    #[test]
+    fn connections_follow_def_4_3() {
+        let sgs = Sgs::from_members(&sample_members(), &geo());
+        // Core cell 0 (x bucket 0) ↔ core cell 1 (x bucket 1): cores (0.2,0.1)
+        // and (0.9,0.1) are 0.7 apart ≤ 1 → connected.
+        let c0 = sgs.index_of(&CellCoord::new(vec![0, 0])).unwrap();
+        let c1 = sgs.index_of(&CellCoord::new(vec![1, 0])).unwrap();
+        let c2 = sgs.index_of(&CellCoord::new(vec![2, 0])).unwrap();
+        assert!(sgs.cells[c0].connections.contains(&(c1 as u32)));
+        assert!(sgs.cells[c1].connections.contains(&(c0 as u32)));
+        // Edge cell attached to core cell 1: (1.6,0.1)-(0.9,0.1) = 0.7 ≤ 1.
+        assert!(sgs.cells[c1].connections.contains(&(c2 as u32)));
+        // Edge cells carry no indicators.
+        assert!(sgs.cells[c2].connections.is_empty());
+    }
+
+    #[test]
+    fn components_join_connected_cells() {
+        let sgs = Sgs::from_members(&sample_members(), &geo());
+        let comps = sgs.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn disconnected_cores_split_components() {
+        let members = MemberSet::new(
+            vec![vec![0.1, 0.1].into(), vec![8.0, 8.0].into()],
+            vec![],
+        );
+        let sgs = Sgs::from_members(&members, &geo());
+        assert_eq!(sgs.components().len(), 2);
+    }
+
+    #[test]
+    fn features_vector() {
+        let sgs = Sgs::from_members(&sample_members(), &geo());
+        let f = sgs.features();
+        assert_eq!(f[0], 3.0); // volume
+        assert_eq!(f[1], 2.0); // core cells
+        assert!((f[2] - 4.0 / 3.0).abs() < 1e-12); // avg density
+        // connectivity: c0 has 1 connection, c1 has 2 → avg 1.5
+        assert!((f[3] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbr_covers_cells() {
+        let sgs = Sgs::from_members(&sample_members(), &geo());
+        let mbr = sgs.mbr().unwrap();
+        let side = geo().side();
+        assert_eq!(mbr.min.as_ref(), &[0.0, 0.0][..]);
+        assert!((mbr.max[0] - 3.0 * side).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_4_1_same_cell_members_are_mutual_neighbors() {
+        // Stress with random points: every pair bucketed into one cell must
+        // be within θr.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = GridGeometry::basic(3, 0.5);
+        let mut buckets: std::collections::HashMap<CellCoord, Vec<Vec<f64>>> = Default::default();
+        for _ in 0..2000 {
+            let p: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..2.0)).collect();
+            let c = g.cell_of(&sgs_core::Point::new(p.clone(), 0));
+            buckets.entry(c).or_default().push(p);
+        }
+        for pts in buckets.values() {
+            for a in pts {
+                for b in pts {
+                    assert!(sgs_core::dist(a, b) <= 0.5 + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_members_give_empty_sgs() {
+        let sgs = Sgs::from_members(&MemberSet::default(), &geo());
+        assert_eq!(sgs.volume(), 0);
+        assert!(sgs.mbr().is_none());
+        assert_eq!(sgs.avg_density(), 0.0);
+        assert_eq!(sgs.avg_connectivity(), 0.0);
+        sgs.validate().unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+//! # sgs-viz
+//!
+//! Visualization of density-based clusters and their summaries — the role
+//! ViStream \[14\] plays in the paper's workflow (§8.3's analysts judged
+//! cluster similarity visually). Two render targets:
+//!
+//! * [`ascii`] — terminal panels: skeletal cells drawn as a character
+//!   raster (core cells by density ramp, edge cells hollow), suitable for
+//!   the examples and quick debugging,
+//! * [`svg`] — standalone SVG documents rendering one or more SGSs with
+//!   their connection graphs, for reports and side-by-side comparison of
+//!   matched clusters.
+//!
+//! Both project multi-dimensional summaries onto a chosen pair of
+//! dimensions.
+
+pub mod ascii;
+pub mod svg;
+
+pub use ascii::render_ascii;
+pub use svg::{render_svg, SvgStyle};

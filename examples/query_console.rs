@@ -1,0 +1,97 @@
+//! Query console: drive the whole system through the paper's query
+//! language (Figures 2 and 3), with cluster tracking and visualization.
+//!
+//! 1. parses a `DETECT DensityBasedClusters f+s …` statement and runs it
+//!    over a GMTI-like stream,
+//! 2. tracks cluster identities across windows (births / deaths / merges /
+//!    splits),
+//! 3. parses a `GIVEN … SELECT … FROM History WHERE Distance(..) <= t`
+//!    statement, executes it against the archive, and
+//! 4. renders the query cluster and its best match as ASCII panels and an
+//!    SVG file under the system temp directory.
+//!
+//! ```text
+//! cargo run --release --example query_console
+//! ```
+
+use streamsum::prelude::*;
+use streamsum::viz::{render_ascii, render_svg, SvgStyle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Continuous query (Fig. 2).
+    let detect_src = "DETECT DensityBasedClusters f+s FROM gmti \
+                      USING theta_range = 0.6 AND theta_cnt = 8 \
+                      IN Windows WITH win = 4000 AND slide = 1000";
+    println!("> {detect_src}\n");
+    let detect = parse_detect(detect_src)?;
+    let query = detect.to_cluster_query(2)?;
+
+    let mut pipeline = StreamPipeline::new(query, ArchivePolicy::MinPopulation(40), 5)?;
+    let mut tracker = ClusterTracker::new();
+    let stream = generate_gmti(&GmtiConfig {
+        n_records: 30_000,
+        n_convoys: 6,
+        ..GmtiConfig::default()
+    });
+
+    let mut events_seen = 0;
+    for p in stream {
+        for (window, clusters) in pipeline.push(p)? {
+            let tracked = tracker.observe(window, &clusters);
+            for e in &tracked.events {
+                if events_seen < 12 {
+                    println!("  {window}: {e:?}");
+                    events_seen += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "\n{} clusters archived from the stream history",
+        pipeline.base().len()
+    );
+
+    // --- Matching query (Fig. 3).
+    let match_src = "GIVEN DensityBasedClusters Cnow \
+                     SELECT DensityBasedClusters Cpast FROM History \
+                     WHERE Distance(Cnow, Cpast) <= 0.30 \
+                     USING ps = 0 AND weights = (0.25, 0.25, 0.25, 0.25)";
+    println!("\n> {match_src}\n");
+    let match_ast = parse_match(match_src)?;
+    let config = match_ast.to_match_config()?;
+
+    let Some(current) = pipeline.last_output().iter().max_by_key(|c| c.population())
+    else {
+        println!("no cluster in the newest window to match");
+        return Ok(());
+    };
+    let outcome = pipeline.base().match_query(&current.sgs, &config);
+    println!(
+        "{} candidates → {} refined → {} matches",
+        outcome.candidates,
+        outcome.refined,
+        outcome.matches.len()
+    );
+
+    // --- Visual comparison of the query and its best non-trivial match.
+    println!("\nto-be-matched cluster ({} cells):", current.sgs.volume());
+    print!("{}", render_ascii(&current.sgs, 0, 1));
+    if let Some(best) = outcome.matches.iter().find(|m| m.distance > 1e-9) {
+        let matched = pipeline.archived(best.id).unwrap();
+        println!(
+            "\nbest historical match (window {}, distance {:.3}):",
+            matched.window, best.distance
+        );
+        print!("{}", render_ascii(&matched.sgs, 0, 1));
+        let svg = render_svg(
+            &[&current.sgs, &matched.sgs],
+            0,
+            1,
+            &SvgStyle::default(),
+        );
+        let path = std::env::temp_dir().join("streamsum_match.svg");
+        std::fs::write(&path, svg)?;
+        println!("\nside-by-side SVG written to {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! # streamsum
+//!
+//! A from-scratch Rust implementation of *"Summarization and Matching of
+//! Density-Based Clusters in Streaming Environments"* (Yang, Rundensteiner,
+//! Ward — VLDB 2011): the Skeletal Grid Summarization (SGS), the integrated
+//! C-SGS extraction + summarization algorithm with lifespan analysis, the
+//! pattern archive with its locational and non-locational feature indexes,
+//! and the filter-and-refine cluster matching engine — together with every
+//! baseline the paper evaluates against (Extra-N, CRD, RSP, SkPS).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use streamsum::prelude::*;
+//!
+//! // A continuous clustering query: θr = 0.5, θc = 3, 2-d data,
+//! // count-based windows of 200 tuples sliding by 50.
+//! let query = ClusterQuery::new(
+//!     0.5, 3, 2, WindowSpec::count(200, 50).unwrap(),
+//! ).unwrap();
+//! let mut pipeline = StreamPipeline::new(query, ArchivePolicy::All, 7).unwrap();
+//!
+//! // Feed a stream; completed windows yield clusters in full + SGS form
+//! // and are archived automatically.
+//! for i in 0..400u64 {
+//!     let x = (i % 20) as f64 * 0.1;
+//!     let y = ((i / 20) % 3) as f64 * 0.1;
+//!     let outputs = pipeline.push(Point::new(vec![x, y], i)).unwrap();
+//!     for (window, clusters) in outputs {
+//!         for c in &clusters {
+//!             assert!(c.population() > 0);
+//!             assert!(c.sgs.volume() > 0);
+//!             let _ = (window, c);
+//!         }
+//!     }
+//! }
+//!
+//! // Match a cluster of interest against the stream history.
+//! let config = MatchConfig::equal_weights(false, 0.2);
+//! if let Some(recent) = pipeline.last_output().first() {
+//!     let outcome = pipeline.base().match_query(&recent.sgs, &config);
+//!     assert!(!outcome.matches.is_empty());
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`](sgs_core) | points, grid geometry, windows, queries, memory accounting |
+//! | [`stream`](sgs_stream) | window engine, lifespan analysis (Obs. 5.2–5.4) |
+//! | [`index`](sgs_index) | grid index, R-tree, feature grid, union-find |
+//! | [`cluster`](sgs_cluster) | DBSCAN ground truth, Extra-N baseline |
+//! | [`summarize`](sgs_summarize) | SGS, CRD, RSP, SkPS, multi-resolution, packed layout |
+//! | [`csgs`](sgs_csgs) | the integrated C-SGS algorithm |
+//! | [`matching`](sgs_matching) | distance metric, alignment search, GED, Chamfer |
+//! | [`archive`](sgs_archive) | pattern archiver + pattern base |
+//! | [`datagen`](sgs_datagen) | GMTI- and STT-like stream generators |
+
+pub use sgs_archive as archive;
+pub use sgs_cluster as cluster;
+pub use sgs_core as core;
+pub use sgs_csgs as csgs;
+pub use sgs_datagen as datagen;
+pub use sgs_index as index;
+pub use sgs_query as query;
+pub use sgs_matching as matching;
+pub use sgs_stream as stream;
+pub use sgs_summarize as summarize;
+pub use sgs_viz as viz;
+
+pub mod pipeline;
+
+pub use pipeline::StreamPipeline;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::pipeline::StreamPipeline;
+    pub use sgs_archive::{ArchivePolicy, MatchOutcome, MatchResult, PatternBase, PatternId};
+    pub use sgs_cluster::{cluster_snapshot, CanonicalClustering, ExtraN, NaiveClusterer};
+    pub use sgs_core::{ClusterQuery, Error, Point, PointId, Result, WindowId, WindowSpec};
+    pub use sgs_csgs::{CSgs, ClusterTracker, ExtractedCluster, TrackId, WindowOutput};
+    pub use sgs_datagen::{generate_gmti, generate_stt, GmtiConfig, SttConfig};
+    pub use sgs_matching::MatchConfig;
+pub use sgs_query::{parse_detect, parse_match, DetectQuery, MatchQueryAst};
+    pub use sgs_stream::{replay, WindowConsumer, WindowEngine};
+    pub use sgs_summarize::{Crd, MemberSet, Rsp, Sgs, SkPs};
+}

@@ -1,0 +1,136 @@
+//! Archive-layer integration: multi-resolution archival, budget selection,
+//! shared (concurrent) pattern base, and matching through coarser levels.
+
+use streamsum::archive::{choose_level, shared_pattern_base, ArchivePolicy, PatternArchiver};
+use streamsum::matching::MatchConfig;
+use streamsum::prelude::*;
+use streamsum::summarize::{coarsen, multires, packed};
+
+fn study_summaries(n: usize) -> Vec<Sgs> {
+    use streamsum::core::GridGeometry;
+    let g = GridGeometry::basic(2, 1.0);
+    (0..n)
+        .map(|k| {
+            let x0 = (k as f64) * 9.0;
+            let cores: Vec<Box<[f64]>> = (0..40 + (k % 7) * 10)
+                .map(|i| {
+                    vec![
+                        x0 + 0.05 + (i % 8) as f64 * 0.3,
+                        0.05 + (i / 8) as f64 * 0.3,
+                    ]
+                    .into()
+                })
+                .collect();
+            Sgs::from_members(&MemberSet::new(cores, vec![]), &g)
+        })
+        .collect()
+}
+
+#[test]
+fn archiver_levels_respect_budget_end_to_end() {
+    let summaries = study_summaries(30);
+    let budget = 200usize;
+    let mut archiver =
+        PatternArchiver::new(ArchivePolicy::All, 0).with_budget(3, budget, 3);
+    archiver.observe(WindowId(0), summaries.iter());
+    let base = archiver.into_base();
+    assert_eq!(base.len(), 30);
+    for p in base.iter() {
+        let bytes = packed::archived_bytes(&p.sgs);
+        // Either within budget, or already at the coarsest allowed level.
+        assert!(
+            bytes <= budget || p.sgs.level == 3,
+            "pattern {:?}: {bytes} bytes at level {}",
+            p.id,
+            p.sgs.level
+        );
+    }
+}
+
+#[test]
+fn choose_level_is_monotone_in_budget() {
+    let s = &study_summaries(1)[0];
+    let mut last = u8::MAX;
+    for budget in [1usize, 50, 100, 200, 400, 1000, 10_000] {
+        let level = choose_level(s, 3, budget, 4);
+        assert!(level <= last || last == u8::MAX);
+        last = level;
+    }
+    assert_eq!(choose_level(s, 3, usize::MAX / 2, 4), 0);
+}
+
+#[test]
+fn coarse_archive_still_matches_translated_twin() {
+    // Archive everything at level 1; a translated twin of a summary must
+    // still be found by non-position-sensitive matching at that level.
+    let summaries = study_summaries(12);
+    let mut archiver = PatternArchiver::new(ArchivePolicy::All, 0).with_level(3, 1);
+    archiver.observe(WindowId(0), summaries.iter());
+    let base = archiver.into_base();
+
+    let query = coarsen(&summaries[4], 3);
+    let outcome = base.match_query(&query, &MatchConfig::equal_weights(false, 0.2));
+    assert!(!outcome.matches.is_empty());
+    assert!(outcome.matches[0].distance < 0.05, "d={}", outcome.matches[0].distance);
+}
+
+#[test]
+fn shared_base_supports_concurrent_writers_and_readers() {
+    let base = shared_pattern_base();
+    let summaries = study_summaries(40);
+    let writer_base = base.clone();
+    let writer = std::thread::spawn(move || {
+        for (i, s) in summaries.into_iter().enumerate() {
+            writer_base.write().insert(s, WindowId(i as u64));
+        }
+    });
+    let reader = {
+        let base = base.clone();
+        std::thread::spawn(move || {
+            let cfg = MatchConfig::equal_weights(false, 0.3);
+            let mut total = 0usize;
+            for _ in 0..50 {
+                let guard = base.read();
+                let first = guard.iter().next().map(|p| p.sgs.clone());
+                if let Some(sgs) = first {
+                    total += guard.match_query(&sgs, &cfg).matches.len();
+                }
+            }
+            total
+        })
+    };
+    writer.join().unwrap();
+    let _ = reader.join().unwrap();
+    assert_eq!(base.read().len(), 40);
+}
+
+#[test]
+fn archived_bytes_at_level_is_exact_after_materialization() {
+    for s in study_summaries(6) {
+        for theta in [2u32, 3] {
+            let mut cur = s.clone();
+            for level in 0u8..3 {
+                assert_eq!(
+                    multires::archived_bytes_at_level(&s, theta, level),
+                    packed::archived_bytes(&cur),
+                    "theta {theta} level {level}"
+                );
+                cur = coarsen(&cur, theta);
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_codec_through_all_levels() {
+    for s in study_summaries(4) {
+        let mut cur = s;
+        for _ in 0..3 {
+            let decoded = packed::decode(packed::encode(&cur)).unwrap();
+            assert_eq!(decoded.volume(), cur.volume());
+            assert_eq!(decoded.population(), cur.population());
+            assert_eq!(decoded.level, cur.level);
+            cur = coarsen(&cur, 3);
+        }
+    }
+}

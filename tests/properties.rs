@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use streamsum::core::{dist, CellCoord, GridGeometry, Point, WindowId, WindowSpec};
+use streamsum::index::UnionFind;
+use streamsum::matching::hungarian;
+use streamsum::matching::metric::rel_diff;
+use streamsum::stream::{core_until, ExpiryHistogram};
+use streamsum::summarize::{coarsen, MemberSet, Sgs};
+
+proptest! {
+    /// Lemma 4.1 precondition: any two points mapped to the same basic
+    /// cell are within θr of each other.
+    #[test]
+    fn same_cell_implies_neighbors(
+        theta_r in 0.05f64..5.0,
+        dim in 1usize..5,
+        a in prop::collection::vec(-50.0f64..50.0, 4),
+        delta in prop::collection::vec(-0.01f64..0.01, 4),
+    ) {
+        let g = GridGeometry::basic(dim, theta_r);
+        let pa = Point::new(a[..dim].to_vec(), 0);
+        let b: Vec<f64> = a[..dim].iter().zip(&delta[..dim]).map(|(x, d)| x + d).collect();
+        let pb = Point::new(b, 0);
+        if g.cell_of(&pa) == g.cell_of(&pb) {
+            prop_assert!(pa.dist(&pb) <= theta_r + 1e-9);
+        }
+    }
+
+    /// Every point within θr of a cell's contents lies in a reachable cell.
+    #[test]
+    fn reachable_cells_cover_neighbor_ball(
+        theta_r in 0.1f64..3.0,
+        x in -20.0f64..20.0,
+        y in -20.0f64..20.0,
+        angle in 0.0f64..std::f64::consts::TAU,
+        frac in 0.0f64..1.0,
+    ) {
+        let g = GridGeometry::basic(2, theta_r);
+        let p = Point::new(vec![x, y], 0);
+        let r = theta_r * frac;
+        let q = Point::new(vec![x + r * angle.cos(), y + r * angle.sin()], 0);
+        let reachable = g.reachable_cells(&g.cell_of(&p));
+        prop_assert!(reachable.contains(&g.cell_of(&q)));
+    }
+
+    /// Adjacency slots form a bijection with the 3^d − 1 neighbors.
+    #[test]
+    fn adjacency_slots_bijective(dim in 1usize..4, cx in -100i32..100, cy in -100i32..100) {
+        let g = GridGeometry::basic(dim, 1.0);
+        let mut coords = vec![cx; dim];
+        if dim > 1 { coords[1] = cy; }
+        let cell = CellCoord::new(coords);
+        let adj = g.adjacent_cells(&cell);
+        let mut seen = std::collections::HashSet::new();
+        for a in &adj {
+            let slot = g.adjacency_slot(&cell, a).unwrap();
+            prop_assert!(slot < 3usize.pow(dim as u32) - 1);
+            prop_assert!(seen.insert(slot));
+        }
+        prop_assert_eq!(seen.len(), adj.len());
+    }
+
+    /// Window membership arithmetic: every logical time in steady state
+    /// participates in exactly win/slide windows.
+    #[test]
+    fn window_membership_count(
+        slide in 1u64..50,
+        views in 1u64..20,
+        t_off in 0u64..10_000,
+    ) {
+        let win = slide * views;
+        let spec = WindowSpec::count(win, slide).unwrap();
+        let t = win + t_off; // past warm-up
+        let first = spec.first_window_of(t);
+        let last = spec.last_window_of(t);
+        prop_assert_eq!(last - first + 1, views);
+        prop_assert!(spec.window_start(first) <= t && t < spec.window_end(first));
+        prop_assert!(spec.window_start(last) <= t && t < spec.window_end(last));
+    }
+
+    /// Obs. 5.4: the histogram's incremental core career equals the
+    /// one-shot k-th-largest computation.
+    #[test]
+    fn core_career_incremental_equals_oneshot(
+        expiries in prop::collection::vec(1u64..40, 1..60),
+        own in 1u64..40,
+        theta_c in 1u32..10,
+    ) {
+        let ws: Vec<WindowId> = expiries.iter().map(|e| WindowId(*e)).collect();
+        let mut h = ExpiryHistogram::new();
+        for w in &ws { h.add(*w); }
+        let oneshot = core_until(WindowId(own), &ws, theta_c);
+        let incr = h.core_until(WindowId(own), WindowId(0), theta_c);
+        if oneshot.0 == 0 {
+            prop_assert_eq!(incr.0, 0);
+        } else {
+            prop_assert_eq!(incr, oneshot);
+        }
+    }
+
+    /// rel_diff is a bounded, symmetric dissimilarity.
+    #[test]
+    fn rel_diff_properties(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let d = rel_diff(a, b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d, rel_diff(b, a));
+        prop_assert_eq!(rel_diff(a, a), 0.0);
+    }
+
+    /// Union-find: unions are transitive and find is idempotent.
+    #[test]
+    fn union_find_transitivity(pairs in prop::collection::vec((0usize..30, 0usize..30), 0..50)) {
+        let mut uf = UnionFind::with_len(30);
+        for (a, b) in &pairs {
+            uf.union(*a, *b);
+        }
+        for (a, b) in &pairs {
+            prop_assert!(uf.connected(*a, *b));
+        }
+        for i in 0..30 {
+            let r = uf.find(i);
+            prop_assert_eq!(uf.find(r), r);
+        }
+    }
+
+    /// Hungarian: result is a permutation whose cost never exceeds the
+    /// identity assignment.
+    #[test]
+    fn hungarian_beats_identity(n in 1usize..7, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cost: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let (assignment, total) = hungarian(&cost, n);
+        let mut seen = vec![false; n];
+        for &c in &assignment {
+            prop_assert!(!seen[c]);
+            seen[c] = true;
+        }
+        let identity: f64 = (0..n).map(|i| cost[i * n + i]).sum();
+        prop_assert!(total <= identity + 1e-9);
+    }
+
+    /// SGS construction: population preserved, cells sorted, edge cells
+    /// connection-free — for random member sets.
+    #[test]
+    fn sgs_invariants(
+        cores in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..80),
+        edges in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 0..20),
+        theta_r in 0.2f64..2.0,
+    ) {
+        let members = MemberSet::new(
+            cores.iter().map(|(x, y)| vec![*x, *y].into()).collect(),
+            edges.iter().map(|(x, y)| vec![*x, *y].into()).collect(),
+        );
+        let sgs = Sgs::from_members(&members, &GridGeometry::basic(2, theta_r));
+        prop_assert!(sgs.validate().is_ok());
+        prop_assert_eq!(sgs.population() as usize, members.population());
+        prop_assert!(sgs.core_count() <= sgs.volume());
+    }
+
+    /// Multi-resolution coarsening preserves population and never
+    /// increases the cell count; components never split.
+    #[test]
+    fn coarsen_invariants(
+        cores in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..60),
+        theta in 2u32..5,
+    ) {
+        let members = MemberSet::new(
+            cores.iter().map(|(x, y)| vec![*x, *y].into()).collect(),
+            vec![],
+        );
+        let base = Sgs::from_members(&members, &GridGeometry::basic(2, 1.0));
+        let coarse = coarsen(&base, theta);
+        prop_assert!(coarse.validate().is_ok());
+        prop_assert_eq!(coarse.population(), base.population());
+        prop_assert!(coarse.volume() <= base.volume());
+        prop_assert!(coarse.components().len() <= base.components().len());
+    }
+
+    /// Distance function basics used throughout: symmetry and identity.
+    #[test]
+    fn euclidean_distance_properties(
+        a in prop::collection::vec(-100.0f64..100.0, 3),
+        b in prop::collection::vec(-100.0f64..100.0, 3),
+    ) {
+        prop_assert_eq!(dist(&a, &b), dist(&b, &a));
+        prop_assert_eq!(dist(&a, &a), 0.0);
+        prop_assert!(dist(&a, &b) >= 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Cluster tracking over real extractor output: convoys in a GMTI stream
+//! must keep stable identities while they live, and the event stream must
+//! stay consistent with the per-window assignments.
+
+use std::collections::{HashMap, HashSet};
+
+use streamsum::csgs::{ClusterTracker, Event, TrackId};
+use streamsum::prelude::*;
+
+fn run_tracked(n_records: usize) -> Vec<(WindowId, Vec<TrackId>, Vec<Event>)> {
+    let query = ClusterQuery::new(0.6, 8, 2, WindowSpec::count(3000, 750).unwrap()).unwrap();
+    let mut engine = WindowEngine::new(query.window, 2);
+    let mut csgs = CSgs::new(query);
+    let mut tracker = ClusterTracker::new();
+    let stream = generate_gmti(&GmtiConfig {
+        n_records,
+        n_convoys: 6,
+        ..GmtiConfig::default()
+    });
+    let mut outs = Vec::new();
+    let mut tracked = Vec::new();
+    for p in stream {
+        engine.push(p, &mut csgs, &mut outs).unwrap();
+        for (w, clusters) in outs.drain(..) {
+            let tw = tracker.observe(w, &clusters);
+            tracked.push((w, tw.tracks, tw.events));
+        }
+    }
+    tracked
+}
+
+#[test]
+fn tracks_are_unique_within_each_window() {
+    for (w, tracks, _) in run_tracked(15_000) {
+        let set: HashSet<_> = tracks.iter().collect();
+        assert_eq!(set.len(), tracks.len(), "duplicate track in {w}");
+    }
+}
+
+#[test]
+fn big_convoys_keep_identity_across_windows() {
+    // At slide = win/4, convoys survive several windows; at least one
+    // track must persist over 4+ consecutive windows.
+    let tracked = run_tracked(15_000);
+    let mut spans: HashMap<TrackId, (u64, u64)> = HashMap::new();
+    for (w, tracks, _) in &tracked {
+        for t in tracks {
+            let e = spans.entry(*t).or_insert((w.0, w.0));
+            e.0 = e.0.min(w.0);
+            e.1 = e.1.max(w.0);
+        }
+    }
+    let longest = spans.values().map(|(a, b)| b - a + 1).max().unwrap_or(0);
+    assert!(longest >= 4, "longest track span only {longest} windows");
+}
+
+#[test]
+fn births_match_first_appearances() {
+    let tracked = run_tracked(12_000);
+    let mut seen: HashSet<TrackId> = HashSet::new();
+    for (w, tracks, events) in &tracked {
+        let born: HashSet<TrackId> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Born(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        for t in tracks {
+            let new = seen.insert(*t);
+            if new {
+                // First appearance must be a birth OR a split fragment.
+                let is_fragment = events.iter().any(|e| {
+                    matches!(e, Event::Split { fragments, .. } if fragments.contains(t))
+                });
+                assert!(
+                    born.contains(t) || is_fragment,
+                    "{w}: track {t:?} appeared without a Born/Split event"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn died_tracks_do_not_reappear() {
+    let tracked = run_tracked(12_000);
+    let mut dead: HashSet<TrackId> = HashSet::new();
+    for (w, tracks, events) in &tracked {
+        for t in tracks {
+            assert!(!dead.contains(t), "{w}: dead track {t:?} reappeared");
+        }
+        for e in events {
+            match e {
+                Event::Died(t) => {
+                    dead.insert(*t);
+                }
+                Event::Merged { absorbed, .. } => {
+                    dead.extend(absorbed.iter().copied());
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(!dead.is_empty(), "no track ever ended — stream too static");
+}
