@@ -21,6 +21,17 @@
 //! Nothing in this crate allocates on hot paths beyond the coordinate
 //! buffers owned by the points themselves.
 
+// The `serde` feature exists so the `#[cfg_attr(feature = "serde", ...)]`
+// derives are valid cfg targets, but the offline build environment cannot
+// supply the real `serde` crate yet. Fail loudly and intentionally instead
+// of with unresolved-crate errors at every derive site.
+#[cfg(feature = "serde")]
+compile_error!(
+    "the `serde` feature requires the real `serde` crate, which this \
+     offline workspace cannot fetch; wire serde into [workspace.dependencies] \
+     (and remove this guard) once registry access exists"
+);
+
 pub mod cell;
 pub mod config;
 pub mod error;

@@ -68,7 +68,7 @@ pub fn generate_stt(cfg: &SttConfig) -> Vec<Point> {
         // Slow price drift.
         if t.is_multiple_of(64) {
             for p in &mut prices {
-                *p = (*p + rng.gen_range(-0.02..0.02)).clamp(0.5, 9.5);
+                *p = (*p + rng.gen_range(-0.02f64..0.02)).clamp(0.5, 9.5);
             }
         }
         // Possibly start a burst.

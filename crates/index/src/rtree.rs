@@ -131,16 +131,6 @@ enum Node<T> {
     Inner(Vec<(Rect, Box<Node<T>>)>),
 }
 
-impl<T> Node<T> {
-    #[cfg(test)]
-    fn len(&self) -> usize {
-        match self {
-            Node::Leaf(v) => v.len(),
-            Node::Inner(v) => v.len(),
-        }
-    }
-}
-
 /// R-tree mapping rectangles to payloads of type `T`.
 #[derive(Clone, Debug)]
 pub struct RTree<T> {

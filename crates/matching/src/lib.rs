@@ -13,7 +13,7 @@
 //! * RSP — [`pointset`] (symmetric Chamfer set distance, standing in for
 //!   the subset-matching algorithm of \[15\]),
 //! * SkPS — [`ged`] (suboptimal bipartite graph edit distance per Neuhaus,
-//!   Riesen & Bunke \[13\]) on top of a from-scratch [`hungarian`] assignment
+//!   Riesen & Bunke \[13\]) on top of a from-scratch [`fn@hungarian`] assignment
 //!   solver.
 
 pub mod alignment;

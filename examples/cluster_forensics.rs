@@ -27,7 +27,7 @@ fn main() -> Result<()> {
     });
 
     let base = shared_pattern_base();
-    let (tx, rx) = crossbeam::channel::bounded::<(WindowId, Vec<Sgs>)>(8);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(WindowId, Vec<Sgs>)>(8);
 
     // Extraction thread: windowed C-SGS, summaries only over the wire.
     let extract_query = query.clone();

@@ -47,15 +47,15 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`core`](sgs_core) | points, grid geometry, windows, queries, memory accounting |
-//! | [`stream`](sgs_stream) | window engine, lifespan analysis (Obs. 5.2–5.4) |
-//! | [`index`](sgs_index) | grid index, R-tree, feature grid, union-find |
-//! | [`cluster`](sgs_cluster) | DBSCAN ground truth, Extra-N baseline |
-//! | [`summarize`](sgs_summarize) | SGS, CRD, RSP, SkPS, multi-resolution, packed layout |
-//! | [`csgs`](sgs_csgs) | the integrated C-SGS algorithm |
-//! | [`matching`](sgs_matching) | distance metric, alignment search, GED, Chamfer |
-//! | [`archive`](sgs_archive) | pattern archiver + pattern base |
-//! | [`datagen`](sgs_datagen) | GMTI- and STT-like stream generators |
+//! | [`core`] | points, grid geometry, windows, queries, memory accounting |
+//! | [`stream`] | window engine, lifespan analysis (Obs. 5.2–5.4) |
+//! | [`index`] | grid index, R-tree, feature grid, union-find |
+//! | [`cluster`] | DBSCAN ground truth, Extra-N baseline |
+//! | [`summarize`] | SGS, CRD, RSP, SkPS, multi-resolution, packed layout |
+//! | [`csgs`] | the integrated C-SGS algorithm |
+//! | [`matching`] | distance metric, alignment search, GED, Chamfer |
+//! | [`archive`] | pattern archiver + pattern base |
+//! | [`datagen`] | GMTI- and STT-like stream generators |
 
 pub use sgs_archive as archive;
 pub use sgs_cluster as cluster;

@@ -1,0 +1,163 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the three Criterion
+//! bench targets in `sgs-bench` link against this minimal reimplementation
+//! (see the "Vendored dependency shims" section of `DESIGN.md`).
+//!
+//! Supported surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with [`BenchmarkGroup::sample_size`] and
+//! [`BenchmarkGroup::finish`]), [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of Criterion's statistical analysis, each benchmark is warmed up
+//! briefly, then timed over an iteration count auto-scaled to roughly
+//! [`TARGET_RUN`] of wall clock; the median-free mean ns/iter is printed as
+//! one line per benchmark. That is enough to eyeball regressions and to
+//! feed the `BENCH_*.json` trajectory scripts; it is *not* a rigorous
+//! estimator.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark's measured phase.
+pub const TARGET_RUN: Duration = Duration::from_millis(200);
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work. Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point collecting benchmarks, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group; benchmark names are prefixed with `group/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim auto-scales iteration
+    /// counts instead of sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.prefix, name), f);
+        self
+    }
+
+    /// Close the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure a routine: warm up, pick an iteration count targeting
+    /// [`TARGET_RUN`], then time a single batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_RUN.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<45} (no measurement)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("{name:<45} {ns_per_iter:>14.1} ns/iter ({} iters)", b.iters);
+}
+
+/// Bundle benchmark functions into one runnable group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    criterion_group!(shim_group, sample_bench);
+
+    #[test]
+    fn group_and_bencher_run() {
+        shim_group();
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("noop", |b| b.iter(|| 0u8));
+        g.finish();
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for the
+//! [`parking_lot`](https://crates.io/crates/parking_lot) crate.
+//!
+//! The build environment has no network access, so the shared pattern-base
+//! lock is satisfied by this thin wrapper over [`std::sync::RwLock`] (see
+//! the "Vendored dependency shims" section of `DESIGN.md`). It reproduces
+//! the part of the API the workspace relies on: [`RwLock::read`] /
+//! [`RwLock::write`] returning guards directly instead of `Result`s.
+//! A poisoned lock (a writer panicked) is handed through rather than
+//! propagated as an error, matching `parking_lot`'s no-poisoning design.
+
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock whose guards are returned without a poison
+/// `Result`, mirroring `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = Arc::new(RwLock::new(1u32));
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+        assert_eq!(Arc::try_unwrap(lock).unwrap().into_inner(), 42);
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let lock = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *lock.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 8000);
+    }
+}

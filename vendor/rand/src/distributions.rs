@@ -1,0 +1,66 @@
+//! Range sampling — the shim's analogue of `rand::distributions`.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::{unit_f64, RngCore};
+
+/// A range that can produce a uniform sample of `T`. Mirrors
+/// `rand::distributions::uniform::SampleRange` for the half-open ranges the
+/// workspace uses.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Widen to i128/u128 so the span never overflows, then take
+                // the draw modulo the span. The modulo bias is < 2^-11 for
+                // every span this workspace uses — irrelevant for test data.
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Lerp in f64 and reject draws that round up to the
+                // exclusive bound after the cast (u ≈ 1 - 2⁻²⁵ is enough
+                // to hit it in f32), preserving the half-open contract.
+                loop {
+                    let u = unit_f64(rng.next_u64());
+                    let start = self.start as f64;
+                    let v = (start + (self.end as f64 - start) * u) as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);

@@ -1,0 +1,119 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! handful of `rand 0.8` APIs the codebase uses are reimplemented here as a
+//! drop-in path dependency (see `[patch]`-free wiring in the workspace
+//! `Cargo.toml` and the "Vendored dependency shims" section of `DESIGN.md`).
+//!
+//! The generator behind [`rngs::StdRng`] is SplitMix64 — deterministic,
+//! seedable, and statistically solid for test-data generation and
+//! benchmarking, which is all this workspace asks of it. It is **not**
+//! cryptographically secure and makes no stream-compatibility promise with
+//! the real `rand::rngs::StdRng` (ChaCha12); seeds reproduce within this
+//! workspace only.
+//!
+//! Supported surface: [`Rng::gen_range`] over half-open numeric ranges
+//! (plus inclusive integer ranges),
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`].
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Core trait of the shim: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Return the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators. Only the `seed_from_u64` entry point is provided —
+/// the workspace never seeds from byte arrays.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open range, e.g. `rng.gen_range(0.0..1.0)`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Map a raw `u64` to a double in `[0, 1)` using the top 53 bits.
+pub(crate) fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.5f64..3.5);
+            assert!((-2.5..3.5).contains(&f));
+            let i = rng.gen_range(-20i32..-3);
+            assert!((-20..-3).contains(&i));
+            let u = rng.gen_range(5usize..6);
+            assert_eq!(u, 5);
+            let v = rng.gen_range(1i64..=3);
+            assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f32_range_stays_half_open() {
+        // A tiny f32 span maximizes the chance of rounding up to the
+        // exclusive bound; 100k draws catch a regression of the rejection
+        // step with overwhelming probability.
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100_000 {
+            let f = rng.gen_range(1.0f32..1.0000001);
+            assert!(f < 1.0000001f32);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,30 @@
+//! Concrete generators — the shim's analogue of `rand::rngs`.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: SplitMix64 (Steele, Lea & Flood,
+/// "Fast splittable pseudorandom number generators", OOPSLA 2014).
+///
+/// Unlike the real `rand::rngs::StdRng` this is not cryptographically
+/// secure and its output stream differs; every consumer in this workspace
+/// only needs a deterministic, well-mixed source for synthetic data.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}

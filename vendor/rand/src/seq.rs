@@ -1,0 +1,19 @@
+//! Sequence helpers — the shim's analogue of `rand::seq`.
+
+use crate::RngCore;
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Shuffle the slice uniformly (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // Modulo draw; bias is negligible for in-workspace slice sizes.
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
