@@ -1,0 +1,94 @@
+//! Fan-out scaling of the `sgs-runtime` execution engine: sustained
+//! ingest throughput (tuples/sec) as the number of concurrent continuous
+//! queries grows from 1 to 8 over one shared stream.
+//!
+//! Each concurrency level builds a fresh [`Runtime`], registers `k`
+//! DETECT statements cycling through the dataset's three §8.1 pattern
+//! cases (callback sinks, so no output buffering distorts memory), fans
+//! the whole stream out in batches, and quiesces before stopping the
+//! clock — so the reported rate covers extraction, summarization, and
+//! archival for every query, not just channel handoff.
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin runtime_throughput -- [--scale 0.1] [--dataset gmti|stt]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgs_bench::table::print_table;
+use sgs_bench::workload::{parse_dataset, parse_scale, Dataset};
+use sgs_runtime::{QueryPlan, Runtime, RuntimeConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let dataset = parse_dataset(&args);
+    let n = ((100_000.0 * scale) as usize).max(2_000);
+    let points = dataset.points(n);
+    let stream_name = match dataset {
+        Dataset::Gmti => "gmti",
+        Dataset::Stt => "stt",
+    };
+    // Rounded to a multiple of 4 so `win` is an exact multiple of `slide`.
+    let win = (4_000u64.min((n as u64 / 4).max(400)) / 4) * 4;
+    let slide = win / 4;
+
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            channel_capacity: 64,
+            ..RuntimeConfig::default()
+        });
+        rt.register_stream(stream_name, dataset.dim());
+        let windows = Arc::new(AtomicU64::new(0));
+        let clusters = Arc::new(AtomicU64::new(0));
+        for i in 0..k {
+            let (theta_r, theta_c) = dataset.cases()[i % 3];
+            let text = format!(
+                "DETECT DensityBasedClusters f+s FROM {stream_name} \
+                 USING theta_range = {theta_r} AND theta_cnt = {theta_c} \
+                 IN Windows WITH win = {win} AND slide = {slide}"
+            );
+            let QueryPlan::Detect(plan) = rt.plan(&text).expect("plannable statement") else {
+                unreachable!("DETECT text plans to a detect plan");
+            };
+            let (w, c) = (windows.clone(), clusters.clone());
+            rt.submit_detect_with(*plan, move |_, out| {
+                w.fetch_add(1, Ordering::Relaxed);
+                c.fetch_add(out.len() as u64, Ordering::Relaxed);
+            })
+            .expect("query registers");
+        }
+
+        let start = Instant::now();
+        rt.push_batch(&points).expect("ingest succeeds");
+        rt.quiesce().expect("all workers drain");
+        let secs = start.elapsed().as_secs_f64();
+
+        let archived: u64 = rt.queries().iter().map(|d| d.stats.archived).sum();
+        rt.shutdown();
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.0}", n as f64 / secs),
+            format!("{:.0}", (n * k) as f64 / secs),
+            windows.load(Ordering::Relaxed).to_string(),
+            clusters.load(Ordering::Relaxed).to_string(),
+            archived.to_string(),
+        ]);
+    }
+
+    print_table(
+        &format!("runtime fan-out throughput — {n} tuples of {stream_name}, win {win} / slide {slide}"),
+        &[
+            "queries",
+            "ingest tuples/s",
+            "processed tuples/s",
+            "windows",
+            "clusters",
+            "archived",
+        ],
+        &rows,
+    );
+}

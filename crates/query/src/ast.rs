@@ -47,6 +47,35 @@ impl DetectQuery {
     }
 }
 
+impl core::fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            OutputFormat::Full => "f",
+            OutputFormat::Summarized => "s",
+            OutputFormat::Both => "f+s",
+        })
+    }
+}
+
+impl core::fmt::Display for DetectQuery {
+    /// Render in the canonical Fig. 2 surface syntax. The rendering
+    /// round-trips: `parse_detect(&q.to_string()) == Ok(q)` (f64 `Display`
+    /// is shortest-round-trip, and the lexer re-reads it exactly).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "DETECT DensityBasedClusters {} FROM {} \
+             USING theta_range = {} AND theta_cnt = {} \
+             IN Windows WITH win = {} AND slide = {}",
+            self.output, self.stream, self.theta_range, self.theta_cnt, self.win, self.slide,
+        )?;
+        if self.time_based {
+            f.write_str(" TIME")?;
+        }
+        Ok(())
+    }
+}
+
 /// A parsed cluster matching query (Fig. 3).
 #[derive(Clone, Debug, PartialEq)]
 pub struct MatchQueryAst {
@@ -74,9 +103,75 @@ impl MatchQueryAst {
     }
 }
 
+impl core::fmt::Display for MatchQueryAst {
+    /// Render in the canonical Fig. 3 surface syntax (with the `USING`
+    /// metric-customization extension always spelled out, since the AST
+    /// does not record whether the defaults were explicit). The rendering
+    /// round-trips: `parse_match(&q.to_string()) == Ok(q)`.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "GIVEN DensityBasedClusters {g} \
+             SELECT DensityBasedClusters FROM History \
+             WHERE Distance({g}, {g}) <= {} \
+             USING ps = {} AND weights = ({}, {}, {}, {})",
+            self.threshold,
+            u8::from(self.position_sensitive),
+            self.weights[0],
+            self.weights[1],
+            self.weights[2],
+            self.weights[3],
+            g = self.given,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn detect_display_is_canonical() {
+        let q = DetectQuery {
+            output: OutputFormat::Both,
+            stream: "gmti".into(),
+            theta_range: 0.1,
+            theta_cnt: 8,
+            win: 10_000,
+            slide: 1_000,
+            time_based: false,
+        };
+        assert_eq!(
+            q.to_string(),
+            "DETECT DensityBasedClusters f+s FROM gmti \
+             USING theta_range = 0.1 AND theta_cnt = 8 \
+             IN Windows WITH win = 10000 AND slide = 1000"
+        );
+        let timed = DetectQuery {
+            output: OutputFormat::Full,
+            time_based: true,
+            ..q
+        };
+        assert!(timed.to_string().starts_with("DETECT DensityBasedClusters f FROM"));
+        assert!(timed.to_string().ends_with(" TIME"));
+    }
+
+    #[test]
+    fn match_display_is_canonical() {
+        let q = MatchQueryAst {
+            given: "Ci".into(),
+            threshold: 0.2,
+            position_sensitive: true,
+            weights: [0.1, 0.2, 0.3, 0.4],
+        };
+        assert_eq!(
+            q.to_string(),
+            "GIVEN DensityBasedClusters Ci \
+             SELECT DensityBasedClusters FROM History \
+             WHERE Distance(Ci, Ci) <= 0.2 \
+             USING ps = 1 AND weights = (0.1, 0.2, 0.3, 0.4)"
+        );
+    }
 
     #[test]
     fn detect_query_materializes() {

@@ -30,4 +30,4 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{DetectQuery, MatchQueryAst, OutputFormat};
-pub use parser::{parse_detect, parse_match, ParseError};
+pub use parser::{parse_any, parse_detect, parse_match, ParseError, QueryAst};

@@ -97,6 +97,33 @@ impl Cursor {
     }
 }
 
+/// A parsed statement of either template — the front-end's complete
+/// surface area, ready for a planner to lower into an executable form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryAst {
+    /// A continuous clustering query (Fig. 2).
+    Detect(DetectQuery),
+    /// A cluster matching query (Fig. 3).
+    Match(MatchQueryAst),
+}
+
+/// Parse either query template, dispatching on the leading keyword
+/// (`DETECT` → Fig. 2, `GIVEN` → Fig. 3). The dispatch peeks at the first
+/// whitespace-delimited word so the statement is only tokenized once, by
+/// the template parser it is handed to.
+pub fn parse_any(input: &str) -> Result<QueryAst, ParseError> {
+    let first = input.split_whitespace().next().unwrap_or("");
+    if first.eq_ignore_ascii_case("DETECT") {
+        parse_detect(input).map(QueryAst::Detect)
+    } else if first.eq_ignore_ascii_case("GIVEN") {
+        parse_match(input).map(QueryAst::Match)
+    } else {
+        Err(ParseError(format!(
+            "expected a statement starting with DETECT or GIVEN, found {first:?}"
+        )))
+    }
+}
+
 /// Parse the continuous clustering query template (Fig. 2):
 ///
 /// ```text
@@ -336,6 +363,15 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.given, "C");
+    }
+
+    #[test]
+    fn parse_any_dispatches_on_leading_keyword() {
+        assert!(matches!(parse_any(FIG2), Ok(QueryAst::Detect(_))));
+        assert!(matches!(parse_any(FIG3), Ok(QueryAst::Match(_))));
+        assert!(matches!(parse_any(&FIG2.to_lowercase()), Ok(QueryAst::Detect(_))));
+        assert!(parse_any("SELECT nothing").is_err());
+        assert!(parse_any("").is_err());
     }
 
     #[test]

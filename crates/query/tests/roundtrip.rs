@@ -1,0 +1,65 @@
+//! Property tests: `Display` renderings of both ASTs re-parse to the same
+//! AST (`parse(render(q)) == q`), across randomized identifiers, output
+//! selectors, thresholds, window geometries, and metric customizations.
+
+use proptest::prelude::*;
+use sgs_query::{parse_any, parse_detect, parse_match, DetectQuery, MatchQueryAst, OutputFormat, QueryAst};
+
+/// Lowercase identifier from generated letter indices, with a fixed prefix
+/// so it can never collide with a grammar keyword.
+fn ident(prefix: &str, letters: &[u8]) -> String {
+    let mut s = String::from(prefix);
+    s.extend(letters.iter().map(|c| (b'a' + c % 26) as char));
+    s
+}
+
+proptest! {
+    #[test]
+    fn detect_display_roundtrips(
+        output_sel in 0u8..3,
+        name in prop::collection::vec(0u8..26, 1..8),
+        theta_range in 0.001f64..16.0,
+        theta_cnt in 1u32..256,
+        win in 1u64..1_000_000,
+        slide in 1u64..1_000_000,
+        time in 0u8..2,
+    ) {
+        let q = DetectQuery {
+            output: match output_sel {
+                0 => OutputFormat::Full,
+                1 => OutputFormat::Summarized,
+                _ => OutputFormat::Both,
+            },
+            stream: ident("st", &name),
+            theta_range,
+            theta_cnt,
+            win,
+            slide,
+            time_based: time == 1,
+        };
+        let rendered = q.to_string();
+        let parsed = parse_detect(&rendered).unwrap();
+        prop_assert_eq!(parsed, q.clone());
+        // The unified front-end agrees.
+        prop_assert_eq!(parse_any(&rendered).unwrap(), QueryAst::Detect(q));
+    }
+
+    #[test]
+    fn match_display_roundtrips(
+        name in prop::collection::vec(0u8..26, 1..8),
+        threshold in 0.0001f64..128.0,
+        ps in 0u8..2,
+        weights in prop::collection::vec(0.0f64..1.0, 4),
+    ) {
+        let q = MatchQueryAst {
+            given: ident("C", &name),
+            threshold,
+            position_sensitive: ps == 1,
+            weights: [weights[0], weights[1], weights[2], weights[3]],
+        };
+        let rendered = q.to_string();
+        let parsed = parse_match(&rendered).unwrap();
+        prop_assert_eq!(parsed, q.clone());
+        prop_assert_eq!(parse_any(&rendered).unwrap(), QueryAst::Match(q));
+    }
+}

@@ -1,0 +1,172 @@
+//! The fan-out executor: one worker thread per continuous query, fed
+//! through a **bounded** `std::sync::mpsc` channel.
+//!
+//! Bounded input channels are the backpressure mechanism: when a query
+//! falls behind, [`Runtime::push`] blocks on its channel instead of
+//! buffering unboundedly, throttling ingestion to the slowest running
+//! query. Each worker owns a private [`StreamPipeline`], so per-query
+//! execution is single-threaded over the ingestion order — which is what
+//! makes the fan-out deterministic: a query's outputs and archive are
+//! byte-identical to a solo pipeline run over the same points.
+//!
+//! Workers also mirror every newly archived summary into the runtime's
+//! shared history base ([`SharedPatternBase`], a `parking_lot`-locked
+//! [`sgs_archive::PatternBase`]) so matching queries observe the union of
+//! all queries' archives while extraction continues — Fig. 4's concurrent
+//! archiver/analyst arrangement.
+//!
+//! [`Runtime::push`]: crate::runtime::Runtime::push
+
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sgs_archive::SharedPatternBase;
+use sgs_core::{Point, WindowId};
+use sgs_csgs::WindowOutput;
+
+use crate::pipeline::StreamPipeline;
+use crate::plan::DetectPlan;
+use crate::registry::{QueryId, QueryState, SharedStatus};
+
+/// Control/data messages sent to a query worker.
+pub(crate) enum Msg {
+    /// One point to process.
+    Point(Point),
+    /// A batch of points to process as one unit. Shared (`Arc`) so the
+    /// ingest thread materializes each broadcast chunk once, not once per
+    /// query; workers pay the per-point clone in parallel.
+    Batch(Arc<[Point]>),
+    /// Synchronization barrier: the worker acks once every message queued
+    /// before this one has been fully processed.
+    Barrier(mpsc::Sender<()>),
+    /// Stop the worker; it returns its pipeline through the join handle.
+    Stop,
+}
+
+/// Where a worker delivers completed windows.
+pub(crate) enum Sink {
+    /// Buffer into an unbounded channel, drained by `Runtime::poll`.
+    Channel(mpsc::Sender<(WindowId, WindowOutput)>),
+    /// Invoke a callback on the worker thread (no buffering).
+    Callback(Box<dyn FnMut(WindowId, &WindowOutput) + Send>),
+}
+
+/// Spawn the worker thread for one DETECT plan. Returns the bounded input
+/// sender (capacity `capacity` messages) and the join handle through which
+/// the worker eventually returns its pipeline.
+pub(crate) fn spawn_worker(
+    id: QueryId,
+    plan: &DetectPlan,
+    shared: SharedStatus,
+    history: SharedPatternBase,
+    capacity: usize,
+    sink: Sink,
+) -> sgs_core::Result<(mpsc::SyncSender<Msg>, JoinHandle<StreamPipeline>)> {
+    let pipeline = StreamPipeline::new(plan.query.clone(), plan.policy.clone(), plan.seed)?;
+    let (tx, rx) = mpsc::sync_channel(capacity);
+    let join = std::thread::Builder::new()
+        .name(format!("sgs-runtime-{id}"))
+        .spawn(move || worker_loop(pipeline, rx, shared, history, sink))
+        .expect("failed to spawn query worker thread");
+    Ok((tx, join))
+}
+
+/// The worker main loop: drain messages until `Stop` or the runtime side
+/// hangs up, then hand the pipeline back.
+fn worker_loop(
+    mut pipeline: StreamPipeline,
+    rx: mpsc::Receiver<Msg>,
+    shared: SharedStatus,
+    history: SharedPatternBase,
+    mut sink: Sink,
+) -> StreamPipeline {
+    // Patterns of `pipeline.base()` already mirrored into `history`.
+    let mut mirrored = 0usize;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Point(p) => process(
+                &mut pipeline,
+                std::slice::from_ref(&p),
+                &shared,
+                &history,
+                &mut sink,
+                &mut mirrored,
+            ),
+            Msg::Batch(b) => process(&mut pipeline, &b, &shared, &history, &mut sink, &mut mirrored),
+            Msg::Barrier(ack) => {
+                // Sender may have given up waiting; a dead ack is fine.
+                let _ = ack.send(());
+            }
+            Msg::Stop => break,
+        }
+    }
+    pipeline
+}
+
+/// Process one batch: run the pipeline, mirror new archive entries into
+/// the shared history, emit outputs, and update the stats cell.
+fn process(
+    pipeline: &mut StreamPipeline,
+    points: &[Point],
+    shared: &SharedStatus,
+    history: &SharedPatternBase,
+    sink: &mut Sink,
+    mirrored: &mut usize,
+) {
+    if shared.read().state == QueryState::Failed {
+        return; // Drop points that were in flight when the query failed.
+    }
+    let start = Instant::now();
+    let (outputs, result) = pipeline.push_batch_collect(points.iter().cloned());
+    let busy = start.elapsed().as_nanos() as u64;
+
+    // Mirror newly archived patterns into the shared history (even on
+    // error: windows completed before the failing point were archived).
+    let base = pipeline.base();
+    let mut new_bytes = 0usize;
+    if base.len() > *mirrored {
+        let mut h = history.write();
+        for p in base.iter().skip(*mirrored) {
+            new_bytes += sgs_summarize::packed::archived_bytes(&p.sgs);
+            h.insert(p.sgs.clone(), p.window);
+        }
+        *mirrored = base.len();
+    }
+
+    // Windows completed before a mid-batch failure are delivered too —
+    // they are already archived and mirrored, so dropping them would lose
+    // results that History can serve.
+    let n_windows = outputs.len() as u64;
+    let n_clusters: u64 = outputs.iter().map(|(_, o)| o.len() as u64).sum();
+    match sink {
+        Sink::Channel(tx) => {
+            for out in outputs {
+                // The receiver half lives in the registry entry; if it is
+                // gone the runtime itself is being dropped.
+                let _ = tx.send(out);
+            }
+        }
+        Sink::Callback(cb) => {
+            for (window, out) in &outputs {
+                cb(*window, out);
+            }
+        }
+    }
+
+    // One stats write per batch, identical on both paths so the counters
+    // stay consistent with the pattern base even when the batch failed
+    // partway (points already accepted and windows already archived count).
+    let error = result.err().map(|e| e.to_string());
+    let mut status = shared.write();
+    status.stats.points = pipeline.accepted();
+    status.stats.windows += n_windows;
+    status.stats.clusters += n_clusters;
+    status.stats.archived = *mirrored as u64;
+    status.stats.archive_bytes += new_bytes;
+    status.stats.busy_nanos += busy;
+    if let Some(msg) = error {
+        status.state = QueryState::Failed;
+        status.stats.error = Some(msg);
+    }
+}

@@ -1,0 +1,47 @@
+//! # sgs-runtime
+//!
+//! The concurrent multi-query streaming execution engine — the "system"
+//! layer of the paper's premise (§1, Figs. 2–4): analysts continuously
+//! submit DETECT and matching statements against one live stream, windows
+//! are extracted and archived while they watch, and matching queries run
+//! against the accumulating history. `sgs-query` parses the statements;
+//! this crate executes them:
+//!
+//! * [`plan`] — the **planner**: lowers [`sgs_query::DetectQuery`] /
+//!   [`sgs_query::MatchQueryAst`] into executable plans, resolving stream
+//!   dimensionality through a [`StreamCatalog`] (the AST → plan binding
+//!   the front-end previously lacked).
+//! * [`registry`] — per-query identity ([`QueryId`]), lifecycle
+//!   ([`QueryState`]: running / paused / cancelled / failed), and
+//!   statistics ([`QueryStats`]: points, windows, clusters, archive
+//!   bytes, processing latency).
+//! * [`executor`] — the **fan-out executor**: one worker thread per
+//!   continuous query behind a *bounded* `std::sync::mpsc` channel
+//!   (backpressure), mirroring archived summaries into a shared
+//!   `parking_lot`-locked history base.
+//! * [`pipeline`] — the single-query [`StreamPipeline`] (window engine →
+//!   C-SGS → archiver), the execution unit each worker drives.
+//! * [`runtime`] — the **session API**: [`Runtime::submit`] accepts
+//!   query-language text; results arrive through [`Runtime::poll`] or a
+//!   per-window callback.
+//!
+//! ## Determinism guarantee
+//!
+//! Every query runs its own [`StreamPipeline`] single-threaded over the
+//! ingestion order, so for any set of concurrently registered queries the
+//! per-query outputs and archived summaries are **byte-identical** to a
+//! solo pipeline run of the same plan over the same points — concurrency
+//! changes wall-clock interleaving, never results. The facade test
+//! `tests/runtime_determinism.rs` pins this down with three concurrent
+//! queries. See `DESIGN.md` §5 for the architecture rationale.
+
+pub mod executor;
+pub mod pipeline;
+pub mod plan;
+pub mod registry;
+pub mod runtime;
+
+pub use pipeline::StreamPipeline;
+pub use plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
+pub use registry::{QueryDescriptor, QueryId, QueryState, QueryStats};
+pub use runtime::{QueryReport, Runtime, RuntimeConfig, RuntimeError, Submission};

@@ -1,0 +1,876 @@
+//! The session API: [`Runtime`] binds the query-language front-end to
+//! running pipelines — submit statements as text, fan one ingested stream
+//! out to every registered query, control lifecycles, and read stats.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use sgs_archive::{shared_pattern_base, ArchivePolicy, MatchOutcome, PatternBase, SharedPatternBase};
+use sgs_core::{Point, WindowId};
+use sgs_csgs::WindowOutput;
+use sgs_summarize::Sgs;
+
+use crate::executor::{spawn_worker, Msg, Sink};
+use crate::pipeline::StreamPipeline;
+use crate::plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
+use crate::registry::{new_shared_status, QueryDescriptor, QueryId, QueryState, QueryStats, SharedStatus};
+
+/// Points per broadcast chunk: bounds the size of one channel message so
+/// the bounded input channels keep exerting backpressure under
+/// [`Runtime::push_batch`].
+const BATCH_CHUNK: usize = 256;
+
+/// Construction-time settings of a [`Runtime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Capacity (in messages) of each query's bounded input channel.
+    /// Smaller values bound memory and latency tighter; larger values
+    /// tolerate burstier per-query processing cost.
+    pub channel_capacity: usize,
+    /// Archive policy handed to DETECT statements submitted as text.
+    pub default_policy: ArchivePolicy,
+    /// Archiver RNG seed handed to DETECT statements submitted as text.
+    /// Every query gets this same seed, so a text-submitted query is
+    /// reproduced solo by `StreamPipeline::new(plan.query, plan.policy,
+    /// base_seed)`.
+    pub base_seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            channel_capacity: 1024,
+            default_policy: ArchivePolicy::All,
+            base_seed: 0,
+        }
+    }
+}
+
+/// What [`Runtime::submit`] produced.
+#[derive(Debug)]
+pub enum Submission {
+    /// A DETECT statement became a registered continuous query.
+    Continuous(QueryId),
+    /// A matching statement executed immediately against the history.
+    Matches(MatchOutcome),
+}
+
+/// Final accounting of a cancelled query.
+#[derive(Debug)]
+pub struct QueryReport {
+    /// The query's handle.
+    pub id: QueryId,
+    /// The statement text it ran.
+    pub text: String,
+    /// Final statistics.
+    pub stats: QueryStats,
+    /// The query's private pattern base (its archived history), exactly as
+    /// a solo [`StreamPipeline`] run of the same plan would have built it.
+    pub base: PatternBase,
+}
+
+/// Runtime operation failures.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The statement could not be planned.
+    Plan(PlanError),
+    /// Pipeline construction rejected the plan.
+    Query(sgs_core::Error),
+    /// No query registered under this id.
+    UnknownQuery(QueryId),
+    /// A matching statement's `GIVEN` name has no bound cluster.
+    UnknownBinding(String),
+    /// The requested lifecycle transition is not legal from the current
+    /// state (e.g. resuming a cancelled query).
+    InvalidTransition {
+        /// The query.
+        id: QueryId,
+        /// Its current state.
+        from: QueryState,
+    },
+    /// The query's worker thread is gone (it panicked or was already
+    /// joined).
+    Disconnected(QueryId),
+}
+
+impl core::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeError::Plan(e) => write!(f, "{e}"),
+            RuntimeError::Query(e) => write!(f, "query rejected: {e}"),
+            RuntimeError::UnknownQuery(id) => write!(f, "no query registered as {id}"),
+            RuntimeError::UnknownBinding(name) => {
+                write!(f, "no cluster bound to {name:?}; bind one with bind_cluster")
+            }
+            RuntimeError::InvalidTransition { id, from } => {
+                write!(f, "illegal lifecycle transition for {id} (currently {from:?})")
+            }
+            RuntimeError::Disconnected(id) => write!(f, "worker thread of {id} is gone"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Plan(e) => Some(e),
+            RuntimeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One registered query's runtime-side record.
+struct QueryEntry {
+    id: QueryId,
+    text: String,
+    /// The `FROM` stream this query reads (for stream-routed ingestion).
+    stream: String,
+    shared: SharedStatus,
+    sender: mpsc::SyncSender<Msg>,
+    /// Output receiver (`None` in callback mode).
+    outputs: Option<mpsc::Receiver<(WindowId, WindowOutput)>>,
+    /// Worker handle; taken on cancel.
+    join: Option<JoinHandle<StreamPipeline>>,
+}
+
+/// The multi-query streaming execution engine.
+///
+/// A `Runtime` serves the paper's system premise (§1, Figs. 2–3): many
+/// analyst queries concurrently monitoring one stream while its history
+/// accumulates for matching. DETECT statements become registered
+/// continuous queries, each on its own worker thread behind a bounded
+/// channel; matching statements execute immediately against the shared
+/// history base that every query's archiver feeds.
+///
+/// ```
+/// use sgs_core::Point;
+/// use sgs_runtime::{Runtime, Submission};
+///
+/// let mut rt = Runtime::new();
+/// rt.register_stream("demo", 2);
+/// let Submission::Continuous(id) = rt
+///     .submit(
+///         "DETECT DensityBasedClusters f+s FROM demo \
+///          USING theta_range = 0.5 AND theta_cnt = 2 \
+///          IN Windows WITH win = 40 AND slide = 10",
+///     )
+///     .unwrap()
+/// else {
+///     unreachable!()
+/// };
+/// let points: Vec<Point> = (0..200)
+///     .map(|i| Point::new(vec![(i % 5) as f64 * 0.2, ((i / 5) % 4) as f64 * 0.2], i))
+///     .collect();
+/// rt.push_batch(&points).unwrap();
+/// rt.quiesce().unwrap();
+/// assert!(!rt.poll(id).unwrap().is_empty());
+/// let report = rt.cancel(id).unwrap();
+/// assert!(report.stats.windows > 0 && report.base.len() > 0);
+/// ```
+pub struct Runtime {
+    planner: Planner,
+    entries: Vec<QueryEntry>,
+    /// Shared history bases, one per pattern dimensionality (a
+    /// `PatternBase`'s locational index is dimension-specific, so
+    /// differently-dimensioned streams archive into separate bases).
+    histories: Vec<(usize, SharedPatternBase)>,
+    bindings: Vec<(String, Sgs)>,
+    next_id: u64,
+    config: RuntimeConfig,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// Runtime with default configuration and an empty stream catalog.
+    pub fn new() -> Self {
+        Self::with_config(RuntimeConfig::default())
+    }
+
+    /// Runtime with explicit configuration.
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        let mut planner = Planner::new(StreamCatalog::new());
+        planner.default_policy = config.default_policy.clone();
+        planner.default_seed = config.base_seed;
+        Runtime {
+            planner,
+            entries: Vec::new(),
+            histories: Vec::new(),
+            bindings: Vec::new(),
+            next_id: 0,
+            config,
+        }
+    }
+
+    /// Register (or re-register) a source stream and its dimensionality so
+    /// DETECT statements can reference it.
+    ///
+    /// # Panics
+    ///
+    /// If `dim == 0` (see [`StreamCatalog::register`]): dimensionality is
+    /// part of the programmatic source definition, not user query input.
+    pub fn register_stream(&mut self, name: &str, dim: usize) {
+        self.planner.catalog_mut().register(name, dim);
+    }
+
+    /// The planner (catalog inspection, default archive settings).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Plan a statement without executing it.
+    pub fn plan(&self, text: &str) -> Result<QueryPlan, RuntimeError> {
+        self.planner.plan(text).map_err(RuntimeError::Plan)
+    }
+
+    /// Submit one statement of either template.
+    ///
+    /// * DETECT → registers a continuous query and returns its
+    ///   [`QueryId`]; drain its windows with [`poll`](Self::poll).
+    /// * GIVEN/SELECT → resolves the `GIVEN` name against the cluster
+    ///   bindings and executes against the shared history immediately.
+    pub fn submit(&mut self, text: &str) -> Result<Submission, RuntimeError> {
+        match self.plan(text)? {
+            QueryPlan::Detect(plan) => self.submit_detect(*plan).map(Submission::Continuous),
+            QueryPlan::Match(plan) => self.run_match(&plan).map(Submission::Matches),
+        }
+    }
+
+    /// Register a planned DETECT query; completed windows are buffered for
+    /// [`poll`](Self::poll).
+    pub fn submit_detect(&mut self, plan: DetectPlan) -> Result<QueryId, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        self.spawn(plan, Sink::Channel(tx), Some(rx))
+    }
+
+    /// Register a planned DETECT query with a results callback, invoked on
+    /// the worker thread per completed window (no output buffering).
+    pub fn submit_detect_with(
+        &mut self,
+        plan: DetectPlan,
+        callback: impl FnMut(WindowId, &WindowOutput) + Send + 'static,
+    ) -> Result<QueryId, RuntimeError> {
+        self.spawn(plan, Sink::Callback(Box::new(callback)), None)
+    }
+
+    fn spawn(
+        &mut self,
+        plan: DetectPlan,
+        sink: Sink,
+        outputs: Option<mpsc::Receiver<(WindowId, WindowOutput)>>,
+    ) -> Result<QueryId, RuntimeError> {
+        let id = QueryId(self.next_id);
+        let shared = new_shared_status();
+        let history = self.history_for_dim(plan.query.dim);
+        let (sender, join) = spawn_worker(
+            id,
+            &plan,
+            shared.clone(),
+            history,
+            self.config.channel_capacity,
+            sink,
+        )
+        .map_err(RuntimeError::Query)?;
+        self.next_id += 1;
+        self.entries.push(QueryEntry {
+            id,
+            text: plan.ast.to_string(),
+            stream: plan.ast.stream.clone(),
+            shared,
+            sender,
+            outputs,
+            join: Some(join),
+        });
+        Ok(id)
+    }
+
+    /// Execute a planned matching query against the shared history of the
+    /// bound cluster's dimensionality (empty outcome if no query of that
+    /// dimensionality has ever been registered).
+    pub fn run_match(&self, plan: &MatchPlan) -> Result<MatchOutcome, RuntimeError> {
+        let sgs = self
+            .binding(&plan.ast.given)
+            .ok_or_else(|| RuntimeError::UnknownBinding(plan.ast.given.clone()))?;
+        Ok(match self.history(sgs.dim) {
+            Some(h) => h.read().match_query(sgs, &plan.config),
+            None => MatchOutcome::default(),
+        })
+    }
+
+    /// Bind a cluster summary to a name, making it addressable as the
+    /// `GIVEN` clause of matching statements.
+    pub fn bind_cluster(&mut self, name: &str, sgs: Sgs) {
+        if let Some(entry) = self.bindings.iter_mut().find(|(n, _)| n == name) {
+            entry.1 = sgs;
+        } else {
+            self.bindings.push((name.to_string(), sgs));
+        }
+    }
+
+    /// Look up a bound cluster.
+    pub fn binding(&self, name: &str) -> Option<&Sgs> {
+        self.bindings.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Names of all bound clusters, in binding order.
+    pub fn bindings(&self) -> impl Iterator<Item = &str> {
+        self.bindings.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Fan one point out to every running query, regardless of which
+    /// `FROM` stream it reads — a convenience for single-stream setups.
+    /// When queries over *different* streams coexist, use
+    /// [`push_stream`](Self::push_stream) so each query only sees its own
+    /// source.
+    ///
+    /// Blocks when a query's bounded input channel is full
+    /// (backpressure). Paused and failed queries are skipped — for them
+    /// the point is a gap in the stream, not buffered work. A query whose
+    /// worker thread died (e.g. a panicking results callback) is moved to
+    /// [`QueryState::Failed`] and skipped from then on; ingestion
+    /// continues for the healthy queries.
+    pub fn push(&mut self, point: Point) -> Result<(), RuntimeError> {
+        for entry in &self.entries {
+            if entry.shared.read().state != QueryState::Running {
+                continue;
+            }
+            if entry.sender.send(Msg::Point(point.clone())).is_err() {
+                mark_worker_dead(entry);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fan a batch of points out to every running query (all streams), in
+    /// bounded chunks so backpressure still applies within one call. Each
+    /// chunk is materialized once and shared (`Arc`) across the queries.
+    /// Dead workers are handled as in [`push`](Self::push); use
+    /// [`push_stream`](Self::push_stream) when multiple source streams
+    /// coexist.
+    pub fn push_batch(&mut self, points: &[Point]) -> Result<(), RuntimeError> {
+        self.fan_chunks(points, None)
+    }
+
+    /// Fan a batch of points from the named source stream out to exactly
+    /// the running queries whose `FROM` clause reads that stream (name
+    /// match is case-insensitive, like the catalog). Queries over other
+    /// streams are untouched — this is the ingestion entry point for
+    /// runtimes serving differently-dimensioned streams at once.
+    pub fn push_stream(&mut self, stream: &str, points: &[Point]) -> Result<(), RuntimeError> {
+        self.fan_chunks(points, Some(stream))
+    }
+
+    fn fan_chunks(&self, points: &[Point], stream: Option<&str>) -> Result<(), RuntimeError> {
+        for chunk in points.chunks(BATCH_CHUNK) {
+            let chunk: std::sync::Arc<[Point]> = chunk.into();
+            for entry in &self.entries {
+                if let Some(name) = stream {
+                    if !entry.stream.eq_ignore_ascii_case(name) {
+                        continue;
+                    }
+                }
+                if entry.shared.read().state != QueryState::Running {
+                    continue;
+                }
+                if entry.sender.send(Msg::Batch(chunk.clone())).is_err() {
+                    mark_worker_dead(entry);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until every live query has processed all input queued so far
+    /// (a barrier through each worker's channel). After `quiesce`, stats
+    /// and [`poll`](Self::poll) reflect every point pushed before the
+    /// call. A query whose worker died is moved to
+    /// [`QueryState::Failed`] instead of blocking the barrier.
+    pub fn quiesce(&self) -> Result<(), RuntimeError> {
+        let mut acks = Vec::new();
+        for entry in &self.entries {
+            if entry.join.is_none() {
+                continue; // Cancelled: worker already joined.
+            }
+            let (tx, rx) = mpsc::channel();
+            if entry.sender.send(Msg::Barrier(tx)).is_ok() {
+                acks.push((entry, rx));
+            } else {
+                mark_worker_dead(entry);
+            }
+        }
+        for (entry, rx) in acks {
+            if rx.recv().is_err() {
+                // Worker died between the barrier send and the ack.
+                mark_worker_dead(entry);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the buffered completed windows of a query (non-blocking).
+    /// Always empty for callback-mode queries.
+    pub fn poll(&mut self, id: QueryId) -> Result<Vec<(WindowId, WindowOutput)>, RuntimeError> {
+        let entry = self.entry(id)?;
+        Ok(match &entry.outputs {
+            Some(rx) => rx.try_iter().collect(),
+            None => Vec::new(),
+        })
+    }
+
+    /// Pause a running query: subsequent points are skipped for it until
+    /// [`resume`](Self::resume). Points already queued are still
+    /// processed.
+    pub fn pause(&mut self, id: QueryId) -> Result<(), RuntimeError> {
+        self.transition(id, QueryState::Running, QueryState::Paused)
+    }
+
+    /// Resume a paused query.
+    pub fn resume(&mut self, id: QueryId) -> Result<(), RuntimeError> {
+        self.transition(id, QueryState::Paused, QueryState::Running)
+    }
+
+    fn transition(
+        &mut self,
+        id: QueryId,
+        from: QueryState,
+        to: QueryState,
+    ) -> Result<(), RuntimeError> {
+        let entry = self.entry(id)?;
+        let mut status = entry.shared.write();
+        if status.state != from {
+            return Err(RuntimeError::InvalidTransition {
+                id,
+                from: status.state,
+            });
+        }
+        status.state = to;
+        Ok(())
+    }
+
+    /// Cancel a query: stop its worker after the input queued so far is
+    /// processed, and return its final [`QueryReport`] (stats + the
+    /// private pattern base a solo pipeline run would have built).
+    ///
+    /// Failed and paused queries can be cancelled too; the report carries
+    /// whatever they archived before stopping.
+    pub fn cancel(&mut self, id: QueryId) -> Result<QueryReport, RuntimeError> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.id == id)
+            .ok_or(RuntimeError::UnknownQuery(id))?;
+        let join = entry.join.take().ok_or(RuntimeError::Disconnected(id))?;
+        let _ = entry.sender.send(Msg::Stop);
+        let pipeline = join.join().map_err(|_| {
+            // The worker was already dead (panicked): preserve the Failed
+            // state rather than masking it as a clean cancellation.
+            mark_worker_dead(entry);
+            RuntimeError::Disconnected(id)
+        })?;
+        entry.shared.write().state = QueryState::Cancelled;
+        let stats = entry.shared.read().stats.clone();
+        Ok(QueryReport {
+            id,
+            text: entry.text.clone(),
+            stats,
+            base: pipeline.into_base(),
+        })
+    }
+
+    /// Cancel every live query and return their final reports.
+    pub fn shutdown(mut self) -> Vec<QueryReport> {
+        let ids: Vec<QueryId> = self
+            .entries
+            .iter()
+            .filter(|e| e.join.is_some())
+            .map(|e| e.id)
+            .collect();
+        ids.into_iter().filter_map(|id| self.cancel(id).ok()).collect()
+    }
+
+    /// Snapshot of every registered query (including cancelled ones).
+    pub fn queries(&self) -> Vec<QueryDescriptor> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let status = e.shared.read();
+                QueryDescriptor {
+                    id: e.id,
+                    text: e.text.clone(),
+                    state: status.state,
+                    stats: status.stats.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Current lifecycle state of a query.
+    pub fn state(&self, id: QueryId) -> Result<QueryState, RuntimeError> {
+        Ok(self.entry(id)?.shared.read().state)
+    }
+
+    /// Current statistics of a query.
+    pub fn stats(&self, id: QueryId) -> Result<QueryStats, RuntimeError> {
+        Ok(self.entry(id)?.shared.read().stats.clone())
+    }
+
+    /// The shared history for `dim`-dimensional patterns: the archived
+    /// summaries of every query over a `dim`-dimensional stream, behind
+    /// one `parking_lot` lock — the `FROM History` of matching
+    /// statements. `None` until a query of that dimensionality is
+    /// registered.
+    ///
+    /// **Lock hazard:** worker threads take the *write* side of this lock
+    /// to mirror newly archived summaries. Drop any `read()` guard before
+    /// calling [`push`](Self::push), [`push_batch`](Self::push_batch), or
+    /// [`quiesce`](Self::quiesce) — holding it across those calls can
+    /// deadlock (a worker blocks on the lock, the runtime blocks on the
+    /// worker).
+    pub fn history(&self, dim: usize) -> Option<&SharedPatternBase> {
+        self.histories
+            .iter()
+            .find(|(d, _)| *d == dim)
+            .map(|(_, h)| h)
+    }
+
+    /// All shared history bases with their pattern dimensionality (the
+    /// lock hazard of [`history`](Self::history) applies).
+    pub fn histories(&self) -> impl Iterator<Item = (usize, &SharedPatternBase)> {
+        self.histories.iter().map(|(d, h)| (*d, h))
+    }
+
+    /// The history base for `dim`, created on first use.
+    fn history_for_dim(&mut self, dim: usize) -> SharedPatternBase {
+        if let Some((_, h)) = self.histories.iter().find(|(d, _)| *d == dim) {
+            return h.clone();
+        }
+        let h = shared_pattern_base();
+        self.histories.push((dim, h.clone()));
+        h
+    }
+
+    fn entry(&self, id: QueryId) -> Result<&QueryEntry, RuntimeError> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(RuntimeError::UnknownQuery(id))
+    }
+}
+
+/// A send to this worker failed: its thread is gone (most likely a panic
+/// in a results callback). Record that as a query failure so ingestion
+/// skips it and callers see it in [`QueryState`] / [`QueryStats::error`].
+fn mark_worker_dead(entry: &QueryEntry) {
+    let mut status = entry.shared.write();
+    if status.state != QueryState::Cancelled && status.state != QueryState::Failed {
+        status.state = QueryState::Failed;
+        status.stats.error = Some("worker thread terminated unexpectedly".into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_datagen::{generate_gmti, GmtiConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const DETECT: &str = "DETECT DensityBasedClusters f+s FROM gmti \
+                          USING theta_range = 0.6 AND theta_cnt = 6 \
+                          IN Windows WITH win = 1000 AND slide = 250";
+
+    fn gmti(n: usize) -> Vec<Point> {
+        generate_gmti(&GmtiConfig {
+            n_records: n,
+            ..GmtiConfig::default()
+        })
+    }
+
+    fn runtime() -> Runtime {
+        let mut rt = Runtime::new();
+        rt.register_stream("gmti", 2);
+        rt
+    }
+
+    #[test]
+    fn submit_push_poll_roundtrip() {
+        let mut rt = runtime();
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!("expected a continuous registration");
+        };
+        rt.push_batch(&gmti(4000)).unwrap();
+        rt.quiesce().unwrap();
+        let outs = rt.poll(id).unwrap();
+        assert!(!outs.is_empty());
+        let stats = rt.stats(id).unwrap();
+        assert_eq!(stats.points, 4000);
+        assert_eq!(stats.windows, outs.len() as u64);
+        assert!(stats.archived > 0);
+        assert!(stats.archive_bytes > 0);
+        assert!(stats.busy_nanos > 0);
+        // The shared history mirrors the single query's archive exactly.
+        assert_eq!(rt.history(2).unwrap().read().len() as u64, stats.archived);
+    }
+
+    #[test]
+    fn callback_mode_delivers_on_worker() {
+        let mut rt = runtime();
+        let windows = Arc::new(AtomicU64::new(0));
+        let clusters = Arc::new(AtomicU64::new(0));
+        let (w, c) = (windows.clone(), clusters.clone());
+        let QueryPlan::Detect(plan) = rt.plan(DETECT).unwrap() else {
+            panic!("expected detect");
+        };
+        let id = rt
+            .submit_detect_with(*plan, move |_, out| {
+                w.fetch_add(1, Ordering::Relaxed);
+                c.fetch_add(out.len() as u64, Ordering::Relaxed);
+            })
+            .unwrap();
+        rt.push_batch(&gmti(4000)).unwrap();
+        rt.quiesce().unwrap();
+        let stats = rt.stats(id).unwrap();
+        assert!(stats.windows > 0);
+        assert_eq!(windows.load(Ordering::Relaxed), stats.windows);
+        assert_eq!(clusters.load(Ordering::Relaxed), stats.clusters);
+        assert!(rt.poll(id).unwrap().is_empty(), "callback mode buffers nothing");
+    }
+
+    #[test]
+    fn pause_skips_points_and_resume_continues() {
+        let mut rt = runtime();
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        let stream = gmti(6000);
+        rt.push_batch(&stream[..2000]).unwrap();
+        rt.quiesce().unwrap();
+        let before = rt.stats(id).unwrap().points;
+        assert_eq!(before, 2000);
+
+        rt.pause(id).unwrap();
+        assert_eq!(rt.state(id).unwrap(), QueryState::Paused);
+        rt.push_batch(&stream[2000..4000]).unwrap();
+        rt.quiesce().unwrap();
+        assert_eq!(rt.stats(id).unwrap().points, 2000, "paused query skips input");
+
+        rt.resume(id).unwrap();
+        rt.push_batch(&stream[4000..]).unwrap();
+        rt.quiesce().unwrap();
+        assert_eq!(rt.stats(id).unwrap().points, 4000);
+
+        // Illegal transitions are rejected.
+        assert!(matches!(
+            rt.resume(id),
+            Err(RuntimeError::InvalidTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_yields_final_report_and_stops_ingestion() {
+        let mut rt = runtime();
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        rt.push_batch(&gmti(3000)).unwrap();
+        let report = rt.cancel(id).unwrap();
+        assert_eq!(report.id, id);
+        assert_eq!(report.stats.points, 3000);
+        assert_eq!(report.base.len() as u64, report.stats.archived);
+        assert_eq!(rt.state(id).unwrap(), QueryState::Cancelled);
+        // Cancelled queries are skipped by ingestion and re-cancel fails.
+        rt.push(Point::new(vec![0.0, 0.0], 0)).unwrap();
+        assert!(matches!(rt.cancel(id), Err(RuntimeError::Disconnected(_))));
+        // The descriptor listing still shows it.
+        let descs = rt.queries();
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].state, QueryState::Cancelled);
+    }
+
+    #[test]
+    fn failed_query_records_error_and_drops_input() {
+        let mut rt = runtime();
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        // Enough good points to complete (and archive) windows, then a
+        // 3-d point into the 2-d query: the worker fails mid-stream.
+        let mut mixed = gmti(2500);
+        mixed.push(Point::new(vec![0.0, 0.0, 0.0], 0));
+        rt.push_batch(&mixed).unwrap();
+        rt.quiesce().unwrap();
+        assert_eq!(rt.state(id).unwrap(), QueryState::Failed);
+        let stats = rt.stats(id).unwrap();
+        assert!(stats.error.as_deref().unwrap_or("").contains("dimension"));
+        // Points accepted before the failure are counted.
+        assert_eq!(stats.points, 2500);
+        // Windows completed before the failure were still delivered.
+        let delivered = rt.poll(id).unwrap();
+        assert!(!delivered.is_empty());
+        assert_eq!(delivered.len() as u64, stats.windows);
+        // Later input is dropped without reviving the query.
+        rt.push_batch(&gmti(500)).unwrap();
+        rt.quiesce().unwrap();
+        assert_eq!(rt.stats(id).unwrap().points, 2500);
+        // Still cancellable for a final report, whose stats stay
+        // consistent with the pattern base despite the mid-batch failure.
+        let report = rt.cancel(id).unwrap();
+        assert!(report.base.len() > 0, "windows before the failure archived");
+        assert_eq!(report.base.len() as u64, report.stats.archived);
+        assert_eq!(
+            report.stats.archive_bytes,
+            report
+                .base
+                .iter()
+                .map(|p| sgs_summarize::packed::archived_bytes(&p.sgs))
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn push_stream_routes_by_from_stream() {
+        use sgs_datagen::{generate_stt, SttConfig};
+        let mut rt = runtime();
+        rt.register_stream("stt", 4);
+        let Submission::Continuous(on_gmti) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        let Submission::Continuous(on_stt) = rt
+            .submit(
+                "DETECT DensityBasedClusters f+s FROM stt \
+                 USING theta_range = 0.1 AND theta_cnt = 8 \
+                 IN Windows WITH win = 1000 AND slide = 250",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+
+        // Feed each stream separately; routing keeps the 4-d points away
+        // from the 2-d query (a broadcast would fail it on dimension).
+        rt.push_stream("gmti", &gmti(2000)).unwrap();
+        rt.push_stream("STT", &generate_stt(&SttConfig {
+            n_records: 1500,
+            ..SttConfig::default()
+        }))
+        .unwrap();
+        rt.quiesce().unwrap();
+
+        assert_eq!(rt.state(on_gmti).unwrap(), QueryState::Running);
+        assert_eq!(rt.state(on_stt).unwrap(), QueryState::Running);
+        assert_eq!(rt.stats(on_gmti).unwrap().points, 2000);
+        assert_eq!(rt.stats(on_stt).unwrap().points, 1500);
+        // Each dimensionality archives into its own shared history base.
+        assert_eq!(
+            rt.history(2).unwrap().read().len() as u64,
+            rt.stats(on_gmti).unwrap().archived
+        );
+        assert_eq!(
+            rt.history(4).unwrap().read().len() as u64,
+            rt.stats(on_stt).unwrap().archived
+        );
+        assert_eq!(rt.histories().count(), 2);
+    }
+
+    #[test]
+    fn dead_worker_is_marked_failed_and_ingestion_continues() {
+        let mut rt = runtime();
+        let Submission::Continuous(healthy) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        // A query whose results callback panics on the first window,
+        // killing its worker thread mid-run.
+        let QueryPlan::Detect(plan) = rt.plan(DETECT).unwrap() else {
+            panic!()
+        };
+        let doomed = rt
+            .submit_detect_with(*plan, |_, _| panic!("analyst callback bug"))
+            .unwrap();
+
+        let stream = gmti(1000);
+        // Keep feeding until the death is observed (the channel
+        // disconnects some time after the panic unwinds the thread).
+        let mut rounds = 0;
+        for _ in 0..100 {
+            rounds += 1;
+            rt.push_batch(&stream).unwrap();
+            rt.quiesce().unwrap();
+            if rt.state(doomed).unwrap() == QueryState::Failed {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(rt.state(doomed).unwrap(), QueryState::Failed);
+        assert!(rt.stats(doomed).unwrap().error.is_some());
+        // The healthy query received every complete round exactly once —
+        // the dead peer neither blocked nor double-delivered.
+        let healthy_stats = rt.stats(healthy).unwrap();
+        assert_eq!(healthy_stats.points, rounds * 1000);
+    }
+
+    #[test]
+    fn match_statement_runs_against_shared_history() {
+        let mut rt = runtime();
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        rt.push_batch(&gmti(5000)).unwrap();
+        rt.quiesce().unwrap();
+        let outs = rt.poll(id).unwrap();
+        let cluster = outs
+            .iter()
+            .rev()
+            .flat_map(|(_, cs)| cs.iter())
+            .max_by_key(|c| c.population())
+            .expect("some cluster extracted")
+            .sgs
+            .clone();
+        rt.bind_cluster("Cnow", cluster);
+
+        let match_src = "GIVEN DensityBasedClusters Cnow \
+                         SELECT DensityBasedClusters Cpast FROM History \
+                         WHERE Distance(Cnow, Cpast) <= 0.25";
+        let Submission::Matches(outcome) = rt.submit(match_src).unwrap() else {
+            panic!("expected immediate match execution");
+        };
+        assert!(
+            !outcome.matches.is_empty(),
+            "the archived twin of the bound cluster must match"
+        );
+
+        // Unbound names are reported.
+        let unbound = match_src.replace("Cnow", "Cghost");
+        assert!(matches!(
+            rt.submit(&unbound),
+            Err(RuntimeError::UnknownBinding(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut rt = runtime();
+        let ghost = QueryId(99);
+        assert!(matches!(rt.poll(ghost), Err(RuntimeError::UnknownQuery(_))));
+        assert!(matches!(rt.pause(ghost), Err(RuntimeError::UnknownQuery(_))));
+        assert!(matches!(rt.stats(ghost), Err(RuntimeError::UnknownQuery(_))));
+    }
+
+    #[test]
+    fn shutdown_reports_every_live_query() {
+        let mut rt = runtime();
+        for _ in 0..3 {
+            rt.submit(DETECT).unwrap();
+        }
+        rt.push_batch(&gmti(2000)).unwrap();
+        let reports = rt.shutdown();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r.stats.points, 2000);
+        }
+    }
+}

@@ -119,6 +119,57 @@ impl WindowEngine {
         Ok(id)
     }
 
+    /// Feed a batch of points, amortizing the per-point call overhead of
+    /// [`push`](Self::push). Returns the number of points accepted.
+    ///
+    /// For count-based windows the next window boundary is hoisted out of
+    /// the per-point loop (recomputed only when a window completes), and
+    /// the per-point `WindowKind` dispatch and time-ordering branch are
+    /// skipped entirely; time-based windows fall back to the per-point
+    /// path. The sequence of consumer `insert`/`slide` calls — and thus
+    /// every output — is **identical** to pushing the same points one at a
+    /// time.
+    ///
+    /// On error (dimension mismatch, out-of-order timestamp), points
+    /// before the failing one are already inserted and any windows they
+    /// completed are already in `outputs`.
+    pub fn push_batch<C: WindowConsumer>(
+        &mut self,
+        points: impl IntoIterator<Item = Point>,
+        consumer: &mut C,
+        outputs: &mut Vec<(WindowId, C::Output)>,
+    ) -> Result<u64> {
+        let mut accepted = 0u64;
+        if self.spec.kind == WindowKind::Time {
+            for p in points {
+                self.push(p, consumer, outputs)?;
+                accepted += 1;
+            }
+            return Ok(accepted);
+        }
+        let mut boundary = self.spec.window_end(self.current);
+        for point in points {
+            if point.dim() != self.dim {
+                return Err(Error::DimensionMismatch {
+                    expected: self.dim,
+                    got: point.dim(),
+                });
+            }
+            let t = self.seq as u64;
+            while t >= boundary {
+                let out = consumer.slide(WindowId(self.current));
+                outputs.push((WindowId(self.current), out));
+                self.current += 1;
+                boundary = self.spec.window_end(self.current);
+            }
+            let id = PointId(self.seq);
+            self.seq += 1;
+            consumer.insert(id, &point, expires_at(&self.spec, t));
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
     /// Force-complete the current window (end-of-stream flush). Returns the
     /// output of the window that was closed.
     pub fn flush<C: WindowConsumer>(&mut self, consumer: &mut C) -> (WindowId, C::Output) {
@@ -233,6 +284,48 @@ mod tests {
         eng.push(pt(0.0, 100), &mut rec, &mut outs).unwrap();
         let err = eng.push(pt(0.0, 99), &mut rec, &mut outs).unwrap_err();
         assert!(matches!(err, Error::OutOfOrderTimestamp { .. }));
+    }
+
+    #[test]
+    fn push_batch_equals_per_point_push() {
+        for spec in [WindowSpec::count(6, 2).unwrap(), WindowSpec::time(10, 5).unwrap()] {
+            let points: Vec<Point> = (0..50).map(|i| pt(i as f64, i * 2)).collect();
+
+            let mut solo_eng = WindowEngine::new(spec, 1);
+            let mut solo_rec = Recorder::default();
+            let mut solo_outs = Vec::new();
+            for p in points.clone() {
+                solo_eng.push(p, &mut solo_rec, &mut solo_outs).unwrap();
+            }
+
+            let mut batch_eng = WindowEngine::new(spec, 1);
+            let mut batch_rec = Recorder::default();
+            let mut batch_outs = Vec::new();
+            let mut fed = 0u64;
+            for chunk in points.chunks(7) {
+                fed += batch_eng
+                    .push_batch(chunk.to_vec(), &mut batch_rec, &mut batch_outs)
+                    .unwrap();
+            }
+
+            assert_eq!(fed, points.len() as u64);
+            assert_eq!(solo_outs, batch_outs);
+            assert_eq!(solo_eng.current_window(), batch_eng.current_window());
+            assert_eq!(solo_eng.accepted(), batch_eng.accepted());
+        }
+    }
+
+    #[test]
+    fn push_batch_rejects_wrong_dimension_mid_batch() {
+        let spec = WindowSpec::count(4, 2).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        let batch = vec![pt(0.0, 0), pt(1.0, 0), Point::new(vec![0.0, 0.0], 0)];
+        let err = eng.push_batch(batch, &mut rec, &mut outs).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { expected: 1, got: 2 }));
+        // The two good points before the failure were accepted.
+        assert_eq!(eng.accepted(), 2);
     }
 
     #[test]

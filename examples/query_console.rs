@@ -1,12 +1,14 @@
 //! Query console: drive the whole system through the paper's query
-//! language (Figures 2 and 3), with cluster tracking and visualization.
+//! language (Figures 2 and 3), executed by the real multi-query runtime
+//! (`sgs-runtime`) rather than bespoke glue.
 //!
-//! 1. parses a `DETECT DensityBasedClusters f+s …` statement and runs it
-//!    over a GMTI-like stream,
+//! 1. submits a `DETECT DensityBasedClusters f+s …` statement to a
+//!    [`Runtime`] and fans a GMTI-like stream out to it,
 //! 2. tracks cluster identities across windows (births / deaths / merges /
-//!    splits),
-//! 3. parses a `GIVEN … SELECT … FROM History WHERE Distance(..) <= t`
-//!    statement, executes it against the archive, and
+//!    splits) from the polled window outputs,
+//! 3. binds the newest large cluster and submits a
+//!    `GIVEN … SELECT … FROM History WHERE Distance(..) <= t` statement,
+//!    executed against the runtime's shared history, and
 //! 4. renders the query cluster and its best match as ASCII panels and an
 //!    SVG file under the system temp directory.
 //!
@@ -18,25 +20,35 @@ use streamsum::prelude::*;
 use streamsum::viz::{render_ascii, render_svg, SvgStyle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- Continuous query (Fig. 2).
+    let mut rt = Runtime::with_config(RuntimeConfig {
+        default_policy: ArchivePolicy::MinPopulation(40),
+        base_seed: 5,
+        ..RuntimeConfig::default()
+    });
+    rt.register_stream("gmti", 2);
+
+    // --- Continuous query (Fig. 2), executed by the runtime.
     let detect_src = "DETECT DensityBasedClusters f+s FROM gmti \
                       USING theta_range = 0.6 AND theta_cnt = 8 \
                       IN Windows WITH win = 4000 AND slide = 1000";
     println!("> {detect_src}\n");
-    let detect = parse_detect(detect_src)?;
-    let query = detect.to_cluster_query(2)?;
+    let Submission::Continuous(qid) = rt.submit(detect_src)? else {
+        unreachable!("a DETECT statement registers a continuous query");
+    };
 
-    let mut pipeline = StreamPipeline::new(query, ArchivePolicy::MinPopulation(40), 5)?;
-    let mut tracker = ClusterTracker::new();
     let stream = generate_gmti(&GmtiConfig {
         n_records: 30_000,
         n_convoys: 6,
         ..GmtiConfig::default()
     });
 
+    let mut tracker = ClusterTracker::new();
     let mut events_seen = 0;
-    for p in stream {
-        for (window, clusters) in pipeline.push(p)? {
+    let mut newest: WindowOutput = Vec::new();
+    for chunk in stream.chunks(2000) {
+        rt.push_batch(chunk)?;
+        rt.quiesce()?;
+        for (window, clusters) in rt.poll(qid)? {
             let tracked = tracker.observe(window, &clusters);
             for e in &tracked.events {
                 if events_seen < 12 {
@@ -44,28 +56,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     events_seen += 1;
                 }
             }
+            newest = clusters;
         }
     }
+    let stats = rt.stats(qid)?;
     println!(
-        "\n{} clusters archived from the stream history",
-        pipeline.base().len()
+        "\n{qid}: {} windows, {} clusters, {} archived ({} B), {:.2} ms/window",
+        stats.windows,
+        stats.clusters,
+        stats.archived,
+        stats.archive_bytes,
+        stats.avg_window_ms(),
     );
 
-    // --- Matching query (Fig. 3).
+    // --- Matching query (Fig. 3) against the runtime's shared history.
+    let Some(current) = newest.iter().max_by_key(|c| c.population()) else {
+        println!("no cluster in the newest window to match");
+        return Ok(());
+    };
+    rt.bind_cluster("Cnow", current.sgs.clone());
+
     let match_src = "GIVEN DensityBasedClusters Cnow \
                      SELECT DensityBasedClusters Cpast FROM History \
                      WHERE Distance(Cnow, Cpast) <= 0.30 \
                      USING ps = 0 AND weights = (0.25, 0.25, 0.25, 0.25)";
     println!("\n> {match_src}\n");
-    let match_ast = parse_match(match_src)?;
-    let config = match_ast.to_match_config()?;
-
-    let Some(current) = pipeline.last_output().iter().max_by_key(|c| c.population())
-    else {
-        println!("no cluster in the newest window to match");
-        return Ok(());
+    let Submission::Matches(outcome) = rt.submit(match_src)? else {
+        unreachable!("a GIVEN statement executes immediately");
     };
-    let outcome = pipeline.base().match_query(&current.sgs, &config);
     println!(
         "{} candidates → {} refined → {} matches",
         outcome.candidates,
@@ -77,7 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nto-be-matched cluster ({} cells):", current.sgs.volume());
     print!("{}", render_ascii(&current.sgs, 0, 1));
     if let Some(best) = outcome.matches.iter().find(|m| m.distance > 1e-9) {
-        let matched = pipeline.archived(best.id).unwrap();
+        let history = rt.history(2).expect("a 2-d query ran").read();
+        let matched = history.get(best.id).expect("match ids resolve in history");
         println!(
             "\nbest historical match (window {}, distance {:.3}):",
             matched.window, best.distance

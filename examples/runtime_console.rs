@@ -1,0 +1,254 @@
+//! Interactive multi-query console over the `sgs-runtime` session API: a
+//! line-based REPL where DETECT statements register concurrent continuous
+//! queries, `feed` fans generated stream data out to all of them, and
+//! GIVEN statements match bound clusters against the shared history.
+//!
+//! ```text
+//! cargo run --release --example runtime_console
+//! ```
+//!
+//! Scriptable from a pipe, e.g.:
+//!
+//! ```text
+//! printf 'DETECT DensityBasedClusters f+s FROM gmti USING theta_range = 0.6 \
+//! AND theta_cnt = 8 IN Windows WITH win = 4000 AND slide = 1000\nfeed gmti 20000\n\
+//! bind Cnow\nGIVEN DensityBasedClusters Cnow SELECT DensityBasedClusters FROM History \
+//! WHERE Distance(Cnow, Cnow) <= 0.3\nstats\nquit\n' | cargo run --release --example runtime_console
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+
+use streamsum::prelude::*;
+
+const HELP: &str = "\
+commands:
+  DETECT ...                register a continuous query (Fig. 2 syntax)
+  GIVEN ...                 run a matching query against the shared history (Fig. 3 syntax)
+  feed <stream> <n>         generate n tuples of <stream> (gmti | stt) and fan them out
+  bind <name> [Qk]          bind the largest cluster of query Qk's newest window (default: first live query)
+  stats                     per-query table: state, windows, clusters, archive, latency
+  history                   shared pattern-base size
+  pause Qk | resume Qk | cancel Qk
+  help | quit";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = Runtime::new();
+    rt.register_stream("gmti", 2);
+    rt.register_stream("stt", 4);
+
+    // Newest window output per query, for `bind`.
+    let mut newest: HashMap<QueryId, WindowOutput> = HashMap::new();
+
+    println!("streamsum runtime console — registered streams: gmti (2-d), stt (4-d)");
+    println!("{HELP}");
+    let stdin = std::io::stdin();
+    loop {
+        print!("sgs> ");
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let cmd = words[0].to_ascii_lowercase();
+        match cmd.as_str() {
+            "quit" | "exit" => break,
+            "help" => println!("{HELP}"),
+            "feed" => match feed(&mut rt, &mut newest, &words) {
+                Ok(summary) => println!("{summary}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "bind" => match bind(&mut rt, &newest, &words) {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "stats" => print_stats(&rt),
+            "history" => {
+                let mut any = false;
+                for (dim, h) in rt.histories() {
+                    let h = h.read();
+                    println!(
+                        "shared {dim}-d history: {} patterns, {} archived bytes, {} index bytes",
+                        h.len(),
+                        h.archived_bytes(),
+                        h.index_bytes()
+                    );
+                    any = true;
+                }
+                if !any {
+                    println!("no history yet — register and feed a DETECT query first");
+                }
+            }
+            "pause" | "resume" | "cancel" => match parse_qid(words.get(1).copied()) {
+                Some(id) => {
+                    let result = match cmd.as_str() {
+                        "pause" => rt.pause(id).map(|()| format!("{id} paused")),
+                        "resume" => rt.resume(id).map(|()| format!("{id} resumed")),
+                        _ => rt.cancel(id).map(|r| {
+                            newest.remove(&id);
+                            format!(
+                                "{id} cancelled after {} windows, {} archived patterns",
+                                r.stats.windows,
+                                r.base.len()
+                            )
+                        }),
+                    };
+                    match result {
+                        Ok(msg) => println!("{msg}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                None => println!("usage: {} Qk", words[0]),
+            },
+            _ => match rt.submit(line) {
+                Ok(Submission::Continuous(id)) => println!("registered {id}"),
+                Ok(Submission::Matches(outcome)) => {
+                    println!(
+                        "{} candidates → {} refined → {} matches",
+                        outcome.candidates,
+                        outcome.refined,
+                        outcome.matches.len()
+                    );
+                    // Match ids resolve in the history base of the GIVEN
+                    // cluster's dimensionality.
+                    let dim = parse_match(line)
+                        .ok()
+                        .and_then(|ast| rt.binding(&ast.given).map(|s| s.dim));
+                    if let Some(history) = dim.and_then(|d| rt.history(d)) {
+                        let history = history.read();
+                        for m in outcome.matches.iter().take(5) {
+                            if let Some(p) = history.get(m.id) {
+                                println!(
+                                    "  pattern {:?} (window {}): distance {:.4}",
+                                    m.id, p.window, m.distance
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+    // Final accounting on exit.
+    print_stats(&rt);
+    for report in rt.shutdown() {
+        println!(
+            "{}: {} points, {} windows, {} archived patterns",
+            report.id, report.stats.points, report.stats.windows, report.base.len()
+        );
+    }
+    Ok(())
+}
+
+/// `feed <stream> <n>`: generate and fan out, then drain every query's
+/// output buffer so `bind` sees the newest windows.
+fn feed(
+    rt: &mut Runtime,
+    newest: &mut HashMap<QueryId, WindowOutput>,
+    words: &[&str],
+) -> Result<String, Box<dyn std::error::Error>> {
+    let (stream, n) = match words {
+        [_, stream, n] => (stream.to_ascii_lowercase(), n.parse::<usize>()?),
+        _ => return Err("usage: feed <gmti|stt> <n>".into()),
+    };
+    let points = match stream.as_str() {
+        "gmti" => generate_gmti(&GmtiConfig {
+            n_records: n,
+            ..GmtiConfig::default()
+        }),
+        "stt" => generate_stt(&SttConfig {
+            n_records: n,
+            ..SttConfig::default()
+        }),
+        other => return Err(format!("unknown stream {other:?} (try gmti or stt)").into()),
+    };
+    // Stream-routed: only queries reading FROM this stream see the points.
+    rt.push_stream(&stream, &points)?;
+    rt.quiesce()?;
+    let mut parts = Vec::new();
+    for desc in rt.queries() {
+        if desc.state == QueryState::Cancelled {
+            continue;
+        }
+        let outs = rt.poll(desc.id)?;
+        if let Some((_, clusters)) = outs.last() {
+            newest.insert(desc.id, clusters.clone());
+        }
+        parts.push(format!(
+            "{}: +{} windows ({} clusters)",
+            desc.id,
+            outs.len(),
+            outs.iter().map(|(_, c)| c.len()).sum::<usize>()
+        ));
+    }
+    if parts.is_empty() {
+        parts.push("no live queries — submit a DETECT statement first".into());
+    }
+    Ok(format!("fed {n} tuples of {stream} → {}", parts.join(", ")))
+}
+
+/// `bind <name> [Qk]`: bind the largest cluster of a query's newest window.
+fn bind(
+    rt: &mut Runtime,
+    newest: &HashMap<QueryId, WindowOutput>,
+    words: &[&str],
+) -> Result<String, String> {
+    let name = words.get(1).ok_or("usage: bind <name> [Qk]")?;
+    let id = match words.get(2) {
+        Some(w) => parse_qid(Some(w)).ok_or("bad query id (expected Qk)")?,
+        None => *newest.keys().min().ok_or("no query has emitted a window yet")?,
+    };
+    let output = newest.get(&id).ok_or("that query has not emitted a window yet")?;
+    let cluster = output
+        .iter()
+        .max_by_key(|c| c.population())
+        .ok_or("newest window is empty")?;
+    rt.bind_cluster(name, cluster.sgs.clone());
+    Ok(format!(
+        "{name} := largest cluster of {id}'s newest window ({} members, {} cells)",
+        cluster.population(),
+        cluster.sgs.volume()
+    ))
+}
+
+/// Accept `Q3` or `3`.
+fn parse_qid(word: Option<&str>) -> Option<QueryId> {
+    let w = word?;
+    let digits = w.strip_prefix('Q').or_else(|| w.strip_prefix('q')).unwrap_or(w);
+    digits.parse().ok().map(QueryId)
+}
+
+fn print_stats(rt: &Runtime) {
+    let descs = rt.queries();
+    if descs.is_empty() {
+        println!("no queries registered");
+        return;
+    }
+    println!(
+        "{:<5} {:<10} {:>9} {:>8} {:>9} {:>9} {:>12} {:>11}",
+        "id", "state", "points", "windows", "clusters", "archived", "bytes", "ms/window"
+    );
+    for d in descs {
+        println!(
+            "{:<5} {:<10} {:>9} {:>8} {:>9} {:>9} {:>12} {:>11.2}",
+            d.id.to_string(),
+            format!("{:?}", d.state),
+            d.stats.points,
+            d.stats.windows,
+            d.stats.clusters,
+            d.stats.archived,
+            d.stats.archive_bytes,
+            d.stats.avg_window_ms(),
+        );
+    }
+    let bindings: Vec<&str> = rt.bindings().collect();
+    if !bindings.is_empty() {
+        println!("bound clusters: {}", bindings.join(", "));
+    }
+}

@@ -55,7 +55,35 @@
 //! | [`csgs`] | the integrated C-SGS algorithm |
 //! | [`matching`] | distance metric, alignment search, GED, Chamfer |
 //! | [`archive`] | pattern archiver + pattern base |
+//! | [`query`] | DETECT/MATCH query language (lexer, parser, AST) |
+//! | [`runtime`] | multi-query planner, registry, fan-out executor, `Runtime` session API |
 //! | [`datagen`] | GMTI- and STT-like stream generators |
+//!
+//! ## Serving many queries at once
+//!
+//! The [`runtime::Runtime`] session API executes query-language text
+//! directly, fanning one ingested stream out to any number of concurrent
+//! continuous queries (each on its own worker thread, with bounded-channel
+//! backpressure) while matching statements run against their shared
+//! history:
+//!
+//! ```
+//! use streamsum::prelude::*;
+//!
+//! let mut rt = Runtime::new();
+//! rt.register_stream("demo", 2);
+//! let Submission::Continuous(id) = rt.submit(
+//!     "DETECT DensityBasedClusters f+s FROM demo \
+//!      USING theta_range = 0.5 AND theta_cnt = 2 \
+//!      IN Windows WITH win = 40 AND slide = 10",
+//! ).unwrap() else { unreachable!() };
+//! let points: Vec<Point> = (0..200)
+//!     .map(|i| Point::new(vec![(i % 5) as f64 * 0.2, ((i / 5) % 4) as f64 * 0.2], i))
+//!     .collect();
+//! rt.push_batch(&points).unwrap();
+//! rt.quiesce().unwrap();
+//! assert!(!rt.poll(id).unwrap().is_empty());
+//! ```
 
 pub use sgs_archive as archive;
 pub use sgs_cluster as cluster;
@@ -65,6 +93,7 @@ pub use sgs_datagen as datagen;
 pub use sgs_index as index;
 pub use sgs_query as query;
 pub use sgs_matching as matching;
+pub use sgs_runtime as runtime;
 pub use sgs_stream as stream;
 pub use sgs_summarize as summarize;
 pub use sgs_viz as viz;
@@ -82,7 +111,11 @@ pub mod prelude {
     pub use sgs_csgs::{CSgs, ClusterTracker, ExtractedCluster, TrackId, WindowOutput};
     pub use sgs_datagen::{generate_gmti, generate_stt, GmtiConfig, SttConfig};
     pub use sgs_matching::MatchConfig;
-pub use sgs_query::{parse_detect, parse_match, DetectQuery, MatchQueryAst};
+    pub use sgs_query::{parse_any, parse_detect, parse_match, DetectQuery, MatchQueryAst, QueryAst};
+    pub use sgs_runtime::{
+        DetectPlan, MatchPlan, QueryId, QueryPlan, QueryReport, QueryState, QueryStats, Runtime,
+        RuntimeConfig, RuntimeError, Submission,
+    };
     pub use sgs_stream::{replay, WindowConsumer, WindowEngine};
     pub use sgs_summarize::{Crd, MemberSet, Rsp, Sgs, SkPs};
 }

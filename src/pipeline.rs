@@ -1,165 +1,8 @@
-//! The end-to-end pipeline of Fig. 4: window engine → pattern extractor
-//! (C-SGS) → pattern archiver → pattern base, wired behind one handle.
+//! The end-to-end pipeline of Fig. 4, re-exported from [`sgs_runtime`].
+//!
+//! [`StreamPipeline`] moved into `crates/runtime` (DESIGN.md §5) so the
+//! multi-query [`Runtime`](sgs_runtime::Runtime) can drive the exact same
+//! implementation its determinism guarantee is stated against; this module
+//! keeps the original `streamsum::pipeline::StreamPipeline` path working.
 
-use sgs_archive::{ArchivePolicy, PatternArchiver, PatternBase, PatternId};
-use sgs_core::{ClusterQuery, Point, Result, WindowId};
-use sgs_csgs::{CSgs, WindowOutput};
-use sgs_stream::WindowEngine;
-
-/// A running continuous clustering query with automatic archival.
-///
-/// Every completed window's clusters (full + SGS representation) are
-/// returned to the caller *and* offered to the archiver, exactly like the
-/// system overview in §3.3: the analyst monitors in real time while the
-/// stream history accumulates for later matching queries.
-pub struct StreamPipeline {
-    engine: WindowEngine,
-    extractor: CSgs,
-    archiver: PatternArchiver,
-    last_output: WindowOutput,
-    scratch: Vec<(WindowId, WindowOutput)>,
-}
-
-impl StreamPipeline {
-    /// Build a pipeline for `query`, archiving per `policy` (seeded for
-    /// reproducible sampling policies).
-    pub fn new(query: ClusterQuery, policy: ArchivePolicy, seed: u64) -> Result<Self> {
-        let engine = WindowEngine::new(query.window, query.dim);
-        let extractor = CSgs::new(query);
-        Ok(StreamPipeline {
-            engine,
-            extractor,
-            archiver: PatternArchiver::new(policy, seed),
-            last_output: Vec::new(),
-            scratch: Vec::new(),
-        })
-    }
-
-    /// Configure the archiver to store at a fixed coarser resolution.
-    pub fn with_archive_level(mut self, theta: u32, level: u8) -> Self {
-        self.archiver = self.archiver.with_level(theta, level);
-        self
-    }
-
-    /// Configure the archiver for budget-aware resolution selection.
-    pub fn with_archive_budget(mut self, theta: u32, budget_bytes: usize, max_level: u8) -> Self {
-        self.archiver = self.archiver.with_budget(theta, budget_bytes, max_level);
-        self
-    }
-
-    /// Feed one point; returns the outputs of any windows that completed
-    /// (time-based streams can complete several per push).
-    pub fn push(&mut self, point: Point) -> Result<Vec<(WindowId, WindowOutput)>> {
-        self.scratch.clear();
-        self.engine
-            .push(point, &mut self.extractor, &mut self.scratch)?;
-        for (window, output) in &self.scratch {
-            self.archiver
-                .observe(*window, output.iter().map(|c| &c.sgs));
-            self.last_output = output.clone();
-        }
-        Ok(std::mem::take(&mut self.scratch))
-    }
-
-    /// Feed many points, collecting all completed windows.
-    pub fn extend(
-        &mut self,
-        points: impl IntoIterator<Item = Point>,
-    ) -> Result<Vec<(WindowId, WindowOutput)>> {
-        let mut all = Vec::new();
-        for p in points {
-            all.extend(self.push(p)?);
-        }
-        Ok(all)
-    }
-
-    /// The clusters of the most recently completed window.
-    pub fn last_output(&self) -> &WindowOutput {
-        &self.last_output
-    }
-
-    /// The pattern base accumulated so far.
-    pub fn base(&self) -> &PatternBase {
-        self.archiver.base()
-    }
-
-    /// Archive statistics: `(offered, archived)` cluster counts.
-    pub fn archive_stats(&self) -> (u64, u64) {
-        (self.archiver.offered, self.archiver.archived)
-    }
-
-    /// Resolve an archived pattern id.
-    pub fn archived(&self, id: PatternId) -> Option<&sgs_archive::ArchivedPattern> {
-        self.base().get(id)
-    }
-
-    /// The extractor (for instrumentation: RQS counts, live size, …).
-    pub fn extractor(&self) -> &CSgs {
-        &self.extractor
-    }
-
-    /// Number of windows completed so far.
-    pub fn current_window(&self) -> WindowId {
-        self.engine.current_window()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use sgs_core::WindowSpec;
-
-    fn pipeline() -> StreamPipeline {
-        let q =
-            ClusterQuery::new(0.5, 2, 2, WindowSpec::count(40, 10).unwrap()).unwrap();
-        StreamPipeline::new(q, ArchivePolicy::All, 0).unwrap()
-    }
-
-    fn blob_stream(n: usize) -> Vec<Point> {
-        (0..n)
-            .map(|i| {
-                Point::new(
-                    vec![(i % 5) as f64 * 0.2, ((i / 5) % 4) as f64 * 0.2],
-                    i as u64,
-                )
-            })
-            .collect()
-    }
-
-    #[test]
-    fn pipeline_extracts_and_archives() {
-        let mut p = pipeline();
-        let outs = p.extend(blob_stream(200)).unwrap();
-        assert!(!outs.is_empty());
-        assert!(p.base().len() > 0);
-        let (offered, archived) = p.archive_stats();
-        assert_eq!(offered, archived);
-        assert!(!p.last_output().is_empty());
-    }
-
-    #[test]
-    fn pipeline_matching_roundtrip() {
-        use sgs_matching::MatchConfig;
-        let mut p = pipeline();
-        p.extend(blob_stream(200)).unwrap();
-        let query_sgs = &p.last_output()[0].sgs;
-        let outcome = p
-            .base()
-            .match_query(query_sgs, &MatchConfig::equal_weights(true, 0.2));
-        assert!(
-            !outcome.matches.is_empty(),
-            "the archived twin of the query must match"
-        );
-        assert!(outcome.matches[0].distance < 1e-9);
-    }
-
-    #[test]
-    fn coarse_archive_level_applies() {
-        let q = ClusterQuery::new(0.5, 2, 2, WindowSpec::count(40, 10).unwrap()).unwrap();
-        let mut p = StreamPipeline::new(q, ArchivePolicy::All, 0)
-            .unwrap()
-            .with_archive_level(2, 1);
-        p.extend(blob_stream(200)).unwrap();
-        assert!(p.base().iter().all(|a| a.sgs.level == 1));
-    }
-}
+pub use sgs_runtime::pipeline::StreamPipeline;

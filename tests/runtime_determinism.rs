@@ -1,0 +1,81 @@
+//! Acceptance test for the runtime's determinism guarantee: with k = 3
+//! concurrent DETECT queries fanned out from one stream, each query's
+//! archived summaries are **byte-identical** (packed encoding) to a solo
+//! `StreamPipeline` run of the same query over the same points — the
+//! fan-out changes scheduling, never results.
+
+use streamsum::prelude::*;
+use streamsum::summarize::packed;
+
+const STATEMENTS: [&str; 3] = [
+    "DETECT DensityBasedClusters f+s FROM gmti \
+     USING theta_range = 0.6 AND theta_cnt = 8 \
+     IN Windows WITH win = 2000 AND slide = 500",
+    "DETECT DensityBasedClusters f+s FROM gmti \
+     USING theta_range = 0.4 AND theta_cnt = 5 \
+     IN Windows WITH win = 1500 AND slide = 300",
+    "DETECT DensityBasedClusters f+s FROM gmti \
+     USING theta_range = 0.8 AND theta_cnt = 10 \
+     IN Windows WITH win = 1000 AND slide = 250",
+];
+
+#[test]
+fn concurrent_queries_archive_byte_identically_to_solo_runs() {
+    let stream = generate_gmti(&GmtiConfig {
+        n_records: 8000,
+        n_convoys: 4,
+        ..GmtiConfig::default()
+    });
+
+    // --- Solo reference runs: one StreamPipeline per query, points pushed
+    // one at a time (the classic single-query path).
+    let mut rt = Runtime::new();
+    rt.register_stream("gmti", 2);
+    let mut solo_bases = Vec::new();
+    for text in STATEMENTS {
+        let QueryPlan::Detect(plan) = rt.plan(text).unwrap() else {
+            panic!("expected detect plan");
+        };
+        let mut pipeline =
+            StreamPipeline::new(plan.query.clone(), plan.policy.clone(), plan.seed).unwrap();
+        for p in stream.clone() {
+            pipeline.push(p).unwrap();
+        }
+        solo_bases.push(pipeline.into_base());
+    }
+
+    // --- Concurrent run: all three registered at once, fed in batches
+    // through the fan-out executor's worker threads.
+    let mut ids = Vec::new();
+    for text in STATEMENTS {
+        let Submission::Continuous(id) = rt.submit(text).unwrap() else {
+            panic!("expected continuous registration");
+        };
+        ids.push(id);
+    }
+    rt.push_batch(&stream).unwrap();
+    rt.quiesce().unwrap();
+
+    for (id, solo) in ids.into_iter().zip(&solo_bases) {
+        let report = rt.cancel(id).unwrap();
+        assert!(solo.len() > 0, "reference run must archive something");
+        assert_eq!(
+            report.base.len(),
+            solo.len(),
+            "{id}: archived pattern count differs from solo run"
+        );
+        for (concurrent, reference) in report.base.iter().zip(solo.iter()) {
+            assert_eq!(concurrent.window, reference.window, "{id}: window id differs");
+            assert_eq!(
+                packed::encode(&concurrent.sgs),
+                packed::encode(&reference.sgs),
+                "{id}: archived summary bytes differ in window {}",
+                reference.window
+            );
+        }
+    }
+
+    // The shared 2-d history holds the union of all three archives.
+    let total: usize = solo_bases.iter().map(|b| b.len()).sum();
+    assert_eq!(rt.history(2).unwrap().read().len(), total);
+}
