@@ -10,21 +10,35 @@
 //! archival for every query, not just channel handoff.
 //!
 //! ```text
-//! cargo run --release -p sgs-bench --bin runtime_throughput -- [--scale 0.1] [--dataset gmti|stt]
+//! cargo run --release -p sgs-bench --bin runtime_throughput -- [--scale 0.1] [--dataset gmti|stt] [--json]
 //! ```
+//!
+//! `--json` prints one machine-readable report object to stdout instead
+//! of the table (CI uploads it as `BENCH_runtime_throughput.json`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use sgs_bench::json::JsonObject;
 use sgs_bench::table::print_table;
 use sgs_bench::workload::{parse_dataset, parse_scale, Dataset};
 use sgs_runtime::{QueryPlan, Runtime, RuntimeConfig};
+
+struct Row {
+    queries: u64,
+    ingest_per_sec: f64,
+    processed_per_sec: f64,
+    windows: u64,
+    clusters: u64,
+    archived: u64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale(&args);
     let dataset = parse_dataset(&args);
+    let json = args.iter().any(|a| a == "--json");
     let n = ((100_000.0 * scale) as usize).max(2_000);
     let points = dataset.points(n);
     let stream_name = match dataset {
@@ -35,7 +49,7 @@ fn main() {
     let win = (4_000u64.min((n as u64 / 4).max(400)) / 4) * 4;
     let slide = win / 4;
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for k in [1usize, 2, 4, 8] {
         let mut rt = Runtime::with_config(RuntimeConfig {
             channel_capacity: 64,
@@ -69,26 +83,69 @@ fn main() {
 
         let archived: u64 = rt.queries().iter().map(|d| d.stats.archived).sum();
         rt.shutdown();
-        rows.push(vec![
-            k.to_string(),
-            format!("{:.0}", n as f64 / secs),
-            format!("{:.0}", (n * k) as f64 / secs),
-            windows.load(Ordering::Relaxed).to_string(),
-            clusters.load(Ordering::Relaxed).to_string(),
-            archived.to_string(),
-        ]);
+        rows.push(Row {
+            queries: k as u64,
+            ingest_per_sec: n as f64 / secs,
+            processed_per_sec: (n * k) as f64 / secs,
+            windows: windows.load(Ordering::Relaxed),
+            clusters: clusters.load(Ordering::Relaxed),
+            archived,
+        });
     }
 
-    print_table(
-        &format!("runtime fan-out throughput — {n} tuples of {stream_name}, win {win} / slide {slide}"),
-        &[
-            "queries",
-            "ingest tuples/s",
-            "processed tuples/s",
-            "windows",
-            "clusters",
-            "archived",
-        ],
-        &rows,
-    );
+    if json {
+        let json_rows: Vec<JsonObject> = rows
+            .iter()
+            .map(|r| {
+                JsonObject::new()
+                    .u64("queries", r.queries)
+                    .f64("ingest_tuples_per_sec", r.ingest_per_sec)
+                    .f64("processed_tuples_per_sec", r.processed_per_sec)
+                    .u64("windows", r.windows)
+                    .u64("clusters", r.clusters)
+                    .u64("archived", r.archived)
+            })
+            .collect();
+        let report = JsonObject::new()
+            .str("bench", "runtime_throughput")
+            .str("dataset", stream_name)
+            .u64("tuples", n as u64)
+            .u64("win", win)
+            .u64("slide", slide)
+            .u64(
+                "available_parallelism",
+                std::thread::available_parallelism().map_or(0, |p| p.get() as u64),
+            )
+            .array("rows", &json_rows)
+            .render();
+        println!("{report}");
+    } else {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.queries.to_string(),
+                    format!("{:.0}", r.ingest_per_sec),
+                    format!("{:.0}", r.processed_per_sec),
+                    r.windows.to_string(),
+                    r.clusters.to_string(),
+                    r.archived.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "runtime fan-out throughput — {n} tuples of {stream_name}, win {win} / slide {slide}"
+            ),
+            &[
+                "queries",
+                "ingest tuples/s",
+                "processed tuples/s",
+                "windows",
+                "clusters",
+                "archived",
+            ],
+            &table,
+        );
+    }
 }

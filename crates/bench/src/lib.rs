@@ -12,11 +12,15 @@
 //! | `fig8_storage` | Fig. 8 (right): summary storage vs full representation (~98 % compression) |
 //! | `fig9_quality` | Fig. 9: matching quality ("similar rate") via the ground-truth retrieval study |
 //! | `multires` | tech-report extension: multi-resolution matching efficiency/effectiveness |
+//! | `runtime_throughput` | fan-out scaling of the `sgs-runtime` engine: tuples/sec for 1–8 concurrent queries |
+//! | `shard_scaling` | sharded extraction (`DESIGN.md` §6): single-query tuples/sec for S ∈ {1, 2, 4, 8} |
 //!
 //! This support library holds the shared workload definitions, timing
-//! harness, quality-study cluster shapes, and the table printer.
+//! harness, quality-study cluster shapes, the table printer, and the
+//! `--json` report builder the CI artifacts use.
 
 pub mod harness;
+pub mod json;
 pub mod quality;
 pub mod table;
 pub mod workload;

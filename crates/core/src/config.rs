@@ -12,6 +12,35 @@ use crate::cell::GridGeometry;
 use crate::error::{Error, Result};
 use crate::window::WindowSpec;
 
+/// How many grid-region shards a query's extractor partitions its state
+/// into (see `DESIGN.md` §6, "Sharded extraction").
+///
+/// The extraction state is hashed by coarsened cell coordinate into `S`
+/// shards whose insertions run in parallel; the per-window output is
+/// byte-identical for every `S`, so this is purely a performance knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardCount {
+    /// One shard per available CPU (`std::thread::available_parallelism`,
+    /// falling back to 1 when that is unknown).
+    #[default]
+    Auto,
+    /// Exactly this many shards. `Fixed(0)` and `Fixed(1)` both resolve to
+    /// the single-threaded extractor.
+    Fixed(u32),
+}
+
+impl ShardCount {
+    /// The concrete shard count (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            ShardCount::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            ShardCount::Fixed(n) => (n as usize).max(1),
+        }
+    }
+}
+
 /// Parameters of a continuous density-based clustering query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterQuery {
@@ -25,6 +54,9 @@ pub struct ClusterQuery {
     pub dim: usize,
     /// Sliding-window specification.
     pub window: WindowSpec,
+    /// Extraction-state shard count (performance only: the output contract
+    /// is shard-invariant). Defaults to [`ShardCount::Auto`].
+    pub shards: ShardCount,
 }
 
 impl ClusterQuery {
@@ -50,7 +82,14 @@ impl ClusterQuery {
             theta_c,
             dim,
             window,
+            shards: ShardCount::default(),
         })
+    }
+
+    /// Set the extraction shard count (builder style).
+    pub fn with_shards(mut self, shards: ShardCount) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// The basic (finest, level-0) grid geometry for this query: cell
@@ -99,5 +138,17 @@ mod tests {
     fn rejects_zero_theta_c_and_dim() {
         assert!(ClusterQuery::new(0.5, 0, 2, spec()).is_err());
         assert!(ClusterQuery::new(0.5, 4, 0, spec()).is_err());
+    }
+
+    #[test]
+    fn shard_count_resolution() {
+        assert!(ShardCount::Auto.resolve() >= 1);
+        assert_eq!(ShardCount::Fixed(0).resolve(), 1);
+        assert_eq!(ShardCount::Fixed(4).resolve(), 4);
+        let q = ClusterQuery::new(0.5, 4, 2, spec())
+            .unwrap()
+            .with_shards(ShardCount::Fixed(2));
+        assert_eq!(q.shards, ShardCount::Fixed(2));
+        assert_eq!(ClusterQuery::new(0.5, 4, 2, spec()).unwrap().shards, ShardCount::Auto);
     }
 }

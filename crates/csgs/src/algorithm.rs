@@ -1,4 +1,5 @@
-//! The C-SGS algorithm (§5.4): integrated extraction + summarization.
+//! The C-SGS algorithm (§5.4): integrated extraction + summarization,
+//! sharded by grid region.
 //!
 //! **Insertion** (the only place structural work happens):
 //!
@@ -16,62 +17,85 @@
 //!
 //! **Expiration** needs no structural work: all watermarks are absolute
 //! window indices, so at window `w` liveness is `w < watermark`. The slide
-//! handler only drops expired objects' raw data and emits the output.
+//! handler only drops expired objects' raw data (eagerly pruning their ids
+//! from neighbor lists) and emits the output.
 //!
 //! **Output** (§5.4 output stage): DFS over live core cells through live
 //! core-core links forms the cluster skeletons; attached edge cells join
 //! their groups; the full representation is derived object-level (cores by
 //! career watermark, edges via their live core neighbors).
+//!
+//! **Sharding** (`DESIGN.md` §6): with `S > 1`
+//! ([`ClusterQuery::shards`]), the extraction state is partitioned by
+//! hashed grid region across `S` shards, and each between-boundary
+//! batch of arrivals runs insertion as five phases on scoped threads —
+//! load, discover (the RQS, read-only across shards), apply (career and
+//! histogram updates, shard-local plus a histogram mailbox), link (pair
+//! watermark events, read-only), raise (link mailbox drain). Because every
+//! watermark update is a monotone max-raise and all of a point's derived
+//! quantities depend only on its final within-batch neighbor set, the
+//! phased execution reaches exactly the observable state of sequential
+//! insertion — which is why [`WindowOutput`] is byte-identical for every
+//! shard count, `S = 1` runs the original single-threaded code verbatim,
+//! and each object still costs exactly one range-query search.
 
-use sgs_core::{CellCoord, ClusterQuery, Point, PointId, WindowId};
-use sgs_index::{FxHashMap, GridIndex};
+use sgs_core::{CellCoord, ClusterQuery, GridGeometry, Point, PointId, WindowId};
+use sgs_index::grid::GridEntry;
+use sgs_index::ShardRouter;
 use sgs_stream::{ExpiryHistogram, WindowConsumer};
-use sgs_summarize::{CellStatus, Sgs, SkeletalCell};
 
 use crate::cell_store::CellStore;
-use crate::output::{ExtractedCluster, WindowOutput};
+use crate::merge;
+use crate::output::WindowOutput;
+use crate::shard::{
+    for_each_par, for_each_par2, for_each_par3, resolve, HistMsg, LinkMsg, NewPointPlan, Shard,
+};
 
-/// Per-point state retained by C-SGS.
-#[derive(Clone, Debug)]
-struct PointState {
-    coords: Box<[f64]>,
-    cell: CellCoord,
-    expires_at: WindowId,
-    /// End of the core career (absolute window index); only ever raised.
-    core_until: u64,
-    /// Histogram of neighbor expiries — answers Obs. 5.4 queries in
-    /// O(views).
-    hist: ExpiryHistogram,
-    /// Current neighbor ids (pruned of expired entries lazily).
-    neighbors: Vec<PointId>,
-}
+/// Batches smaller than this run the sharded phases inline on the calling
+/// thread: the phase semantics are identical, but scoped-thread spawns are
+/// not worth their overhead for a handful of points.
+const PAR_BATCH_MIN: usize = 32;
 
 /// The integrated C-SGS extractor. Implements [`WindowConsumer`]; each
 /// slide returns the window's clusters in full + SGS representation.
+///
+/// The extractor is sharded by grid region when the query asks for more
+/// than one shard (see [`ClusterQuery::shards`] and the module docs); the
+/// per-window output is byte-identical across shard counts.
 pub struct CSgs {
     query: ClusterQuery,
-    index: GridIndex,
-    points: FxHashMap<PointId, PointState>,
-    cells: CellStore,
+    geometry: GridGeometry,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+    /// Per-shard skeletal cell stores, index-aligned with `shards` (kept
+    /// outside [`Shard`] so the link phase can write its own store while
+    /// reading every shard's points).
+    cell_stores: Vec<CellStore>,
     current: WindowId,
-    /// Points to drop when each window becomes current.
-    expiry: FxHashMap<u64, Vec<PointId>>,
-    scratch: Vec<(PointId, CellCoord)>,
-    /// Number of range query searches executed (one per object, §5.3).
+    /// Number of range query searches executed (one per object, §5.3 —
+    /// regardless of shard count).
     pub rqs_count: u64,
 }
 
 impl CSgs {
     /// New extractor for `query`.
     pub fn new(query: ClusterQuery) -> Self {
+        let geometry = query.basic_grid();
+        let s = query.shards.resolve();
+        // Region width ≥ the range-query reach, so a point's neighborhood
+        // spans at most the regions adjacent to its own. Using a full
+        // block width (2·reach + 1) keeps most of a point's neighborhood
+        // in one region: discovery routes fewer regions per search and
+        // most pair raises stay shard-local.
+        let router = ShardRouter::new(2 * geometry.reach().max(1) + 1, s);
+        let shards = (0..s).map(|_| Shard::new(geometry.clone())).collect();
         CSgs {
-            index: GridIndex::new(query.basic_grid()),
             query,
-            points: FxHashMap::default(),
-            cells: CellStore::new(),
+            geometry,
+            router,
+            shards,
+            cell_stores: (0..s).map(|_| CellStore::new()).collect(),
             current: WindowId(0),
-            expiry: FxHashMap::default(),
-            scratch: Vec::new(),
             rqs_count: 0,
         }
     }
@@ -81,231 +105,435 @@ impl CSgs {
         &self.query
     }
 
+    /// The number of extraction shards in use.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of live points.
     pub fn live_len(&self) -> usize {
-        self.points.len()
+        self.shards.iter().map(|sh| sh.points.len()).sum()
     }
 
     /// Coordinates of a live point (for building member sets from output).
     pub fn coords_of(&self, id: PointId) -> Option<&[f64]> {
-        self.points.get(&id).map(|p| p.coords.as_ref())
+        self.shards
+            .iter()
+            .find_map(|sh| sh.points.get(&id).map(|p| sh.arena.get(p.slot)))
     }
 
     /// Approximate bytes of retained meta-data. Unlike Extra-N this is
     /// independent of `win/slide` — no per-view state exists.
     pub fn meta_bytes(&self) -> usize {
-        let pts: usize = self
-            .points
-            .values()
-            .map(|p| {
-                p.coords.len() * 8
-                    + p.cell.0.len() * 4
-                    + p.neighbors.capacity() * 4
-                    + p.hist.heap_bytes()
-            })
-            .sum();
-        pts + self.cells.heap_bytes() + sgs_core::HeapSize::heap_size(&self.index)
+        self.shards.iter().map(Shard::meta_bytes).sum::<usize>()
+            + self.cell_stores.iter().map(CellStore::heap_bytes).sum::<usize>()
     }
 
-    /// Re-evaluate all cell-pair links of `q` after its core career
-    /// extended (the connection-prolong path).
-    fn propagate_extension(&mut self, q_id: PointId) {
-        let (q_cell, q_cu, q_exp, q_neighbors) = {
-            let q = &self.points[&q_id];
-            (
-                q.cell.clone(),
-                q.core_until,
-                q.expires_at.0,
-                q.neighbors.clone(),
-            )
-        };
-        for r_id in q_neighbors {
-            let Some(r) = self.points.get(&r_id) else {
-                continue; // expired; pruned during maintenance
-            };
-            if r.cell != q_cell {
-                let (r_cell, r_cu, r_exp) = (r.cell.clone(), r.core_until, r.expires_at.0);
-                self.cells
-                    .update_pair(&q_cell, &r_cell, q_cu, q_exp, r_cu, r_exp);
-            }
-        }
-    }
+    /// Single-point insertion with S > 1 (the per-point [`WindowConsumer`]
+    /// path): a batch of one can never parallelize, so this runs the
+    /// sequential insertion steps directly against the routed shard state
+    /// instead of paying the five-phase scaffolding. The event sequence is
+    /// exactly [`Shard::insert_sequential`]'s, with each touched point and
+    /// cell resolved to its owning shard.
+    fn insert_one_sharded(&mut self, id: PointId, point: &Point, expires_at: WindowId) {
+        let CSgs {
+            ref query,
+            ref geometry,
+            ref router,
+            ref mut shards,
+            ref mut cell_stores,
+            current: now,
+            ..
+        } = *self;
+        let theta_c = query.theta_c;
+        let theta_sq = query.theta_r_sq();
+        let home = router.shard_of_coords(&point.coords, geometry.side());
 
-    /// Build the window's output from the live watermarks.
-    fn emit(&self, w: WindowId) -> WindowOutput {
-        // 1. Live core cells and their adjacency through live links.
-        let mut core_cells: Vec<&CellCoord> = self
-            .cells
-            .iter()
-            .filter(|(_, c)| c.is_core_at(w))
-            .map(|(coord, _)| coord)
-            .collect();
-        core_cells.sort_unstable();
-        let gid_of: FxHashMap<&CellCoord, usize> = {
-            // DFS over core cells.
-            let index_of: FxHashMap<&CellCoord, usize> = core_cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (*c, i))
-                .collect();
-            let mut gid = vec![usize::MAX; core_cells.len()];
-            let mut next = 0usize;
-            let mut stack = Vec::new();
-            for start in 0..core_cells.len() {
-                if gid[start] != usize::MAX {
-                    continue;
-                }
-                gid[start] = next;
-                stack.push(start);
-                while let Some(i) = stack.pop() {
-                    let state = self.cells.get(core_cells[i]).expect("core cell exists");
-                    for (other, link) in &state.links {
-                        if link.core_core_until <= w.0 {
-                            continue;
-                        }
-                        let Some(&j) = index_of.get(other) else {
-                            continue;
-                        };
-                        if gid[j] == usize::MAX {
-                            gid[j] = gid[i];
-                            stack.push(j);
-                        }
+        // 1 + 2. Load, then the one range query search across shards.
+        shards[home].load(&mut cell_stores[home], id, point, expires_at);
+        let center = shards[home].points[&id].cell.clone();
+        let mut hist = ExpiryHistogram::new();
+        let mut neighbors: Vec<(PointId, u32)> = Vec::new();
+        {
+            let shards = &*shards;
+            let mut walker = NeighborCellWalker::new(geometry, router);
+            walker.visit(shards, router, &center, |owner, bucket| {
+                for e in bucket {
+                    if e.id != id && sgs_core::dist_sq(&point.coords, &e.coords) <= theta_sq {
+                        hist.add(shards[owner as usize].points[&e.id].expires_at);
+                        neighbors.push((e.id, owner));
                     }
                 }
-                next += 1;
-            }
-            core_cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (*c, gid[i]))
-                .collect()
-        };
-        let n_groups = gid_of.values().copied().max().map_or(0, |m| m + 1);
-        if n_groups == 0 {
-            return Vec::new();
-        }
-
-        // 2. Per group: core cells + attached edge cells. Status is
-        //    cluster-relative (Def. 4.2: "core object *of Ci*"): a cell
-        //    holding cores of another cluster can still be an edge cell of
-        //    this one, so only cells of *this* group count as core here.
-        let mut group_cells: Vec<Vec<(CellCoord, CellStatus)>> = vec![Vec::new(); n_groups];
-        for coord in &core_cells {
-            let g = gid_of[*coord];
-            group_cells[g].push(((*coord).clone(), CellStatus::Core));
-            let state = self.cells.get(coord).unwrap();
-            for (other, link) in &state.links {
-                if link.attach_until <= w.0 {
-                    continue;
-                }
-                let Some(other_state) = self.cells.get(other) else {
-                    continue;
-                };
-                if other_state.population == 0 || gid_of.get(other) == Some(&g) {
-                    continue;
-                }
-                group_cells[g].push((other.clone(), CellStatus::Edge));
-            }
-        }
-
-        // 3. Full representation, object-level.
-        let mut group_cores: Vec<Vec<PointId>> = vec![Vec::new(); n_groups];
-        let mut group_edges: Vec<Vec<PointId>> = vec![Vec::new(); n_groups];
-        for (&id, p) in &self.points {
-            if p.expires_at <= w {
-                continue;
-            }
-            if p.core_until > w.0 {
-                // Core object: its cell is a live core cell by Lemma 5.1.
-                if let Some(&g) = gid_of.get(&p.cell) {
-                    group_cores[g].push(id);
-                }
-            } else {
-                // Edge object iff it has a live core neighbor; may attach
-                // to several groups.
-                let mut gs: Vec<usize> = p
-                    .neighbors
-                    .iter()
-                    .filter_map(|nb| {
-                        let q = self.points.get(nb)?;
-                        if q.expires_at > w && q.core_until > w.0 {
-                            gid_of.get(&q.cell).copied()
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
-                gs.sort_unstable();
-                gs.dedup();
-                for g in gs {
-                    group_edges[g].push(id);
-                }
-            }
-        }
-
-        // 4. Assemble clusters with their SGS.
-        let mut out = Vec::with_capacity(n_groups);
-        for g in 0..n_groups {
-            let mut cells = std::mem::take(&mut group_cells[g]);
-            cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            cells.dedup_by(|a, b| a.0 == b.0);
-            let local: FxHashMap<&CellCoord, u32> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, (c, _))| (c, i as u32))
-                .collect();
-            let skeletal: Vec<SkeletalCell> = cells
-                .iter()
-                .map(|(coord, status)| {
-                    let state = self.cells.get(coord).unwrap();
-                    let connections = if *status == CellStatus::Core {
-                        let mut conns: Vec<u32> = state
-                            .links
-                            .iter()
-                            .filter_map(|(other, link)| {
-                                let &j = local.get(other)?;
-                                // Group-relative status: core-core liveness
-                                // applies only to cells of this group; every
-                                // other in-summary cell is an edge cell here
-                                // and connects through its attachment.
-                                let live = if gid_of.get(other) == Some(&g) {
-                                    link.core_core_until > w.0
-                                } else {
-                                    link.attach_until > w.0
-                                };
-                                live.then_some(j)
-                            })
-                            .collect();
-                        conns.sort_unstable();
-                        conns.dedup();
-                        conns
-                    } else {
-                        Vec::new()
-                    };
-                    SkeletalCell {
-                        coord: coord.clone(),
-                        population: state.population,
-                        status: *status,
-                        connections,
-                    }
-                })
-                .collect();
-            let mut cores = std::mem::take(&mut group_cores[g]);
-            let mut edges = std::mem::take(&mut group_edges[g]);
-            cores.sort_unstable();
-            edges.sort_unstable();
-            out.push(ExtractedCluster {
-                cores,
-                edges,
-                sgs: Sgs {
-                    dim: self.query.dim,
-                    side: self.index.geometry().side(),
-                    level: 0,
-                    cells: skeletal,
-                },
             });
         }
-        out
+        self.rqs_count += 1;
+
+        // 3. The new object's own career → status promotion.
+        let p_cu = hist.core_until(expires_at, now, theta_c).0;
+        {
+            let st = shards[home].points.get_mut(&id).expect("just loaded");
+            st.neighbors = neighbors.iter().map(|(q, _)| *q).collect();
+            st.hist = hist;
+            st.core_until = p_cu;
+        }
+        if p_cu > now.0 {
+            cell_stores[home].raise_core_until(&center, p_cu);
+        }
+
+        // 4. Neighbors gain the new object; extended careers prolong.
+        let mut extended: Vec<(PointId, u32)> = Vec::new();
+        for &(q_id, owner) in &neighbors {
+            let q = shards[owner as usize]
+                .points
+                .get_mut(&q_id)
+                .expect("live neighbor");
+            q.neighbors.push(id);
+            q.hist.add(expires_at);
+            let new_cu = q.hist.core_until(q.expires_at, now, theta_c).0;
+            if new_cu > q.core_until {
+                q.core_until = new_cu;
+                let q_cell = q.cell.clone();
+                cell_stores[owner as usize].raise_core_until(&q_cell, new_cu);
+                extended.push((q_id, owner));
+            }
+        }
+
+        // 5. Pair links for (p, q) pairs, both sides routed.
+        for &(q_id, owner) in &neighbors {
+            let q = &shards[owner as usize].points[&q_id];
+            if q.cell == center {
+                continue; // intra-cell pairs: Lemma 4.1
+            }
+            let cc = p_cu.min(q.core_until);
+            let q_attach = q.core_until.min(expires_at.0);
+            let p_attach = p_cu.min(q.expires_at.0);
+            let q_cell = q.cell.clone();
+            cell_stores[home].raise_link(&center, &q_cell, cc, p_attach);
+            cell_stores[owner as usize].raise_link(&q_cell, &center, cc, q_attach);
+        }
+
+        // 6. Connection prolong: extended careers touch all their pairs.
+        for (q_id, owner) in extended {
+            let (q_cell, q_cu, q_exp, q_nbrs) = {
+                let q = &shards[owner as usize].points[&q_id];
+                (q.cell.clone(), q.core_until, q.expires_at.0, q.neighbors.clone())
+            };
+            for r_id in q_nbrs {
+                let Some((r_owner, r)) = resolve(shards, r_id) else {
+                    continue; // pruned-late id of an expired point
+                };
+                if r.cell == q_cell {
+                    continue;
+                }
+                let (r_cell, r_cu, r_exp) = (r.cell.clone(), r.core_until, r.expires_at.0);
+                let cc = q_cu.min(r_cu);
+                cell_stores[owner as usize].raise_link(&q_cell, &r_cell, cc, q_cu.min(r_exp));
+                cell_stores[r_owner].raise_link(&r_cell, &q_cell, cc, r_cu.min(q_exp));
+            }
+        }
+    }
+
+    /// Phased parallel insertion of one between-boundary batch (S > 1).
+    /// `items` arrive in id order, with ids greater than every previously
+    /// inserted id (the window engine's arrival numbering).
+    fn sharded_batch(&mut self, items: &[(PointId, &Point, WindowId)]) {
+        if items.is_empty() {
+            return;
+        }
+        let CSgs {
+            ref query,
+            ref geometry,
+            ref router,
+            ref mut shards,
+            ref mut cell_stores,
+            current: now,
+            ..
+        } = *self;
+        let s = shards.len();
+        let theta_c = query.theta_c;
+        let theta_sq = query.theta_r_sq();
+        let batch_first = items[0].0;
+        let parallel = items.len() >= PAR_BATCH_MIN;
+
+        // Bucket the batch by owning shard (allocation-free routing).
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); s];
+        for (ix, (_, point, _)) in items.iter().enumerate() {
+            buckets[router.shard_of_coords(&point.coords, geometry.side())].push(ix as u32);
+        }
+
+        // Phase A — load: each shard inserts its own points (grid bucket,
+        // population, expiry, arena slot, placeholder career state).
+        for_each_par2(parallel, shards, cell_stores, |i, sh, cells| {
+            for &ix in &buckets[i] {
+                let (id, point, expires) = items[ix as usize];
+                sh.load(cells, id, point, expires);
+            }
+        });
+
+        // Phase B — discover (read-only over all shards): the one range
+        // query search per new point, across its own and adjacent regions'
+        // grids. Produces each point's full within-batch neighbor set,
+        // histogram, and final core career, plus histogram messages for
+        // pre-existing neighbors (new neighbors discover each other
+        // symmetrically and need no message).
+        struct Discover {
+            plans: Vec<NewPointPlan>,
+            out: Vec<Vec<HistMsg>>,
+        }
+        let mut disc: Vec<Discover> = (0..s)
+            .map(|_| Discover {
+                plans: Vec::new(),
+                out: vec![Vec::new(); s],
+            })
+            .collect();
+        {
+            let shards = &*shards;
+            for_each_par(parallel, &mut disc, |i, sc| {
+                let mut walker = NeighborCellWalker::new(geometry, router);
+                for &ix in &buckets[i] {
+                    let (p_id, point, p_exp) = items[ix as usize];
+                    let center = &shards[i].points[&p_id].cell;
+                    let mut hist = ExpiryHistogram::new();
+                    let mut neighbors = Vec::new();
+                    walker.visit(shards, router, center, |owner, bucket| {
+                        for e in bucket {
+                            if e.id != p_id
+                                && sgs_core::dist_sq(&point.coords, &e.coords) <= theta_sq
+                            {
+                                hist.add(shards[owner as usize].points[&e.id].expires_at);
+                                neighbors.push((e.id, owner));
+                                if e.id < batch_first {
+                                    sc.out[owner as usize].push(HistMsg {
+                                        q: e.id,
+                                        p: p_id,
+                                        p_expires: p_exp,
+                                    });
+                                }
+                            }
+                        }
+                    });
+                    let core_until = hist.core_until(p_exp, now, theta_c).0;
+                    sc.plans.push(NewPointPlan {
+                        id: p_id,
+                        neighbors,
+                        hist,
+                        core_until,
+                    });
+                }
+            });
+        }
+        // Route the histogram mailboxes (senders in shard order, each
+        // sender's messages in discovery order — deterministic).
+        struct Apply {
+            plans: Vec<NewPointPlan>,
+            inbox: Vec<HistMsg>,
+            /// Pre-existing points whose core career extended (phase C
+            /// output, consumed by phase D).
+            extended: Vec<PointId>,
+        }
+        let mut apply: Vec<Apply> = (0..s)
+            .map(|_| Apply {
+                plans: Vec::new(),
+                inbox: Vec::new(),
+                extended: Vec::new(),
+            })
+            .collect();
+        for sc in &mut disc {
+            for (dst, msgs) in sc.out.iter_mut().enumerate() {
+                apply[dst].inbox.append(msgs);
+            }
+        }
+        for (i, sc) in disc.into_iter().enumerate() {
+            apply[i].plans = sc.plans;
+        }
+
+        // Phase C — apply (shard-local writes): install the new points'
+        // career state, drain the histogram inbox, record extensions.
+        for_each_par3(parallel, shards, cell_stores, &mut apply, |_, sh, cells, ap| {
+            ap.extended = sh.apply_batch(cells, &mut ap.plans, &mut ap.inbox, now, theta_c);
+        });
+
+        // Phase D — link: with every career now final, raise the pair
+        // watermarks for all new pairs and all extended points' pairs.
+        // Each task owns its shard's cell store and applies locally-owned
+        // sides in place (allocation-free for established links); only
+        // sides owned by *other* shards become mailbox messages. Raises
+        // are idempotent max-updates, so symmetric double-discovery of a
+        // new-new pair is harmless.
+        let mut link_out: Vec<Vec<Vec<LinkMsg>>> = vec![Vec::new(); s];
+        {
+            let shards = &*shards;
+            let apply = &apply;
+            for_each_par2(parallel, cell_stores, &mut link_out, |i, cells, out| {
+                out.resize_with(s, Vec::new);
+                for plan in &apply[i].plans {
+                    let p = &shards[i].points[&plan.id];
+                    for &(q_id, owner) in &plan.neighbors {
+                        let q = shards[owner as usize]
+                            .points
+                            .get(&q_id)
+                            .expect("batch neighbors are live");
+                        if q.cell == p.cell {
+                            continue; // intra-cell pairs: Lemma 4.1
+                        }
+                        let cc = p.core_until.min(q.core_until);
+                        cells.raise_link(&p.cell, &q.cell, cc, p.core_until.min(q.expires_at.0));
+                        let q_attach = q.core_until.min(p.expires_at.0);
+                        if owner as usize == i {
+                            cells.raise_link(&q.cell, &p.cell, cc, q_attach);
+                        } else {
+                            out[owner as usize].push(LinkMsg {
+                                at: q.cell.clone(),
+                                other: p.cell.clone(),
+                                core_core: cc,
+                                attach: q_attach,
+                            });
+                        }
+                    }
+                }
+                for q_id in &apply[i].extended {
+                    let q = &shards[i].points[q_id];
+                    for &r_id in &q.neighbors {
+                        let Some((r_owner, r)) = resolve(shards, r_id) else {
+                            continue; // pruned-late id of an expired point
+                        };
+                        if r.cell == q.cell {
+                            continue;
+                        }
+                        let cc = q.core_until.min(r.core_until);
+                        cells.raise_link(&q.cell, &r.cell, cc, q.core_until.min(r.expires_at.0));
+                        let r_attach = r.core_until.min(q.expires_at.0);
+                        if r_owner == i {
+                            cells.raise_link(&r.cell, &q.cell, cc, r_attach);
+                        } else {
+                            out[r_owner].push(LinkMsg {
+                                at: r.cell.clone(),
+                                other: q.cell.clone(),
+                                core_core: cc,
+                                attach: r_attach,
+                            });
+                        }
+                    }
+                }
+            });
+        }
+        let mut link_in: Vec<Vec<LinkMsg>> = vec![Vec::new(); s];
+        for out in &mut link_out {
+            for (dst, msgs) in out.iter_mut().enumerate() {
+                link_in[dst].append(msgs);
+            }
+        }
+
+        // Phase E — raise: drain the cross-shard link mailboxes.
+        for_each_par2(parallel, cell_stores, &mut link_in, |_, cells, inbox| {
+            for msg in inbox.drain(..) {
+                cells.raise_link(&msg.at, &msg.other, msg.core_core, msg.attach);
+            }
+        });
+
+        self.rqs_count += items.len() as u64;
+    }
+}
+
+/// Reusable range-query walker over sharded grids.
+///
+/// Enumerates the `(2·reach + 1)^d` reachability block of a cell —
+/// the same cells [`GridGeometry::reachable_cells`] yields — but grouped
+/// by *region*, so each region of the block is routed to its owning shard
+/// once instead of hashing every cell (the region width is ≥ the reach,
+/// so a block spans at most 3 regions per dimension). The cell coordinate
+/// buffer is reused across the whole walk: no allocation per visited
+/// cell.
+struct NeighborCellWalker {
+    reach: i32,
+    width: i32,
+    /// Reused buffers: cell bounds, region bounds, odometers.
+    lo: Vec<i32>,
+    hi: Vec<i32>,
+    rlo: Vec<i32>,
+    rhi: Vec<i32>,
+    reg: Vec<i32>,
+    clo: Vec<i32>,
+    chi: Vec<i32>,
+    cell: CellCoord,
+}
+
+impl NeighborCellWalker {
+    fn new(geometry: &GridGeometry, router: &ShardRouter) -> Self {
+        let d = geometry.dim();
+        NeighborCellWalker {
+            reach: geometry.reach(),
+            width: router.width(),
+            lo: vec![0; d],
+            hi: vec![0; d],
+            rlo: vec![0; d],
+            rhi: vec![0; d],
+            reg: vec![0; d],
+            clo: vec![0; d],
+            chi: vec![0; d],
+            cell: CellCoord::new(vec![0; d]),
+        }
+    }
+
+    /// Call `f(owner, bucket)` for every non-empty grid cell within reach
+    /// of `center`, across all shards.
+    fn visit<'a>(
+        &mut self,
+        shards: &'a [Shard],
+        router: &ShardRouter,
+        center: &CellCoord,
+        mut f: impl FnMut(u32, &'a [GridEntry]),
+    ) {
+        let d = center.0.len();
+        for i in 0..d {
+            self.lo[i] = center.0[i] - self.reach;
+            self.hi[i] = center.0[i] + self.reach;
+            self.rlo[i] = self.lo[i].div_euclid(self.width);
+            self.rhi[i] = self.hi[i].div_euclid(self.width);
+            self.reg[i] = self.rlo[i];
+        }
+        'regions: loop {
+            let owner = router.shard_of_region(&self.reg);
+            let index = &shards[owner].index;
+            if !index.is_empty() {
+                // The block of cells falling in this region.
+                for i in 0..d {
+                    self.clo[i] = self.lo[i].max(self.reg[i] * self.width);
+                    self.chi[i] = self.hi[i].min(self.reg[i] * self.width + self.width - 1);
+                    self.cell.0[i] = self.clo[i];
+                }
+                'cells: loop {
+                    let bucket = index.cell_points(&self.cell);
+                    if !bucket.is_empty() {
+                        f(owner as u32, bucket);
+                    }
+                    let mut i = 0;
+                    loop {
+                        if i == d {
+                            break 'cells;
+                        }
+                        self.cell.0[i] += 1;
+                        if self.cell.0[i] <= self.chi[i] {
+                            break;
+                        }
+                        self.cell.0[i] = self.clo[i];
+                        i += 1;
+                    }
+                }
+            }
+            let mut i = 0;
+            loop {
+                if i == d {
+                    break 'regions;
+                }
+                self.reg[i] += 1;
+                if self.reg[i] <= self.rhi[i] {
+                    break;
+                }
+                self.reg[i] = self.rlo[i];
+                i += 1;
+            }
+        }
     }
 }
 
@@ -313,103 +541,69 @@ impl WindowConsumer for CSgs {
     type Output = WindowOutput;
 
     fn insert(&mut self, id: PointId, point: &Point, expires_at: WindowId) {
-        let theta_c = self.query.theta_c;
-        let now = self.current;
-
-        // 1. One range query search.
-        self.scratch.clear();
-        self.index
-            .range_query_with_cells(&point.coords, self.query.theta_r, id, &mut self.scratch);
-        self.rqs_count += 1;
-        let neighbors_found = std::mem::take(&mut self.scratch);
-
-        // 2. Load into the grid and the cell store.
-        let cell = self.index.insert(id, point);
-        self.cells.increment_population(&cell);
-        self.expiry.entry(expires_at.0).or_default().push(id);
-
-        // 3. The new object's own career (Obs. 5.4) → status promotion.
-        let mut hist = ExpiryHistogram::new();
-        let mut neighbor_ids = Vec::with_capacity(neighbors_found.len());
-        for (q_id, _) in &neighbors_found {
-            hist.add(self.points[q_id].expires_at);
-            neighbor_ids.push(*q_id);
-        }
-        let p_core_until = hist.core_until(expires_at, now, theta_c).0;
-        if p_core_until > now.0 {
-            self.cells.raise_core_until(&cell, p_core_until);
-        }
-
-        // 4. Neighbors gain the new object; extended careers prolong their
-        //    cells' status and re-evaluate their links.
-        let mut extended: Vec<PointId> = Vec::new();
-        for (q_id, q_cell) in &neighbors_found {
-            let q = self.points.get_mut(q_id).expect("live neighbor");
-            q.neighbors.push(id);
-            q.hist.add(expires_at);
-            let new_cu = q.hist.core_until(q.expires_at, now, theta_c).0;
-            if new_cu > q.core_until {
-                q.core_until = new_cu;
-                self.cells.raise_core_until(q_cell, new_cu);
-                extended.push(*q_id);
-            }
-        }
-
-        // 5. Store the point, then raise pair links for (p, q) pairs.
-        self.points.insert(
-            id,
-            PointState {
-                coords: point.coords.clone(),
-                cell: cell.clone(),
+        if self.shards.len() == 1 {
+            let (now, theta_r, theta_c) = (self.current, self.query.theta_r, self.query.theta_c);
+            self.shards[0].insert_sequential(
+                &mut self.cell_stores[0],
+                id,
+                point,
                 expires_at,
-                core_until: p_core_until,
-                hist,
-                neighbors: neighbor_ids,
-            },
-        );
-        for (q_id, q_cell) in &neighbors_found {
-            if *q_cell == cell {
-                continue; // intra-cell pairs are connected by Lemma 4.1
-            }
-            let q = &self.points[q_id];
-            let (q_cu, q_exp) = (q.core_until, q.expires_at.0);
-            self.cells
-                .update_pair(&cell, q_cell, p_core_until, expires_at.0, q_cu, q_exp);
+                now,
+                theta_r,
+                theta_c,
+            );
+            self.rqs_count += 1;
+        } else {
+            self.insert_one_sharded(id, point, expires_at);
         }
+    }
 
-        // 6. Connection prolong: extended careers touch all their pairs.
-        for q_id in extended {
-            self.propagate_extension(q_id);
+    fn insert_batch(&mut self, items: &[(PointId, Point, WindowId)]) {
+        if self.shards.len() == 1 {
+            for (id, point, expires_at) in items {
+                self.insert(*id, point, *expires_at);
+            }
+        } else {
+            let refs: Vec<(PointId, &Point, WindowId)> =
+                items.iter().map(|(id, p, e)| (*id, p, *e)).collect();
+            self.sharded_batch(&refs);
         }
-        self.scratch = neighbors_found;
     }
 
     fn slide(&mut self, completed: WindowId) -> WindowOutput {
         debug_assert_eq!(completed, self.current);
-        let out = self.emit(completed);
+        let parallel = self.shards.len() > 1;
+        let out = merge::emit(
+            self.query.dim,
+            self.geometry.side(),
+            &self.router,
+            &self.shards,
+            &self.cell_stores,
+            completed,
+            parallel,
+        );
 
         // Advance and drop expired raw data (no watermark maintenance —
-        // the paper's zero-cost expiration property).
+        // the paper's zero-cost expiration property). Dead points' ids are
+        // pruned from their neighbors' lists eagerly, so lists stay
+        // bounded by the live population.
         self.current = completed.next();
-        if let Some(dead) = self.expiry.remove(&self.current.0) {
-            for id in dead {
-                if let Some(p) = self.points.remove(&id) {
-                    self.index.remove(id, &p.cell);
-                    self.cells.decrement_population(&p.cell);
-                }
-            }
-        }
-        self.cells.gc(self.current);
-        // Periodic maintenance: prune dead neighbor ids and old histogram
-        // buckets to keep per-point state tight.
-        if self.current.0.is_multiple_of(8) {
-            let ids: Vec<PointId> = self.points.keys().copied().collect();
-            for id in ids {
-                let mut st = self.points.remove(&id).unwrap();
-                st.neighbors.retain(|nb| self.points.contains_key(nb) || *nb == id);
-                st.hist.prune(self.current);
-                self.points.insert(id, st);
-            }
+        let now = self.current;
+        if !parallel {
+            let (sh, cells) = (&mut self.shards[0], &mut self.cell_stores[0]);
+            sh.expire_local(cells, now);
+            sh.maintain(cells, now);
+        } else {
+            let mut dead: Vec<Vec<(PointId, Vec<PointId>)>> =
+                vec![Vec::new(); self.shards.len()];
+            for_each_par3(true, &mut self.shards, &mut self.cell_stores, &mut dead, |_, sh, cells, d| {
+                *d = sh.remove_expired(cells, now);
+            });
+            let dead_all: Vec<(PointId, Vec<PointId>)> = dead.into_iter().flatten().collect();
+            for_each_par2(true, &mut self.shards, &mut self.cell_stores, |_, sh, cells| {
+                sh.prune_dead(&dead_all);
+                sh.maintain(cells, now);
+            });
         }
         out
     }
@@ -420,9 +614,9 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
     use sgs_cluster::{CanonicalClustering, ExtraN, FullCluster, NaiveClusterer};
-    use sgs_core::WindowSpec;
+    use sgs_core::{ShardCount, WindowSpec};
     use sgs_stream::replay;
-    use sgs_summarize::MemberSet;
+    use sgs_summarize::{CellStatus, MemberSet, Sgs};
 
     fn to_canonical(out: &WindowOutput) -> CanonicalClustering {
         CanonicalClustering::from(
@@ -594,6 +788,109 @@ mod tests {
             let c = &clusters[0];
             assert_eq!(c.population(), 30, "window {w}");
             assert_eq!(c.sgs.population(), 30, "window {w}");
+        }
+    }
+
+    /// Run a stream through the extractor with `shards`, via batched
+    /// pushes, collecting every window's output.
+    fn run_sharded(
+        pts: &[Point],
+        spec: WindowSpec,
+        shards: ShardCount,
+        chunk: usize,
+    ) -> (Vec<(WindowId, WindowOutput)>, CSgs) {
+        let q = ClusterQuery::new(0.25, 4, 2, spec)
+            .unwrap()
+            .with_shards(shards);
+        let mut csgs = CSgs::new(q);
+        let mut engine = sgs_stream::WindowEngine::new(spec, 2);
+        let mut outs = Vec::new();
+        for c in pts.chunks(chunk) {
+            engine
+                .push_batch(c.iter().cloned(), &mut csgs, &mut outs)
+                .unwrap();
+        }
+        (outs, csgs)
+    }
+
+    #[test]
+    fn sharded_output_is_byte_identical_to_single_shard() {
+        let spec = WindowSpec::count(120, 30).unwrap();
+        let pts = random_stream(99, 700, 3.0);
+        let (base, base_csgs) = run_sharded(&pts, spec, ShardCount::Fixed(1), 64);
+        assert!(base.iter().any(|(_, o)| !o.is_empty()), "workload clusters");
+        for s in [2usize, 3, 5] {
+            let (out, csgs) = run_sharded(&pts, spec, ShardCount::Fixed(s as u32), 64);
+            assert_eq!(csgs.shard_count(), s);
+            assert_eq!(base, out, "S = {s} diverged from S = 1");
+            assert_eq!(csgs.rqs_count, base_csgs.rqs_count);
+            assert_eq!(csgs.live_len(), base_csgs.live_len());
+        }
+    }
+
+    #[test]
+    fn sharded_per_point_inserts_match_batched() {
+        // The trait `insert` path (batch of one) must agree with segments.
+        let spec = WindowSpec::count(60, 20).unwrap();
+        let pts = random_stream(3, 240, 2.0);
+        let q = ClusterQuery::new(0.25, 4, 2, spec)
+            .unwrap()
+            .with_shards(ShardCount::Fixed(3));
+        let mut csgs = CSgs::new(q);
+        let per_point = replay(spec, pts.clone(), 2, &mut csgs).unwrap();
+        let (batched, _) = run_sharded(&pts, spec, ShardCount::Fixed(3), 31);
+        assert_eq!(per_point, batched);
+    }
+
+    #[test]
+    fn neighbor_lists_stay_bounded_by_live_population() {
+        // Eager pruning: after any number of windows, no point's neighbor
+        // list may reference an expired point or exceed the live count.
+        let spec = WindowSpec::count(40, 8).unwrap();
+        let pts = random_stream(17, 800, 1.2); // dense → large neighbor lists
+        for shards in [ShardCount::Fixed(1), ShardCount::Fixed(3)] {
+            let (_, csgs) = run_sharded(&pts, spec, shards, 57);
+            let live = csgs.live_len();
+            assert!(live > 0);
+            let all_live: std::collections::HashSet<PointId> = csgs
+                .shards
+                .iter()
+                .flat_map(|sh| sh.points.keys().copied())
+                .collect();
+            for sh in &csgs.shards {
+                for (id, st) in &sh.points {
+                    assert!(
+                        st.neighbors.len() < live,
+                        "point {id:?} holds {} neighbor ids with only {live} live points",
+                        st.neighbors.len()
+                    );
+                    for nb in &st.neighbors {
+                        assert!(
+                            all_live.contains(nb),
+                            "point {id:?} references expired neighbor {nb:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_slots_track_live_points_exactly() {
+        let spec = WindowSpec::count(50, 10).unwrap();
+        let pts = random_stream(23, 600, 2.0);
+        for shards in [ShardCount::Fixed(1), ShardCount::Fixed(4)] {
+            let (_, csgs) = run_sharded(&pts, spec, shards, 64);
+            for sh in &csgs.shards {
+                assert_eq!(
+                    sh.arena.live(),
+                    sh.points.len(),
+                    "arena live slots must equal live points"
+                );
+                // Recycling bounds total slots by the shard's peak
+                // population, far below the 600 points streamed through.
+                assert!(sh.arena.slots() <= 2 * 50 + 10);
+            }
         }
     }
 }

@@ -123,16 +123,30 @@ impl CellStore {
     ) {
         debug_assert_ne!(pa, pb, "intra-cell pairs carry no link");
         let cc = a_core_until.min(b_core_until);
-        {
-            let link = self.entry(pa).links.entry(pb.clone()).or_default();
-            link.raise_core_core(cc);
-            link.raise_attach(a_core_until.min(b_expires));
+        self.raise_link(pa, pb, cc, a_core_until.min(b_expires));
+        self.raise_link(pb, pa, cc, b_core_until.min(a_expires));
+    }
+
+    /// Raise one *side* of a pair link: the watermarks stored at `at` for
+    /// its relation to `other`. This is the mailbox entry point of sharded
+    /// extraction (`DESIGN.md` §6): when the two cells of a neighbor pair
+    /// live in different shards, each shard raises its own side from an
+    /// event computed by the discovering shard — the two raises together
+    /// are exactly one [`update_pair`](Self::update_pair).
+    pub fn raise_link(&mut self, at: &CellCoord, other: &CellCoord, core_core: u64, attach: u64) {
+        debug_assert_ne!(at, other, "intra-cell pairs carry no link");
+        // Fast path: both the cell and the link already exist (the common
+        // case for established pairs) — no key clones.
+        if let Some(cell) = self.cells.get_mut(at) {
+            if let Some(link) = cell.links.get_mut(other) {
+                link.raise_core_core(core_core);
+                link.raise_attach(attach);
+                return;
+            }
         }
-        {
-            let link = self.entry(pb).links.entry(pa.clone()).or_default();
-            link.raise_core_core(cc);
-            link.raise_attach(b_core_until.min(a_expires));
-        }
+        let link = self.entry(at).links.entry(other.clone()).or_default();
+        link.raise_core_core(core_core);
+        link.raise_attach(attach);
     }
 
     /// Decrement a cell's population (object expiry).

@@ -22,13 +22,21 @@
 //!   attachment at output; the connection-prolong path (a new arrival
 //!   extends an existing point's core career, which can extend its cell's
 //!   connections — the "details omitted" part of §5.4) additionally needs
-//!   core-career neighbors, so we keep the full list. The retained
-//!   meta-data is still independent of `win/slide`, which is the memory
-//!   property Fig. 7 measures.
+//!   core-career neighbors, so we keep the full list, pruned eagerly when
+//!   a neighbor expires. The retained meta-data is still independent of
+//!   `win/slide`, which is the memory property Fig. 7 measures.
+//! * Extraction is **sharded by grid region** (`DESIGN.md` §6): the state
+//!   lives in `S` shards (`ClusterQuery::shards`), insertion of each
+//!   between-boundary batch runs in parallel phases on scoped threads, and
+//!   the output stage merges per-shard DFS fragments across region borders
+//!   with union-find. The per-window output is byte-identical for every
+//!   `S`; `S = 1` runs the original single-threaded code.
 
 pub mod algorithm;
 pub mod cell_store;
+mod merge;
 pub mod output;
+mod shard;
 pub mod tracking;
 
 pub use algorithm::CSgs;

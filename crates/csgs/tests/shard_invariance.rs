@@ -1,0 +1,73 @@
+//! The determinism contract of sharded extraction (`DESIGN.md` §6):
+//! for arbitrary random streams, window geometries, and batch sizes, the
+//! per-window [`WindowOutput`] of C-SGS is **byte-identical** for every
+//! shard count, and each object costs exactly one range-query search
+//! regardless of sharding.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sgs_core::{ClusterQuery, Point, ShardCount, WindowId, WindowSpec};
+use sgs_csgs::{CSgs, WindowOutput};
+use sgs_stream::WindowEngine;
+
+fn random_stream(seed: u64, n: usize, extent: f64) -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                vec![rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)],
+                0,
+            )
+        })
+        .collect()
+}
+
+/// Run the stream through a fresh extractor with `shards`, pushing
+/// `chunk`-sized batches, returning all windows plus the RQS count.
+fn run(
+    pts: &[Point],
+    spec: WindowSpec,
+    theta_r: f64,
+    theta_c: u32,
+    shards: ShardCount,
+    chunk: usize,
+) -> (Vec<(WindowId, WindowOutput)>, u64) {
+    let query = ClusterQuery::new(theta_r, theta_c, 2, spec)
+        .unwrap()
+        .with_shards(shards);
+    let mut csgs = CSgs::new(query);
+    let mut engine = WindowEngine::new(spec, 2);
+    let mut outs = Vec::new();
+    for c in pts.chunks(chunk) {
+        engine
+            .push_batch(c.iter().cloned(), &mut csgs, &mut outs)
+            .unwrap();
+    }
+    (outs, csgs.rqs_count)
+}
+
+proptest! {
+    /// `WindowOutput` with `S = 1` equals `S ∈ {2, 4}` byte-for-byte, and
+    /// `rqs_count` stays exactly one per object for every shard count.
+    #[test]
+    fn window_output_is_shard_invariant(
+        seed in 0u64..10_000,
+        n in 150usize..400,
+        extent in 0.8f64..3.0,
+        theta_r in 0.15f64..0.45,
+        theta_c in 2u32..5,
+        slide_sel in 0usize..3,
+        chunk in 16usize..160,
+    ) {
+        let slide = [10u64, 20, 40][slide_sel];
+        let spec = WindowSpec::count(4 * slide, slide).unwrap();
+        let pts = random_stream(seed, n, extent);
+        let (base, base_rqs) = run(&pts, spec, theta_r, theta_c, ShardCount::Fixed(1), chunk);
+        prop_assert_eq!(base_rqs, n as u64, "one RQS per object at S = 1");
+        for s in [2u32, 4] {
+            let (out, rqs) = run(&pts, spec, theta_r, theta_c, ShardCount::Fixed(s), chunk);
+            prop_assert_eq!(rqs, n as u64, "one RQS per object at S = {}", s);
+            prop_assert_eq!(&base, &out, "WindowOutput diverged at S = {}", s);
+        }
+    }
+}

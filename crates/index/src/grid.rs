@@ -93,6 +93,7 @@ impl GridIndex {
     }
 
     /// The live points currently bucketed in `cell`.
+    #[inline]
     pub fn cell_points(&self, cell: &CellCoord) -> &[GridEntry] {
         self.cells.get(cell).map_or(&[], Vec::as_slice)
     }
@@ -100,6 +101,50 @@ impl GridIndex {
     /// Iterate over all non-empty cells.
     pub fn cells(&self) -> impl Iterator<Item = (&CellCoord, &[GridEntry])> {
         self.cells.iter().map(|(c, v)| (c, v.as_slice()))
+    }
+
+    /// Visit every non-empty cell of the reachability block around the
+    /// cell containing `coords`, in the same order
+    /// [`GridGeometry::reachable_cells`] enumerates — but walking one
+    /// reused coordinate buffer instead of materializing `(2·reach+1)^d`
+    /// cell allocations per query (this enumeration is the hottest loop
+    /// of C-SGS insertion).
+    fn for_each_reachable_bucket(
+        &self,
+        coords: &[f64],
+        mut f: impl FnMut(&CellCoord, &[GridEntry]),
+    ) {
+        let d = self.geometry.dim();
+        let side = self.geometry.side();
+        let reach = self.geometry.reach();
+        debug_assert_eq!(coords.len(), d);
+        let mut lo = vec![0i32; d];
+        let mut hi = vec![0i32; d];
+        for i in 0..d {
+            let c = (coords[i] / side).floor() as i32;
+            lo[i] = c - reach;
+            hi[i] = c + reach;
+        }
+        let mut cell = CellCoord::new(lo.clone());
+        loop {
+            if let Some(bucket) = self.cells.get(&cell) {
+                f(&cell, bucket);
+            }
+            // Odometer increment, dimension 0 fastest (the
+            // `reachable_cells` order).
+            let mut i = 0;
+            loop {
+                if i == d {
+                    return;
+                }
+                cell.0[i] += 1;
+                if cell.0[i] <= hi[i] {
+                    break;
+                }
+                cell.0[i] = lo[i];
+                i += 1;
+            }
+        }
     }
 
     /// Range query search: every indexed point within `theta_r` of `coords`,
@@ -113,16 +158,13 @@ impl GridIndex {
         out: &mut Vec<PointId>,
     ) {
         let theta_sq = theta_r * theta_r;
-        let center = self.geometry.cell_of(&Point::new(coords.to_vec(), 0));
-        for cell in self.geometry.reachable_cells(&center) {
-            if let Some(bucket) = self.cells.get(&cell) {
-                for e in bucket {
-                    if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
-                        out.push(e.id);
-                    }
+        self.for_each_reachable_bucket(coords, |_, bucket| {
+            for e in bucket {
+                if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
+                    out.push(e.id);
                 }
             }
-        }
+        });
     }
 
     /// Like [`range_query`](Self::range_query) but yields `(id, cell)` pairs
@@ -135,16 +177,13 @@ impl GridIndex {
         out: &mut Vec<(PointId, CellCoord)>,
     ) {
         let theta_sq = theta_r * theta_r;
-        let center = self.geometry.cell_of(&Point::new(coords.to_vec(), 0));
-        for cell in self.geometry.reachable_cells(&center) {
-            if let Some(bucket) = self.cells.get(&cell) {
-                for e in bucket {
-                    if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
-                        out.push((e.id, cell.clone()));
-                    }
+        self.for_each_reachable_bucket(coords, |cell, bucket| {
+            for e in bucket {
+                if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
+                    out.push((e.id, cell.clone()));
                 }
             }
-        }
+        });
     }
 }
 

@@ -11,7 +11,9 @@
 //!   (§7.1): a multi-dimensional grid over (volume, core-cell count, average
 //!   density, average connectivity),
 //! * [`UnionFind`] — disjoint sets with path compression, used by Extra-N's
-//!   per-view cluster formation, and
+//!   per-view cluster formation and by sharded C-SGS's border merge,
+//! * [`ShardRouter`] — deterministic cell → shard routing by coarsened
+//!   grid-region coordinate (sharded extraction, `DESIGN.md` §6), and
 //! * [`FxHashMap`]/[`FxHashSet`] — hash containers with a fast
 //!   multiply-xor hasher (FxHash), since cell-coordinate hashing is on the
 //!   hot path of every insertion.
@@ -19,11 +21,13 @@
 pub mod feature_grid;
 pub mod fx;
 pub mod grid;
+pub mod region;
 pub mod rtree;
 pub mod union_find;
 
 pub use feature_grid::FeatureGrid;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use grid::GridIndex;
+pub use region::ShardRouter;
 pub use rtree::{RTree, Rect};
 pub use union_find::UnionFind;

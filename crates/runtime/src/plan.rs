@@ -9,7 +9,7 @@
 //! planner → executor shape of classic query engines.
 
 use sgs_archive::ArchivePolicy;
-use sgs_core::ClusterQuery;
+use sgs_core::{ClusterQuery, ShardCount};
 use sgs_matching::MatchConfig;
 use sgs_query::{parse_any, DetectQuery, MatchQueryAst, ParseError, QueryAst};
 
@@ -145,16 +145,23 @@ pub struct Planner {
     pub default_policy: ArchivePolicy,
     /// Archiver RNG seed given to DETECT plans.
     pub default_seed: u64,
+    /// Extraction shard count given to DETECT plans. Defaults to one
+    /// shard: in the fan-out runtime the *query* is the unit of
+    /// parallelism (thread per query), so intra-query sharding is opted
+    /// into per plan (`plan.query.shards`) or per runtime for hot single
+    /// queries — see `DESIGN.md` §6. Output is shard-invariant either way.
+    pub default_shards: ShardCount,
 }
 
 impl Planner {
     /// Planner over `catalog` with default archive settings
-    /// ([`ArchivePolicy::All`], seed 0).
+    /// ([`ArchivePolicy::All`], seed 0) and single-shard extraction.
     pub fn new(catalog: StreamCatalog) -> Self {
         Planner {
             catalog,
             default_policy: ArchivePolicy::All,
             default_seed: 0,
+            default_shards: ShardCount::Fixed(1),
         }
     }
 
@@ -186,7 +193,10 @@ impl Planner {
                 stream: ast.stream.clone(),
                 known: self.catalog.names().map(str::to_string).collect(),
             })?;
-        let query = ast.to_cluster_query(dim).map_err(PlanError::Invalid)?;
+        let query = ast
+            .to_cluster_query(dim)
+            .map_err(PlanError::Invalid)?
+            .with_shards(self.default_shards);
         Ok(DetectPlan {
             ast,
             query,
@@ -226,6 +236,19 @@ mod tests {
         assert_eq!(plan.query.dim, 2);
         assert_eq!(plan.query.theta_c, 8);
         assert_eq!(plan.policy, ArchivePolicy::All);
+        // Runtime queries default to single-shard extraction (the query is
+        // the fan-out unit); sharding is opted into per plan or planner.
+        assert_eq!(plan.query.shards, ShardCount::Fixed(1));
+    }
+
+    #[test]
+    fn planner_default_shards_flow_into_plans() {
+        let mut p = planner();
+        p.default_shards = ShardCount::Fixed(4);
+        let QueryPlan::Detect(plan) = p.plan(DETECT).unwrap() else {
+            panic!("expected a detect plan");
+        };
+        assert_eq!(plan.query.shards, ShardCount::Fixed(4));
     }
 
     #[test]

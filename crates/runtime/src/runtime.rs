@@ -6,7 +6,7 @@ use std::sync::mpsc;
 use std::thread::JoinHandle;
 
 use sgs_archive::{shared_pattern_base, ArchivePolicy, MatchOutcome, PatternBase, SharedPatternBase};
-use sgs_core::{Point, WindowId};
+use sgs_core::{Point, ShardCount, WindowId};
 use sgs_csgs::WindowOutput;
 use sgs_summarize::Sgs;
 
@@ -34,6 +34,13 @@ pub struct RuntimeConfig {
     /// reproduced solo by `StreamPipeline::new(plan.query, plan.policy,
     /// base_seed)`.
     pub base_seed: u64,
+    /// Extraction shard count handed to DETECT statements submitted as
+    /// text. Defaults to a single shard — the runtime's unit of
+    /// parallelism is the query (thread per query); raise this when a few
+    /// hot queries should each also parallelize *within* one stream pass
+    /// (`DESIGN.md` §6). The per-window output is shard-invariant, so this
+    /// never changes results.
+    pub default_shards: ShardCount,
 }
 
 impl Default for RuntimeConfig {
@@ -42,6 +49,7 @@ impl Default for RuntimeConfig {
             channel_capacity: 1024,
             default_policy: ArchivePolicy::All,
             base_seed: 0,
+            default_shards: ShardCount::Fixed(1),
         }
     }
 }
@@ -197,6 +205,7 @@ impl Runtime {
         let mut planner = Planner::new(StreamCatalog::new());
         planner.default_policy = config.default_policy.clone();
         planner.default_seed = config.base_seed;
+        planner.default_shards = config.default_shards;
         Runtime {
             planner,
             entries: Vec::new(),
@@ -849,6 +858,39 @@ mod tests {
             rt.submit(&unbound),
             Err(RuntimeError::UnknownBinding(_))
         ));
+    }
+
+    #[test]
+    fn sharded_query_archives_identically_to_single_shard() {
+        // The same DETECT text, run with 1-shard and 3-shard extraction:
+        // every polled window and the archive must be byte-identical.
+        let stream = gmti(5000);
+        let mut polled = Vec::new();
+        let mut bases = Vec::new();
+        for shards in [ShardCount::Fixed(1), ShardCount::Fixed(3)] {
+            let mut rt = Runtime::with_config(RuntimeConfig {
+                default_shards: shards,
+                ..RuntimeConfig::default()
+            });
+            rt.register_stream("gmti", 2);
+            let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+                panic!()
+            };
+            rt.push_batch(&stream).unwrap();
+            rt.quiesce().unwrap();
+            polled.push(rt.poll(id).unwrap());
+            bases.push(rt.cancel(id).unwrap().base);
+        }
+        assert!(!polled[0].is_empty());
+        assert_eq!(polled[0], polled[1], "windows diverged across shard counts");
+        assert_eq!(bases[0].len(), bases[1].len());
+        for (a, b) in bases[0].iter().zip(bases[1].iter()) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(
+                sgs_summarize::packed::encode(&a.sgs),
+                sgs_summarize::packed::encode(&b.sgs)
+            );
+        }
     }
 
     #[test]

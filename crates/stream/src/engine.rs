@@ -20,6 +20,18 @@ pub trait WindowConsumer {
     /// from the engine's current window up to `expires_at - 1`.
     fn insert(&mut self, id: PointId, point: &Point, expires_at: WindowId);
 
+    /// A run of points that all arrive between two window boundaries (no
+    /// slide occurs inside the batch), in arrival order. The default
+    /// implementation loops over [`insert`](Self::insert); consumers whose
+    /// final state is insertion-order-independent within a window — like
+    /// the sharded C-SGS extractor — override this to process the run in
+    /// parallel.
+    fn insert_batch(&mut self, items: &[(PointId, Point, WindowId)]) {
+        for (id, point, expires_at) in items {
+            self.insert(*id, point, *expires_at);
+        }
+    }
+
     /// Window `completed` is full: produce its output. After this call the
     /// engine considers `completed + 1` the current window; points with
     /// `expires_at == completed + 1` are gone from it.
@@ -122,12 +134,12 @@ impl WindowEngine {
     /// Feed a batch of points, amortizing the per-point call overhead of
     /// [`push`](Self::push). Returns the number of points accepted.
     ///
-    /// For count-based windows the next window boundary is hoisted out of
-    /// the per-point loop (recomputed only when a window completes), and
-    /// the per-point `WindowKind` dispatch and time-ordering branch are
-    /// skipped entirely; time-based windows fall back to the per-point
-    /// path. The sequence of consumer `insert`/`slide` calls — and thus
-    /// every output — is **identical** to pushing the same points one at a
+    /// The batch is cut into *segments* — maximal runs of points between
+    /// two window boundaries — and each segment is handed to the consumer
+    /// in one [`insert_batch`](WindowConsumer::insert_batch) call, which
+    /// is what lets sharded consumers parallelize within a segment. The
+    /// sequence of consumer `insert`/`slide` effects — and thus every
+    /// output — is **identical** to pushing the same points one at a
     /// time.
     ///
     /// On error (dimension mismatch, out-of-order timestamp), points
@@ -140,32 +152,62 @@ impl WindowEngine {
         outputs: &mut Vec<(WindowId, C::Output)>,
     ) -> Result<u64> {
         let mut accepted = 0u64;
-        if self.spec.kind == WindowKind::Time {
-            for p in points {
-                self.push(p, consumer, outputs)?;
-                accepted += 1;
-            }
-            return Ok(accepted);
-        }
+        let time_based = self.spec.kind == WindowKind::Time;
         let mut boundary = self.spec.window_end(self.current);
+        let mut segment: Vec<(PointId, Point, WindowId)> = Vec::new();
+        // On any error, points before the failing one must be inserted,
+        // exactly as if pushed one at a time (their slides already ran).
+        macro_rules! fail {
+            ($seg:expr, $err:expr) => {{
+                if !$seg.is_empty() {
+                    consumer.insert_batch(&$seg);
+                }
+                return Err($err);
+            }};
+        }
         for point in points {
             if point.dim() != self.dim {
-                return Err(Error::DimensionMismatch {
-                    expected: self.dim,
-                    got: point.dim(),
-                });
+                fail!(
+                    segment,
+                    Error::DimensionMismatch {
+                        expected: self.dim,
+                        got: point.dim(),
+                    }
+                );
             }
-            let t = self.seq as u64;
-            while t >= boundary {
-                let out = consumer.slide(WindowId(self.current));
-                outputs.push((WindowId(self.current), out));
-                self.current += 1;
-                boundary = self.spec.window_end(self.current);
+            if time_based {
+                if self.started && point.ts < self.last_ts {
+                    fail!(
+                        segment,
+                        Error::OutOfOrderTimestamp {
+                            last: self.last_ts,
+                            got: point.ts,
+                        }
+                    );
+                }
+                self.last_ts = point.ts;
+                self.started = true;
+            }
+            let t = self.logical_time(&point);
+            if t >= boundary {
+                if !segment.is_empty() {
+                    consumer.insert_batch(&segment);
+                    segment.clear();
+                }
+                while t >= boundary {
+                    let out = consumer.slide(WindowId(self.current));
+                    outputs.push((WindowId(self.current), out));
+                    self.current += 1;
+                    boundary = self.spec.window_end(self.current);
+                }
             }
             let id = PointId(self.seq);
             self.seq += 1;
-            consumer.insert(id, &point, expires_at(&self.spec, t));
+            segment.push((id, point, expires_at(&self.spec, t)));
             accepted += 1;
+        }
+        if !segment.is_empty() {
+            consumer.insert_batch(&segment);
         }
         Ok(accepted)
     }
@@ -316,6 +358,43 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_segments_never_span_boundaries() {
+        /// Consumer that records the id runs handed to `insert_batch`.
+        #[derive(Default)]
+        struct Segments {
+            runs: Vec<Vec<u32>>,
+            slides: u64,
+        }
+        impl WindowConsumer for Segments {
+            type Output = ();
+            fn insert(&mut self, id: PointId, _p: &Point, _e: WindowId) {
+                self.runs.push(vec![id.0]);
+            }
+            fn insert_batch(&mut self, items: &[(PointId, Point, WindowId)]) {
+                self.runs.push(items.iter().map(|(id, _, _)| id.0).collect());
+            }
+            fn slide(&mut self, _completed: WindowId) {
+                self.slides += 1;
+            }
+        }
+        let spec = WindowSpec::count(6, 3).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut seg = Segments::default();
+        let mut outs = Vec::new();
+        let points: Vec<Point> = (0..14).map(|i| pt(i as f64, 0)).collect();
+        eng.push_batch(points, &mut seg, &mut outs).unwrap();
+        // Boundaries fall at t = 6, 9, 12 → runs 0..=5, 6..=8, 9..=11, 12..=13.
+        let expect: Vec<Vec<u32>> = vec![
+            (0..6).collect(),
+            (6..9).collect(),
+            (9..12).collect(),
+            (12..14).collect(),
+        ];
+        assert_eq!(seg.runs, expect);
+        assert_eq!(seg.slides, 3);
+    }
+
+    #[test]
     fn push_batch_rejects_wrong_dimension_mid_batch() {
         let spec = WindowSpec::count(4, 2).unwrap();
         let mut eng = WindowEngine::new(spec, 1);
@@ -325,6 +404,19 @@ mod tests {
         let err = eng.push_batch(batch, &mut rec, &mut outs).unwrap_err();
         assert!(matches!(err, Error::DimensionMismatch { expected: 1, got: 2 }));
         // The two good points before the failure were accepted.
+        assert_eq!(eng.accepted(), 2);
+    }
+
+    #[test]
+    fn push_batch_rejects_time_regression_mid_batch() {
+        let spec = WindowSpec::time(10, 5).unwrap();
+        let mut eng = WindowEngine::new(spec, 1);
+        let mut rec = Recorder::default();
+        let mut outs = Vec::new();
+        let batch = vec![pt(0.0, 3), pt(1.0, 7), pt(2.0, 6)];
+        let err = eng.push_batch(batch, &mut rec, &mut outs).unwrap_err();
+        assert!(matches!(err, Error::OutOfOrderTimestamp { last: 7, got: 6 }));
+        // The two in-order points before the failure were accepted.
         assert_eq!(eng.accepted(), 2);
     }
 
