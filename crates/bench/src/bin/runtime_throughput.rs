@@ -116,6 +116,7 @@ fn main() {
                 "available_parallelism",
                 std::thread::available_parallelism().map_or(0, |p| p.get() as u64),
             )
+            .u64("pool_threads", sgs_exec::global().threads() as u64)
             .array("rows", &json_rows)
             .render();
         println!("{report}");

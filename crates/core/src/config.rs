@@ -41,6 +41,37 @@ impl ShardCount {
     }
 }
 
+/// How many worker threads the shared scheduler pool runs (see
+/// `DESIGN.md` §8, "The shared scheduler pool"). Every unit of
+/// parallelism — concurrent queries and intra-query shard phases alike —
+/// multiplexes over these workers, so this is the system's *one* thread
+/// budget: idle queries cost zero threads regardless of how many are
+/// registered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolThreads {
+    /// One worker per available CPU
+    /// (`std::thread::available_parallelism`, falling back to 1 when
+    /// that is unknown) — and concretely the process-wide shared pool,
+    /// so runtimes with this setting all schedule on the same workers.
+    #[default]
+    Auto,
+    /// Exactly this many workers on a dedicated pool. `Fixed(0)` is
+    /// clamped to one worker.
+    Fixed(u32),
+}
+
+impl PoolThreads {
+    /// The concrete worker count (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            PoolThreads::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            PoolThreads::Fixed(n) => (n as usize).max(1),
+        }
+    }
+}
+
 /// Parameters of a continuous density-based clustering query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterQuery {
@@ -138,6 +169,14 @@ mod tests {
     fn rejects_zero_theta_c_and_dim() {
         assert!(ClusterQuery::new(0.5, 0, 2, spec()).is_err());
         assert!(ClusterQuery::new(0.5, 4, 0, spec()).is_err());
+    }
+
+    #[test]
+    fn pool_threads_resolution() {
+        assert!(PoolThreads::Auto.resolve() >= 1);
+        assert_eq!(PoolThreads::Fixed(0).resolve(), 1);
+        assert_eq!(PoolThreads::Fixed(3).resolve(), 3);
+        assert_eq!(PoolThreads::default(), PoolThreads::Auto);
     }
 
     #[test]

@@ -42,6 +42,10 @@ impl ClusterId {
 }
 
 impl WindowId {
+    /// The largest representable window index — "never expires" when
+    /// used as an expiry (no real stream reaches it).
+    pub const MAX: WindowId = WindowId(u64::MAX);
+
     /// The window that follows this one.
     #[inline]
     pub fn next(self) -> WindowId {

@@ -41,7 +41,7 @@ pub mod point;
 pub mod window;
 
 pub use cell::{CellCoord, GridGeometry};
-pub use config::{ClusterQuery, ShardCount};
+pub use config::{ClusterQuery, PoolThreads, ShardCount};
 pub use error::{Error, Result};
 pub use ids::{ClusterId, PointId, WindowId};
 pub use memsize::HeapSize;

@@ -28,7 +28,9 @@
 //! **Sharding** (`DESIGN.md` §6): with `S > 1`
 //! ([`ClusterQuery::shards`]), the extraction state is partitioned by
 //! hashed grid region across `S` shards, and each between-boundary
-//! batch of arrivals runs insertion as five phases on scoped threads —
+//! batch of arrivals runs insertion as five fork-join phases on the
+//! shared [`sgs_exec::Pool`] (`DESIGN.md` §8; persistent workers, no
+//! per-batch thread spawns) —
 //! load, discover (the RQS, read-only across shards), apply (career and
 //! histogram updates, shard-local plus a histogram mailbox), link (pair
 //! watermark events, read-only), raise (link mailbox drain). Because every
@@ -40,6 +42,7 @@
 //! and each object still costs exactly one range-query search.
 
 use sgs_core::{CellCoord, ClusterQuery, GridGeometry, Point, PointId, WindowId};
+use sgs_exec::Pool;
 use sgs_index::grid::GridEntry;
 use sgs_index::ShardRouter;
 use sgs_stream::{ExpiryHistogram, WindowConsumer};
@@ -52,8 +55,8 @@ use crate::shard::{
 };
 
 /// Batches smaller than this run the sharded phases inline on the calling
-/// thread: the phase semantics are identical, but scoped-thread spawns are
-/// not worth their overhead for a handful of points.
+/// thread: the phase semantics are identical, but even pool fork-join has
+/// enqueue/wake overhead that is not worth paying for a handful of points.
 const PAR_BATCH_MIN: usize = 32;
 
 /// The integrated C-SGS extractor. Implements [`WindowConsumer`]; each
@@ -66,6 +69,9 @@ pub struct CSgs {
     query: ClusterQuery,
     geometry: GridGeometry,
     router: ShardRouter,
+    /// Scheduler the parallel phases fork onto (`DESIGN.md` §8); shared
+    /// with every other extractor on the same pool.
+    pool: Pool,
     shards: Vec<Shard>,
     /// Per-shard skeletal cell stores, index-aligned with `shards` (kept
     /// outside [`Shard`] so the link phase can write its own store while
@@ -78,8 +84,16 @@ pub struct CSgs {
 }
 
 impl CSgs {
-    /// New extractor for `query`.
+    /// New extractor for `query`, scheduling its parallel phases on the
+    /// process-wide [`sgs_exec::global`] pool.
     pub fn new(query: ClusterQuery) -> Self {
+        Self::with_pool(query, sgs_exec::global().clone())
+    }
+
+    /// New extractor for `query` on an explicit scheduler pool (the
+    /// runtime passes its own so every query's phases share one set of
+    /// workers).
+    pub fn with_pool(query: ClusterQuery, pool: Pool) -> Self {
         let geometry = query.basic_grid();
         let s = query.shards.resolve();
         // Region width ≥ the range-query reach, so a point's neighborhood
@@ -93,6 +107,7 @@ impl CSgs {
             query,
             geometry,
             router,
+            pool,
             shards,
             cell_stores: (0..s).map(|_| CellStore::new()).collect(),
             current: WindowId(0),
@@ -160,7 +175,9 @@ impl CSgs {
             walker.visit(shards, router, &center, |owner, bucket| {
                 for e in bucket {
                     if e.id != id && sgs_core::dist_sq(&point.coords, &e.coords) <= theta_sq {
-                        hist.add(shards[owner as usize].points[&e.id].expires_at);
+                        // Expiry rides inline in the grid entry — no
+                        // point-map lookup on the discovery hot path.
+                        hist.add(e.expires_at);
                         neighbors.push((e.id, owner));
                     }
                 }
@@ -244,6 +261,7 @@ impl CSgs {
             ref query,
             ref geometry,
             ref router,
+            ref pool,
             ref mut shards,
             ref mut cell_stores,
             current: now,
@@ -263,7 +281,7 @@ impl CSgs {
 
         // Phase A — load: each shard inserts its own points (grid bucket,
         // population, expiry, arena slot, placeholder career state).
-        for_each_par2(parallel, shards, cell_stores, |i, sh, cells| {
+        for_each_par2(pool, parallel, shards, cell_stores, |i, sh, cells| {
             for &ix in &buckets[i] {
                 let (id, point, expires) = items[ix as usize];
                 sh.load(cells, id, point, expires);
@@ -288,7 +306,7 @@ impl CSgs {
             .collect();
         {
             let shards = &*shards;
-            for_each_par(parallel, &mut disc, |i, sc| {
+            for_each_par(pool, parallel, &mut disc, |i, sc| {
                 let mut walker = NeighborCellWalker::new(geometry, router);
                 for &ix in &buckets[i] {
                     let (p_id, point, p_exp) = items[ix as usize];
@@ -300,7 +318,9 @@ impl CSgs {
                             if e.id != p_id
                                 && sgs_core::dist_sq(&point.coords, &e.coords) <= theta_sq
                             {
-                                hist.add(shards[owner as usize].points[&e.id].expires_at);
+                                // Inline entry expiry: no point-map lookup
+                                // per neighbor in the discover phase.
+                                hist.add(e.expires_at);
                                 neighbors.push((e.id, owner));
                                 if e.id < batch_first {
                                     sc.out[owner as usize].push(HistMsg {
@@ -349,7 +369,7 @@ impl CSgs {
 
         // Phase C — apply (shard-local writes): install the new points'
         // career state, drain the histogram inbox, record extensions.
-        for_each_par3(parallel, shards, cell_stores, &mut apply, |_, sh, cells, ap| {
+        for_each_par3(pool, parallel, shards, cell_stores, &mut apply, |_, sh, cells, ap| {
             ap.extended = sh.apply_batch(cells, &mut ap.plans, &mut ap.inbox, now, theta_c);
         });
 
@@ -364,7 +384,7 @@ impl CSgs {
         {
             let shards = &*shards;
             let apply = &apply;
-            for_each_par2(parallel, cell_stores, &mut link_out, |i, cells, out| {
+            for_each_par2(pool, parallel, cell_stores, &mut link_out, |i, cells, out| {
                 out.resize_with(s, Vec::new);
                 for plan in &apply[i].plans {
                     let p = &shards[i].points[&plan.id];
@@ -425,7 +445,7 @@ impl CSgs {
         }
 
         // Phase E — raise: drain the cross-shard link mailboxes.
-        for_each_par2(parallel, cell_stores, &mut link_in, |_, cells, inbox| {
+        for_each_par2(pool, parallel, cell_stores, &mut link_in, |_, cells, inbox| {
             for msg in inbox.drain(..) {
                 cells.raise_link(&msg.at, &msg.other, msg.core_core, msg.attach);
             }
@@ -577,6 +597,7 @@ impl WindowConsumer for CSgs {
             self.query.dim,
             self.geometry.side(),
             &self.router,
+            &self.pool,
             &self.shards,
             &self.cell_stores,
             completed,
@@ -596,11 +617,11 @@ impl WindowConsumer for CSgs {
         } else {
             let mut dead: Vec<Vec<(PointId, Vec<PointId>)>> =
                 vec![Vec::new(); self.shards.len()];
-            for_each_par3(true, &mut self.shards, &mut self.cell_stores, &mut dead, |_, sh, cells, d| {
+            for_each_par3(&self.pool, true, &mut self.shards, &mut self.cell_stores, &mut dead, |_, sh, cells, d| {
                 *d = sh.remove_expired(cells, now);
             });
             let dead_all: Vec<(PointId, Vec<PointId>)> = dead.into_iter().flatten().collect();
-            for_each_par2(true, &mut self.shards, &mut self.cell_stores, |_, sh, cells| {
+            for_each_par2(&self.pool, true, &mut self.shards, &mut self.cell_stores, |_, sh, cells| {
                 sh.prune_dead(&dead_all);
                 sh.maintain(cells, now);
             });

@@ -27,10 +27,11 @@
 //!   `win/slide`, which is the memory property Fig. 7 measures.
 //! * Extraction is **sharded by grid region** (`DESIGN.md` §6): the state
 //!   lives in `S` shards (`ClusterQuery::shards`), insertion of each
-//!   between-boundary batch runs in parallel phases on scoped threads, and
-//!   the output stage merges per-shard DFS fragments across region borders
-//!   with union-find. The per-window output is byte-identical for every
-//!   `S`; `S = 1` runs the original single-threaded code.
+//!   between-boundary batch runs as parallel fork-join phases on the
+//!   shared [`sgs_exec::Pool`] (`DESIGN.md` §8), and the output stage
+//!   merges per-shard DFS fragments across region borders with
+//!   union-find. The per-window output is byte-identical for every `S`;
+//!   `S = 1` runs the original single-threaded code.
 
 pub mod algorithm;
 pub mod cell_store;

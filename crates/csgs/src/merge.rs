@@ -23,6 +23,7 @@
 //!    deduplicated into the final [`WindowOutput`].
 
 use sgs_core::{CellCoord, PointId, WindowId};
+use sgs_exec::Pool;
 use sgs_index::{FxHashMap, ShardRouter, UnionFind};
 use sgs_summarize::{CellStatus, Sgs, SkeletalCell};
 
@@ -52,10 +53,12 @@ struct LocalDfs<'a> {
 }
 
 /// Build the window's output from the live watermarks of all shards.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn emit(
     dim: usize,
     side: f64,
     router: &ShardRouter,
+    pool: &Pool,
     shards: &[Shard],
     stores: &[CellStore],
     w: WindowId,
@@ -65,7 +68,7 @@ pub(crate) fn emit(
 
     // ---- 1. Local DFS per shard (read-only over all shards).
     let mut locals: Vec<LocalDfs> = (0..s).map(|_| LocalDfs::default()).collect();
-    for_each_par(parallel, &mut locals, |i, loc| {
+    for_each_par(pool, parallel, &mut locals, |i, loc| {
         let store = &stores[i];
         loc.core = store
             .iter()
@@ -189,7 +192,7 @@ pub(crate) fn emit(
             edges: vec![Vec::new(); n_groups],
         })
         .collect();
-    for_each_par(parallel, &mut partials, |i, part| {
+    for_each_par(pool, parallel, &mut partials, |i, part| {
         let shard = &shards[i];
         // Cells: own core cells plus their attached edge cells. Status is
         // cluster-relative (Def. 4.2): a cell holding cores of another

@@ -15,8 +15,13 @@
 //! runs [`Shard::insert_sequential`] — the original single-threaded C-SGS
 //! insertion — so a one-shard configuration is bit-identical to the
 //! unsharded implementation.
+//!
+//! Parallel phases execute as fork-join scopes on the shared
+//! [`sgs_exec::Pool`] (`DESIGN.md` §8) — persistent workers, no
+//! per-batch thread spawns.
 
 use sgs_core::{CellCoord, GridGeometry, HeapSize, Point, PointId, WindowId};
+use sgs_exec::Pool;
 use sgs_index::{FxHashMap, GridIndex};
 use sgs_stream::ExpiryHistogram;
 
@@ -152,7 +157,7 @@ pub(crate) struct Shard {
     pub expiry: FxHashMap<u64, Vec<PointId>>,
     pub arena: CoordArena,
     /// Range-query scratch for the sequential path.
-    scratch: Vec<(PointId, CellCoord)>,
+    scratch: Vec<(PointId, CellCoord, WindowId)>,
 }
 
 impl Shard {
@@ -190,7 +195,7 @@ impl Shard {
         point: &Point,
         expires_at: WindowId,
     ) {
-        let cell = self.index.insert(id, point);
+        let cell = self.index.insert_expiring(id, point, expires_at);
         cells.increment_population(&cell);
         self.expiry.entry(expires_at.0).or_default().push(id);
         let slot = self.arena.alloc(&point.coords);
@@ -324,16 +329,18 @@ impl Shard {
         let neighbors_found = std::mem::take(&mut self.scratch);
 
         // 2. Load into the grid and the cell store.
-        let cell = self.index.insert(id, point);
+        let cell = self.index.insert_expiring(id, point, expires_at);
         cells.increment_population(&cell);
         self.expiry.entry(expires_at.0).or_default().push(id);
         let slot = self.arena.alloc(&point.coords);
 
         // 3. The new object's own career (Obs. 5.4) → status promotion.
+        // Neighbor expiries ride inline in the grid entries, so the
+        // histogram is built without touching the point map.
         let mut hist = ExpiryHistogram::new();
         let mut neighbor_ids = Vec::with_capacity(neighbors_found.len());
-        for (q_id, _) in &neighbors_found {
-            hist.add(self.points[q_id].expires_at);
+        for (q_id, _, q_exp) in &neighbors_found {
+            hist.add(*q_exp);
             neighbor_ids.push(*q_id);
         }
         let p_core_until = hist.core_until(expires_at, now, theta_c).0;
@@ -344,7 +351,7 @@ impl Shard {
         // 4. Neighbors gain the new object; extended careers prolong their
         //    cells' status and re-evaluate their links.
         let mut extended: Vec<PointId> = Vec::new();
-        for (q_id, q_cell) in &neighbors_found {
+        for (q_id, q_cell, _) in &neighbors_found {
             let q = self.points.get_mut(q_id).expect("live neighbor");
             q.neighbors.push(id);
             q.hist.add(expires_at);
@@ -368,7 +375,7 @@ impl Shard {
                 neighbors: neighbor_ids,
             },
         );
-        for (q_id, q_cell) in &neighbors_found {
+        for (q_id, q_cell, _) in &neighbors_found {
             if *q_cell == cell {
                 continue; // intra-cell pairs are connected by Lemma 4.1
             }
@@ -423,12 +430,15 @@ pub(crate) fn resolve(shards: &[Shard], id: PointId) -> Option<(usize, &PointSta
         .find_map(|(i, sh)| sh.points.get(&id).map(|p| (i, p)))
 }
 
-/// Run `f(i, &mut items[i])` for every element — on scoped threads (one
-/// per element) when `parallel`, inline otherwise. The building block of
-/// every sharded phase: phases either mutate only their own shard's state
-/// (elements are the shards) or only their own scratch while reading all
-/// shards (elements are per-shard scratches).
+/// Run `f(i, &mut items[i])` for every element — forked onto `pool` (one
+/// scope task per element) when `parallel`, inline otherwise. The
+/// building block of every sharded phase: phases either mutate only
+/// their own shard's state (elements are the shards) or only their own
+/// scratch while reading all shards (elements are per-shard scratches).
+/// Fork-join on the persistent pool replaces the former per-batch
+/// `std::thread::scope` spawns (`DESIGN.md` §8).
 pub(crate) fn for_each_par<T: Send>(
+    pool: &Pool,
     parallel: bool,
     items: &mut [T],
     f: impl Fn(usize, &mut T) + Sync,
@@ -439,7 +449,7 @@ pub(crate) fn for_each_par<T: Send>(
         }
     } else {
         let f = &f;
-        std::thread::scope(|scope| {
+        pool.scope(|scope| {
             for (i, item) in items.iter_mut().enumerate() {
                 scope.spawn(move || f(i, item));
             }
@@ -450,6 +460,7 @@ pub(crate) fn for_each_par<T: Send>(
 /// Like [`for_each_par`] but over three parallel slices (e.g. shards,
 /// their cell stores, and their inboxes).
 pub(crate) fn for_each_par3<A: Send, B: Send, C: Send>(
+    pool: &Pool,
     parallel: bool,
     a: &mut [A],
     b: &mut [B],
@@ -463,7 +474,7 @@ pub(crate) fn for_each_par3<A: Send, B: Send, C: Send>(
         }
     } else {
         let f = &f;
-        std::thread::scope(|scope| {
+        pool.scope(|scope| {
             for (i, ((x, y), z)) in a.iter_mut().zip(b.iter_mut()).zip(c.iter_mut()).enumerate() {
                 scope.spawn(move || f(i, x, y, z));
             }
@@ -474,6 +485,7 @@ pub(crate) fn for_each_par3<A: Send, B: Send, C: Send>(
 /// Like [`for_each_par`] but over two parallel slices (e.g. shards plus
 /// their inboxes).
 pub(crate) fn for_each_par2<A: Send, B: Send>(
+    pool: &Pool,
     parallel: bool,
     a: &mut [A],
     b: &mut [B],
@@ -486,7 +498,7 @@ pub(crate) fn for_each_par2<A: Send, B: Send>(
         }
     } else {
         let f = &f;
-        std::thread::scope(|scope| {
+        pool.scope(|scope| {
             for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
                 scope.spawn(move || f(i, x, y));
             }
@@ -520,7 +532,7 @@ mod tests {
     fn for_each_par_runs_all_indices() {
         for parallel in [false, true] {
             let mut items = vec![0usize; 7];
-            for_each_par(parallel, &mut items, |i, v| *v = i + 1);
+            for_each_par(sgs_exec::global(), parallel, &mut items, |i, v| *v = i + 1);
             assert_eq!(items, vec![1, 2, 3, 4, 5, 6, 7]);
         }
     }

@@ -1,0 +1,610 @@
+//! # sgs-exec
+//!
+//! The shared work-stealing scheduler pool that carries **all**
+//! parallelism in streamsum (`DESIGN.md` §8). One persistent [`Pool`] of
+//! worker threads replaces both thread-per-query fan-out (`sgs-runtime`)
+//! and per-batch scoped-thread spawning (`sgs-csgs`'s sharded phases):
+//!
+//! * [`Pool::spawn`] — fire-and-forget tasks at two [`Priority`] levels.
+//!   `Normal` carries query-ingestion tasks (a parked query costs zero
+//!   threads until input arrives); `High` carries intra-query shard
+//!   phases, which sit on the critical path of a blocked fork-join
+//!   caller.
+//! * [`Pool::scope`] — scoped fork-join over **borrowed** data, the
+//!   `std::thread::scope` replacement. Spawned closures may borrow from
+//!   the caller's stack; the scope does not return until every one of
+//!   them has finished, and the waiting caller *helps execute* queued
+//!   high-priority tasks instead of blocking, so fork-join makes
+//!   progress even on a single-worker pool (and when invoked from
+//!   within a pool task — nested fork-join is fully supported).
+//! * [`global`] — the process-wide default pool, sized to
+//!   `std::thread::available_parallelism`, created lazily on first use
+//!   and never torn down. Components that are not handed an explicit
+//!   pool (e.g. a standalone [`CSgs`] extractor) schedule here, which is
+//!   what makes the scheduler *shared*: concurrent queries and their
+//!   intra-query shard phases multiplex over one set of OS threads.
+//!
+//! ## Scheduling model
+//!
+//! Each worker owns a private deque; a task spawned from a worker thread
+//! of the same pool (the fork of a fork-join phase) is pushed onto that
+//! worker's own deque. Everything else lands in a global two-priority
+//! injector. A worker looks for work in order: own deque (newest first —
+//! fork-join children run hot), injector `High`, stealing the *oldest*
+//! task from a sibling's deque (deques hold only `High` forks), and
+//! `Normal` injector work last — so high-priority work is exhausted
+//! pool-wide before any ingestion task is picked up. Idle workers sleep
+//! on a condvar and are woken per push.
+//!
+//! Scheduling never affects results: streamsum's parallel consumers are
+//! designed so their outputs are independent of task interleaving (the
+//! sharded C-SGS phase protocol of `DESIGN.md` §6, the per-query
+//! serialization of `sgs-runtime`'s executor) — the pool only decides
+//! *where and when* work runs, never what it computes.
+//!
+//! [`CSgs`]: ../sgs_csgs/struct.CSgs.html
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of pool work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Scheduling class of a [`Pool::spawn`]ed task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Priority {
+    /// Intra-query work on the critical path of a blocked fork-join
+    /// caller (shard phases). Always dispatched before `Normal`.
+    High,
+    /// Query-ingestion tasks: independent units of multiplexed progress.
+    Normal,
+}
+
+/// The global two-priority task queue (spawns from non-worker threads,
+/// plus every `Normal`-priority spawn).
+#[derive(Default)]
+struct Injector {
+    high: VecDeque<Task>,
+    normal: VecDeque<Task>,
+}
+
+/// Idle/shutdown coordination, guarded by `Inner::sleep`.
+struct SleepState {
+    shutdown: bool,
+}
+
+struct Inner {
+    injector: Mutex<Injector>,
+    /// Per-worker deques: owner pushes/pops the back, thieves pop the
+    /// front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    sleep: Mutex<SleepState>,
+    wake: Condvar,
+    /// Tasks currently queued anywhere (injector + deques). Checked
+    /// under the `sleep` lock before a worker waits, which is what makes
+    /// wakeups race-free: a producer increments *before* notifying.
+    queued: AtomicUsize,
+    /// Workers currently waiting on `wake` (registered under the `sleep`
+    /// lock). Producers skip the lock-and-notify entirely while this is
+    /// zero — the common saturated case — keeping the hot spawn path off
+    /// the global mutex.
+    sleepers: AtomicUsize,
+}
+
+std::thread_local! {
+    /// Identity of the current thread when it is a pool worker: the pool
+    /// it belongs to and its worker index (for own-deque pushes).
+    static WORKER: std::cell::RefCell<Option<(Arc<Inner>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl Inner {
+    /// Push a task and wake one sleeping worker. `worker` routes to that
+    /// worker's own deque; otherwise the task joins the injector at
+    /// `priority`.
+    fn push(&self, worker: Option<usize>, priority: Priority, task: Task) {
+        // Count before enqueueing: were the order reversed, a thief could
+        // pop the task and decrement first, wrapping the counter to
+        // `usize::MAX` and sending every idle worker into a busy-spin
+        // until this increment landed. Counting early only makes workers
+        // rescan a touch sooner than the task is visible.
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        match worker {
+            Some(w) => self.deques[w].lock().unwrap().push_back(task),
+            None => {
+                let mut inj = self.injector.lock().unwrap();
+                match priority {
+                    Priority::High => inj.high.push_back(task),
+                    Priority::Normal => inj.normal.push_back(task),
+                }
+            }
+        }
+        // Wake a sleeper if there is one. The order is what makes this
+        // race-free without locking on every push: a worker registers in
+        // `sleepers` *before* its final `queued` re-check (both SeqCst).
+        // If we read `sleepers == 0` here, our `queued` increment is
+        // ordered before that worker's re-check, so it will not sleep;
+        // if we read a sleeper, we notify under the lock as usual.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock().unwrap();
+            self.wake.notify_one();
+        }
+    }
+
+    /// Take one task, exhausting every high-priority source before
+    /// touching `Normal` work: the hot end of `me`'s own deque, the
+    /// injector's `High` queue, the cold end of a sibling's deque (worker
+    /// deques only ever hold `High` fork-join tasks), and finally — iff
+    /// `include_normal` — the injector's `Normal` queue. Stealing before
+    /// `Normal` is what gives a blocked fork-join caller's phases
+    /// cross-worker parallelism even while ingestion work is queued.
+    fn find_task(&self, me: Option<usize>, include_normal: bool) -> Option<Task> {
+        if let Some(w) = me {
+            if let Some(t) = self.deques[w].lock().unwrap().pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().unwrap().high.pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |w| w + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        if include_normal {
+            if let Some(t) = self.injector.lock().unwrap().normal.pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// The persistent worker main loop: run tasks until the pool shuts down
+/// and no queued work remains.
+fn worker_loop(inner: Arc<Inner>, me: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((inner.clone(), me)));
+    loop {
+        if let Some(task) = inner.find_task(Some(me), true) {
+            // A detached task must never take its worker down: panics are
+            // contained here (task owners that care — scopes, the runtime
+            // executor — install their own handlers underneath).
+            let _ = catch_unwind(AssertUnwindSafe(task));
+            continue;
+        }
+        let mut sleep = inner.sleep.lock().unwrap();
+        loop {
+            if inner.queued.load(Ordering::SeqCst) > 0 {
+                break; // rescan
+            }
+            if sleep.shutdown {
+                return;
+            }
+            // Register, then re-check `queued` before actually waiting:
+            // a producer that missed us in `sleepers` (and so skipped
+            // its notify) must have pushed before our registration, and
+            // this re-check observes its increment — no lost wakeup.
+            inner.sleepers.fetch_add(1, Ordering::SeqCst);
+            if inner.queued.load(Ordering::SeqCst) > 0 {
+                inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+                break; // rescan
+            }
+            sleep = inner.wake.wait(sleep).unwrap();
+            inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Signals shutdown when the last user-facing [`Pool`] handle drops.
+/// Workers (which hold only `Arc<Inner>`) drain what is queued, then
+/// exit.
+struct ShutdownGuard {
+    inner: Arc<Inner>,
+}
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.inner.sleep.lock().unwrap().shutdown = true;
+        self.inner.wake.notify_all();
+    }
+}
+
+/// A handle to a persistent work-stealing thread pool. Cheap to clone;
+/// the pool shuts down (after draining queued tasks) when the last
+/// handle drops. See the crate docs for the scheduling model.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<Inner>,
+    _shutdown: Arc<ShutdownGuard>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Start a pool of `threads` persistent workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            injector: Mutex::new(Injector::default()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(SleepState { shutdown: false }),
+            wake: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+        });
+        for me in 0..threads {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("sgs-exec-{me}"))
+                .spawn(move || worker_loop(inner, me))
+                .expect("failed to spawn pool worker thread");
+        }
+        Pool {
+            _shutdown: Arc::new(ShutdownGuard {
+                inner: inner.clone(),
+            }),
+            inner,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// The current thread's worker index **in this pool**, if it is one
+    /// of this pool's workers.
+    fn worker_index(&self) -> Option<usize> {
+        WORKER.with(|w| match &*w.borrow() {
+            Some((inner, me)) if Arc::ptr_eq(inner, &self.inner) => Some(*me),
+            _ => None,
+        })
+    }
+
+    /// Submit a detached task. A panicking task is contained by its
+    /// worker (the worker survives; the payload is dropped) — tasks that
+    /// need panic visibility must catch their own.
+    pub fn spawn(&self, priority: Priority, f: impl FnOnce() + Send + 'static) {
+        self.inner.push(None, priority, Box::new(f));
+    }
+
+    /// Scoped fork-join: run `f` with a [`Scope`] whose spawned closures
+    /// may borrow non-`'static` data from the enclosing frame, exactly
+    /// like `std::thread::scope` — but executed by the persistent pool
+    /// workers instead of freshly spawned OS threads. `scope` returns
+    /// only after every spawned closure has finished; while waiting, the
+    /// calling thread executes queued high-priority tasks itself, so the
+    /// construct is deadlock-free from any thread (including pool
+    /// workers — fork-join nests).
+    ///
+    /// If `f` or any spawned closure panics, `scope` panics after all
+    /// spawned closures have completed (borrowed data is never released
+    /// early).
+    pub fn scope<'env, F, T>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                done: Mutex::new(()),
+                done_cv: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            _scope: std::marker::PhantomData,
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help-then-wait until every spawned task is done. This must run
+        // even when `f` panicked: tasks borrow from `'env` and must not
+        // outlive this frame.
+        let me = self.worker_index();
+        while scope.state.pending.load(Ordering::SeqCst) > 0 {
+            // Only high-priority work is safe to help with: `Normal`
+            // ingestion tasks may block (bounded output) and would stall
+            // this scope on an unrelated query.
+            if let Some(task) = self.inner.find_task(me, false) {
+                let _ = catch_unwind(AssertUnwindSafe(task));
+                continue;
+            }
+            let guard = scope.state.done.lock().unwrap();
+            if scope.state.pending.load(Ordering::SeqCst) > 0 {
+                // Completion is signalled under `done` (so the plain
+                // wait would already be race-free); the long timeout is
+                // only defense-in-depth against a missed help
+                // opportunity, rare enough not to cost lock traffic.
+                let _ = scope
+                    .state
+                    .done_cv
+                    .wait_timeout(guard, std::time::Duration::from_millis(50))
+                    .unwrap();
+            }
+        }
+        let task_panic = scope.state.panic.lock().unwrap().take();
+        match (result, task_panic) {
+            (Ok(v), None) => v,
+            (Err(p), _) | (Ok(_), Some(p)) => resume_unwind(p),
+        }
+    }
+}
+
+/// The process-wide default pool, sized to the machine's available
+/// parallelism. Created on first use; lives for the whole process.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    })
+}
+
+/// Completion accounting of one [`Pool::scope`] call.
+struct ScopeState {
+    pending: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    /// First panic payload from a spawned task (re-thrown at scope exit).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A fork-join scope created by [`Pool::scope`]. Mirrors
+/// `std::thread::Scope`: `'scope` is the lifetime of the scope itself,
+/// `'env` the environment it may borrow from.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope Pool,
+    state: Arc<ScopeState>,
+    _scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Fork one closure into the pool at high priority. From a pool
+    /// worker the task goes to that worker's own deque (run next, stolen
+    /// last); from any other thread it joins the global high-priority
+    /// injector.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = self.state.clone();
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Signal under `done` so the owner's check-then-wait in
+                // `Pool::scope` cannot miss the last completion.
+                let _guard = state.done.lock().unwrap();
+                state.done_cv.notify_all();
+            }
+        });
+        // SAFETY: erasing `'scope` to `'static` is sound because
+        // `Pool::scope` does not return (or unwind) until `pending`
+        // reaches zero, i.e. until this closure — and everything it
+        // borrows from `'scope`/`'env` — has run to completion. The
+        // completion decrement above runs even if `f` panics.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
+        };
+        self.pool
+            .inner
+            .push(self.pool.worker_index(), Priority::High, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    #[test]
+    fn spawned_tasks_all_run() {
+        let pool = Pool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let (c, tx) = (counter.clone(), tx.clone());
+            pool.spawn(Priority::Normal, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn scope_runs_borrowing_tasks_to_completion() {
+        let pool = Pool::new(2);
+        let mut items = vec![0usize; 64];
+        pool.scope(|sc| {
+            for (i, item) in items.iter_mut().enumerate() {
+                sc.spawn(move || *item = i + 1);
+            }
+        });
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn scope_makes_progress_on_single_worker_pool() {
+        // More forks than workers: the caller must help execute.
+        let pool = Pool::new(1);
+        let mut items = vec![0u8; 32];
+        pool.scope(|sc| {
+            for item in items.iter_mut() {
+                sc.spawn(move || *item = 1);
+            }
+        });
+        assert!(items.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn nested_scopes_from_pool_tasks() {
+        // A Normal task on a 1-worker pool opens a scope that forks
+        // again: the worker helps itself through both levels.
+        let pool = Pool::new(1);
+        let (tx, rx) = mpsc::channel();
+        let inner_pool = pool.clone();
+        pool.spawn(Priority::Normal, move || {
+            let mut outer = vec![0u64; 4];
+            inner_pool.scope(|sc| {
+                for (i, slot) in outer.iter_mut().enumerate() {
+                    let p = &inner_pool;
+                    sc.spawn(move || {
+                        let mut inner = vec![0u64; 3];
+                        p.scope(|sc2| {
+                            for v in inner.iter_mut() {
+                                sc2.spawn(move || *v = 1);
+                            }
+                        });
+                        *slot = i as u64 + inner.iter().sum::<u64>();
+                    });
+                }
+            });
+            tx.send(outer).unwrap();
+        });
+        let outer = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(outer, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn high_priority_dispatches_before_normal() {
+        let pool = Pool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        // Occupy the only worker…
+        pool.spawn(Priority::Normal, move || {
+            gate_rx.recv().unwrap();
+        });
+        // …queue Normal before High while it is blocked…
+        for (pri, tag) in [(Priority::Normal, "normal"), (Priority::High, "high")] {
+            let (order, done_tx) = (order.clone(), done_tx.clone());
+            pool.spawn(pri, move || {
+                order.lock().unwrap().push(tag);
+                done_tx.send(()).unwrap();
+            });
+        }
+        // …then release the gate: the worker must pick High first.
+        gate_tx.send(()).unwrap();
+        done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["high", "normal"]);
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_after_completion() {
+        let pool = Pool::new(2);
+        let finished = Arc::new(AtomicU64::new(0));
+        let fin = finished.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|sc| {
+                sc.spawn(|| panic!("forked task failure"));
+                for _ in 0..8 {
+                    let fin = &fin;
+                    sc.spawn(move || {
+                        fin.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "scope must re-throw the task panic");
+        // Sibling tasks all completed before the scope unwound.
+        assert_eq!(finished.load(Ordering::SeqCst), 8);
+        // The pool survives panicking tasks.
+        let mut v = [0u8; 4];
+        pool.scope(|sc| {
+            for slot in v.iter_mut() {
+                sc.spawn(move || *slot = 7);
+            }
+        });
+        assert_eq!(v, [7; 4]);
+    }
+
+    #[test]
+    fn concurrent_scopes_from_many_threads() {
+        let pool = Pool::new(2);
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for round in 0..20 {
+                        let mut items = vec![0usize; 8];
+                        pool.scope(|sc| {
+                            for (i, item) in items.iter_mut().enumerate() {
+                                sc.spawn(move || *item = t * 1000 + round * 10 + i);
+                            }
+                        });
+                        for (i, &v) in items.iter().enumerate() {
+                            assert_eq!(v, t * 1000 + round * 10 + i);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn dropping_last_handle_drains_queued_tasks() {
+        let (tx, rx) = mpsc::channel();
+        {
+            let pool = Pool::new(1);
+            for i in 0..16 {
+                let tx = tx.clone();
+                pool.spawn(Priority::Normal, move || {
+                    tx.send(i).unwrap();
+                });
+            }
+            // Pool handle drops here with tasks possibly still queued.
+        }
+        let mut got: Vec<i32> = (0..16)
+            .map(|_| rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -7,19 +7,26 @@
 //! all points co-located in a cell are mutual neighbors (Lemma 4.1) — the
 //! index exposes per-cell buckets so algorithms can exploit that.
 
-use sgs_core::{CellCoord, GridGeometry, HeapSize, Point, PointId};
+use sgs_core::{CellCoord, GridGeometry, HeapSize, Point, PointId, WindowId};
 
 use crate::fx::FxHashMap;
 
-/// One indexed object: its id and an inline copy of its coordinates
-/// (coordinates are copied so the distance loop never chases a pointer into
-/// a foreign slab).
+/// One indexed object: its id, an inline copy of its coordinates
+/// (copied so the distance loop never chases a pointer into a foreign
+/// slab), and its expiry window (inline for the same reason: C-SGS
+/// discovery reads every neighbor's expiry, and a point's expiry is
+/// fixed at arrival — see `DESIGN.md` §1 — so the copy can never go
+/// stale while the entry is indexed).
 #[derive(Clone, Debug)]
 pub struct GridEntry {
     /// Stream object id.
     pub id: PointId,
     /// Position (same dimensionality as the grid).
     pub coords: Box<[f64]>,
+    /// First window in which the object is no longer live
+    /// ([`WindowId::MAX`] for consumers indexing non-expiring data via
+    /// [`GridIndex::insert`]).
+    pub expires_at: WindowId,
 }
 
 /// Uniform grid over the data space, bucketing live points by cell.
@@ -64,12 +71,26 @@ impl GridIndex {
         self.cells.len()
     }
 
-    /// Insert a point; returns the cell it landed in.
+    /// Insert a non-expiring point (entry expiry pinned to the maximum
+    /// window); returns the cell it landed in.
     pub fn insert(&mut self, id: PointId, point: &Point) -> CellCoord {
+        self.insert_expiring(id, point, WindowId::MAX)
+    }
+
+    /// Insert a point together with its expiry window, stored inline in
+    /// the entry so range-query consumers read it without a point-map
+    /// lookup; returns the cell it landed in.
+    pub fn insert_expiring(
+        &mut self,
+        id: PointId,
+        point: &Point,
+        expires_at: WindowId,
+    ) -> CellCoord {
         let cell = self.geometry.cell_of(point);
         self.cells.entry(cell.clone()).or_default().push(GridEntry {
             id,
             coords: point.coords.clone(),
+            expires_at,
         });
         self.len += 1;
         cell
@@ -167,20 +188,21 @@ impl GridIndex {
         });
     }
 
-    /// Like [`range_query`](Self::range_query) but yields `(id, cell)` pairs
-    /// so callers can update per-cell state without a second lookup.
+    /// Like [`range_query`](Self::range_query) but yields
+    /// `(id, cell, expires_at)` triples so callers can update per-cell
+    /// and per-lifespan state without a second lookup.
     pub fn range_query_with_cells(
         &self,
         coords: &[f64],
         theta_r: f64,
         exclude: PointId,
-        out: &mut Vec<(PointId, CellCoord)>,
+        out: &mut Vec<(PointId, CellCoord, WindowId)>,
     ) {
         let theta_sq = theta_r * theta_r;
         self.for_each_reachable_bucket(coords, |cell, bucket| {
             for e in bucket {
                 if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
-                    out.push((e.id, cell.clone()));
+                    out.push((e.id, cell.clone(), e.expires_at));
                 }
             }
         });
@@ -289,15 +311,23 @@ mod tests {
     }
 
     #[test]
-    fn with_cells_variant_reports_owning_cell() {
+    fn with_cells_variant_reports_owning_cell_and_expiry() {
         let mut g = index2d(1.0);
         g.insert(PointId(0), &pt(0.0, 0.0));
-        let cell1 = g.insert(PointId(1), &pt(0.9, 0.0));
+        let cell1 = g.insert_expiring(PointId(1), &pt(0.9, 0.0), WindowId(42));
         let mut out = Vec::new();
         g.range_query_with_cells(&[0.0, 0.0], 1.0, PointId(0), &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, PointId(1));
         assert_eq!(out[0].1, cell1);
+        assert_eq!(out[0].2, WindowId(42));
+    }
+
+    #[test]
+    fn plain_insert_pins_expiry_to_max() {
+        let mut g = index2d(1.0);
+        let c = g.insert(PointId(0), &pt(0.1, 0.1));
+        assert_eq!(g.cell_points(&c)[0].expires_at, WindowId::MAX);
     }
 
     #[test]

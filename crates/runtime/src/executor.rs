@@ -1,112 +1,267 @@
-//! The fan-out executor: one worker thread per continuous query, fed
-//! through a **bounded** `std::sync::mpsc` channel.
+//! The query executor: every continuous query is multiplexed onto the
+//! shared [`sgs_exec::Pool`] as a **task-per-ready-query** (`DESIGN.md`
+//! §8) — replacing the former thread-per-query fan-out.
 //!
-//! Bounded input channels are the backpressure mechanism: when a query
-//! falls behind, [`Runtime::push`] blocks on its channel instead of
-//! buffering unboundedly, throttling ingestion to the slowest running
-//! query. Each worker owns a private [`StreamPipeline`], so per-query
-//! execution is single-threaded over the ingestion order — which is what
-//! makes the fan-out deterministic: a query's outputs and archive are
-//! byte-identical to a solo pipeline run over the same points.
+//! Each query owns a `QueryCell`: a **bounded** input queue plus the
+//! query's private [`StreamPipeline`]. Bounded input is the backpressure
+//! mechanism: when a query falls behind, [`Runtime::push`] blocks on its
+//! queue instead of buffering unboundedly, throttling ingestion to the
+//! slowest running query. An *idle* query is parked — no task exists for
+//! it, so hundreds of registered-but-quiet queries cost zero threads.
+//! The first message enqueued schedules a `Normal`-priority pool task
+//! (guarded by the cell's `scheduled` flag, so at most one task per
+//! query is ever live); the task drains the queue in bounded quanta,
+//! re-queueing itself behind other ready queries for fairness, and
+//! parks the query again when the queue runs dry.
 //!
-//! Workers also mirror every newly archived summary into the runtime's
+//! Per-query execution therefore remains single-threaded over the
+//! ingestion order — the `scheduled` flag serializes the cell — which is
+//! what keeps the fan-out deterministic: a query's outputs and archive
+//! are byte-identical to a solo pipeline run over the same points, no
+//! matter how tasks interleave across workers.
+//!
+//! Tasks also mirror every newly archived summary into the runtime's
 //! shared history base ([`SharedPatternBase`], a `parking_lot`-locked
 //! [`sgs_archive::PatternBase`]) so matching queries observe the union of
 //! all queries' archives while extraction continues — Fig. 4's concurrent
 //! archiver/analyst arrangement.
 //!
+//! A panic inside query processing (a failing analyst callback, say) is
+//! caught at the task boundary: the query moves to
+//! [`QueryState::Failed`] and later input is drained and dropped, while
+//! the pool worker — and every other query — carries on.
+//!
 //! [`Runtime::push`]: crate::runtime::Runtime::push
 
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use sgs_archive::SharedPatternBase;
 use sgs_core::{Point, WindowId};
 use sgs_csgs::WindowOutput;
+use sgs_exec::{Pool, Priority};
 
+use crate::output::OutputBuffer;
 use crate::pipeline::StreamPipeline;
 use crate::plan::DetectPlan;
-use crate::registry::{QueryId, QueryState, SharedStatus};
+use crate::registry::{QueryState, SharedStatus};
 
-/// Control/data messages sent to a query worker.
+/// Control/data messages sent to a query's input queue.
 pub(crate) enum Msg {
     /// One point to process.
     Point(Point),
     /// A batch of points to process as one unit. Shared (`Arc`) so the
     /// ingest thread materializes each broadcast chunk once, not once per
-    /// query; workers pay the per-point clone in parallel.
+    /// query; tasks pay the per-point clone on the pool.
     Batch(Arc<[Point]>),
-    /// Synchronization barrier: the worker acks once every message queued
-    /// before this one has been fully processed.
+    /// Synchronization barrier: acked once every message queued before
+    /// this one has been fully processed.
     Barrier(mpsc::Sender<()>),
-    /// Stop the worker; it returns its pipeline through the join handle.
-    Stop,
+    /// Stop the query: hand its pipeline back through the channel and
+    /// drop any input queued behind this message.
+    Stop(mpsc::Sender<StreamPipeline>),
 }
 
-/// Where a worker delivers completed windows.
+/// Where a query delivers completed windows.
 pub(crate) enum Sink {
-    /// Buffer into an unbounded channel, drained by `Runtime::poll`.
-    Channel(mpsc::Sender<(WindowId, WindowOutput)>),
-    /// Invoke a callback on the worker thread (no buffering).
+    /// Buffer for [`Runtime::poll`], governed by the runtime's
+    /// [`OutputPolicy`](crate::output::OutputPolicy).
+    ///
+    /// [`Runtime::poll`]: crate::runtime::Runtime::poll
+    Buffer(Arc<OutputBuffer>),
+    /// Invoke a callback on the executing pool worker (no buffering).
     Callback(Box<dyn FnMut(WindowId, &WindowOutput) + Send>),
 }
 
-/// Spawn the worker thread for one DETECT plan. Returns the bounded input
-/// sender (capacity `capacity` messages) and the join handle through which
-/// the worker eventually returns its pipeline.
-pub(crate) fn spawn_worker(
-    id: QueryId,
-    plan: &DetectPlan,
-    shared: SharedStatus,
-    history: SharedPatternBase,
+/// Messages one task activation processes before re-queueing itself
+/// behind other ready queries — the fairness quantum of the multiplexer.
+const TASK_QUANTUM: usize = 16;
+
+/// The bounded input queue of one query. Producers block while it is at
+/// capacity (backpressure); the query's executor task drains it.
+struct InputQueue {
     capacity: usize,
-    sink: Sink,
-) -> sgs_core::Result<(mpsc::SyncSender<Msg>, JoinHandle<StreamPipeline>)> {
-    let pipeline = StreamPipeline::new(plan.query.clone(), plan.policy.clone(), plan.seed)?;
-    let (tx, rx) = mpsc::sync_channel(capacity);
-    let join = std::thread::Builder::new()
-        .name(format!("sgs-runtime-{id}"))
-        .spawn(move || worker_loop(pipeline, rx, shared, history, sink))
-        .expect("failed to spawn query worker thread");
-    Ok((tx, join))
+    queue: Mutex<VecDeque<Msg>>,
+    not_full: Condvar,
 }
 
-/// The worker main loop: drain messages until `Stop` or the runtime side
-/// hangs up, then hand the pipeline back.
-fn worker_loop(
-    mut pipeline: StreamPipeline,
-    rx: mpsc::Receiver<Msg>,
+impl InputQueue {
+    /// Enqueue, blocking while the queue is at capacity.
+    fn send(&self, msg: Msg) {
+        let mut q = self.queue.lock().unwrap();
+        while q.len() >= self.capacity {
+            q = self.not_full.wait(q).unwrap();
+        }
+        q.push_back(msg);
+    }
+
+    fn pop(&self) -> Option<Msg> {
+        let mut q = self.queue.lock().unwrap();
+        let was_full = q.len() >= self.capacity;
+        let msg = q.pop_front();
+        if msg.is_some() && was_full {
+            // Producers only wait while the queue is at capacity, so
+            // notifying is needed exactly on the full → not-full edge.
+            self.not_full.notify_all();
+        }
+        msg
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+/// Execution state a query task needs exclusive access to. `pipeline`
+/// becomes `None` once [`Msg::Stop`] hands it back to the runtime;
+/// messages drained after that are dropped.
+struct ExecState {
+    pipeline: Option<StreamPipeline>,
+    sink: Sink,
+    /// Patterns of the pipeline's base already mirrored into the shared
+    /// history.
+    mirrored: usize,
+}
+
+/// One registered query's executor-side record: input queue, pipeline,
+/// and the scheduling flag that serializes its processing.
+pub(crate) struct QueryCell {
     shared: SharedStatus,
     history: SharedPatternBase,
-    mut sink: Sink,
-) -> StreamPipeline {
-    // Patterns of `pipeline.base()` already mirrored into `history`.
-    let mut mirrored = 0usize;
-    while let Ok(msg) = rx.recv() {
+    input: InputQueue,
+    exec: Mutex<ExecState>,
+    /// True while a pool task owns this query (queued or running). The
+    /// single-owner discipline is what keeps per-query processing
+    /// single-threaded in ingestion order.
+    scheduled: AtomicBool,
+    pool: Pool,
+}
+
+impl QueryCell {
+    /// Build the cell for one DETECT plan, its pipeline scheduled on
+    /// `pool` (the C-SGS shard phases fork there too, so one set of
+    /// workers carries both levels of parallelism).
+    pub(crate) fn new(
+        plan: &DetectPlan,
+        shared: SharedStatus,
+        history: SharedPatternBase,
+        capacity: usize,
+        sink: Sink,
+        pool: Pool,
+    ) -> sgs_core::Result<Arc<QueryCell>> {
+        let pipeline = StreamPipeline::with_pool(
+            plan.query.clone(),
+            plan.policy.clone(),
+            plan.seed,
+            pool.clone(),
+        )?;
+        Ok(Arc::new(QueryCell {
+            shared,
+            history,
+            input: InputQueue {
+                capacity: capacity.max(1),
+                queue: Mutex::new(VecDeque::new()),
+                not_full: Condvar::new(),
+            },
+            exec: Mutex::new(ExecState {
+                pipeline: Some(pipeline),
+                sink,
+                mirrored: 0,
+            }),
+            scheduled: AtomicBool::new(false),
+            pool,
+        }))
+    }
+
+    /// Enqueue a message (blocking on a full queue) and make sure a task
+    /// is scheduled to process it.
+    pub(crate) fn send(self: &Arc<Self>, msg: Msg) {
+        self.input.send(msg);
+        self.schedule();
+    }
+
+    /// Spawn the query's executor task unless one is already live.
+    fn schedule(self: &Arc<Self>) {
+        if !self.scheduled.swap(true, Ordering::SeqCst) {
+            let cell = self.clone();
+            self.pool.spawn(Priority::Normal, move || run(cell));
+        }
+    }
+
+    /// Process one batch: run the pipeline, mirror new archive entries
+    /// into the shared history, emit outputs, update the stats cell. A
+    /// panic (e.g. in an analyst callback) fails the query instead of
+    /// poisoning the worker.
+    fn process(&self, points: &[Point]) {
+        if self.shared.read().state == QueryState::Failed {
+            return; // Drop points that were in flight when the query failed.
+        }
+        let mut exec = self.exec.lock().unwrap();
+        let exec = &mut *exec;
+        let Some(pipeline) = exec.pipeline.as_mut() else {
+            return; // Stopped: drain-and-drop whatever was queued behind.
+        };
+        let (sink, mirrored) = (&mut exec.sink, &mut exec.mirrored);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            process_batch(pipeline, points, &self.shared, &self.history, sink, mirrored)
+        }));
+        if caught.is_err() {
+            let mut status = self.shared.write();
+            if status.state != QueryState::Cancelled {
+                status.state = QueryState::Failed;
+                status.stats.error =
+                    Some("query execution panicked (see the worker's stderr)".into());
+            }
+        }
+    }
+}
+
+/// The executor task body: drain up to [`TASK_QUANTUM`] messages, then
+/// either re-queue behind other ready queries or park the query.
+fn run(cell: Arc<QueryCell>) {
+    let mut quantum = TASK_QUANTUM;
+    loop {
+        if quantum == 0 {
+            // Yield: stay scheduled, but let other ready queries run.
+            let next = cell.clone();
+            cell.pool.spawn(Priority::Normal, move || run(next));
+            return;
+        }
+        let Some(msg) = cell.input.pop() else {
+            // Park. A producer enqueueing right now either sees the flag
+            // still true (this task reclaims below) or schedules afresh.
+            cell.scheduled.store(false, Ordering::SeqCst);
+            if !cell.input.is_empty() && !cell.scheduled.swap(true, Ordering::SeqCst) {
+                continue; // Raced with a producer: reclaim the query.
+            }
+            return;
+        };
+        quantum -= 1;
         match msg {
-            Msg::Point(p) => process(
-                &mut pipeline,
-                std::slice::from_ref(&p),
-                &shared,
-                &history,
-                &mut sink,
-                &mut mirrored,
-            ),
-            Msg::Batch(b) => process(&mut pipeline, &b, &shared, &history, &mut sink, &mut mirrored),
+            Msg::Point(p) => cell.process(std::slice::from_ref(&p)),
+            Msg::Batch(b) => cell.process(&b),
             Msg::Barrier(ack) => {
                 // Sender may have given up waiting; a dead ack is fine.
                 let _ = ack.send(());
             }
-            Msg::Stop => break,
+            Msg::Stop(give) => {
+                let pipeline = cell.exec.lock().unwrap().pipeline.take();
+                if let Some(p) = pipeline {
+                    let _ = give.send(p);
+                }
+                // Keep draining: queued input behind the stop is dropped,
+                // and any blocked producers get unstuck.
+            }
         }
     }
-    pipeline
 }
 
-/// Process one batch: run the pipeline, mirror new archive entries into
-/// the shared history, emit outputs, and update the stats cell.
-fn process(
+/// The batch-processing body (unchanged semantics from the
+/// thread-per-query executor).
+fn process_batch(
     pipeline: &mut StreamPipeline,
     points: &[Point],
     shared: &SharedStatus,
@@ -114,9 +269,6 @@ fn process(
     sink: &mut Sink,
     mirrored: &mut usize,
 ) {
-    if shared.read().state == QueryState::Failed {
-        return; // Drop points that were in flight when the query failed.
-    }
     let start = Instant::now();
     let (outputs, result) = pipeline.push_batch_collect(points.iter().cloned());
     let busy = start.elapsed().as_nanos() as u64;
@@ -139,12 +291,11 @@ fn process(
     // results that History can serve.
     let n_windows = outputs.len() as u64;
     let n_clusters: u64 = outputs.iter().map(|(_, o)| o.len() as u64).sum();
+    let mut n_dropped = 0u64;
     match sink {
-        Sink::Channel(tx) => {
-            for out in outputs {
-                // The receiver half lives in the registry entry; if it is
-                // gone the runtime itself is being dropped.
-                let _ = tx.send(out);
+        Sink::Buffer(buf) => {
+            for (window, out) in outputs {
+                n_dropped += buf.push(window, out);
             }
         }
         Sink::Callback(cb) => {
@@ -162,6 +313,7 @@ fn process(
     status.stats.points = pipeline.accepted();
     status.stats.windows += n_windows;
     status.stats.clusters += n_clusters;
+    status.stats.windows_dropped += n_dropped;
     status.stats.archived = *mirrored as u64;
     status.stats.archive_bytes += new_bytes;
     status.stats.busy_nanos += busy;

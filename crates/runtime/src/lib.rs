@@ -15,32 +15,40 @@
 //!   ([`QueryState`]: running / paused / cancelled / failed), and
 //!   statistics ([`QueryStats`]: points, windows, clusters, archive
 //!   bytes, processing latency).
-//! * [`executor`] — the **fan-out executor**: one worker thread per
-//!   continuous query behind a *bounded* `std::sync::mpsc` channel
-//!   (backpressure), mirroring archived summaries into a shared
-//!   `parking_lot`-locked history base.
+//! * [`executor`] — the **query executor**: every continuous query is
+//!   multiplexed onto the shared [`sgs_exec::Pool`] as a task-per-ready-
+//!   query behind a *bounded* input queue (backpressure; idle queries
+//!   cost zero threads), mirroring archived summaries into a shared
+//!   `parking_lot`-locked history base. See `DESIGN.md` §8.
+//! * [`output`] — **output-side flow control**: the buffer `poll`-mode
+//!   results land in, bounded by an [`OutputPolicy`] (block or
+//!   drop-oldest) instead of growing without limit.
 //! * [`pipeline`] — the single-query [`StreamPipeline`] (window engine →
-//!   C-SGS → archiver), the execution unit each worker drives.
+//!   C-SGS → archiver), the execution unit each query task drives.
 //! * [`runtime`] — the **session API**: [`Runtime::submit`] accepts
 //!   query-language text; results arrive through [`Runtime::poll`] or a
 //!   per-window callback.
 //!
 //! ## Determinism guarantee
 //!
-//! Every query runs its own [`StreamPipeline`] single-threaded over the
-//! ingestion order, so for any set of concurrently registered queries the
-//! per-query outputs and archived summaries are **byte-identical** to a
-//! solo pipeline run of the same plan over the same points — concurrency
-//! changes wall-clock interleaving, never results. The facade test
-//! `tests/runtime_determinism.rs` pins this down with three concurrent
-//! queries. See `DESIGN.md` §5 for the architecture rationale.
+//! Every query runs its own [`StreamPipeline`] serialized over the
+//! ingestion order (one live executor task per query, ever), so for any
+//! set of concurrently registered queries the per-query outputs and
+//! archived summaries are **byte-identical** to a solo pipeline run of
+//! the same plan over the same points — scheduling changes wall-clock
+//! interleaving, never results. The facade tests
+//! `tests/runtime_determinism.rs` and `tests/scheduler_stress.rs` pin
+//! this down (the latter with 32 concurrent queries on a two-worker
+//! pool). See `DESIGN.md` §5 and §8 for the architecture rationale.
 
 pub mod executor;
+pub mod output;
 pub mod pipeline;
 pub mod plan;
 pub mod registry;
 pub mod runtime;
 
+pub use output::OutputPolicy;
 pub use pipeline::StreamPipeline;
 pub use plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
 pub use registry::{QueryDescriptor, QueryId, QueryState, QueryStats};

@@ -1,0 +1,197 @@
+//! Output-side flow control for `poll`-mode queries.
+//!
+//! A `poll`-mode query's completed windows land in an `OutputBuffer`
+//! shared between its executor task (producer) and [`Runtime::poll`]
+//! (consumer). The buffer's [`OutputPolicy`] decides what happens when
+//! the caller does not drain fast enough — previously the buffer grew
+//! without bound (still available as [`OutputPolicy::Unbounded`], the
+//! default), which is exactly the ROADMAP's "output-side flow control"
+//! gap this module closes.
+//!
+//! [`Runtime::poll`]: crate::runtime::Runtime::poll
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use sgs_core::WindowId;
+use sgs_csgs::WindowOutput;
+
+/// What a `poll`-mode query does when its output buffer is full.
+///
+/// Capacities are in completed windows and are clamped to ≥ 1.
+/// Callback-mode queries never buffer, so the policy does not apply to
+/// them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputPolicy {
+    /// Buffer every completed window until polled (the historical
+    /// behavior): simple, lossless, but unbounded memory if the caller
+    /// never drains.
+    #[default]
+    Unbounded,
+    /// Lossless and bounded: the query's executor task **blocks** until
+    /// [`Runtime::poll`] drains the buffer below capacity. Backpressure
+    /// thus propagates all the way to ingestion (the blocked task stops
+    /// consuming its input channel, which eventually blocks
+    /// [`Runtime::push`]). While blocked, the task occupies one pool
+    /// worker — on a small pool, enough blocked queries can starve
+    /// every other query (and their teardown) of workers — so a drain
+    /// must be able to proceed concurrently:
+    /// [`Runtime::poll`] takes `&self`, so share the runtime reference
+    /// with a drainer thread (e.g. under `std::thread::scope`), or keep
+    /// each push small enough for the input queues to absorb
+    /// ([`RuntimeConfig::channel_capacity`] messages per query) and poll
+    /// between pushes. Do not call [`Runtime::quiesce`] before draining —
+    /// the barrier waits on the blocked query. [`Runtime::cancel`]
+    /// closes the cancelled query's own buffer, which stops its blocking
+    /// (losslessly) for teardown — but it can still wait behind *other*
+    /// `Block`-stalled queries if their tasks occupy every pool worker,
+    /// so on small pools drain (or cancel) the stalled queries first.
+    ///
+    /// [`Runtime::poll`]: crate::runtime::Runtime::poll
+    /// [`Runtime::push`]: crate::runtime::Runtime::push
+    /// [`Runtime::quiesce`]: crate::runtime::Runtime::quiesce
+    /// [`Runtime::cancel`]: crate::runtime::Runtime::cancel
+    /// [`RuntimeConfig::channel_capacity`]: crate::runtime::RuntimeConfig::channel_capacity
+    Block(usize),
+    /// Bounded and non-blocking: the **oldest** buffered window is
+    /// discarded to admit the newest, so a slow consumer always sees the
+    /// most recent results. Discards are counted in
+    /// [`QueryStats::windows_dropped`].
+    ///
+    /// [`QueryStats::windows_dropped`]: crate::registry::QueryStats::windows_dropped
+    DropOldest(usize),
+}
+
+/// The buffered completed windows of one `poll`-mode query.
+pub(crate) struct OutputBuffer {
+    policy: OutputPolicy,
+    queue: Mutex<Buffered>,
+    not_full: Condvar,
+}
+
+/// Lock-guarded buffer state.
+struct Buffered {
+    windows: VecDeque<(WindowId, WindowOutput)>,
+    /// Set when the query is being cancelled: [`OutputPolicy::Block`]
+    /// stops blocking (overflow is admitted losslessly) so teardown can
+    /// never hang behind an undrained buffer.
+    closed: bool,
+}
+
+impl OutputBuffer {
+    pub(crate) fn new(policy: OutputPolicy) -> Self {
+        OutputBuffer {
+            policy,
+            queue: Mutex::new(Buffered {
+                windows: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Append one completed window per the policy. Returns the number of
+    /// windows dropped to admit it (0 or 1). Blocks under
+    /// [`OutputPolicy::Block`] while the buffer is at capacity, until
+    /// drained or [`close`](Self::close)d.
+    pub(crate) fn push(&self, window: WindowId, out: WindowOutput) -> u64 {
+        let mut q = self.queue.lock().unwrap();
+        let mut dropped = 0;
+        match self.policy {
+            OutputPolicy::Unbounded => {}
+            OutputPolicy::Block(cap) => {
+                let cap = cap.max(1);
+                while q.windows.len() >= cap && !q.closed {
+                    q = self.not_full.wait(q).unwrap();
+                }
+            }
+            OutputPolicy::DropOldest(cap) => {
+                let cap = cap.max(1);
+                while q.windows.len() >= cap {
+                    q.windows.pop_front();
+                    dropped += 1;
+                }
+            }
+        }
+        q.windows.push_back((window, out));
+        dropped
+    }
+
+    /// Stop [`OutputPolicy::Block`] from ever blocking again (the query
+    /// is being torn down; the buffer stays pollable). Idempotent.
+    pub(crate) fn close(&self) {
+        self.queue.lock().unwrap().closed = true;
+        self.not_full.notify_all();
+    }
+
+    /// Take everything buffered so far (completion order preserved) and
+    /// wake any producer blocked on capacity.
+    pub(crate) fn drain(&self) -> Vec<(WindowId, WindowOutput)> {
+        let mut q = self.queue.lock().unwrap();
+        let out: Vec<_> = q.windows.drain(..).collect();
+        if !out.is_empty() {
+            self.not_full.notify_all();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(n: u64) -> (WindowId, WindowOutput) {
+        (WindowId(n), Vec::new())
+    }
+
+    #[test]
+    fn unbounded_keeps_everything_in_order() {
+        let buf = OutputBuffer::new(OutputPolicy::Unbounded);
+        for n in 0..100 {
+            assert_eq!(buf.push(window(n).0, window(n).1), 0);
+        }
+        let got = buf.drain();
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().enumerate().all(|(i, (w, _))| w.0 == i as u64));
+        assert!(buf.drain().is_empty());
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_and_counts() {
+        let buf = OutputBuffer::new(OutputPolicy::DropOldest(4));
+        let mut dropped = 0;
+        for n in 0..10 {
+            dropped += buf.push(window(n).0, window(n).1);
+        }
+        assert_eq!(dropped, 6);
+        let got = buf.drain();
+        let ids: Vec<u64> = got.iter().map(|(w, _)| w.0).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let buf = OutputBuffer::new(OutputPolicy::DropOldest(0));
+        buf.push(window(0).0, window(0).1);
+        assert_eq!(buf.push(window(1).0, window(1).1), 1);
+        assert_eq!(buf.drain().len(), 1);
+    }
+
+    #[test]
+    fn block_unblocks_on_drain() {
+        use std::sync::Arc;
+        let buf = Arc::new(OutputBuffer::new(OutputPolicy::Block(2)));
+        buf.push(window(0).0, window(0).1);
+        buf.push(window(1).0, window(1).1);
+        let producer = {
+            let buf = buf.clone();
+            std::thread::spawn(move || {
+                buf.push(window(2).0, window(2).1); // blocks until drained
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(buf.drain().len(), 2);
+        producer.join().unwrap();
+        assert_eq!(buf.drain().len(), 1);
+    }
+}

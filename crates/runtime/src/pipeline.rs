@@ -3,9 +3,10 @@
 //!
 //! This is the single-query execution unit. The multi-query [`Runtime`]
 //! (see [`crate::runtime`]) runs one `StreamPipeline` per registered
-//! continuous query on its own worker thread, which is what makes the
-//! runtime's per-query output byte-identical to a solo pipeline run: both
-//! paths execute exactly this code over the same point sequence.
+//! continuous query, serialized onto the shared scheduler pool, which is
+//! what makes the runtime's per-query output byte-identical to a solo
+//! pipeline run: both paths execute exactly this code over the same
+//! point sequence.
 //!
 //! [`Runtime`]: crate::runtime::Runtime
 
@@ -30,10 +31,27 @@ pub struct StreamPipeline {
 
 impl StreamPipeline {
     /// Build a pipeline for `query`, archiving per `policy` (seeded for
-    /// reproducible sampling policies).
+    /// reproducible sampling policies). Extraction parallelism (if the
+    /// query shards) runs on the process-wide [`sgs_exec::global`] pool.
     pub fn new(query: ClusterQuery, policy: ArchivePolicy, seed: u64) -> Result<Self> {
+        Self::with_pool(query, policy, seed, sgs_exec::global().clone())
+    }
+
+    /// Like [`new`](Self::new), but scheduling the extractor's parallel
+    /// phases on an explicit pool — how the [`Runtime`] keeps every
+    /// query's intra-query parallelism on its one configured scheduler.
+    /// The choice of pool never affects outputs, only where they are
+    /// computed.
+    ///
+    /// [`Runtime`]: crate::runtime::Runtime
+    pub fn with_pool(
+        query: ClusterQuery,
+        policy: ArchivePolicy,
+        seed: u64,
+        pool: sgs_exec::Pool,
+    ) -> Result<Self> {
         let engine = WindowEngine::new(query.window, query.dim);
-        let extractor = CSgs::new(query);
+        let extractor = CSgs::with_pool(query, pool);
         Ok(StreamPipeline {
             engine,
             extractor,

@@ -146,10 +146,11 @@ pub struct Planner {
     /// Archiver RNG seed given to DETECT plans.
     pub default_seed: u64,
     /// Extraction shard count given to DETECT plans. Defaults to one
-    /// shard: in the fan-out runtime the *query* is the unit of
-    /// parallelism (thread per query), so intra-query sharding is opted
-    /// into per plan (`plan.query.shards`) or per runtime for hot single
-    /// queries — see `DESIGN.md` §6. Output is shard-invariant either way.
+    /// shard: the runtime's primary unit of parallelism is the *query*
+    /// (tasks multiplexed over the scheduler pool), so intra-query
+    /// sharding is opted into per plan (`plan.query.shards`) or per
+    /// runtime for hot single queries — see `DESIGN.md` §6 and §8.
+    /// Output is shard-invariant either way.
     pub default_shards: ShardCount,
 }
 

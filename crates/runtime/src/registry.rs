@@ -1,7 +1,7 @@
 //! The registry of concurrent continuous queries: identity, lifecycle
 //! state, and per-query execution statistics.
 //!
-//! Statistics are written by the query's worker thread after every
+//! Statistics are written by the query's executor task after every
 //! processed batch and read by callers through [`Runtime::stats`]; the
 //! shared cell is a vendored-`parking_lot` [`RwLock`] so a stats read
 //! never blocks ingestion for longer than one batch update.
@@ -48,6 +48,12 @@ pub struct QueryStats {
     pub windows: u64,
     /// Clusters extracted across all emitted windows.
     pub clusters: u64,
+    /// Completed windows discarded unread by the
+    /// [`OutputPolicy::DropOldest`] flow-control policy (always 0 under
+    /// the other policies and in callback mode).
+    ///
+    /// [`OutputPolicy::DropOldest`]: crate::output::OutputPolicy::DropOldest
+    pub windows_dropped: u64,
     /// Clusters admitted to this query's pattern base.
     pub archived: u64,
     /// Packed bytes of this query's archived summaries.
@@ -80,7 +86,7 @@ impl QueryStats {
     }
 }
 
-/// State + stats cell shared between a query's worker thread and the
+/// State + stats cell shared between a query's executor task and the
 /// runtime front-end.
 #[derive(Debug)]
 pub(crate) struct Status {

@@ -2,16 +2,16 @@
 //! running pipelines — submit statements as text, fan one ingested stream
 //! out to every registered query, control lifecycles, and read stats.
 
-use std::sync::mpsc;
-use std::thread::JoinHandle;
+use std::sync::{mpsc, Arc};
 
 use sgs_archive::{shared_pattern_base, ArchivePolicy, MatchOutcome, PatternBase, SharedPatternBase};
-use sgs_core::{Point, ShardCount, WindowId};
+use sgs_core::{Point, PoolThreads, ShardCount, WindowId};
 use sgs_csgs::WindowOutput;
+use sgs_exec::Pool;
 use sgs_summarize::Sgs;
 
-use crate::executor::{spawn_worker, Msg, Sink};
-use crate::pipeline::StreamPipeline;
+use crate::executor::{Msg, QueryCell, Sink};
+use crate::output::{OutputBuffer, OutputPolicy};
 use crate::plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
 use crate::registry::{new_shared_status, QueryDescriptor, QueryId, QueryState, QueryStats, SharedStatus};
 
@@ -35,12 +35,25 @@ pub struct RuntimeConfig {
     /// base_seed)`.
     pub base_seed: u64,
     /// Extraction shard count handed to DETECT statements submitted as
-    /// text. Defaults to a single shard — the runtime's unit of
-    /// parallelism is the query (thread per query); raise this when a few
-    /// hot queries should each also parallelize *within* one stream pass
-    /// (`DESIGN.md` §6). The per-window output is shard-invariant, so this
-    /// never changes results.
+    /// text. Defaults to a single shard — the runtime's primary unit of
+    /// parallelism is the query; raise this when a few hot queries should
+    /// each also parallelize *within* one stream pass (`DESIGN.md` §6).
+    /// Shard phases fork on the same scheduler pool the queries multiplex
+    /// over, and the per-window output is shard-invariant, so this never
+    /// changes results.
     pub default_shards: ShardCount,
+    /// Size of the scheduler pool every query task — and every sharded
+    /// extraction phase — runs on (`DESIGN.md` §8).
+    /// [`PoolThreads::Auto`] (the default) uses the process-wide shared
+    /// pool, one worker per CPU; [`PoolThreads::Fixed`] gives this
+    /// runtime a dedicated pool of exactly that many workers.
+    /// Scheduling never affects results, only wall-clock.
+    pub pool_threads: PoolThreads,
+    /// Output-side flow control for `poll`-mode queries: what a query's
+    /// completed-window buffer does when [`Runtime::poll`] is not
+    /// draining fast enough. Defaults to the historical
+    /// [`OutputPolicy::Unbounded`].
+    pub output_policy: OutputPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -50,6 +63,8 @@ impl Default for RuntimeConfig {
             default_policy: ArchivePolicy::All,
             base_seed: 0,
             default_shards: ShardCount::Fixed(1),
+            pool_threads: PoolThreads::Auto,
+            output_policy: OutputPolicy::Unbounded,
         }
     }
 }
@@ -73,7 +88,8 @@ pub struct QueryReport {
     /// Final statistics.
     pub stats: QueryStats,
     /// The query's private pattern base (its archived history), exactly as
-    /// a solo [`StreamPipeline`] run of the same plan would have built it.
+    /// a solo [`StreamPipeline`](crate::StreamPipeline) run of the same
+    /// plan would have built it.
     pub base: PatternBase,
 }
 
@@ -96,8 +112,8 @@ pub enum RuntimeError {
         /// Its current state.
         from: QueryState,
     },
-    /// The query's worker thread is gone (it panicked or was already
-    /// joined).
+    /// The query's pipeline has already been handed back by a previous
+    /// [`Runtime::cancel`](crate::runtime::Runtime::cancel).
     Disconnected(QueryId),
 }
 
@@ -113,7 +129,9 @@ impl core::fmt::Display for RuntimeError {
             RuntimeError::InvalidTransition { id, from } => {
                 write!(f, "illegal lifecycle transition for {id} (currently {from:?})")
             }
-            RuntimeError::Disconnected(id) => write!(f, "worker thread of {id} is gone"),
+            RuntimeError::Disconnected(id) => {
+                write!(f, "query {id} was already cancelled (its pipeline is gone)")
+            }
         }
     }
 }
@@ -135,11 +153,12 @@ struct QueryEntry {
     /// The `FROM` stream this query reads (for stream-routed ingestion).
     stream: String,
     shared: SharedStatus,
-    sender: mpsc::SyncSender<Msg>,
-    /// Output receiver (`None` in callback mode).
-    outputs: Option<mpsc::Receiver<(WindowId, WindowOutput)>>,
-    /// Worker handle; taken on cancel.
-    join: Option<JoinHandle<StreamPipeline>>,
+    /// The executor-side cell: input queue + pipeline + scheduling flag.
+    cell: Arc<QueryCell>,
+    /// Output buffer (`None` in callback mode).
+    outputs: Option<Arc<OutputBuffer>>,
+    /// Set once [`Runtime::cancel`] has taken the pipeline back.
+    stopped: bool,
 }
 
 /// The multi-query streaming execution engine.
@@ -147,9 +166,11 @@ struct QueryEntry {
 /// A `Runtime` serves the paper's system premise (§1, Figs. 2–3): many
 /// analyst queries concurrently monitoring one stream while its history
 /// accumulates for matching. DETECT statements become registered
-/// continuous queries, each on its own worker thread behind a bounded
-/// channel; matching statements execute immediately against the shared
-/// history base that every query's archiver feeds.
+/// continuous queries, multiplexed over the shared scheduler pool behind
+/// bounded input queues (a task per *ready* query — idle queries cost
+/// zero threads; see `DESIGN.md` §8); matching statements execute
+/// immediately against the shared history base that every query's
+/// archiver feeds.
 ///
 /// ```
 /// use sgs_core::Point;
@@ -178,6 +199,8 @@ struct QueryEntry {
 /// ```
 pub struct Runtime {
     planner: Planner,
+    /// The scheduler pool all query tasks and shard phases run on.
+    pool: Pool,
     entries: Vec<QueryEntry>,
     /// Shared history bases, one per pattern dimensionality (a
     /// `PatternBase`'s locational index is dimension-specific, so
@@ -194,6 +217,20 @@ impl Default for Runtime {
     }
 }
 
+impl Drop for Runtime {
+    /// Close every query's output buffer so an executor task blocked on
+    /// [`OutputPolicy::Block`] never outlives the runtime holding a pool
+    /// worker hostage: after the close it drains its remaining input
+    /// without blocking and parks for good.
+    fn drop(&mut self) {
+        for entry in &self.entries {
+            if let Some(buffer) = &entry.outputs {
+                buffer.close();
+            }
+        }
+    }
+}
+
 impl Runtime {
     /// Runtime with default configuration and an empty stream catalog.
     pub fn new() -> Self {
@@ -206,14 +243,25 @@ impl Runtime {
         planner.default_policy = config.default_policy.clone();
         planner.default_seed = config.base_seed;
         planner.default_shards = config.default_shards;
+        let pool = match config.pool_threads {
+            PoolThreads::Auto => sgs_exec::global().clone(),
+            fixed @ PoolThreads::Fixed(_) => Pool::new(fixed.resolve()),
+        };
         Runtime {
             planner,
+            pool,
             entries: Vec::new(),
             histories: Vec::new(),
             bindings: Vec::new(),
             next_id: 0,
             config,
         }
+    }
+
+    /// The scheduler pool this runtime multiplexes its queries (and
+    /// their sharded extraction phases) over.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// Register (or re-register) a source stream and its dimensionality so
@@ -251,14 +299,16 @@ impl Runtime {
     }
 
     /// Register a planned DETECT query; completed windows are buffered for
-    /// [`poll`](Self::poll).
+    /// [`poll`](Self::poll) under the configured
+    /// [`OutputPolicy`](RuntimeConfig::output_policy).
     pub fn submit_detect(&mut self, plan: DetectPlan) -> Result<QueryId, RuntimeError> {
-        let (tx, rx) = mpsc::channel();
-        self.spawn(plan, Sink::Channel(tx), Some(rx))
+        let buffer = Arc::new(OutputBuffer::new(self.config.output_policy));
+        self.spawn(plan, Sink::Buffer(buffer.clone()), Some(buffer))
     }
 
     /// Register a planned DETECT query with a results callback, invoked on
-    /// the worker thread per completed window (no output buffering).
+    /// the executing pool worker per completed window (no output
+    /// buffering — the output policy does not apply).
     pub fn submit_detect_with(
         &mut self,
         plan: DetectPlan,
@@ -271,18 +321,18 @@ impl Runtime {
         &mut self,
         plan: DetectPlan,
         sink: Sink,
-        outputs: Option<mpsc::Receiver<(WindowId, WindowOutput)>>,
+        outputs: Option<Arc<OutputBuffer>>,
     ) -> Result<QueryId, RuntimeError> {
         let id = QueryId(self.next_id);
         let shared = new_shared_status();
         let history = self.history_for_dim(plan.query.dim);
-        let (sender, join) = spawn_worker(
-            id,
+        let cell = QueryCell::new(
             &plan,
             shared.clone(),
             history,
             self.config.channel_capacity,
             sink,
+            self.pool.clone(),
         )
         .map_err(RuntimeError::Query)?;
         self.next_id += 1;
@@ -291,9 +341,9 @@ impl Runtime {
             text: plan.ast.to_string(),
             stream: plan.ast.stream.clone(),
             shared,
-            sender,
+            cell,
             outputs,
-            join: Some(join),
+            stopped: false,
         });
         Ok(id)
     }
@@ -337,20 +387,23 @@ impl Runtime {
     /// [`push_stream`](Self::push_stream) so each query only sees its own
     /// source.
     ///
-    /// Blocks when a query's bounded input channel is full
-    /// (backpressure). Paused and failed queries are skipped — for them
-    /// the point is a gap in the stream, not buffered work. A query whose
-    /// worker thread died (e.g. a panicking results callback) is moved to
-    /// [`QueryState::Failed`] and skipped from then on; ingestion
-    /// continues for the healthy queries.
-    pub fn push(&mut self, point: Point) -> Result<(), RuntimeError> {
+    /// Blocks when a query's bounded input queue is full (backpressure).
+    /// Paused and failed queries are skipped — for them the point is a
+    /// gap in the stream, not buffered work. A query that fails later
+    /// (e.g. a panicking results callback) is moved to
+    /// [`QueryState::Failed`] by its own executor task and skipped from
+    /// then on; ingestion continues for the healthy queries.
+    ///
+    /// The `push` family currently never errors (failures surface
+    /// per-query through [`QueryState`] / [`QueryStats::error`]); the
+    /// `Result` is kept for forward compatibility with fallible
+    /// ingestion paths (e.g. network sources).
+    pub fn push(&self, point: Point) -> Result<(), RuntimeError> {
         for entry in &self.entries {
             if entry.shared.read().state != QueryState::Running {
                 continue;
             }
-            if entry.sender.send(Msg::Point(point.clone())).is_err() {
-                mark_worker_dead(entry);
-            }
+            entry.cell.send(Msg::Point(point.clone()));
         }
         Ok(())
     }
@@ -358,10 +411,9 @@ impl Runtime {
     /// Fan a batch of points out to every running query (all streams), in
     /// bounded chunks so backpressure still applies within one call. Each
     /// chunk is materialized once and shared (`Arc`) across the queries.
-    /// Dead workers are handled as in [`push`](Self::push); use
-    /// [`push_stream`](Self::push_stream) when multiple source streams
-    /// coexist.
-    pub fn push_batch(&mut self, points: &[Point]) -> Result<(), RuntimeError> {
+    /// Use [`push_stream`](Self::push_stream) when multiple source
+    /// streams coexist.
+    pub fn push_batch(&self, points: &[Point]) -> Result<(), RuntimeError> {
         self.fan_chunks(points, None)
     }
 
@@ -370,13 +422,13 @@ impl Runtime {
     /// match is case-insensitive, like the catalog). Queries over other
     /// streams are untouched — this is the ingestion entry point for
     /// runtimes serving differently-dimensioned streams at once.
-    pub fn push_stream(&mut self, stream: &str, points: &[Point]) -> Result<(), RuntimeError> {
+    pub fn push_stream(&self, stream: &str, points: &[Point]) -> Result<(), RuntimeError> {
         self.fan_chunks(points, Some(stream))
     }
 
     fn fan_chunks(&self, points: &[Point], stream: Option<&str>) -> Result<(), RuntimeError> {
         for chunk in points.chunks(BATCH_CHUNK) {
-            let chunk: std::sync::Arc<[Point]> = chunk.into();
+            let chunk: Arc<[Point]> = chunk.into();
             for entry in &self.entries {
                 if let Some(name) = stream {
                     if !entry.stream.eq_ignore_ascii_case(name) {
@@ -386,47 +438,50 @@ impl Runtime {
                 if entry.shared.read().state != QueryState::Running {
                     continue;
                 }
-                if entry.sender.send(Msg::Batch(chunk.clone())).is_err() {
-                    mark_worker_dead(entry);
-                }
+                entry.cell.send(Msg::Batch(chunk.clone()));
             }
         }
         Ok(())
     }
 
     /// Block until every live query has processed all input queued so far
-    /// (a barrier through each worker's channel). After `quiesce`, stats
-    /// and [`poll`](Self::poll) reflect every point pushed before the
-    /// call. A query whose worker died is moved to
-    /// [`QueryState::Failed`] instead of blocking the barrier.
+    /// (a barrier through each query's input queue). After `quiesce`,
+    /// stats and [`poll`](Self::poll) reflect every point pushed before
+    /// the call.
+    ///
+    /// Under [`OutputPolicy::Block`], drain with [`poll`](Self::poll)
+    /// *before* quiescing: the barrier waits behind any query blocked on
+    /// a full output buffer.
     pub fn quiesce(&self) -> Result<(), RuntimeError> {
         let mut acks = Vec::new();
         for entry in &self.entries {
-            if entry.join.is_none() {
-                continue; // Cancelled: worker already joined.
+            if entry.stopped {
+                continue; // Cancelled: pipeline already handed back.
             }
             let (tx, rx) = mpsc::channel();
-            if entry.sender.send(Msg::Barrier(tx)).is_ok() {
-                acks.push((entry, rx));
-            } else {
-                mark_worker_dead(entry);
-            }
+            entry.cell.send(Msg::Barrier(tx));
+            acks.push(rx);
         }
-        for (entry, rx) in acks {
-            if rx.recv().is_err() {
-                // Worker died between the barrier send and the ack.
-                mark_worker_dead(entry);
-            }
+        for rx in acks {
+            // The ack channel cannot be dropped unprocessed: executor
+            // tasks drain their queue even for failed or stopped queries.
+            let _ = rx.recv();
         }
         Ok(())
     }
 
-    /// Drain the buffered completed windows of a query (non-blocking).
-    /// Always empty for callback-mode queries.
-    pub fn poll(&mut self, id: QueryId) -> Result<Vec<(WindowId, WindowOutput)>, RuntimeError> {
+    /// Drain the buffered completed windows of a query (non-blocking),
+    /// waking it if it was blocked on [`OutputPolicy::Block`]. Always
+    /// empty for callback-mode queries.
+    ///
+    /// Takes `&self` — like the `push` family — so a drainer thread can
+    /// run concurrently with ingestion (share `&Runtime` under
+    /// `std::thread::scope`), which is how [`OutputPolicy::Block`] is
+    /// meant to be consumed.
+    pub fn poll(&self, id: QueryId) -> Result<Vec<(WindowId, WindowOutput)>, RuntimeError> {
         let entry = self.entry(id)?;
         Ok(match &entry.outputs {
-            Some(rx) => rx.try_iter().collect(),
+            Some(buffer) => buffer.drain(),
             None => Vec::new(),
         })
     }
@@ -461,26 +516,36 @@ impl Runtime {
         Ok(())
     }
 
-    /// Cancel a query: stop its worker after the input queued so far is
+    /// Cancel a query: stop it after the input queued so far is
     /// processed, and return its final [`QueryReport`] (stats + the
     /// private pattern base a solo pipeline run would have built).
     ///
     /// Failed and paused queries can be cancelled too; the report carries
-    /// whatever they archived before stopping.
+    /// whatever they archived before stopping. Safe under
+    /// [`OutputPolicy::Block`] with the cancelled query's own buffer
+    /// undrained: the buffer is closed (blocking ends, losslessly)
+    /// before the stop is queued, and remains pollable afterwards. It
+    /// can still wait behind *other* `Block`-policy queries if their
+    /// blocked tasks occupy every pool worker — drain or cancel those
+    /// first on small pools.
     pub fn cancel(&mut self, id: QueryId) -> Result<QueryReport, RuntimeError> {
         let entry = self
             .entries
             .iter_mut()
             .find(|e| e.id == id)
             .ok_or(RuntimeError::UnknownQuery(id))?;
-        let join = entry.join.take().ok_or(RuntimeError::Disconnected(id))?;
-        let _ = entry.sender.send(Msg::Stop);
-        let pipeline = join.join().map_err(|_| {
-            // The worker was already dead (panicked): preserve the Failed
-            // state rather than masking it as a clean cancellation.
-            mark_worker_dead(entry);
-            RuntimeError::Disconnected(id)
-        })?;
+        if entry.stopped {
+            return Err(RuntimeError::Disconnected(id));
+        }
+        entry.stopped = true;
+        if let Some(buffer) = &entry.outputs {
+            buffer.close();
+        }
+        let (tx, rx) = mpsc::channel();
+        entry.cell.send(Msg::Stop(tx));
+        // The executor task processes everything queued before the stop,
+        // then hands the pipeline over.
+        let pipeline = rx.recv().map_err(|_| RuntimeError::Disconnected(id))?;
         entry.shared.write().state = QueryState::Cancelled;
         let stats = entry.shared.read().stats.clone();
         Ok(QueryReport {
@@ -491,12 +556,22 @@ impl Runtime {
         })
     }
 
-    /// Cancel every live query and return their final reports.
+    /// Cancel every live query and return their final reports. Unlike a
+    /// one-at-a-time [`cancel`](Self::cancel) loop, this first closes
+    /// *every* query's output buffer, so it cannot deadlock when several
+    /// [`OutputPolicy::Block`]-stalled queries are hogging a small pool's
+    /// workers (each would otherwise keep the next one's stop from ever
+    /// being scheduled).
     pub fn shutdown(mut self) -> Vec<QueryReport> {
+        for entry in &self.entries {
+            if let Some(buffer) = &entry.outputs {
+                buffer.close();
+            }
+        }
         let ids: Vec<QueryId> = self
             .entries
             .iter()
-            .filter(|e| e.join.is_some())
+            .filter(|e| !e.stopped)
             .map(|e| e.id)
             .collect();
         ids.into_iter().filter_map(|id| self.cancel(id).ok()).collect()
@@ -534,12 +609,12 @@ impl Runtime {
     /// statements. `None` until a query of that dimensionality is
     /// registered.
     ///
-    /// **Lock hazard:** worker threads take the *write* side of this lock
-    /// to mirror newly archived summaries. Drop any `read()` guard before
-    /// calling [`push`](Self::push), [`push_batch`](Self::push_batch), or
-    /// [`quiesce`](Self::quiesce) — holding it across those calls can
-    /// deadlock (a worker blocks on the lock, the runtime blocks on the
-    /// worker).
+    /// **Lock hazard:** query executor tasks take the *write* side of
+    /// this lock to mirror newly archived summaries. Drop any `read()`
+    /// guard before calling [`push`](Self::push),
+    /// [`push_batch`](Self::push_batch), or [`quiesce`](Self::quiesce) —
+    /// holding it across those calls can deadlock (a task blocks on the
+    /// lock, the runtime blocks on the task).
     pub fn history(&self, dim: usize) -> Option<&SharedPatternBase> {
         self.histories
             .iter()
@@ -568,17 +643,6 @@ impl Runtime {
             .iter()
             .find(|e| e.id == id)
             .ok_or(RuntimeError::UnknownQuery(id))
-    }
-}
-
-/// A send to this worker failed: its thread is gone (most likely a panic
-/// in a results callback). Record that as a query failure so ingestion
-/// skips it and callers see it in [`QueryState`] / [`QueryStats::error`].
-fn mark_worker_dead(entry: &QueryEntry) {
-    let mut status = entry.shared.write();
-    if status.state != QueryState::Cancelled && status.state != QueryState::Failed {
-        status.state = QueryState::Failed;
-        status.stats.error = Some("worker thread terminated unexpectedly".into());
     }
 }
 
@@ -787,13 +851,14 @@ mod tests {
     }
 
     #[test]
-    fn dead_worker_is_marked_failed_and_ingestion_continues() {
+    fn panicking_query_is_marked_failed_and_ingestion_continues() {
         let mut rt = runtime();
         let Submission::Continuous(healthy) = rt.submit(DETECT).unwrap() else {
             panic!()
         };
-        // A query whose results callback panics on the first window,
-        // killing its worker thread mid-run.
+        // A query whose results callback panics on the first window. The
+        // executor task catches the panic at the cell boundary: the
+        // query fails, the pool worker survives.
         let QueryPlan::Detect(plan) = rt.plan(DETECT).unwrap() else {
             panic!()
         };
@@ -802,8 +867,8 @@ mod tests {
             .unwrap();
 
         let stream = gmti(1000);
-        // Keep feeding until the death is observed (the channel
-        // disconnects some time after the panic unwinds the thread).
+        // Keep feeding until the failure is observed (the panic fires on
+        // the first completed window).
         let mut rounds = 0;
         for _ in 0..100 {
             rounds += 1;
@@ -817,9 +882,166 @@ mod tests {
         assert_eq!(rt.state(doomed).unwrap(), QueryState::Failed);
         assert!(rt.stats(doomed).unwrap().error.is_some());
         // The healthy query received every complete round exactly once —
-        // the dead peer neither blocked nor double-delivered.
+        // the failed peer neither blocked nor double-delivered.
         let healthy_stats = rt.stats(healthy).unwrap();
         assert_eq!(healthy_stats.points, rounds * 1000);
+        // A failed query still cancels cleanly: its pipeline survives
+        // behind the caught panic.
+        let report = rt.cancel(doomed).unwrap();
+        assert_eq!(report.stats.error.as_deref(), rt.stats(doomed).unwrap().error.as_deref());
+    }
+
+    #[test]
+    fn drop_oldest_output_keeps_newest_windows() {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            output_policy: crate::output::OutputPolicy::DropOldest(3),
+            ..RuntimeConfig::default()
+        });
+        rt.register_stream("gmti", 2);
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        rt.push_batch(&gmti(6000)).unwrap();
+        rt.quiesce().unwrap();
+        let stats = rt.stats(id).unwrap();
+        assert!(stats.windows > 3, "workload must overflow the buffer");
+        let polled = rt.poll(id).unwrap();
+        assert_eq!(polled.len(), 3, "buffer holds exactly its capacity");
+        assert_eq!(stats.windows_dropped, stats.windows - 3);
+        // The retained windows are the *newest*, in completion order.
+        let ids: Vec<u64> = polled.iter().map(|(w, _)| w.0).collect();
+        let last = stats.windows - 1;
+        assert_eq!(ids, vec![last - 2, last - 1, last]);
+    }
+
+    #[test]
+    fn block_output_delivers_everything_to_a_concurrent_drainer() {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            output_policy: crate::output::OutputPolicy::Block(2),
+            channel_capacity: 2, // force ingestion to feel the backpressure
+            ..RuntimeConfig::default()
+        });
+        rt.register_stream("gmti", 2);
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        // The documented Block usage: `push` and `poll` take `&self`, so
+        // a drainer thread runs concurrently with a large blocking push.
+        let stream = gmti(6000);
+        let rt_ref = &rt;
+        let polled = std::thread::scope(|s| {
+            let drainer = s.spawn(move || {
+                let mut polled = Vec::new();
+                loop {
+                    polled.extend(rt_ref.poll(id).unwrap());
+                    if rt_ref.stats(id).unwrap().points == 6000 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                polled
+            });
+            rt_ref.push_batch(&stream).unwrap();
+            drainer.join().unwrap()
+        });
+        rt.quiesce().unwrap();
+        let mut polled = polled;
+        polled.extend(rt.poll(id).unwrap());
+        let stats = rt.stats(id).unwrap();
+        assert_eq!(stats.windows_dropped, 0, "Block is lossless");
+        assert_eq!(polled.len() as u64, stats.windows);
+        assert!(polled.windows(2).all(|w| w[0].0 < w[1].0), "in order");
+    }
+
+    #[test]
+    fn dropping_runtime_frees_a_block_stalled_pool_worker() {
+        let rt = {
+            let mut rt = Runtime::with_config(RuntimeConfig {
+                pool_threads: sgs_core::PoolThreads::Fixed(1),
+                output_policy: crate::output::OutputPolicy::Block(1),
+                ..RuntimeConfig::default()
+            });
+            rt.register_stream("gmti", 2);
+            let Submission::Continuous(_) = rt.submit(DETECT).unwrap() else {
+                panic!()
+            };
+            rt
+        };
+        let pool = rt.pool().clone();
+        // Fill the never-polled buffer: the query's task ends up blocked
+        // in OutputBuffer::push, occupying the pool's only worker.
+        rt.push_batch(&gmti(4000)).unwrap();
+        drop(rt); // must close the buffer, unblocking the task
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.spawn(sgs_exec::Priority::Normal, move || tx.send(()).unwrap());
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker still hostage to the dropped runtime's query");
+    }
+
+    #[test]
+    fn shutdown_with_multiple_block_stalled_queries_does_not_hang() {
+        // Two never-polled Block queries on a one-worker pool: each
+        // stalled task can hold the worker hostage, so shutdown must
+        // close every buffer before waiting on any stop.
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            pool_threads: sgs_core::PoolThreads::Fixed(1),
+            output_policy: crate::output::OutputPolicy::Block(1),
+            ..RuntimeConfig::default()
+        });
+        rt.register_stream("gmti", 2);
+        for _ in 0..2 {
+            let Submission::Continuous(_) = rt.submit(DETECT).unwrap() else {
+                panic!()
+            };
+        }
+        rt.push_batch(&gmti(4000)).unwrap();
+        let reports = rt.shutdown();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.stats.points, 4000);
+            assert!(r.stats.windows > 1);
+            assert_eq!(r.stats.windows_dropped, 0, "closing is lossless");
+        }
+    }
+
+    #[test]
+    fn cancel_with_undrained_block_buffer_does_not_hang() {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            output_policy: crate::output::OutputPolicy::Block(1),
+            ..RuntimeConfig::default()
+        });
+        rt.register_stream("gmti", 2);
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        // Enough for several windows, never polled: the executor task is
+        // blocked on the full output buffer when the cancel arrives.
+        rt.push_batch(&gmti(4000)).unwrap();
+        let report = rt.cancel(id).unwrap();
+        assert_eq!(report.stats.points, 4000);
+        assert!(report.stats.windows > 1);
+        // Nothing was lost: closing the buffer admits the overflow, and
+        // it stays pollable after cancellation.
+        let polled = rt.poll(id).unwrap();
+        assert_eq!(polled.len() as u64, report.stats.windows);
+        assert_eq!(report.stats.windows_dropped, 0);
+    }
+
+    #[test]
+    fn dedicated_pool_runs_queries_and_reports_size() {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            pool_threads: sgs_core::PoolThreads::Fixed(2),
+            ..RuntimeConfig::default()
+        });
+        assert_eq!(rt.pool().threads(), 2);
+        rt.register_stream("gmti", 2);
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        rt.push_batch(&gmti(3000)).unwrap();
+        rt.quiesce().unwrap();
+        assert_eq!(rt.stats(id).unwrap().points, 3000);
+        assert!(!rt.poll(id).unwrap().is_empty());
     }
 
     #[test]

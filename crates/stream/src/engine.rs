@@ -25,7 +25,8 @@ pub trait WindowConsumer {
     /// implementation loops over [`insert`](Self::insert); consumers whose
     /// final state is insertion-order-independent within a window — like
     /// the sharded C-SGS extractor — override this to process the run in
-    /// parallel.
+    /// parallel (as fork-join phases on the shared scheduler pool; see
+    /// `DESIGN.md` §8).
     fn insert_batch(&mut self, items: &[(PointId, Point, WindowId)]) {
         for (id, point, expires_at) in items {
             self.insert(*id, point, *expires_at);

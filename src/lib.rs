@@ -48,6 +48,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`core`] | points, grid geometry, windows, queries, memory accounting |
+//! | [`exec`] | shared work-stealing scheduler pool (task priorities, fork-join scopes) |
 //! | [`stream`] | window engine, lifespan analysis (Obs. 5.2–5.4) |
 //! | [`index`] | grid index, R-tree, feature grid, union-find |
 //! | [`cluster`] | DBSCAN ground truth, Extra-N baseline |
@@ -56,16 +57,17 @@
 //! | [`matching`] | distance metric, alignment search, GED, Chamfer |
 //! | [`archive`] | pattern archiver + pattern base |
 //! | [`query`] | DETECT/MATCH query language (lexer, parser, AST) |
-//! | [`runtime`] | multi-query planner, registry, fan-out executor, `Runtime` session API |
+//! | [`runtime`] | multi-query planner, registry, pool-multiplexed executor, `Runtime` session API |
 //! | [`datagen`] | GMTI- and STT-like stream generators |
 //!
 //! ## Serving many queries at once
 //!
 //! The [`runtime::Runtime`] session API executes query-language text
 //! directly, fanning one ingested stream out to any number of concurrent
-//! continuous queries (each on its own worker thread, with bounded-channel
-//! backpressure) while matching statements run against their shared
-//! history:
+//! continuous queries — multiplexed over the shared work-stealing
+//! scheduler pool ([`exec`]) behind bounded, backpressured input queues,
+//! so idle queries cost zero threads — while matching statements run
+//! against their shared history:
 //!
 //! ```
 //! use streamsum::prelude::*;
@@ -90,6 +92,7 @@ pub use sgs_cluster as cluster;
 pub use sgs_core as core;
 pub use sgs_csgs as csgs;
 pub use sgs_datagen as datagen;
+pub use sgs_exec as exec;
 pub use sgs_index as index;
 pub use sgs_query as query;
 pub use sgs_matching as matching;
@@ -107,14 +110,17 @@ pub mod prelude {
     pub use crate::pipeline::StreamPipeline;
     pub use sgs_archive::{ArchivePolicy, MatchOutcome, MatchResult, PatternBase, PatternId};
     pub use sgs_cluster::{cluster_snapshot, CanonicalClustering, ExtraN, NaiveClusterer};
-    pub use sgs_core::{ClusterQuery, Error, Point, PointId, Result, WindowId, WindowSpec};
+    pub use sgs_core::{
+        ClusterQuery, Error, Point, PointId, PoolThreads, Result, ShardCount, WindowId,
+        WindowSpec,
+    };
     pub use sgs_csgs::{CSgs, ClusterTracker, ExtractedCluster, TrackId, WindowOutput};
     pub use sgs_datagen::{generate_gmti, generate_stt, GmtiConfig, SttConfig};
     pub use sgs_matching::MatchConfig;
     pub use sgs_query::{parse_any, parse_detect, parse_match, DetectQuery, MatchQueryAst, QueryAst};
     pub use sgs_runtime::{
-        DetectPlan, MatchPlan, QueryId, QueryPlan, QueryReport, QueryState, QueryStats, Runtime,
-        RuntimeConfig, RuntimeError, Submission,
+        DetectPlan, MatchPlan, OutputPolicy, QueryId, QueryPlan, QueryReport, QueryState,
+        QueryStats, Runtime, RuntimeConfig, RuntimeError, Submission,
     };
     pub use sgs_stream::{replay, WindowConsumer, WindowEngine};
     pub use sgs_summarize::{Crd, MemberSet, Rsp, Sgs, SkPs};

@@ -45,7 +45,7 @@ fn concurrent_queries_archive_byte_identically_to_solo_runs() {
     }
 
     // --- Concurrent run: all three registered at once, fed in batches
-    // through the fan-out executor's worker threads.
+    // through the executor's pool-multiplexed query tasks.
     let mut ids = Vec::new();
     for text in STATEMENTS {
         let Submission::Continuous(id) = rt.submit(text).unwrap() else {
