@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for the BENCH_*.json reports CI produces.
+
+Compares the current run's reports against a baseline directory (the
+previous successful run's uploaded artifacts) and fails on a throughput
+regression beyond the threshold *at equal scale*:
+
+* Reports are matched by their "bench" name.
+* Two reports are only comparable when their scale-defining fields agree
+  (tuples, win, slide, dataset, and the recorded pool/parallelism
+  context) — a deliberate workload change never trips the guard, it
+  just warns that the baseline is incomparable.
+* Within a comparable report, rows are matched by their configuration
+  fields only (queries / shards / workers — never result fields like
+  windows or clusters, which legitimately change with the code under
+  test), and every rate field (any name containing "per_sec") is
+  compared. Rows with no known configuration field fall back to
+  positional matching.
+
+Exit codes: 0 = pass (including "no baseline yet" and "incomparable
+baseline", both warn-only), 1 = regression beyond threshold, 2 = usage.
+
+Usage:
+    python3 ci/compare_bench.py --baseline DIR --current DIR [--threshold 0.30]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Fields that define "equal scale": a mismatch makes a report
+# incomparable (warn), rather than a regression (fail).
+SCALE_FIELDS = ("tuples", "win", "slide", "dataset", "pool_threads", "available_parallelism")
+
+
+def is_rate_field(name):
+    return "per_sec" in name
+
+
+def load_reports(directory):
+    """Map bench name -> parsed report, for every BENCH_*.json in directory."""
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}")
+            continue
+        name = report.get("bench") or os.path.basename(path)
+        reports[name] = report
+    return reports
+
+
+# Row fields that define a *configuration* (what was run), as opposed to
+# results (what came out — windows, clusters, ... — which legitimately
+# change with the code under test and must not break row matching).
+CONFIG_FIELDS = ("queries", "shards", "workers")
+
+
+def row_key(row, index):
+    """Configuration identity of one row, positional when config-less."""
+    key = tuple((field, row[field]) for field in CONFIG_FIELDS if field in row)
+    return key if key else (("row", index),)
+
+
+def scale_of(report):
+    return {field: report.get(field) for field in SCALE_FIELDS}
+
+
+def compare_report(name, base, cur, threshold):
+    """Returns (regressions, lines) for one bench's baseline/current pair."""
+    lines = []
+    base_scale, cur_scale = scale_of(base), scale_of(cur)
+    if base_scale != cur_scale:
+        lines.append(
+            f"warning: {name}: scale changed {base_scale} -> {cur_scale}; "
+            "baseline incomparable, skipping"
+        )
+        return [], lines
+
+    base_rows = {row_key(row, i): row for i, row in enumerate(base.get("rows", []))}
+    regressions = []
+    for i, row in enumerate(cur.get("rows", [])):
+        key = row_key(row, i)
+        base_row = base_rows.get(key)
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        if base_row is None:
+            lines.append(f"warning: {name}[{label}]: no baseline row, skipping")
+            continue
+        for field, cur_value in row.items():
+            if not is_rate_field(field) or not isinstance(cur_value, (int, float)):
+                continue
+            base_value = base_row.get(field)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            delta = (cur_value - base_value) / base_value
+            verdict = "OK"
+            if delta < -threshold:
+                verdict = "REGRESSION"
+                regressions.append(f"{name}[{label}].{field}")
+            lines.append(
+                f"{verdict:>10}  {name}[{label}].{field}: "
+                f"{base_value:.0f} -> {cur_value:.0f} ({delta:+.1%})"
+            )
+    return regressions, lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="directory of previous BENCH_*.json")
+    parser.add_argument("--current", required=True, help="directory of current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fail when a rate drops by more than this fraction (default 0.30)")
+    args = parser.parse_args()
+
+    current = load_reports(args.current)
+    if not current:
+        print(f"error: no BENCH_*.json found under {args.current!r}")
+        return 2
+    baseline = load_reports(args.baseline)
+    if not baseline:
+        print(f"warning: no baseline reports under {args.baseline!r} "
+              "(first run?) — nothing to compare, passing")
+        return 0
+
+    all_regressions = []
+    for name, cur in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"warning: {name}: new bench, no baseline yet")
+            continue
+        regressions, lines = compare_report(name, base, cur, args.threshold)
+        print("\n".join(lines))
+        all_regressions.extend(regressions)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"warning: {name}: present in baseline but not in this run")
+
+    if all_regressions:
+        print(f"\nFAIL: {len(all_regressions)} rate(s) regressed more than "
+              f"{args.threshold:.0%} at equal scale:")
+        for regression in all_regressions:
+            print(f"  - {regression}")
+        return 1
+    print(f"\nPASS: no rate regressed more than {args.threshold:.0%} at equal scale")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -203,8 +203,8 @@ impl PatternBase {
     fn feature_caps(&self) -> [f64; 4] {
         let mut caps = [1.0f64; 4];
         for p in &self.patterns {
-            for d in 0..4 {
-                caps[d] = caps[d].max(p.features[d]);
+            for (cap, feature) in caps.iter_mut().zip(p.features.iter()) {
+                *cap = cap.max(*feature);
             }
         }
         caps
@@ -260,7 +260,13 @@ mod tests {
 
     fn blob(x0: f64, y0: f64, n: usize) -> Sgs {
         let cores: Vec<Box<[f64]>> = (0..n)
-            .map(|i| vec![x0 + 0.05 + (i % 6) as f64 * 0.3, y0 + 0.05 + (i / 6) as f64 * 0.3].into())
+            .map(|i| {
+                vec![
+                    x0 + 0.05 + (i % 6) as f64 * 0.3,
+                    y0 + 0.05 + (i / 6) as f64 * 0.3,
+                ]
+                .into()
+            })
             .collect();
         Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0))
     }
@@ -365,7 +371,12 @@ mod tests {
         let query = blob(0.0, 0.0, 12);
         let cfg = MatchConfig::equal_weights(false, 0.1);
         let out = base.match_query(&query, &cfg);
-        assert!(out.refined < base.len() / 2, "refined {} of {}", out.refined, base.len());
+        assert!(
+            out.refined < base.len() / 2,
+            "refined {} of {}",
+            out.refined,
+            base.len()
+        );
         assert_eq!(out.matches[0].id, PatternId(0));
     }
 

@@ -173,10 +173,8 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let base = sample_base(5);
-        let path = std::env::temp_dir().join(format!(
-            "sgs_persist_test_{}.bin",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("sgs_persist_test_{}.bin", std::process::id()));
         save(&base, &path).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.len(), 5);

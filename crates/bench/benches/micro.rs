@@ -13,12 +13,7 @@ use sgs_summarize::{packed, MemberSet, Sgs};
 fn grid_points(n: usize) -> Vec<Point> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     (0..n)
-        .map(|_| {
-            Point::new(
-                vec![rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)],
-                0,
-            )
-        })
+        .map(|_| Point::new(vec![rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)], 0))
         .collect()
 }
 
@@ -82,7 +77,13 @@ fn bench_hungarian(c: &mut Criterion) {
 
 fn study_sgs(x0: f64) -> Sgs {
     let cores: Vec<Box<[f64]>> = (0..60)
-        .map(|i| vec![x0 + 0.05 + (i % 10) as f64 * 0.3, 0.05 + (i / 10) as f64 * 0.3].into())
+        .map(|i| {
+            vec![
+                x0 + 0.05 + (i % 10) as f64 * 0.3,
+                0.05 + (i / 10) as f64 * 0.3,
+            ]
+            .into()
+        })
         .collect();
     Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0))
 }
@@ -97,7 +98,9 @@ fn bench_alignment(c: &mut Criterion) {
 
 fn bench_packed(c: &mut Criterion) {
     let s = study_sgs(0.0);
-    c.bench_function("packed/encode", |b| b.iter(|| black_box(packed::encode(&s))));
+    c.bench_function("packed/encode", |b| {
+        b.iter(|| black_box(packed::encode(&s)))
+    });
     let bytes = packed::encode(&s);
     c.bench_function("packed/decode", |b| {
         b.iter(|| black_box(packed::decode(bytes.clone()).unwrap().volume()))

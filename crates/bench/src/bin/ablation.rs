@@ -94,7 +94,10 @@ fn main() {
                 vec![
                     "indexed filter + refine".into(),
                     fmt_ms(indexed_ms),
-                    format!("{:.1}", refined_indexed as f64 / bundle.queries.len() as f64),
+                    format!(
+                        "{:.1}",
+                        refined_indexed as f64 / bundle.queries.len() as f64
+                    ),
                 ],
                 vec![
                     "exhaustive refine".into(),

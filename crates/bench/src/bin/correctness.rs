@@ -37,10 +37,8 @@ fn main() {
 
         let mut windows_checked = 0usize;
         let mut identical = true;
-        for (((_, a), (_, b)), (_, c)) in naive_out
-            .iter()
-            .zip(extra_out.iter())
-            .zip(csgs_out.iter())
+        for (((_, a), (_, b)), (_, c)) in
+            naive_out.iter().zip(extra_out.iter()).zip(csgs_out.iter())
         {
             let ca = CanonicalClustering::from(a.clone());
             let cb = CanonicalClustering::from(b.clone());
@@ -64,7 +62,11 @@ fn main() {
             if identical { "IDENTICAL" } else { "MISMATCH" }.to_string(),
         ]);
     }
-    print_table("per-configuration verdicts", &["config", "windows", "verdict"], &rows);
+    print_table(
+        "per-configuration verdicts",
+        &["config", "windows", "verdict"],
+        &rows,
+    );
     if all_ok {
         println!("\nAll configurations: C-SGS ≡ Extra-N ≡ DBSCAN. ✔");
     } else {

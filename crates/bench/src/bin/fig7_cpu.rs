@@ -29,8 +29,7 @@ fn main() {
 
     println!("Fig. 7 (top): CPU time per window — dataset {dataset:?}, win={win}");
     for config in configs {
-        let n_points =
-            (config.query.window.slide * n_windows) as usize + 2 * win as usize;
+        let n_points = (config.query.window.slide * n_windows) as usize + 2 * win as usize;
         let points = dataset.points(n_points);
         let extra = run_extra_n(&config.query, &points, Summarizer::None);
         let csgs = run_csgs(&config.query, &points);
@@ -53,7 +52,13 @@ fn main() {
             .collect();
         print_table(
             &config.label,
-            &["alternative", "resp/window", "vs Extra-N", "clusters/win", "windows"],
+            &[
+                "alternative",
+                "resp/window",
+                "vs Extra-N",
+                "clusters/win",
+                "windows",
+            ],
             &rows,
         );
     }

@@ -24,8 +24,7 @@ fn main() {
 
     println!("Fig. 7 (bottom): peak memory — dataset {dataset:?}, win={win}");
     for config in configs {
-        let n_points =
-            (config.query.window.slide * n_windows) as usize + 2 * win as usize;
+        let n_points = (config.query.window.slide * n_windows) as usize + 2 * win as usize;
         let points = dataset.points(n_points);
         let extra = run_extra_n(&config.query, &points, Summarizer::None);
         let csgs = run_csgs(&config.query, &points);

@@ -56,7 +56,13 @@ fn main() {
     }
     print_table(
         "storage by archive size",
-        &["clusters", "SGS bytes", "full-repr bytes", "cells/cluster", "compression"],
+        &[
+            "clusters",
+            "SGS bytes",
+            "full-repr bytes",
+            "cells/cluster",
+            "compression",
+        ],
         &rows,
     );
     println!(

@@ -22,7 +22,7 @@ use sgs_bench::table::print_table;
 use sgs_bench::workload::parse_scale;
 use sgs_matching::metric::rel_diff;
 use sgs_matching::{best_alignment, graph_edit_distance, pointset};
-use sgs_summarize::{Rsp, SkPs, Sgs};
+use sgs_summarize::{Rsp, Sgs, SkPs};
 
 /// Center a point buffer at its centroid (position-insensitive study:
 /// every format is compared translation-free, like SGS's alignment
@@ -96,8 +96,7 @@ fn main() {
         .iter()
         .map(|e| {
             let sgs = Sgs::from_members(&e.members, &study.geometry);
-            MultiFormat::build(e.members.clone(), sgs, theta_r, &mut rng)
-                .expect("non-empty entry")
+            MultiFormat::build(e.members.clone(), sgs, theta_r, &mut rng).expect("non-empty entry")
         })
         .collect();
 

@@ -87,7 +87,12 @@ fn main() {
     );
     print_table(
         "by resolution level",
-        &["resolution", "archive bytes", "avg match time", "similar rate"],
+        &[
+            "resolution",
+            "archive bytes",
+            "avg match time",
+            "similar rate",
+        ],
         &rows,
     );
 }

@@ -70,8 +70,7 @@ fn main() {
                      USING theta_range = {theta_r} AND theta_cnt = {theta_c} \
                      IN Windows WITH win = {win} AND slide = {slide}"
                 );
-                let QueryPlan::Detect(plan) = rt.plan(&text).expect("plannable statement")
-                else {
+                let QueryPlan::Detect(plan) = rt.plan(&text).expect("plannable statement") else {
                     unreachable!("DETECT text plans to a detect plan");
                 };
                 let (w, c) = (windows.clone(), clusters.clone());

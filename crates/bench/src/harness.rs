@@ -266,7 +266,6 @@ pub fn build_archive(
     let mut csgs = CSgs::new(query.clone());
     let mut outputs: Vec<(WindowId, sgs_csgs::WindowOutput)> = Vec::new();
     let mut coords: FxHashMap<PointId, Box<[f64]>> = FxHashMap::default();
-    let mut next_id = 0u32;
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xA5C1);
 
     let mut base = PatternBase::new();
@@ -274,9 +273,8 @@ pub fn build_archive(
     let mut queries = Vec::new();
     let mut full_repr_bytes = 0usize;
 
-    'stream: for p in points {
-        coords.insert(PointId(next_id), p.coords.clone());
-        next_id += 1;
+    'stream: for (next_id, p) in points.iter().enumerate() {
+        coords.insert(PointId(next_id as u32), p.coords.clone());
         engine.push(p.clone(), &mut csgs, &mut outputs).unwrap();
         for (window, out) in outputs.drain(..) {
             for cluster in out {

@@ -19,7 +19,8 @@ impl JsonObject {
 
     /// Add a string field (escaped).
     pub fn str(mut self, key: &str, value: &str) -> Self {
-        self.fields.push((key.to_string(), format!("\"{}\"", escape(value))));
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
         self
     }
 

@@ -59,10 +59,7 @@ impl Shape {
                     let a = rng.gen_range(0.0..std::f64::consts::TAU);
                     (r * a.cos(), r * a.sin())
                 }
-                Shape::Strip => (
-                    s * (4.0 * u - 2.0),
-                    s * 0.25 * rng.gen_range(-1.0..1.0),
-                ),
+                Shape::Strip => (s * (4.0 * u - 2.0), s * 0.25 * rng.gen_range(-1.0..1.0)),
                 Shape::Corner => {
                     if rng.gen_bool(0.5) {
                         (s * (2.0 * u - 1.0), -s)
@@ -79,7 +76,10 @@ impl Shape {
                         0.0
                     };
                     if lobe == 0.0 {
-                        (s * rng.gen_range(-1.5..1.5), s * 0.1 * rng.gen_range(-1.0..1.0))
+                        (
+                            s * rng.gen_range(-1.5..1.5),
+                            s * 0.1 * rng.gen_range(-1.0..1.0),
+                        )
                     } else {
                         let r = 0.5 * s * rng.gen_range(0.0f64..1.0).sqrt();
                         let a = rng.gen_range(0.0..std::f64::consts::TAU);

@@ -14,7 +14,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(0)));
+            s.push_str(&format!(
+                "{:<w$}  ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(0)
+            ));
         }
         println!("{}", s.trim_end());
     };

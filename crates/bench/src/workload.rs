@@ -71,8 +71,8 @@ pub fn config_grid(dataset: Dataset, win: u64, slides: &[u64]) -> Vec<Config> {
     for (case_idx, (theta_r, theta_c)) in dataset.cases().into_iter().enumerate() {
         for &slide in slides {
             let spec = WindowSpec::count(win, slide).expect("valid window");
-            let query = ClusterQuery::new(theta_r, theta_c, dataset.dim(), spec)
-                .expect("valid query");
+            let query =
+                ClusterQuery::new(theta_r, theta_c, dataset.dim(), spec).expect("valid query");
             out.push(Config {
                 label: format!(
                     "case {} (θr={theta_r}, θc={theta_c}), slide {slide}",

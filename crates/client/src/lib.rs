@@ -1,0 +1,347 @@
+//! # sgs-client
+//!
+//! Blocking client library for the `streamsum-server` wire protocol
+//! ([`sgs-wire`], `DESIGN.md` §9): one [`Client`] per TCP connection,
+//! one server session per client, strict request/response over the
+//! socket. The remote analyst's loop is the same as the in-process
+//! [`Runtime`] session API — register DETECT statements, feed points,
+//! poll windows, match against the shared history — except every step
+//! crosses the network:
+//!
+//! ```no_run
+//! use sgs_client::Client;
+//! use sgs_core::Point;
+//!
+//! let mut c = Client::connect("127.0.0.1:7878")?;
+//! let q = c.detect(
+//!     "DETECT DensityBasedClusters f+s FROM gmti \
+//!      USING theta_range = 0.6 AND theta_cnt = 8 \
+//!      IN Windows WITH win = 2000 AND slide = 500",
+//! )?;
+//! let points: Vec<Point> = (0..4000)
+//!     .map(|i| Point::new(vec![(i % 50) as f64 * 0.1, (i % 40) as f64 * 0.1], i))
+//!     .collect();
+//! c.feed("gmti", &points)?;
+//! c.quiesce()?;
+//! for (window, clusters) in c.poll(q, 0)? {
+//!     println!("window {}: {} clusters", window.0, clusters.len());
+//! }
+//! # Ok::<(), sgs_client::ClientError>(())
+//! ```
+//!
+//! Backpressure: a feed larger than [`sgs_wire::FEED_CHUNK`] is sent as
+//! multiple `Feed` frames, and the server acks each only after routing
+//! it through the bounded per-query input queues — so a slow server
+//! throttles [`Client::feed`] itself, exactly like `Runtime::push_batch`
+//! blocking in-process.
+//!
+//! [`sgs-wire`]: ../sgs_wire/index.html
+//! [`Runtime`]: ../sgs_runtime/runtime/struct.Runtime.html
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sgs_core::{Point, WindowId};
+use sgs_csgs::WindowOutput;
+use sgs_summarize::Sgs;
+use sgs_wire::{
+    read_frame, write_frame, ErrorCode, Frame, RecvError, WireMatch, WireQuery, WireStats,
+    FEED_CHUNK, WIRE_VERSION,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The server's bytes were not valid protocol.
+    Wire(sgs_wire::WireError),
+    /// The server closed the connection.
+    Closed,
+    /// The server reported a failure for this request.
+    Server {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a frame this request cannot accept —
+    /// e.g. a `HelloAck` carrying an incompatible protocol version, or
+    /// a response kind that does not match the request.
+    Unexpected(&'static str),
+    /// A request argument cannot be represented on the wire (e.g. point
+    /// dimensionality beyond the format's `u16`); nothing was sent.
+    Invalid(&'static str),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected server response: {what}"),
+            ClientError::Invalid(what) => write!(f, "request not encodable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Closed => ClientError::Closed,
+            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// What [`Client::submit`] produced — the wire mirror of
+/// `sgs_runtime::Submission`.
+#[derive(Debug)]
+pub enum Submitted {
+    /// A DETECT statement became a continuous query with this
+    /// session-local id.
+    Continuous(u64),
+    /// A matching statement executed immediately.
+    Matches {
+        /// Candidates surviving the locational filter.
+        candidates: u64,
+        /// Candidates fully refined.
+        refined: u64,
+        /// The matches.
+        matches: Vec<WireMatch>,
+    },
+}
+
+/// One blocking session with a streamsum server.
+///
+/// Not thread-safe by design (the protocol is strict request/response);
+/// open one `Client` per thread instead — the server multiplexes any
+/// number of sessions onto its shared runtime.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and shake hands. Fails if the server speaks a different
+    /// [`WIRE_VERSION`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client { stream };
+        let ack = client.call(Frame::Hello {
+            client: concat!("sgs-client/", env!("CARGO_PKG_VERSION")).into(),
+        })?;
+        match ack {
+            Frame::HelloAck { protocol, .. } if protocol == WIRE_VERSION => Ok(client),
+            Frame::HelloAck { .. } => Err(ClientError::Unexpected("protocol version mismatch")),
+            _ => Err(ClientError::Unexpected("handshake reply was not HelloAck")),
+        }
+    }
+
+    /// One request/response exchange. A server `Error` frame becomes
+    /// [`ClientError::Server`].
+    fn call(&mut self, request: Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, &request)?;
+        match read_frame(&mut self.stream)? {
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Submit one statement of either template (DETECT or GIVEN/SELECT).
+    pub fn submit(&mut self, text: &str) -> Result<Submitted, ClientError> {
+        match self.call(Frame::Submit { text: text.into() })? {
+            Frame::Registered { query } => Ok(Submitted::Continuous(query)),
+            Frame::Matches {
+                candidates,
+                refined,
+                matches,
+            } => Ok(Submitted::Matches {
+                candidates,
+                refined,
+                matches,
+            }),
+            _ => Err(ClientError::Unexpected("submit reply")),
+        }
+    }
+
+    /// Submit a DETECT statement, returning the new query's
+    /// session-local id.
+    pub fn detect(&mut self, text: &str) -> Result<u64, ClientError> {
+        match self.submit(text)? {
+            Submitted::Continuous(q) => Ok(q),
+            Submitted::Matches { .. } => {
+                Err(ClientError::Unexpected("DETECT answered with matches"))
+            }
+        }
+    }
+
+    /// Feed points into a named stream, chunked to at most
+    /// [`FEED_CHUNK`] points per frame — fewer for high-dimensional
+    /// streams, so a chunk's *encoded bytes* always stay far below the
+    /// protocol's frame cap. Blocks for each chunk's ack — which the
+    /// server sends only after the chunk cleared the bounded per-query
+    /// input queues, so server-side backpressure throttles this call.
+    pub fn feed(&mut self, stream: &str, points: &[Point]) -> Result<(), ClientError> {
+        let Some(first) = points.first() else {
+            return Ok(());
+        };
+        let dim = first.dim();
+        if dim > u16::MAX as usize {
+            // The wire point encoding carries dimensionality as a u16;
+            // encoding would silently truncate.
+            return Err(ClientError::Invalid(
+                "point dimensionality exceeds the wire format's u16",
+            ));
+        }
+        // Encoded point size is fixed (ts u64 + dim u16 + dim × f64);
+        // bound each frame to a quarter of the cap.
+        let point_bytes = 8 + 2 + 8 * dim;
+        let max_points = (sgs_wire::MAX_FRAME_LEN / 4 / point_bytes).max(1);
+        for chunk in points.chunks(FEED_CHUNK.clamp(1, max_points)) {
+            match self.call(Frame::Feed {
+                stream: stream.into(),
+                points: chunk.to_vec(),
+            })? {
+                Frame::OkAck => {}
+                _ => return Err(ClientError::Unexpected("feed reply")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain up to `max` buffered completed windows of one of this
+    /// session's queries (`max == 0` means all buffered), oldest first.
+    ///
+    /// The server pages large drains (one response frame stays far
+    /// below the protocol's frame-size cap), so this loops requesting
+    /// pages until it has `max` windows or a page comes back empty.
+    pub fn poll(
+        &mut self,
+        query: u64,
+        max: u32,
+    ) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
+        let mut out: Vec<(WindowId, WindowOutput)> = Vec::new();
+        loop {
+            let want = if max == 0 { 0 } else { max - out.len() as u32 };
+            // A failure on a *later* page does not discard the windows
+            // already received — the server has irreversibly drained
+            // them, so dropping them here would lose results. The error
+            // resurfaces on the next call's first page.
+            let page = match self.poll_page(query, want) {
+                Ok(page) => page,
+                Err(e) if out.is_empty() => return Err(e),
+                Err(_) => break,
+            };
+            if page.is_empty() {
+                break;
+            }
+            out.extend(page);
+            if max != 0 && out.len() >= max as usize {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// One `Poll` round trip (at most one server page of windows).
+    fn poll_page(
+        &mut self,
+        query: u64,
+        max: u32,
+    ) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
+        match self.call(Frame::Poll { query, max })? {
+            Frame::Windows { query: q, windows } if q == query => Ok(windows
+                .into_iter()
+                .map(|w| (w.window, w.clusters))
+                .collect()),
+            _ => Err(ClientError::Unexpected("poll reply")),
+        }
+    }
+
+    /// Fetch one query's state and statistics.
+    pub fn stats(&mut self, query: u64) -> Result<WireQuery, ClientError> {
+        match self.call(Frame::StatsReq { query })? {
+            Frame::StatsReply(q) => Ok(q),
+            _ => Err(ClientError::Unexpected("stats reply")),
+        }
+    }
+
+    /// List this session's queries (never another session's — the server
+    /// scopes the registry view to this connection).
+    pub fn queries(&mut self) -> Result<Vec<WireQuery>, ClientError> {
+        match self.call(Frame::ListQueries)? {
+            Frame::Queries(qs) => Ok(qs),
+            _ => Err(ClientError::Unexpected("list reply")),
+        }
+    }
+
+    /// Pause a running query.
+    pub fn pause(&mut self, query: u64) -> Result<(), ClientError> {
+        self.expect_ok(Frame::Pause { query }, "pause reply")
+    }
+
+    /// Resume a paused query.
+    pub fn resume(&mut self, query: u64) -> Result<(), ClientError> {
+        self.expect_ok(Frame::Resume { query }, "resume reply")
+    }
+
+    /// Cancel a query, returning its final statistics.
+    pub fn cancel(&mut self, query: u64) -> Result<WireStats, ClientError> {
+        match self.call(Frame::Cancel { query })? {
+            Frame::Report { query: q, stats } if q == query => Ok(stats),
+            _ => Err(ClientError::Unexpected("cancel reply")),
+        }
+    }
+
+    /// Bind a cluster summary to a name for use in GIVEN clauses. The
+    /// binding namespace is server-wide (shared with other sessions).
+    pub fn bind(&mut self, name: &str, sgs: &Sgs) -> Result<(), ClientError> {
+        self.expect_ok(
+            Frame::Bind {
+                name: name.into(),
+                sgs: sgs.clone(),
+            },
+            "bind reply",
+        )
+    }
+
+    /// Barrier: returns once every point this session fed so far has
+    /// been fully processed (stats and polls then reflect all of it).
+    pub fn quiesce(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(Frame::Quiesce, "quiesce reply")
+    }
+
+    /// Close the session cleanly.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        self.expect_ok(Frame::Goodbye, "goodbye reply")
+    }
+
+    fn expect_ok(&mut self, request: Frame, what: &'static str) -> Result<(), ClientError> {
+        match self.call(request)? {
+            Frame::OkAck => Ok(()),
+            _ => Err(ClientError::Unexpected(what)),
+        }
+    }
+}

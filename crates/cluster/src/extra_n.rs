@@ -161,10 +161,7 @@ impl WindowConsumer for ExtraN {
 
         // 2. Index it and remember expiry.
         let cell = self.index.insert(id, point);
-        self.expiry
-            .entry(expires_at.0)
-            .or_default()
-            .push(id);
+        self.expiry.entry(expires_at.0).or_default().push(id);
 
         // 3. Wire up bidirectional neighbor lists.
         for nb in &neighbors {
@@ -348,12 +345,7 @@ mod tests {
     fn matches_naive_on_random_stream() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let pts: Vec<Point> = (0..600)
-            .map(|_| {
-                Point::new(
-                    vec![rng.gen_range(0.0..3.0), rng.gen_range(0.0..3.0)],
-                    0,
-                )
-            })
+            .map(|_| Point::new(vec![rng.gen_range(0.0..3.0), rng.gen_range(0.0..3.0)], 0))
             .collect();
         let spec = WindowSpec::count(100, 20).unwrap();
         for (i, (naive, extra)) in run_both(spec, 0.25, 4, pts).into_iter().enumerate() {
@@ -366,12 +358,7 @@ mod tests {
         // Extreme view count: win/slide = 30.
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let pts: Vec<Point> = (0..150)
-            .map(|_| {
-                Point::new(
-                    vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)],
-                    0,
-                )
-            })
+            .map(|_| Point::new(vec![rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5)], 0))
             .collect();
         let spec = WindowSpec::count(30, 1).unwrap();
         for (i, (naive, extra)) in run_both(spec, 0.3, 3, pts).into_iter().enumerate() {
@@ -383,12 +370,7 @@ mod tests {
     fn one_rqs_per_point() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let pts: Vec<Point> = (0..200)
-            .map(|_| {
-                Point::new(
-                    vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)],
-                    0,
-                )
-            })
+            .map(|_| Point::new(vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)], 0))
             .collect();
         let spec = WindowSpec::count(50, 10).unwrap();
         let q = ClusterQuery::new(0.3, 3, 2, spec).unwrap();
@@ -401,12 +383,7 @@ mod tests {
     fn memory_grows_with_views() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let pts: Vec<Point> = (0..400)
-            .map(|_| {
-                Point::new(
-                    vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)],
-                    0,
-                )
-            })
+            .map(|_| Point::new(vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)], 0))
             .collect();
         let mut sizes = Vec::new();
         for slide in [50u64, 10, 2] {

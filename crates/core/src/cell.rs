@@ -355,7 +355,7 @@ mod tests {
         let g = GridGeometry::basic(3, 1.0);
         let c = CellCoord::new(vec![0, 0, 0]);
         let adj = g.adjacent_cells(&c);
-        let mut seen = vec![false; 26];
+        let mut seen = [false; 26];
         for a in &adj {
             let slot = g.adjacency_slot(&c, a).expect("adjacent");
             assert!(!seen[slot], "slot {slot} reused");

@@ -106,7 +106,9 @@ impl ClusterQuery {
             ));
         }
         if dim == 0 {
-            return Err(Error::InvalidQuery("dimensionality must be positive".into()));
+            return Err(Error::InvalidQuery(
+                "dimensionality must be positive".into(),
+            ));
         }
         Ok(ClusterQuery {
             theta_r,
@@ -188,6 +190,9 @@ mod tests {
             .unwrap()
             .with_shards(ShardCount::Fixed(2));
         assert_eq!(q.shards, ShardCount::Fixed(2));
-        assert_eq!(ClusterQuery::new(0.5, 4, 2, spec()).unwrap().shards, ShardCount::Auto);
+        assert_eq!(
+            ClusterQuery::new(0.5, 4, 2, spec()).unwrap().shards,
+            ShardCount::Auto
+        );
     }
 }

@@ -29,7 +29,25 @@ macro_rules! impl_heapsize_pod {
     };
 }
 
-impl_heapsize_pod!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+impl_heapsize_pod!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl HeapSize for String {
     fn heap_size(&self) -> usize {
@@ -51,8 +69,7 @@ impl<T: HeapSize> HeapSize for Box<T> {
 
 impl<T: HeapSize> HeapSize for Box<[T]> {
     fn heap_size(&self) -> usize {
-        self.len() * core::mem::size_of::<T>()
-            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+        self.len() * core::mem::size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
     }
 }
 
@@ -94,7 +111,8 @@ impl<K: HeapSize, V: HeapSize> HeapSize for BTreeMap<K, V> {
         // B-tree nodes hold up to 11 entries; model as len * entry * 12/11
         // rounded up, which is within a few percent of the real layout.
         let entry = core::mem::size_of::<(K, V)>();
-        self.len() * entry + self.len() * entry / 11
+        self.len() * entry
+            + self.len() * entry / 11
             + self
                 .iter()
                 .map(|(k, v)| k.heap_size() + v.heap_size())
@@ -158,7 +176,10 @@ mod tests {
     #[test]
     fn total_size_adds_inline() {
         let v = vec![1u8; 3];
-        assert_eq!(total_size(&v), core::mem::size_of::<Vec<u8>>() + v.capacity());
+        assert_eq!(
+            total_size(&v),
+            core::mem::size_of::<Vec<u8>>() + v.capacity()
+        );
     }
 
     #[test]

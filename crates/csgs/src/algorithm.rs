@@ -141,7 +141,11 @@ impl CSgs {
     /// independent of `win/slide` — no per-view state exists.
     pub fn meta_bytes(&self) -> usize {
         self.shards.iter().map(Shard::meta_bytes).sum::<usize>()
-            + self.cell_stores.iter().map(CellStore::heap_bytes).sum::<usize>()
+            + self
+                .cell_stores
+                .iter()
+                .map(CellStore::heap_bytes)
+                .sum::<usize>()
     }
 
     /// Single-point insertion with S > 1 (the per-point [`WindowConsumer`]
@@ -233,7 +237,12 @@ impl CSgs {
         for (q_id, owner) in extended {
             let (q_cell, q_cu, q_exp, q_nbrs) = {
                 let q = &shards[owner as usize].points[&q_id];
-                (q.cell.clone(), q.core_until, q.expires_at.0, q.neighbors.clone())
+                (
+                    q.cell.clone(),
+                    q.core_until,
+                    q.expires_at.0,
+                    q.neighbors.clone(),
+                )
             };
             for r_id in q_nbrs {
                 let Some((r_owner, r)) = resolve(shards, r_id) else {
@@ -369,9 +378,16 @@ impl CSgs {
 
         // Phase C — apply (shard-local writes): install the new points'
         // career state, drain the histogram inbox, record extensions.
-        for_each_par3(pool, parallel, shards, cell_stores, &mut apply, |_, sh, cells, ap| {
-            ap.extended = sh.apply_batch(cells, &mut ap.plans, &mut ap.inbox, now, theta_c);
-        });
+        for_each_par3(
+            pool,
+            parallel,
+            shards,
+            cell_stores,
+            &mut apply,
+            |_, sh, cells, ap| {
+                ap.extended = sh.apply_batch(cells, &mut ap.plans, &mut ap.inbox, now, theta_c);
+            },
+        );
 
         // Phase D — link: with every career now final, raise the pair
         // watermarks for all new pairs and all extended points' pairs.
@@ -384,58 +400,74 @@ impl CSgs {
         {
             let shards = &*shards;
             let apply = &apply;
-            for_each_par2(pool, parallel, cell_stores, &mut link_out, |i, cells, out| {
-                out.resize_with(s, Vec::new);
-                for plan in &apply[i].plans {
-                    let p = &shards[i].points[&plan.id];
-                    for &(q_id, owner) in &plan.neighbors {
-                        let q = shards[owner as usize]
-                            .points
-                            .get(&q_id)
-                            .expect("batch neighbors are live");
-                        if q.cell == p.cell {
-                            continue; // intra-cell pairs: Lemma 4.1
-                        }
-                        let cc = p.core_until.min(q.core_until);
-                        cells.raise_link(&p.cell, &q.cell, cc, p.core_until.min(q.expires_at.0));
-                        let q_attach = q.core_until.min(p.expires_at.0);
-                        if owner as usize == i {
-                            cells.raise_link(&q.cell, &p.cell, cc, q_attach);
-                        } else {
-                            out[owner as usize].push(LinkMsg {
-                                at: q.cell.clone(),
-                                other: p.cell.clone(),
-                                core_core: cc,
-                                attach: q_attach,
-                            });
-                        }
-                    }
-                }
-                for q_id in &apply[i].extended {
-                    let q = &shards[i].points[q_id];
-                    for &r_id in &q.neighbors {
-                        let Some((r_owner, r)) = resolve(shards, r_id) else {
-                            continue; // pruned-late id of an expired point
-                        };
-                        if r.cell == q.cell {
-                            continue;
-                        }
-                        let cc = q.core_until.min(r.core_until);
-                        cells.raise_link(&q.cell, &r.cell, cc, q.core_until.min(r.expires_at.0));
-                        let r_attach = r.core_until.min(q.expires_at.0);
-                        if r_owner == i {
-                            cells.raise_link(&r.cell, &q.cell, cc, r_attach);
-                        } else {
-                            out[r_owner].push(LinkMsg {
-                                at: r.cell.clone(),
-                                other: q.cell.clone(),
-                                core_core: cc,
-                                attach: r_attach,
-                            });
+            for_each_par2(
+                pool,
+                parallel,
+                cell_stores,
+                &mut link_out,
+                |i, cells, out| {
+                    out.resize_with(s, Vec::new);
+                    for plan in &apply[i].plans {
+                        let p = &shards[i].points[&plan.id];
+                        for &(q_id, owner) in &plan.neighbors {
+                            let q = shards[owner as usize]
+                                .points
+                                .get(&q_id)
+                                .expect("batch neighbors are live");
+                            if q.cell == p.cell {
+                                continue; // intra-cell pairs: Lemma 4.1
+                            }
+                            let cc = p.core_until.min(q.core_until);
+                            cells.raise_link(
+                                &p.cell,
+                                &q.cell,
+                                cc,
+                                p.core_until.min(q.expires_at.0),
+                            );
+                            let q_attach = q.core_until.min(p.expires_at.0);
+                            if owner as usize == i {
+                                cells.raise_link(&q.cell, &p.cell, cc, q_attach);
+                            } else {
+                                out[owner as usize].push(LinkMsg {
+                                    at: q.cell.clone(),
+                                    other: p.cell.clone(),
+                                    core_core: cc,
+                                    attach: q_attach,
+                                });
+                            }
                         }
                     }
-                }
-            });
+                    for q_id in &apply[i].extended {
+                        let q = &shards[i].points[q_id];
+                        for &r_id in &q.neighbors {
+                            let Some((r_owner, r)) = resolve(shards, r_id) else {
+                                continue; // pruned-late id of an expired point
+                            };
+                            if r.cell == q.cell {
+                                continue;
+                            }
+                            let cc = q.core_until.min(r.core_until);
+                            cells.raise_link(
+                                &q.cell,
+                                &r.cell,
+                                cc,
+                                q.core_until.min(r.expires_at.0),
+                            );
+                            let r_attach = r.core_until.min(q.expires_at.0);
+                            if r_owner == i {
+                                cells.raise_link(&r.cell, &q.cell, cc, r_attach);
+                            } else {
+                                out[r_owner].push(LinkMsg {
+                                    at: r.cell.clone(),
+                                    other: q.cell.clone(),
+                                    core_core: cc,
+                                    attach: r_attach,
+                                });
+                            }
+                        }
+                    }
+                },
+            );
         }
         let mut link_in: Vec<Vec<LinkMsg>> = vec![Vec::new(); s];
         for out in &mut link_out {
@@ -445,11 +477,17 @@ impl CSgs {
         }
 
         // Phase E — raise: drain the cross-shard link mailboxes.
-        for_each_par2(pool, parallel, cell_stores, &mut link_in, |_, cells, inbox| {
-            for msg in inbox.drain(..) {
-                cells.raise_link(&msg.at, &msg.other, msg.core_core, msg.attach);
-            }
-        });
+        for_each_par2(
+            pool,
+            parallel,
+            cell_stores,
+            &mut link_in,
+            |_, cells, inbox| {
+                for msg in inbox.drain(..) {
+                    cells.raise_link(&msg.at, &msg.other, msg.core_core, msg.attach);
+                }
+            },
+        );
 
         self.rqs_count += items.len() as u64;
     }
@@ -615,16 +653,28 @@ impl WindowConsumer for CSgs {
             sh.expire_local(cells, now);
             sh.maintain(cells, now);
         } else {
-            let mut dead: Vec<Vec<(PointId, Vec<PointId>)>> =
-                vec![Vec::new(); self.shards.len()];
-            for_each_par3(&self.pool, true, &mut self.shards, &mut self.cell_stores, &mut dead, |_, sh, cells, d| {
-                *d = sh.remove_expired(cells, now);
-            });
+            let mut dead: Vec<Vec<(PointId, Vec<PointId>)>> = vec![Vec::new(); self.shards.len()];
+            for_each_par3(
+                &self.pool,
+                true,
+                &mut self.shards,
+                &mut self.cell_stores,
+                &mut dead,
+                |_, sh, cells, d| {
+                    *d = sh.remove_expired(cells, now);
+                },
+            );
             let dead_all: Vec<(PointId, Vec<PointId>)> = dead.into_iter().flatten().collect();
-            for_each_par2(&self.pool, true, &mut self.shards, &mut self.cell_stores, |_, sh, cells| {
-                sh.prune_dead(&dead_all);
-                sh.maintain(cells, now);
-            });
+            for_each_par2(
+                &self.pool,
+                true,
+                &mut self.shards,
+                &mut self.cell_stores,
+                |_, sh, cells| {
+                    sh.prune_dead(&dead_all);
+                    sh.maintain(cells, now);
+                },
+            );
         }
         out
     }
@@ -710,10 +760,8 @@ mod tests {
         let mut engine = sgs_stream::WindowEngine::new(spec, 2);
         let mut outs = Vec::new();
         let mut coords_of: std::collections::HashMap<PointId, Box<[f64]>> = Default::default();
-        let mut next_id = 0u32;
-        for p in pts {
-            coords_of.insert(PointId(next_id), p.coords.clone());
-            next_id += 1;
+        for (next_id, p) in pts.into_iter().enumerate() {
+            coords_of.insert(PointId(next_id as u32), p.coords.clone());
             engine.push(p, &mut csgs, &mut outs).unwrap();
             // Compare at each completed window.
             for (_, clusters) in outs.drain(..) {
@@ -795,12 +843,7 @@ mod tests {
         let q = ClusterQuery::new(0.5, 2, 2, spec).unwrap();
         // One tight blob that persists across windows.
         let pts: Vec<Point> = (0..60)
-            .map(|i| {
-                Point::new(
-                    vec![(i % 5) as f64 * 0.1, (i % 7) as f64 * 0.1],
-                    0,
-                )
-            })
+            .map(|i| Point::new(vec![(i % 5) as f64 * 0.1, (i % 7) as f64 * 0.1], 0))
             .collect();
         let mut csgs = CSgs::new(q);
         let outs = replay(spec, pts, 2, &mut csgs).unwrap();

@@ -180,8 +180,8 @@ impl CellStore {
 
     /// Approximate retained heap bytes.
     pub fn heap_bytes(&self) -> usize {
-        let mut bytes = self.cells.capacity()
-            * (core::mem::size_of::<(CellCoord, CellState)>() + 1);
+        let mut bytes =
+            self.cells.capacity() * (core::mem::size_of::<(CellCoord, CellState)>() + 1);
         for (coord, cell) in &self.cells {
             bytes += coord.0.len() * 4;
             bytes += cell.links.capacity() * (core::mem::size_of::<(CellCoord, Link)>() + 1);

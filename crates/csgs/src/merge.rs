@@ -105,8 +105,7 @@ pub(crate) fn emit(
                         // Not one of our core cells: a border edge iff it
                         // is a live core cell of another shard.
                         let owner = router.shard_of(other);
-                        if owner != i
-                            && stores[owner].get(other).is_some_and(|st| st.is_core_at(w))
+                        if owner != i && stores[owner].get(other).is_some_and(|st| st.is_core_at(w))
                         {
                             loc.border.push((k as u32, other));
                         }
@@ -141,10 +140,7 @@ pub(crate) fn emit(
     }
     for loc in &locals {
         for (k, other) in &loc.border {
-            uf.union(
-                gidx[loc.core[*k as usize]] as usize,
-                gidx[*other] as usize,
-            );
+            uf.union(gidx[loc.core[*k as usize]] as usize, gidx[*other] as usize);
         }
     }
     // First-seen roots in global cell order number the merged clusters —
@@ -200,7 +196,7 @@ pub(crate) fn emit(
         for coord in &locals[i].core {
             let g = gid_of[*coord];
             part.cells[g].push((*coord, CellStatus::Core));
-            let state = stores[i].get(*coord).unwrap();
+            let state = stores[i].get(coord).unwrap();
             for (other, link) in &state.links {
                 if link.attach_until <= w.0 {
                     continue;

@@ -251,10 +251,7 @@ mod tests {
     #[test]
     fn merge_event() {
         let mut t = ClusterTracker::new();
-        let w0 = t.observe(
-            WindowId(0),
-            &vec![cluster(&[1, 2, 3]), cluster(&[10, 11])],
-        );
+        let w0 = t.observe(WindowId(0), &vec![cluster(&[1, 2, 3]), cluster(&[10, 11])]);
         let (ta, tb) = (w0.tracks[0], w0.tracks[1]);
         // Both flow into one cluster.
         let w1 = t.observe(WindowId(1), &vec![cluster(&[2, 3, 10, 11])]);
@@ -275,10 +272,7 @@ mod tests {
         let mut t = ClusterTracker::new();
         let w0 = t.observe(WindowId(0), &vec![cluster(&[1, 2, 3, 4, 5])]);
         let tid = w0.tracks[0];
-        let w1 = t.observe(
-            WindowId(1),
-            &vec![cluster(&[1, 2, 3]), cluster(&[4, 5])],
-        );
+        let w1 = t.observe(WindowId(1), &vec![cluster(&[1, 2, 3]), cluster(&[4, 5])]);
         // Largest fragment keeps the id; the other becomes a new track.
         assert_eq!(w1.tracks[0], tid);
         assert_ne!(w1.tracks[1], tid);

@@ -57,9 +57,7 @@ struct Burst {
 pub fn generate_stt(cfg: &SttConfig) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Per-stock base price (random walk over the day), in [1, 9].
-    let mut prices: Vec<f64> = (0..cfg.n_stocks)
-        .map(|_| rng.gen_range(1.0..9.0))
-        .collect();
+    let mut prices: Vec<f64> = (0..cfg.n_stocks).map(|_| rng.gen_range(1.0..9.0)).collect();
     let mut burst: Option<Burst> = None;
     let mut out = Vec::with_capacity(cfg.n_records);
     let day = cfg.n_records as f64;
@@ -132,10 +130,7 @@ mod tests {
         assert_eq!(generate_stt(&small()), generate_stt(&small()));
         assert_ne!(
             generate_stt(&small()),
-            generate_stt(&SttConfig {
-                seed: 1,
-                ..small()
-            })
+            generate_stt(&SttConfig { seed: 1, ..small() })
         );
     }
 
@@ -152,7 +147,11 @@ mod tests {
         for p in &pts {
             assert!((0.0..=0.1).contains(&p.coords[0]), "type {}", p.coords[0]);
             assert!((0.0..=10.0).contains(&p.coords[1]), "price {}", p.coords[1]);
-            assert!((0.0..=10.0).contains(&p.coords[2]), "volume {}", p.coords[2]);
+            assert!(
+                (0.0..=10.0).contains(&p.coords[2]),
+                "volume {}",
+                p.coords[2]
+            );
             assert!((0.0..=10.0).contains(&p.coords[3]), "tod {}", p.coords[3]);
         }
     }

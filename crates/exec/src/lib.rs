@@ -410,9 +410,8 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // reaches zero, i.e. until this closure — and everything it
         // borrows from `'scope`/`'env` — has run to completion. The
         // completion decrement above runs even if `f` panics.
-        let task: Task = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
-        };
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
         self.pool
             .inner
             .push(self.pool.worker_index(), Priority::High, task);
@@ -465,7 +464,7 @@ mod tests {
     fn scope_makes_progress_on_single_worker_pool() {
         // More forks than workers: the caller must help execute.
         let pool = Pool::new(1);
-        let mut items = vec![0u8; 32];
+        let mut items = [0u8; 32];
         pool.scope(|sc| {
             for item in items.iter_mut() {
                 sc.spawn(move || *item = 1);
@@ -487,7 +486,7 @@ mod tests {
                 for (i, slot) in outer.iter_mut().enumerate() {
                     let p = &inner_pool;
                     sc.spawn(move || {
-                        let mut inner = vec![0u64; 3];
+                        let mut inner = [0u64; 3];
                         p.scope(|sc2| {
                             for v in inner.iter_mut() {
                                 sc2.spawn(move || *v = 1);
@@ -523,8 +522,12 @@ mod tests {
         }
         // …then release the gate: the worker must pick High first.
         gate_tx.send(()).unwrap();
-        done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
-        done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
         assert_eq!(*order.lock().unwrap(), vec!["high", "normal"]);
     }
 
@@ -565,7 +568,7 @@ mod tests {
                 let pool = pool.clone();
                 s.spawn(move || {
                     for round in 0..20 {
-                        let mut items = vec![0usize; 8];
+                        let mut items = [0usize; 8];
                         pool.scope(|sc| {
                             for (i, item) in items.iter_mut().enumerate() {
                                 sc.spawn(move || *item = t * 1000 + round * 10 + i);

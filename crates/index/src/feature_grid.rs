@@ -13,11 +13,14 @@
 
 use crate::fx::FxHashMap;
 
+/// One bucket's contents: stored feature vectors with their payloads.
+type Bucket<T> = Vec<(Box<[f64]>, T)>;
+
 /// Uniform grid index over `d`-dimensional feature vectors.
 #[derive(Clone, Debug)]
 pub struct FeatureGrid<T> {
     widths: Box<[f64]>,
-    buckets: FxHashMap<Box<[i64]>, Vec<(Box<[f64]>, T)>>,
+    buckets: FxHashMap<Box<[i64]>, Bucket<T>>,
     len: usize,
 }
 

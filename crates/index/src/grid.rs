@@ -211,8 +211,8 @@ impl GridIndex {
 
 impl HeapSize for GridIndex {
     fn heap_size(&self) -> usize {
-        let mut bytes = self.cells.capacity()
-            * (core::mem::size_of::<(CellCoord, Vec<GridEntry>)>() + 1);
+        let mut bytes =
+            self.cells.capacity() * (core::mem::size_of::<(CellCoord, Vec<GridEntry>)>() + 1);
         for (c, v) in &self.cells {
             bytes += c.heap_size();
             bytes += v.capacity() * core::mem::size_of::<GridEntry>();

@@ -50,28 +50,14 @@ impl Rect {
 
     /// Whether two rectangles overlap (closed intervals).
     pub fn intersects(&self, other: &Rect) -> bool {
-        self.min
-            .iter()
-            .zip(other.max.iter())
-            .all(|(a, b)| a <= b)
-            && other
-                .min
-                .iter()
-                .zip(self.max.iter())
-                .all(|(a, b)| a <= b)
+        self.min.iter().zip(other.max.iter()).all(|(a, b)| a <= b)
+            && other.min.iter().zip(self.max.iter()).all(|(a, b)| a <= b)
     }
 
     /// Whether `self` fully contains `other`.
     pub fn contains(&self, other: &Rect) -> bool {
-        self.min
-            .iter()
-            .zip(other.min.iter())
-            .all(|(a, b)| a <= b)
-            && self
-                .max
-                .iter()
-                .zip(other.max.iter())
-                .all(|(a, b)| a >= b)
+        self.min.iter().zip(other.min.iter()).all(|(a, b)| a <= b)
+            && self.max.iter().zip(other.max.iter()).all(|(a, b)| a >= b)
     }
 
     /// Volume (product of extents).
@@ -185,7 +171,11 @@ impl<T> RTree<T> {
     }
 
     /// Recursive insertion; returns the two halves if the node split.
-    fn insert_rec(node: &mut Node<T>, rect: Rect, value: T) -> Option<(Rect, Node<T>, Rect, Node<T>)> {
+    fn insert_rec(
+        node: &mut Node<T>,
+        rect: Rect,
+        value: T,
+    ) -> Option<(Rect, Node<T>, Rect, Node<T>)> {
         match node {
             Node::Leaf(entries) => {
                 entries.push((rect, value));
@@ -289,18 +279,13 @@ impl<T> RTree<T> {
             match node {
                 Node::Leaf(entries) => {
                     entries.capacity() * core::mem::size_of::<(Rect, T)>()
-                        + entries
-                            .iter()
-                            .map(|(r, _)| r.heap_size())
-                            .sum::<usize>()
+                        + entries.iter().map(|(r, _)| r.heap_size()).sum::<usize>()
                 }
                 Node::Inner(children) => {
                     children.capacity() * core::mem::size_of::<(Rect, Box<Node<T>>)>()
                         + children
                             .iter()
-                            .map(|(r, c)| {
-                                r.heap_size() + core::mem::size_of::<Node<T>>() + walk(c)
-                            })
+                            .map(|(r, c)| r.heap_size() + core::mem::size_of::<Node<T>>() + walk(c))
                             .sum::<usize>()
                 }
             }
@@ -316,10 +301,13 @@ fn mbr_of<E>(entries: &[(Rect, E)]) -> Rect {
     it.fold(first, |acc, (r, _)| acc.union(r))
 }
 
+/// One side of a node split: entries with their bounding rectangles.
+type Group<E> = Vec<(Rect, E)>;
+
 /// Guttman's quadratic split: pick the pair wasting the most area as seeds,
 /// then greedily assign remaining entries to the group whose MBR grows
 /// least, honoring the minimum fill `m`.
-fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> (Vec<(Rect, E)>, Vec<(Rect, E)>) {
+fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> (Group<E>, Group<E>) {
     debug_assert!(entries.len() > MAX_ENTRIES);
     // Seed selection.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
@@ -424,7 +412,11 @@ mod tests {
         let mut t = RTree::new();
         let mut all = Vec::new();
         for i in 0..500u32 {
-            let r = sq(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0), rng.gen_range(0.1..5.0));
+            let r = sq(
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.1..5.0),
+            );
             t.insert(r.clone(), i);
             all.push((r, i));
         }

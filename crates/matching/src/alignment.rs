@@ -36,8 +36,8 @@ fn cell_centroid(sgs: &Sgs) -> Vec<f64> {
         return acc;
     }
     for c in &sgs.cells {
-        for d in 0..dim {
-            acc[d] += c.coord.0[d] as f64;
+        for (a, coord) in acc.iter_mut().zip(c.coord.0.iter()) {
+            *a += *coord as f64;
         }
     }
     for a in &mut acc {
@@ -101,10 +101,10 @@ pub fn best_alignment(a: &Sgs, b: &Sgs, budget: usize) -> AlignmentResult {
     };
 
     let evaluate = |shift: Vec<i32>,
-                        seen: &mut FxHashSet<Vec<i32>>,
-                        heap: &mut BinaryHeap<Candidate>,
-                        best: &mut AlignmentResult,
-                        evaluated: &mut usize| {
+                    seen: &mut FxHashSet<Vec<i32>>,
+                    heap: &mut BinaryHeap<Candidate>,
+                    best: &mut AlignmentResult,
+                    evaluated: &mut usize| {
         if !seen.insert(shift.clone()) {
             return;
         }
@@ -154,9 +154,7 @@ mod tests {
         let mut cores: Vec<Box<[f64]>> = (0..8)
             .map(|i| vec![x0 + 0.05 + i as f64 * 0.3, y0 + 0.05].into())
             .collect();
-        cores.extend((1..5).map(|i| {
-            Box::from(vec![x0 + 0.05, y0 + 0.05 + i as f64 * 0.3])
-        }));
+        cores.extend((1..5).map(|i| Box::from(vec![x0 + 0.05, y0 + 0.05 + i as f64 * 0.3])));
         Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0))
     }
 

@@ -28,11 +28,7 @@ pub fn search_range(q: f64, weight: f64, threshold: f64) -> (f64, f64) {
 }
 
 /// Per-dimension admissible ranges for all four non-locational features.
-pub fn feature_ranges(
-    features: &[f64; 4],
-    weights: &[f64; 4],
-    threshold: f64,
-) -> [(f64, f64); 4] {
+pub fn feature_ranges(features: &[f64; 4], weights: &[f64; 4], threshold: f64) -> [(f64, f64); 4] {
     [
         search_range(features[0], weights[0], threshold),
         search_range(features[1], weights[1], threshold),
@@ -53,10 +49,7 @@ mod tests {
         let (q, w, t) = (20.0, 0.4, 0.2);
         let (lo, hi) = search_range(q, w, t);
         for x in [lo, lo + 0.01, q, hi - 0.01, hi] {
-            assert!(
-                w * rel_diff(x, q) <= t + 1e-9,
-                "x={x} should be admissible"
-            );
+            assert!(w * rel_diff(x, q) <= t + 1e-9, "x={x} should be admissible");
         }
         for x in [lo - 0.1, hi + 0.1] {
             assert!(w * rel_diff(x, q) > t, "x={x} should be excluded");

@@ -152,7 +152,9 @@ mod tests {
             time_based: true,
             ..q
         };
-        assert!(timed.to_string().starts_with("DETECT DensityBasedClusters f FROM"));
+        assert!(timed
+            .to_string()
+            .starts_with("DETECT DensityBasedClusters f FROM"));
         assert!(timed.to_string().ends_with(" TIME"));
     }
 

@@ -56,11 +56,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, usize> {
                 out.push(Token::Plus);
                 i += 1;
             }
-            '<'
-                if bytes.get(i + 1) == Some(&b'=') => {
-                    out.push(Token::Le);
-                    i += 2;
-                }
+            '<' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Le);
+                i += 2;
+            }
             '0'..='9' | '.' => {
                 let start = i;
                 while i < bytes.len()
@@ -76,8 +75,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, usize> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }

@@ -43,7 +43,9 @@ impl Cursor {
     fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.next() {
             Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(ParseError(format!("expected keyword {kw}, found {other:?}"))),
+            other => Err(ParseError(format!(
+                "expected keyword {kw}, found {other:?}"
+            ))),
         }
     }
 
@@ -248,12 +250,12 @@ pub fn parse_match(input: &str) -> Result<MatchQueryAst, ParseError> {
     let mut weights = [0.25f64; 4];
     if c.try_keyword("USING") {
         let ps = c.assignment("ps")?;
-        position_sensitive = match ps {
-            v if v == 0.0 => false,
-            v if v == 1.0 => true,
-            v => {
-                return Err(ParseError(format!("ps must be 0 or 1, got {v}")));
-            }
+        position_sensitive = if ps == 0.0 {
+            false
+        } else if ps == 1.0 {
+            true
+        } else {
+            return Err(ParseError(format!("ps must be 0 or 1, got {ps}")));
         };
         if c.try_keyword("AND") {
             c.keyword("weights")?;
@@ -311,7 +313,11 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        let q = parse_detect(&FIG2.to_lowercase().replace("densitybasedclusters", "DensityBasedClusters"));
+        let q = parse_detect(
+            &FIG2
+                .to_lowercase()
+                .replace("densitybasedclusters", "DensityBasedClusters"),
+        );
         assert!(q.is_ok(), "{q:?}");
     }
 
@@ -369,7 +375,10 @@ mod tests {
     fn parse_any_dispatches_on_leading_keyword() {
         assert!(matches!(parse_any(FIG2), Ok(QueryAst::Detect(_))));
         assert!(matches!(parse_any(FIG3), Ok(QueryAst::Match(_))));
-        assert!(matches!(parse_any(&FIG2.to_lowercase()), Ok(QueryAst::Detect(_))));
+        assert!(matches!(
+            parse_any(&FIG2.to_lowercase()),
+            Ok(QueryAst::Detect(_))
+        ));
         assert!(parse_any("SELECT nothing").is_err());
         assert!(parse_any("").is_err());
     }

@@ -3,7 +3,9 @@
 //! selectors, thresholds, window geometries, and metric customizations.
 
 use proptest::prelude::*;
-use sgs_query::{parse_any, parse_detect, parse_match, DetectQuery, MatchQueryAst, OutputFormat, QueryAst};
+use sgs_query::{
+    parse_any, parse_detect, parse_match, DetectQuery, MatchQueryAst, OutputFormat, QueryAst,
+};
 
 /// Lowercase identifier from generated letter indices, with a fixed prefix
 /// so it can never collide with a grammar keyword.

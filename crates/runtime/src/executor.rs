@@ -65,6 +65,10 @@ pub(crate) enum Msg {
     Stop(mpsc::Sender<StreamPipeline>),
 }
 
+/// A per-window results callback (boxed: sinks are stored uniformly in
+/// the query cell).
+pub(crate) type WindowCallback = Box<dyn FnMut(WindowId, &WindowOutput) + Send>;
+
 /// Where a query delivers completed windows.
 pub(crate) enum Sink {
     /// Buffer for [`Runtime::poll`], governed by the runtime's
@@ -73,7 +77,7 @@ pub(crate) enum Sink {
     /// [`Runtime::poll`]: crate::runtime::Runtime::poll
     Buffer(Arc<OutputBuffer>),
     /// Invoke a callback on the executing pool worker (no buffering).
-    Callback(Box<dyn FnMut(WindowId, &WindowOutput) + Send>),
+    Callback(WindowCallback),
 }
 
 /// Messages one task activation processes before re-queueing itself
@@ -96,6 +100,14 @@ impl InputQueue {
             q = self.not_full.wait(q).unwrap();
         }
         q.push_back(msg);
+    }
+
+    /// Enqueue without the capacity wait — for control messages that
+    /// must never block behind backpressured data (a full queue's
+    /// producer may be unable to make progress until this very message
+    /// is processed, e.g. a stop issued under the caller's lock).
+    fn send_unbounded(&self, msg: Msg) {
+        self.queue.lock().unwrap().push_back(msg);
     }
 
     fn pop(&self) -> Option<Msg> {
@@ -183,6 +195,15 @@ impl QueryCell {
         self.schedule();
     }
 
+    /// Enqueue a control message past the capacity bound (never blocks)
+    /// and make sure a task is scheduled. Used for [`Msg::Stop`]: a
+    /// cancel must be deliverable even while the queue sits at capacity,
+    /// since the caller may hold locks the draining side needs.
+    pub(crate) fn send_control(self: &Arc<Self>, msg: Msg) {
+        self.input.send_unbounded(msg);
+        self.schedule();
+    }
+
     /// Spawn the query's executor task unless one is already live.
     fn schedule(self: &Arc<Self>) {
         if !self.scheduled.swap(true, Ordering::SeqCst) {
@@ -206,7 +227,14 @@ impl QueryCell {
         };
         let (sink, mirrored) = (&mut exec.sink, &mut exec.mirrored);
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            process_batch(pipeline, points, &self.shared, &self.history, sink, mirrored)
+            process_batch(
+                pipeline,
+                points,
+                &self.shared,
+                &self.history,
+                sink,
+                mirrored,
+            )
         }));
         if caught.is_err() {
             let mut status = self.shared.write();
@@ -225,6 +253,20 @@ fn run(cell: Arc<QueryCell>) {
     let mut quantum = TASK_QUANTUM;
     loop {
         if quantum == 0 {
+            if cell.input.is_empty() {
+                // Empty at the quantum boundary: park right here instead
+                // of respawning a task whose first pop would only park it
+                // anyway (saves one spawn/wake round-trip per drained
+                // quantum). Same race protocol as the pop-None path; on a
+                // lost race the respawn restores the old behavior exactly
+                // (fresh task, fresh quantum).
+                cell.scheduled.store(false, Ordering::SeqCst);
+                if !cell.input.is_empty() && !cell.scheduled.swap(true, Ordering::SeqCst) {
+                    let next = cell.clone();
+                    cell.pool.spawn(Priority::Normal, move || run(next));
+                }
+                return;
+            }
             // Yield: stay scheduled, but let other ready queries run.
             let next = cell.clone();
             cell.pool.spawn(Priority::Normal, move || run(next));

@@ -48,8 +48,10 @@ pub mod plan;
 pub mod registry;
 pub mod runtime;
 
-pub use output::OutputPolicy;
+pub use output::{OutputPolicy, PollBatch};
 pub use pipeline::StreamPipeline;
 pub use plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
-pub use registry::{QueryDescriptor, QueryId, QueryState, QueryStats};
-pub use runtime::{QueryReport, Runtime, RuntimeConfig, RuntimeError, Submission};
+pub use registry::{OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats};
+pub use runtime::{
+    PendingCancel, QueryReport, Runtime, RuntimeConfig, RuntimeError, StreamFeeder, Submission,
+};

@@ -134,6 +134,75 @@ impl OutputBuffer {
         }
         out
     }
+
+    /// Take the oldest buffered window, waking any producer blocked on
+    /// capacity — the incremental unit [`PollBatch`] is built on.
+    pub(crate) fn pop(&self) -> Option<(WindowId, WindowOutput)> {
+        let mut q = self.queue.lock().unwrap();
+        let out = q.windows.pop_front();
+        if out.is_some() {
+            self.not_full.notify_all();
+        }
+        out
+    }
+
+    /// Return a just-popped window to the **front** of the buffer
+    /// (undoing one [`pop`](Self::pop); completion order is preserved
+    /// for the next drain). May transiently hold the buffer one past a
+    /// `Block` capacity if a producer slipped in since the pop —
+    /// harmless, since producers only wait before their own push.
+    pub(crate) fn push_front(&self, window: WindowId, out: WindowOutput) {
+        self.queue.lock().unwrap().windows.push_front((window, out));
+    }
+}
+
+/// Draining iterator over a query's buffered completed windows, returned
+/// by [`Runtime::poll_batch`]: yields up to a bounded number of windows,
+/// oldest first, popping each from the buffer as it is yielded.
+///
+/// Unlike [`Runtime::poll`] (which drains everything into one `Vec`),
+/// this frees buffer capacity window by window — an
+/// [`OutputPolicy::Block`]-stalled producer wakes after the *first*
+/// `next()`, and a consumer that stops early (a network writer hitting
+/// its own backpressure, say) leaves the rest buffered for the next
+/// call. Dropping the iterator keeps undrained windows intact.
+///
+/// [`Runtime::poll`]: crate::runtime::Runtime::poll
+/// [`Runtime::poll_batch`]: crate::runtime::Runtime::poll_batch
+pub struct PollBatch {
+    pub(crate) buffer: Option<std::sync::Arc<OutputBuffer>>,
+    pub(crate) remaining: usize,
+}
+
+impl PollBatch {
+    /// Return an unconsumed window to the front of the buffer, undoing
+    /// one `next()` — for consumers that discover *after* popping that a
+    /// window does not fit their budget (e.g. a network page). Order is
+    /// preserved; the window is yielded again by the next drain (or by
+    /// this iterator, which steps its bound back too).
+    pub fn put_back(&mut self, window: WindowId, out: WindowOutput) {
+        if let Some(buffer) = &self.buffer {
+            buffer.push_front(window, out);
+            self.remaining = self.remaining.saturating_add(1);
+        }
+    }
+}
+
+impl Iterator for PollBatch {
+    type Item = (WindowId, WindowOutput);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let item = self.buffer.as_ref()?.pop()?;
+        self.remaining -= 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +244,41 @@ mod tests {
         buf.push(window(0).0, window(0).1);
         assert_eq!(buf.push(window(1).0, window(1).1), 1);
         assert_eq!(buf.drain().len(), 1);
+    }
+
+    #[test]
+    fn pop_yields_oldest_first_and_unblocks_a_producer() {
+        use std::sync::Arc;
+        let buf = Arc::new(OutputBuffer::new(OutputPolicy::Block(2)));
+        buf.push(window(0).0, window(0).1);
+        buf.push(window(1).0, window(1).1);
+        let producer = {
+            let buf = buf.clone();
+            std::thread::spawn(move || {
+                buf.push(window(2).0, window(2).1); // blocks until one pop
+            })
+        };
+        assert_eq!(buf.pop().unwrap().0, WindowId(0));
+        producer.join().unwrap();
+        assert_eq!(buf.pop().unwrap().0, WindowId(1));
+        assert_eq!(buf.pop().unwrap().0, WindowId(2));
+        assert!(buf.pop().is_none());
+    }
+
+    #[test]
+    fn poll_batch_is_bounded_and_leaves_the_rest() {
+        use std::sync::Arc;
+        let buf = Arc::new(OutputBuffer::new(OutputPolicy::Unbounded));
+        for n in 0..5 {
+            buf.push(window(n).0, window(n).1);
+        }
+        let batch = PollBatch {
+            buffer: Some(buf.clone()),
+            remaining: 2,
+        };
+        let ids: Vec<u64> = batch.map(|(w, _)| w.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(buf.drain().len(), 3, "undrained windows stay buffered");
     }
 
     #[test]

@@ -182,8 +182,7 @@ mod tests {
     use sgs_core::WindowSpec;
 
     fn pipeline() -> StreamPipeline {
-        let q =
-            ClusterQuery::new(0.5, 2, 2, WindowSpec::count(40, 10).unwrap()).unwrap();
+        let q = ClusterQuery::new(0.5, 2, 2, WindowSpec::count(40, 10).unwrap()).unwrap();
         StreamPipeline::new(q, ArchivePolicy::All, 0).unwrap()
     }
 
@@ -203,7 +202,7 @@ mod tests {
         let mut p = pipeline();
         let outs = p.extend(blob_stream(200)).unwrap();
         assert!(!outs.is_empty());
-        assert!(p.base().len() > 0);
+        assert!(!p.base().is_empty());
         let (offered, archived) = p.archive_stats();
         assert_eq!(offered, archived);
         assert!(!p.last_output().is_empty());

@@ -119,7 +119,10 @@ impl core::fmt::Display for PlanError {
         match self {
             PlanError::Parse(e) => write!(f, "{e}"),
             PlanError::UnknownStream { stream, known } => {
-                write!(f, "unknown stream {stream:?}; registered streams: {known:?}")
+                write!(
+                    f,
+                    "unknown stream {stream:?}; registered streams: {known:?}"
+                )
             }
             PlanError::Invalid(e) => write!(f, "invalid query: {e}"),
         }
@@ -179,7 +182,9 @@ impl Planner {
     /// Parse and lower one statement of either template.
     pub fn plan(&self, text: &str) -> Result<QueryPlan, PlanError> {
         match parse_any(text).map_err(PlanError::Parse)? {
-            QueryAst::Detect(ast) => self.lower_detect(ast).map(|p| QueryPlan::Detect(Box::new(p))),
+            QueryAst::Detect(ast) => self
+                .lower_detect(ast)
+                .map(|p| QueryPlan::Detect(Box::new(p))),
             QueryAst::Match(ast) => self.lower_match(ast).map(QueryPlan::Match),
         }
     }
@@ -286,6 +291,9 @@ mod tests {
 
     #[test]
     fn parse_failures_surface() {
-        assert!(matches!(planner().plan("DROP TABLE"), Err(PlanError::Parse(_))));
+        assert!(matches!(
+            planner().plan("DROP TABLE"),
+            Err(PlanError::Parse(_))
+        ));
     }
 }

@@ -16,6 +16,26 @@ use parking_lot::RwLock;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueryId(pub u64);
 
+/// Opaque handle of one registration session (a network connection, a
+/// notebook, ...) for **owner-scoped registry views**: queries submitted
+/// through [`Runtime::submit_for`] are tagged with their session's
+/// `OwnerId`, and [`Runtime::queries_for`] /
+/// [`Runtime::push_stream_for`] see only that owner's queries. Mint one
+/// per session with [`Runtime::new_owner`].
+///
+/// [`Runtime::submit_for`]: crate::runtime::Runtime::submit_for
+/// [`Runtime::queries_for`]: crate::runtime::Runtime::queries_for
+/// [`Runtime::push_stream_for`]: crate::runtime::Runtime::push_stream_for
+/// [`Runtime::new_owner`]: crate::runtime::Runtime::new_owner
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OwnerId(pub u64);
+
+impl core::fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
 impl core::fmt::Display for QueryId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "Q{}", self.0)

@@ -4,16 +4,20 @@
 
 use std::sync::{mpsc, Arc};
 
-use sgs_archive::{shared_pattern_base, ArchivePolicy, MatchOutcome, PatternBase, SharedPatternBase};
+use sgs_archive::{
+    shared_pattern_base, ArchivePolicy, MatchOutcome, PatternBase, SharedPatternBase,
+};
 use sgs_core::{Point, PoolThreads, ShardCount, WindowId};
 use sgs_csgs::WindowOutput;
 use sgs_exec::Pool;
 use sgs_summarize::Sgs;
 
 use crate::executor::{Msg, QueryCell, Sink};
-use crate::output::{OutputBuffer, OutputPolicy};
+use crate::output::{OutputBuffer, OutputPolicy, PollBatch};
 use crate::plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
-use crate::registry::{new_shared_status, QueryDescriptor, QueryId, QueryState, QueryStats, SharedStatus};
+use crate::registry::{
+    new_shared_status, OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats, SharedStatus,
+};
 
 /// Points per broadcast chunk: bounds the size of one channel message so
 /// the bounded input channels keep exerting backpressure under
@@ -124,10 +128,16 @@ impl core::fmt::Display for RuntimeError {
             RuntimeError::Query(e) => write!(f, "query rejected: {e}"),
             RuntimeError::UnknownQuery(id) => write!(f, "no query registered as {id}"),
             RuntimeError::UnknownBinding(name) => {
-                write!(f, "no cluster bound to {name:?}; bind one with bind_cluster")
+                write!(
+                    f,
+                    "no cluster bound to {name:?}; bind one with bind_cluster"
+                )
             }
             RuntimeError::InvalidTransition { id, from } => {
-                write!(f, "illegal lifecycle transition for {id} (currently {from:?})")
+                write!(
+                    f,
+                    "illegal lifecycle transition for {id} (currently {from:?})"
+                )
             }
             RuntimeError::Disconnected(id) => {
                 write!(f, "query {id} was already cancelled (its pipeline is gone)")
@@ -152,6 +162,9 @@ struct QueryEntry {
     text: String,
     /// The `FROM` stream this query reads (for stream-routed ingestion).
     stream: String,
+    /// The session that registered this query (`None` for queries
+    /// submitted through the unscoped API).
+    owner: Option<OwnerId>,
     shared: SharedStatus,
     /// The executor-side cell: input queue + pipeline + scheduling flag.
     cell: Arc<QueryCell>,
@@ -195,7 +208,7 @@ struct QueryEntry {
 /// rt.quiesce().unwrap();
 /// assert!(!rt.poll(id).unwrap().is_empty());
 /// let report = rt.cancel(id).unwrap();
-/// assert!(report.stats.windows > 0 && report.base.len() > 0);
+/// assert!(report.stats.windows > 0 && !report.base.is_empty());
 /// ```
 pub struct Runtime {
     planner: Planner,
@@ -208,6 +221,7 @@ pub struct Runtime {
     histories: Vec<(usize, SharedPatternBase)>,
     bindings: Vec<(String, Sgs)>,
     next_id: u64,
+    next_owner: u64,
     config: RuntimeConfig,
 }
 
@@ -254,8 +268,21 @@ impl Runtime {
             histories: Vec::new(),
             bindings: Vec::new(),
             next_id: 0,
+            next_owner: 0,
             config,
         }
+    }
+
+    /// Mint a fresh session handle for the owner-scoped APIs
+    /// ([`submit_for`](Self::submit_for),
+    /// [`queries_for`](Self::queries_for),
+    /// [`push_stream_for`](Self::push_stream_for)). Each network session
+    /// of `streamsum-server` holds one, which is what keeps concurrent
+    /// analysts' query namespaces isolated on a shared runtime.
+    pub fn new_owner(&mut self) -> OwnerId {
+        let owner = OwnerId(self.next_owner);
+        self.next_owner += 1;
+        owner
     }
 
     /// The scheduler pool this runtime multiplexes its queries (and
@@ -298,12 +325,44 @@ impl Runtime {
         }
     }
 
+    /// [`submit`](Self::submit), with a DETECT registration tagged as
+    /// owned by `owner` — the entry point network sessions use so that
+    /// [`queries_for`](Self::queries_for) and
+    /// [`push_stream_for`](Self::push_stream_for) can scope the registry
+    /// to one session. Matching statements execute identically to
+    /// [`submit`](Self::submit) (the history they read is shared by
+    /// design — every analyst matches against the union of all archives).
+    pub fn submit_for(&mut self, owner: OwnerId, text: &str) -> Result<Submission, RuntimeError> {
+        match self.plan(text)? {
+            QueryPlan::Detect(plan) => self
+                .submit_detect_for(owner, *plan)
+                .map(Submission::Continuous),
+            QueryPlan::Match(plan) => self.run_match(&plan).map(Submission::Matches),
+        }
+    }
+
     /// Register a planned DETECT query; completed windows are buffered for
     /// [`poll`](Self::poll) under the configured
     /// [`OutputPolicy`](RuntimeConfig::output_policy).
     pub fn submit_detect(&mut self, plan: DetectPlan) -> Result<QueryId, RuntimeError> {
         let buffer = Arc::new(OutputBuffer::new(self.config.output_policy));
-        self.spawn(plan, Sink::Buffer(buffer.clone()), Some(buffer))
+        self.spawn(plan, Sink::Buffer(buffer.clone()), Some(buffer), None)
+    }
+
+    /// [`submit_detect`](Self::submit_detect), tagged as owned by
+    /// `owner`.
+    pub fn submit_detect_for(
+        &mut self,
+        owner: OwnerId,
+        plan: DetectPlan,
+    ) -> Result<QueryId, RuntimeError> {
+        let buffer = Arc::new(OutputBuffer::new(self.config.output_policy));
+        self.spawn(
+            plan,
+            Sink::Buffer(buffer.clone()),
+            Some(buffer),
+            Some(owner),
+        )
     }
 
     /// Register a planned DETECT query with a results callback, invoked on
@@ -314,7 +373,7 @@ impl Runtime {
         plan: DetectPlan,
         callback: impl FnMut(WindowId, &WindowOutput) + Send + 'static,
     ) -> Result<QueryId, RuntimeError> {
-        self.spawn(plan, Sink::Callback(Box::new(callback)), None)
+        self.spawn(plan, Sink::Callback(Box::new(callback)), None, None)
     }
 
     fn spawn(
@@ -322,6 +381,7 @@ impl Runtime {
         plan: DetectPlan,
         sink: Sink,
         outputs: Option<Arc<OutputBuffer>>,
+        owner: Option<OwnerId>,
     ) -> Result<QueryId, RuntimeError> {
         let id = QueryId(self.next_id);
         let shared = new_shared_status();
@@ -340,6 +400,7 @@ impl Runtime {
             id,
             text: plan.ast.to_string(),
             stream: plan.ast.stream.clone(),
+            owner,
             shared,
             cell,
             outputs,
@@ -373,7 +434,10 @@ impl Runtime {
 
     /// Look up a bound cluster.
     pub fn binding(&self, name: &str) -> Option<&Sgs> {
-        self.bindings.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
     }
 
     /// Names of all bound clusters, in binding order.
@@ -414,7 +478,7 @@ impl Runtime {
     /// Use [`push_stream`](Self::push_stream) when multiple source
     /// streams coexist.
     pub fn push_batch(&self, points: &[Point]) -> Result<(), RuntimeError> {
-        self.fan_chunks(points, None)
+        self.fan_chunks(points, None, None)
     }
 
     /// Fan a batch of points from the named source stream out to exactly
@@ -423,25 +487,56 @@ impl Runtime {
     /// streams are untouched — this is the ingestion entry point for
     /// runtimes serving differently-dimensioned streams at once.
     pub fn push_stream(&self, stream: &str, points: &[Point]) -> Result<(), RuntimeError> {
-        self.fan_chunks(points, Some(stream))
+        self.fan_chunks(points, Some(stream), None)
     }
 
-    fn fan_chunks(&self, points: &[Point], stream: Option<&str>) -> Result<(), RuntimeError> {
-        for chunk in points.chunks(BATCH_CHUNK) {
-            let chunk: Arc<[Point]> = chunk.into();
-            for entry in &self.entries {
-                if let Some(name) = stream {
-                    if !entry.stream.eq_ignore_ascii_case(name) {
-                        continue;
-                    }
-                }
-                if entry.shared.read().state != QueryState::Running {
-                    continue;
-                }
-                entry.cell.send(Msg::Batch(chunk.clone()));
-            }
-        }
+    /// [`push_stream`](Self::push_stream), restricted to the queries
+    /// registered by `owner` — the server's ingestion path, so one
+    /// session's `Feed` drives exactly its own queries and two sessions
+    /// replaying the same data stay byte-identical to solo runs instead
+    /// of double-feeding each other. Backpressure is per-query and
+    /// unchanged: this blocks while any targeted query's bounded input
+    /// queue is full.
+    pub fn push_stream_for(
+        &self,
+        owner: OwnerId,
+        stream: &str,
+        points: &[Point],
+    ) -> Result<(), RuntimeError> {
+        self.fan_chunks(points, Some(stream), Some(owner))
+    }
+
+    fn fan_chunks(
+        &self,
+        points: &[Point],
+        stream: Option<&str>,
+        owner: Option<OwnerId>,
+    ) -> Result<(), RuntimeError> {
+        self.feeder(owner, stream).push_batch(points);
         Ok(())
+    }
+
+    /// A lock-free ingestion/barrier handle over a **snapshot** of the
+    /// queries matching `owner` and/or `stream` (`None` = no filter) at
+    /// the moment of the call. The handle holds only `Arc`s, so a caller
+    /// that guards the `Runtime` itself behind a lock (the network
+    /// server shares one behind an `RwLock`) can take the snapshot under
+    /// the lock, release it, and then block in
+    /// [`StreamFeeder::push_batch`] / [`StreamFeeder::quiesce`] without
+    /// wedging every other runtime operation behind a backpressure
+    /// stall. Queries registered after the snapshot are not fed by it;
+    /// take a fresh feeder per batch.
+    pub fn feeder(&self, owner: Option<OwnerId>, stream: Option<&str>) -> StreamFeeder {
+        StreamFeeder {
+            targets: self
+                .entries
+                .iter()
+                .filter(|entry| !entry.stopped)
+                .filter(|entry| owner.is_none() || entry.owner == owner)
+                .filter(|entry| stream.is_none_or(|name| entry.stream.eq_ignore_ascii_case(name)))
+                .map(|entry| (entry.shared.clone(), entry.cell.clone()))
+                .collect(),
+        }
     }
 
     /// Block until every live query has processed all input queued so far
@@ -453,20 +548,7 @@ impl Runtime {
     /// *before* quiescing: the barrier waits behind any query blocked on
     /// a full output buffer.
     pub fn quiesce(&self) -> Result<(), RuntimeError> {
-        let mut acks = Vec::new();
-        for entry in &self.entries {
-            if entry.stopped {
-                continue; // Cancelled: pipeline already handed back.
-            }
-            let (tx, rx) = mpsc::channel();
-            entry.cell.send(Msg::Barrier(tx));
-            acks.push(rx);
-        }
-        for rx in acks {
-            // The ack channel cannot be dropped unprocessed: executor
-            // tasks drain their queue even for failed or stopped queries.
-            let _ = rx.recv();
-        }
+        self.feeder(None, None).quiesce();
         Ok(())
     }
 
@@ -483,6 +565,23 @@ impl Runtime {
         Ok(match &entry.outputs {
             Some(buffer) => buffer.drain(),
             None => Vec::new(),
+        })
+    }
+
+    /// Drain up to `max` buffered completed windows of a query as an
+    /// iterator (`max == 0` means no bound), oldest first — the unit the
+    /// network server turns into one `Windows` response frame. Each
+    /// yielded window frees buffer capacity immediately (so an
+    /// [`OutputPolicy::Block`]-stalled producer resumes after the first
+    /// item, not the last), and windows not consumed stay buffered for
+    /// the next call. Always empty for callback-mode queries. Like
+    /// [`poll`](Self::poll), takes `&self` so drainers run concurrently
+    /// with ingestion.
+    pub fn poll_batch(&self, id: QueryId, max: usize) -> Result<PollBatch, RuntimeError> {
+        let entry = self.entry(id)?;
+        Ok(PollBatch {
+            buffer: entry.outputs.clone(),
+            remaining: if max == 0 { usize::MAX } else { max },
         })
     }
 
@@ -529,6 +628,18 @@ impl Runtime {
     /// blocked tasks occupy every pool worker — drain or cancel those
     /// first on small pools.
     pub fn cancel(&mut self, id: QueryId) -> Result<QueryReport, RuntimeError> {
+        self.cancel_begin(id)?.wait()
+    }
+
+    /// The non-blocking half of [`cancel`](Self::cancel): mark the query
+    /// stopped, close its output buffer, and queue the stop — then hand
+    /// back a [`PendingCancel`] whose [`wait`](PendingCancel::wait)
+    /// blocks (without touching the `Runtime`) until the backlog is
+    /// drained and the final report is ready. For callers that guard the
+    /// runtime behind a lock (the network server), this is what keeps a
+    /// long cancel drain from stalling every other runtime operation:
+    /// begin under the lock, wait outside it.
+    pub fn cancel_begin(&mut self, id: QueryId) -> Result<PendingCancel, RuntimeError> {
         let entry = self
             .entries
             .iter_mut()
@@ -542,17 +653,15 @@ impl Runtime {
             buffer.close();
         }
         let (tx, rx) = mpsc::channel();
-        entry.cell.send(Msg::Stop(tx));
-        // The executor task processes everything queued before the stop,
-        // then hands the pipeline over.
-        let pipeline = rx.recv().map_err(|_| RuntimeError::Disconnected(id))?;
-        entry.shared.write().state = QueryState::Cancelled;
-        let stats = entry.shared.read().stats.clone();
-        Ok(QueryReport {
+        // Past the capacity bound: the stop must be deliverable even
+        // while the input queue is full (this method is documented as
+        // non-blocking and may run under an embedder's lock).
+        entry.cell.send_control(Msg::Stop(tx));
+        Ok(PendingCancel {
             id,
             text: entry.text.clone(),
-            stats,
-            base: pipeline.into_base(),
+            shared: entry.shared.clone(),
+            rx,
         })
     }
 
@@ -574,13 +683,27 @@ impl Runtime {
             .filter(|e| !e.stopped)
             .map(|e| e.id)
             .collect();
-        ids.into_iter().filter_map(|id| self.cancel(id).ok()).collect()
+        ids.into_iter()
+            .filter_map(|id| self.cancel(id).ok())
+            .collect()
     }
 
     /// Snapshot of every registered query (including cancelled ones).
     pub fn queries(&self) -> Vec<QueryDescriptor> {
+        self.descriptors(None)
+    }
+
+    /// Snapshot of the queries registered by one session — the
+    /// owner-scoped registry view a server session lists, so concurrent
+    /// analysts never see (or enumerate) each other's queries.
+    pub fn queries_for(&self, owner: OwnerId) -> Vec<QueryDescriptor> {
+        self.descriptors(Some(owner))
+    }
+
+    fn descriptors(&self, owner: Option<OwnerId>) -> Vec<QueryDescriptor> {
         self.entries
             .iter()
+            .filter(|e| owner.is_none() || e.owner == owner)
             .map(|e| {
                 let status = e.shared.read();
                 QueryDescriptor {
@@ -591,6 +714,15 @@ impl Runtime {
                 }
             })
             .collect()
+    }
+
+    /// The session that registered a query (`None` for queries submitted
+    /// through the unscoped API) — for embedders building their own
+    /// scoping atop raw [`QueryId`]s. The bundled network server does
+    /// not need it: its per-session id table means a foreign query
+    /// cannot even be named.
+    pub fn owner_of(&self, id: QueryId) -> Result<Option<OwnerId>, RuntimeError> {
+        Ok(self.entry(id)?.owner)
     }
 
     /// Current lifecycle state of a query.
@@ -638,11 +770,128 @@ impl Runtime {
         h
     }
 
+    /// Remove the registry entries of an owner's **cancelled** queries,
+    /// returning how many were evicted. Frees their undrained output
+    /// buffers and stops them appearing in any view; their archived
+    /// history stays. This is the network server's teardown step — a
+    /// long-lived multi-user server would otherwise grow one dead entry
+    /// (plus buffered windows) per abandoned query forever. Live
+    /// (non-cancelled) queries are untouched.
+    pub fn evict_cancelled(&mut self, owner: OwnerId) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| e.owner != Some(owner) || !e.stopped);
+        before - self.entries.len()
+    }
+
+    /// The canonical statement text of a query (the rendering of its
+    /// submitted AST) — a per-id lookup, unlike the descriptor
+    /// snapshots of [`queries`](Self::queries).
+    pub fn text_of(&self, id: QueryId) -> Result<&str, RuntimeError> {
+        Ok(&self.entry(id)?.text)
+    }
+
     fn entry(&self, id: QueryId) -> Result<&QueryEntry, RuntimeError> {
         self.entries
             .iter()
             .find(|e| e.id == id)
             .ok_or(RuntimeError::UnknownQuery(id))
+    }
+}
+
+/// An in-flight cancellation from [`Runtime::cancel_begin`]: the stop is
+/// queued and the query is already marked stopped; [`wait`] blocks for
+/// the drain and produces the final [`QueryReport`] without touching the
+/// `Runtime`.
+///
+/// [`wait`]: PendingCancel::wait
+pub struct PendingCancel {
+    id: QueryId,
+    text: String,
+    shared: SharedStatus,
+    rx: mpsc::Receiver<crate::pipeline::StreamPipeline>,
+}
+
+impl PendingCancel {
+    /// The query being cancelled.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Block until the executor task has processed everything queued
+    /// before the stop and handed the pipeline back, then assemble the
+    /// final report (moving the query to [`QueryState::Cancelled`]).
+    pub fn wait(self) -> Result<QueryReport, RuntimeError> {
+        let pipeline = self
+            .rx
+            .recv()
+            .map_err(|_| RuntimeError::Disconnected(self.id))?;
+        let mut status = self.shared.write();
+        status.state = QueryState::Cancelled;
+        let stats = status.stats.clone();
+        drop(status);
+        Ok(QueryReport {
+            id: self.id,
+            text: self.text,
+            stats,
+            base: pipeline.into_base(),
+        })
+    }
+}
+
+/// A lock-free ingestion and barrier handle over a snapshot of queries,
+/// from [`Runtime::feeder`]. Holds only `Arc`ed per-query cells: its
+/// methods never touch the `Runtime`, so they can block on backpressure
+/// while other threads freely use (or lock) the runtime.
+pub struct StreamFeeder {
+    /// Status + input cell per snapshot query.
+    targets: Vec<(SharedStatus, Arc<QueryCell>)>,
+}
+
+impl StreamFeeder {
+    /// Fan a batch out to every snapshot query currently `Running`, in
+    /// bounded chunks (the same backpressure path as
+    /// [`Runtime::push_batch`]: blocks while a targeted query's bounded
+    /// input queue is full). Paused and failed queries are skipped — for
+    /// them the batch is a gap in the stream.
+    pub fn push_batch(&self, points: &[Point]) {
+        for chunk in points.chunks(BATCH_CHUNK) {
+            let chunk: Arc<[Point]> = chunk.into();
+            for (shared, cell) in &self.targets {
+                if shared.read().state != QueryState::Running {
+                    continue;
+                }
+                cell.send(Msg::Batch(chunk.clone()));
+            }
+        }
+    }
+
+    /// Block until every snapshot query has processed all input queued
+    /// so far (the per-query barrier of [`Runtime::quiesce`], scoped to
+    /// this feeder's targets). The [`OutputPolicy::Block`] caveat of
+    /// [`Runtime::quiesce`] applies: drain before quiescing.
+    pub fn quiesce(&self) {
+        let mut acks = Vec::new();
+        for (_, cell) in &self.targets {
+            let (tx, rx) = mpsc::channel();
+            cell.send(Msg::Barrier(tx));
+            acks.push(rx);
+        }
+        for rx in acks {
+            // The ack cannot be dropped unprocessed: executor tasks
+            // drain their queue even for failed or stopped queries.
+            let _ = rx.recv();
+        }
+    }
+
+    /// How many queries the snapshot targets.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the snapshot matched no queries.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
     }
 }
 
@@ -711,7 +960,10 @@ mod tests {
         assert!(stats.windows > 0);
         assert_eq!(windows.load(Ordering::Relaxed), stats.windows);
         assert_eq!(clusters.load(Ordering::Relaxed), stats.clusters);
-        assert!(rt.poll(id).unwrap().is_empty(), "callback mode buffers nothing");
+        assert!(
+            rt.poll(id).unwrap().is_empty(),
+            "callback mode buffers nothing"
+        );
     }
 
     #[test]
@@ -730,7 +982,11 @@ mod tests {
         assert_eq!(rt.state(id).unwrap(), QueryState::Paused);
         rt.push_batch(&stream[2000..4000]).unwrap();
         rt.quiesce().unwrap();
-        assert_eq!(rt.stats(id).unwrap().points, 2000, "paused query skips input");
+        assert_eq!(
+            rt.stats(id).unwrap().points,
+            2000,
+            "paused query skips input"
+        );
 
         rt.resume(id).unwrap();
         rt.push_batch(&stream[4000..]).unwrap();
@@ -793,7 +1049,10 @@ mod tests {
         // Still cancellable for a final report, whose stats stay
         // consistent with the pattern base despite the mid-batch failure.
         let report = rt.cancel(id).unwrap();
-        assert!(report.base.len() > 0, "windows before the failure archived");
+        assert!(
+            !report.base.is_empty(),
+            "windows before the failure archived"
+        );
         assert_eq!(report.base.len() as u64, report.stats.archived);
         assert_eq!(
             report.stats.archive_bytes,
@@ -827,10 +1086,13 @@ mod tests {
         // Feed each stream separately; routing keeps the 4-d points away
         // from the 2-d query (a broadcast would fail it on dimension).
         rt.push_stream("gmti", &gmti(2000)).unwrap();
-        rt.push_stream("STT", &generate_stt(&SttConfig {
-            n_records: 1500,
-            ..SttConfig::default()
-        }))
+        rt.push_stream(
+            "STT",
+            &generate_stt(&SttConfig {
+                n_records: 1500,
+                ..SttConfig::default()
+            }),
+        )
         .unwrap();
         rt.quiesce().unwrap();
 
@@ -888,7 +1150,10 @@ mod tests {
         // A failed query still cancels cleanly: its pipeline survives
         // behind the caught panic.
         let report = rt.cancel(doomed).unwrap();
-        assert_eq!(report.stats.error.as_deref(), rt.stats(doomed).unwrap().error.as_deref());
+        assert_eq!(
+            report.stats.error.as_deref(),
+            rt.stats(doomed).unwrap().error.as_deref()
+        );
     }
 
     #[test]
@@ -1116,12 +1381,99 @@ mod tests {
     }
 
     #[test]
+    fn poll_batch_drains_incrementally_and_preserves_the_rest() {
+        let mut rt = runtime();
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+        rt.push_batch(&gmti(4000)).unwrap();
+        rt.quiesce().unwrap();
+        let total = rt.stats(id).unwrap().windows as usize;
+        assert!(total > 2, "need several windows to split the drain");
+        let first: Vec<_> = rt.poll_batch(id, 2).unwrap().collect();
+        assert_eq!(first.len(), 2);
+        let rest: Vec<_> = rt.poll_batch(id, 0).unwrap().collect();
+        assert_eq!(rest.len(), total - 2);
+        // Oldest-first across both drains, with no duplicates or gaps.
+        let ids: Vec<u64> = first.iter().chain(rest.iter()).map(|(w, _)| w.0).collect();
+        assert_eq!(ids, (0..total as u64).collect::<Vec<_>>());
+        assert!(rt.poll_batch(id, 0).unwrap().next().is_none());
+    }
+
+    #[test]
+    fn owner_scoped_views_isolate_sessions() {
+        let mut rt = runtime();
+        let alice = rt.new_owner();
+        let bob = rt.new_owner();
+        assert_ne!(alice, bob);
+        let Submission::Continuous(qa) = rt.submit_for(alice, DETECT).unwrap() else {
+            panic!()
+        };
+        let Submission::Continuous(qb) = rt.submit_for(bob, DETECT).unwrap() else {
+            panic!()
+        };
+        // Unscoped query for contrast.
+        let Submission::Continuous(qu) = rt.submit(DETECT).unwrap() else {
+            panic!()
+        };
+
+        assert_eq!(rt.owner_of(qa).unwrap(), Some(alice));
+        assert_eq!(rt.owner_of(qb).unwrap(), Some(bob));
+        assert_eq!(rt.owner_of(qu).unwrap(), None);
+        let alice_view = rt.queries_for(alice);
+        assert_eq!(alice_view.len(), 1);
+        assert_eq!(alice_view[0].id, qa);
+        assert_eq!(rt.queries_for(bob).len(), 1);
+        assert_eq!(rt.queries().len(), 3, "the unscoped view still sees all");
+
+        // Owner-scoped ingestion feeds exactly the owner's queries.
+        rt.push_stream_for(alice, "gmti", &gmti(1000)).unwrap();
+        rt.quiesce().unwrap();
+        assert_eq!(rt.stats(qa).unwrap().points, 1000);
+        assert_eq!(rt.stats(qb).unwrap().points, 0);
+        assert_eq!(rt.stats(qu).unwrap().points, 0);
+    }
+
+    #[test]
+    fn evict_cancelled_frees_an_owners_dead_entries_only() {
+        let mut rt = runtime();
+        let session = rt.new_owner();
+        let other = rt.new_owner();
+        let Submission::Continuous(dead) = rt.submit_for(session, DETECT).unwrap() else {
+            panic!()
+        };
+        let Submission::Continuous(live) = rt.submit_for(session, DETECT).unwrap() else {
+            panic!()
+        };
+        let Submission::Continuous(foreign) = rt.submit_for(other, DETECT).unwrap() else {
+            panic!()
+        };
+        rt.push_stream_for(session, "gmti", &gmti(1500)).unwrap();
+        rt.quiesce().unwrap();
+        rt.cancel(dead).unwrap();
+        assert_eq!(rt.evict_cancelled(session), 1);
+        // The cancelled entry is gone from every view; the live ones
+        // (including another owner's) are untouched.
+        assert!(matches!(rt.stats(dead), Err(RuntimeError::UnknownQuery(_))));
+        assert_eq!(rt.queries().len(), 2);
+        assert_eq!(rt.stats(live).unwrap().points, 1500);
+        assert_eq!(rt.state(foreign).unwrap(), QueryState::Running);
+        assert_eq!(rt.evict_cancelled(session), 0, "idempotent");
+    }
+
+    #[test]
     fn unknown_ids_are_rejected() {
         let mut rt = runtime();
         let ghost = QueryId(99);
         assert!(matches!(rt.poll(ghost), Err(RuntimeError::UnknownQuery(_))));
-        assert!(matches!(rt.pause(ghost), Err(RuntimeError::UnknownQuery(_))));
-        assert!(matches!(rt.stats(ghost), Err(RuntimeError::UnknownQuery(_))));
+        assert!(matches!(
+            rt.pause(ghost),
+            Err(RuntimeError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            rt.stats(ghost),
+            Err(RuntimeError::UnknownQuery(_))
+        ));
     }
 
     #[test]

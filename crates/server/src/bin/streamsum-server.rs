@@ -1,0 +1,151 @@
+//! The streamsum network server: serves the shared multi-query runtime
+//! over TCP to any number of `sgs-client` sessions (`DESIGN.md` §9).
+//!
+//! ```text
+//! streamsum-server [--addr 127.0.0.1:7878] [--stream name:dim]...
+//!                  [--channel-capacity N] [--output-policy unbounded|block:N|drop-oldest:N]
+//!                  [--pool-threads N] [--shards N] [--seed N]
+//! ```
+//!
+//! With no `--stream` flags the two generator streams are registered:
+//! `gmti` (2-d) and `stt` (4-d). The listening line is printed to stdout
+//! once the socket is bound (CI waits for it before connecting).
+
+use sgs_core::{PoolThreads, ShardCount};
+use sgs_runtime::{OutputPolicy, RuntimeConfig};
+use sgs_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: streamsum-server [options]
+  --addr HOST:PORT          listen address (default 127.0.0.1:7878; port 0 = OS-assigned)
+  --stream NAME:DIM         register a source stream (repeatable; default gmti:2 stt:4)
+  --channel-capacity N      per-query bounded input queue, in messages (default 1024)
+  --output-policy P         unbounded | block:N | drop-oldest:N (default unbounded)
+  --pool-threads N          dedicated scheduler pool of N workers (default: shared auto pool)
+  --shards N                extraction shards per query (default 1)
+  --seed N                  archiver RNG seed (default 0)
+  --help                    this text";
+
+fn main() {
+    let config = match parse_args(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let (addr, server_config) = config;
+    let server = match Server::bind(addr.as_str(), server_config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let streams: Vec<String> = server_config
+        .streams
+        .iter()
+        .map(|(name, dim)| format!("{name} ({dim}-d)"))
+        .collect();
+    match server.local_addr() {
+        Ok(local) => println!(
+            "streamsum-server listening on {local} — streams: {}",
+            streams.join(", ")
+        ),
+        Err(_) => println!("streamsum-server listening on {addr}"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+type Parsed = (String, ServerConfig);
+
+fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut runtime = RuntimeConfig::default();
+    let mut streams: Vec<(String, usize)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => addr = value("--addr")?,
+            "--stream" => {
+                let spec = value("--stream")?;
+                let (name, dim) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--stream expects NAME:DIM, got {spec:?}"))?;
+                let dim: usize = dim
+                    .parse()
+                    .map_err(|_| format!("bad dimensionality in {spec:?}"))?;
+                if name.is_empty() || dim == 0 {
+                    return Err(format!("bad stream spec {spec:?}"));
+                }
+                streams.push((name.to_string(), dim));
+            }
+            "--channel-capacity" => {
+                runtime.channel_capacity = value("--channel-capacity")?
+                    .parse()
+                    .map_err(|_| "bad --channel-capacity".to_string())?;
+            }
+            "--output-policy" => {
+                runtime.output_policy = parse_policy(&value("--output-policy")?)?;
+            }
+            "--pool-threads" => {
+                let n: u32 = value("--pool-threads")?
+                    .parse()
+                    .map_err(|_| "bad --pool-threads".to_string())?;
+                runtime.pool_threads = PoolThreads::Fixed(n.max(1));
+            }
+            "--shards" => {
+                let n: u32 = value("--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards".to_string())?;
+                runtime.default_shards = ShardCount::Fixed(n.max(1));
+            }
+            "--seed" => {
+                runtime.base_seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let mut config = ServerConfig {
+        runtime,
+        ..ServerConfig::default()
+    };
+    if !streams.is_empty() {
+        config.streams = streams;
+    }
+    Ok(Some((addr, config)))
+}
+
+fn parse_policy(spec: &str) -> Result<OutputPolicy, String> {
+    if spec.eq_ignore_ascii_case("unbounded") {
+        return Ok(OutputPolicy::Unbounded);
+    }
+    let parse_cap = |rest: &str, what: &str| -> Result<usize, String> {
+        rest.parse::<usize>()
+            .map_err(|_| format!("bad capacity in --output-policy {what}"))
+    };
+    if let Some(rest) = spec.strip_prefix("block:") {
+        return Ok(OutputPolicy::Block(parse_cap(rest, spec)?));
+    }
+    if let Some(rest) = spec.strip_prefix("drop-oldest:") {
+        return Ok(OutputPolicy::DropOldest(parse_cap(rest, spec)?));
+    }
+    Err(format!(
+        "bad --output-policy {spec:?} (unbounded | block:N | drop-oldest:N)"
+    ))
+}

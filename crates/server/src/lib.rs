@@ -1,0 +1,567 @@
+//! # sgs-server
+//!
+//! The TCP network front-end of the streamsum engine (`DESIGN.md` §9):
+//! an embeddable [`Server`] that listens on a socket and multiplexes any
+//! number of client connections onto **one shared
+//! [`Runtime`]** — the step that turns the in-process multi-query engine
+//! into a service remote analysts share, per the paper's setting of
+//! analysts issuing DETECT/MATCH statements against live streams (§1,
+//! Figs. 2–3). The `streamsum-server` binary is a thin CLI around it.
+//!
+//! ## Session model
+//!
+//! Each connection is a **session** served by one OS thread (network
+//! threads block on sockets; the compute stays on the runtime's
+//! `sgs-exec` scheduler pool). A session:
+//!
+//! * owns its query namespace: ids on the wire are session-local
+//!   (`Q0, Q1, ...` per connection), mapped to runtime [`QueryId`]s
+//!   through the session's table and tagged with a runtime
+//!   [`OwnerId`] — another session cannot name,
+//!   list, poll, or cancel them;
+//! * feeds only its own queries: `Feed` frames route through
+//!   [`Runtime::push_stream_for`], so two sessions replaying the same
+//!   stream each see exactly their own data (byte-identical to a solo
+//!   run), while both archives still merge into the **shared history**
+//!   that matching statements query — the paper's many-analysts /
+//!   one-history arrangement;
+//! * is throttled end to end: a full bounded per-query `InputQueue`
+//!   blocks the session's `Feed` dispatch, which delays its ack, which
+//!   stops the client — and an unread socket eventually exerts plain TCP
+//!   flow control. Polled windows respect the runtime's configured
+//!   `OutputPolicy` (drained via [`Runtime::poll_batch`], which frees
+//!   output-buffer capacity window by window).
+//!
+//! On disconnect (clean `Goodbye` or a dropped socket) the session's
+//! live queries are cancelled, so abandoned clients do not leak pipeline
+//! state — their archived history remains, by design.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sgs_core::Point;
+use sgs_runtime::{
+    OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats, Runtime, RuntimeConfig, RuntimeError,
+};
+use sgs_wire::{
+    read_frame, write_frame, ErrorCode, Frame, RecvError, WireQuery, WireQueryState, WireStats,
+    WireWindow, WIRE_VERSION,
+};
+
+/// Construction-time settings of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Configuration of the shared [`Runtime`] all sessions multiplex
+    /// onto. Note that [`RuntimeConfig::output_policy`] governs every
+    /// session's poll buffers; `Block` requires clients to interleave
+    /// polls with feeds (see `DESIGN.md` §9) — prefer `DropOldest` for
+    /// slow remote consumers.
+    pub runtime: RuntimeConfig,
+    /// Source streams to register (name, dimensionality). Defaults to
+    /// the two generator streams: `gmti` (2-d) and `stt` (4-d).
+    pub streams: Vec<(String, usize)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            runtime: RuntimeConfig::default(),
+            streams: vec![("gmti".into(), 2), ("stt".into(), 4)],
+        }
+    }
+}
+
+/// Byte budget of one `Windows` response page (8 MiB — an 8× margin
+/// under [`sgs_wire::MAX_FRAME_LEN`]): a `Poll` stops collecting once
+/// the accumulated window payload crosses it, leaving the rest buffered
+/// for the client's next page request.
+const POLL_PAGE_BYTES: usize = 8 << 20;
+
+/// State shared by the accept loop and every session thread.
+struct Shared {
+    rt: RwLock<Runtime>,
+    shutting_down: AtomicBool,
+}
+
+/// The listening server. Construct with [`Server::bind`], then either
+/// [`run`](Server::run) on the current thread or hand it to a spawned
+/// one (tests drive an in-process server exactly that way).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Clonable controller for a running [`Server`] (shutdown from another
+/// thread).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Stop accepting connections and make [`Server::run`] return once
+    /// the sessions alive at this moment have ended. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection. An
+        // unspecified bind address (0.0.0.0 / ::) is not connectable —
+        // rewrite it to the matching loopback, same port.
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            match &mut addr {
+                SocketAddr::V4(v4) => v4.set_ip(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(v6) => v6.set_ip(std::net::Ipv6Addr::LOCALHOST),
+            }
+        }
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+impl Server {
+    /// Bind the listening socket and build the shared runtime. Use port
+    /// 0 to let the OS pick (read it back with
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let mut rt = Runtime::with_config(config.runtime);
+        for (name, dim) in &config.streams {
+            rt.register_stream(name, *dim);
+        }
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                rt: RwLock::new(rt),
+                shutting_down: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (the real port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A controller usable from other threads.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            shared: self.shared.clone(),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept and serve connections until [`ServerHandle::shutdown`].
+    /// Each connection gets one session thread; the call returns after
+    /// the accept loop stops and every session thread has ended.
+    pub fn run(self) -> io::Result<()> {
+        let mut sessions = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            let shared = self.shared.clone();
+            sessions.push(std::thread::spawn(move || serve_session(&shared, stream)));
+            // Reap finished sessions so a long-lived server does not
+            // accumulate one parked JoinHandle per past connection.
+            sessions.retain(|h| !h.is_finished());
+        }
+        for session in sessions {
+            let _ = session.join();
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// One session's table of queries: index = session-local id.
+struct Session {
+    owner: OwnerId,
+    queries: Vec<QueryId>,
+}
+
+impl Session {
+    fn resolve(&self, local: u64) -> Result<QueryId, Frame> {
+        self.queries
+            .get(local as usize)
+            .copied()
+            .ok_or_else(|| error_frame(ErrorCode::UnknownQuery, format!("no query Q{local}")))
+    }
+}
+
+/// Serve one connection to completion. Any protocol violation ends the
+/// session; any transport error ends it silently (the peer is gone).
+fn serve_session(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Handshake: the first frame must be Hello.
+    match read_frame(&mut stream) {
+        Ok(Frame::Hello { .. }) => {
+            let ack = Frame::HelloAck {
+                server: concat!("streamsum-server/", env!("CARGO_PKG_VERSION")).into(),
+                protocol: WIRE_VERSION,
+            };
+            if write_frame(&mut stream, &ack).is_err() {
+                return;
+            }
+        }
+        Ok(_) => {
+            let _ = write_frame(
+                &mut stream,
+                &error_frame(ErrorCode::Protocol, "expected Hello".into()),
+            );
+            return;
+        }
+        // A malformed first frame — most importantly a WIRE_VERSION
+        // mismatch — gets an explanatory Error frame, not a silent
+        // close, so mixed-version deployments fail loudly (§9's rule).
+        Err(RecvError::Wire(e)) => {
+            let _ = write_frame(
+                &mut stream,
+                &error_frame(ErrorCode::Protocol, e.to_string()),
+            );
+            return;
+        }
+        Err(_) => return,
+    }
+
+    let mut session = Session {
+        owner: shared.rt.write().new_owner(),
+        queries: Vec::new(),
+    };
+
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            // Clean close, peer vanished, or garbage: session over
+            // either way. A wire error gets a best-effort explanation.
+            Err(RecvError::Wire(e)) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &error_frame(ErrorCode::Protocol, e.to_string()),
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        let goodbye = matches!(frame, Frame::Goodbye);
+        let reply = dispatch(shared, &mut session, frame);
+        let fatal = matches!(
+            reply,
+            Frame::Error {
+                code: ErrorCode::Protocol,
+                ..
+            }
+        );
+        if write_frame(&mut stream, &reply).is_err() || goodbye || fatal {
+            break;
+        }
+    }
+
+    // Teardown: cancel the session's live queries so a vanished analyst
+    // does not leak running pipelines. Archived history stays. Begin
+    // every cancel under one short write-lock hold, then wait for the
+    // drains with the lock released — a big backlog must not stall the
+    // other sessions (and beginning all stops before waiting on any is
+    // the same no-deadlock order as Runtime::shutdown).
+    let pending: Vec<_> = {
+        let mut rt = shared.rt.write();
+        rt.queries_for(session.owner)
+            .into_iter()
+            .filter(|d| d.state != QueryState::Cancelled)
+            .filter_map(|d| rt.cancel_begin(d.id).ok())
+            .collect()
+    };
+    for cancel in pending {
+        let _ = cancel.wait();
+    }
+    // Evict the dead entries (and their undrained output buffers): a
+    // server living through thousands of connect/feed/disconnect cycles
+    // must not accumulate registry garbage per past session.
+    shared.rt.write().evict_cancelled(session.owner);
+}
+
+/// Execute one request frame against the shared runtime.
+fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
+    match frame {
+        Frame::Hello { .. } => error_frame(ErrorCode::Protocol, "duplicate Hello".into()),
+        Frame::Submit { text } => {
+            // Plan first under the read lock; only a DETECT registration
+            // needs the exclusive write lock. Matching statements run
+            // entirely under the read side, so one analyst's (possibly
+            // long) history scan never stalls other sessions.
+            let planned = shared.rt.read().plan(&text);
+            match planned {
+                Ok(sgs_runtime::QueryPlan::Detect(plan)) => {
+                    match shared.rt.write().submit_detect_for(session.owner, *plan) {
+                        Ok(id) => {
+                            session.queries.push(id);
+                            Frame::Registered {
+                                query: (session.queries.len() - 1) as u64,
+                            }
+                        }
+                        Err(e) => runtime_error_frame(&e),
+                    }
+                }
+                Ok(sgs_runtime::QueryPlan::Match(plan)) => {
+                    match shared.rt.read().run_match(&plan) {
+                        Ok(outcome) => Frame::Matches {
+                            candidates: outcome.candidates as u64,
+                            refined: outcome.refined as u64,
+                            matches: outcome
+                                .matches
+                                .iter()
+                                .map(|m| sgs_wire::WireMatch {
+                                    pattern: m.id.0,
+                                    distance: m.distance,
+                                })
+                                .collect(),
+                        },
+                        Err(e) => runtime_error_frame(&e),
+                    }
+                }
+                Err(e) => runtime_error_frame(&e),
+            }
+        }
+        Frame::Feed { stream, points } => feed(shared, session, &stream, &points),
+        Frame::Poll { query, max } => {
+            let local = query;
+            match session.resolve(local) {
+                Ok(id) => {
+                    let rt = shared.rt.read();
+                    match rt.poll_batch(id, max as usize) {
+                        Ok(mut batch) => {
+                            // Page by encoded size: a window that would
+                            // push the page past the budget goes back
+                            // into the buffer for the client's next page
+                            // request, so a response only ever exceeds
+                            // POLL_PAGE_BYTES when a *single* window
+                            // does — and one beyond the protocol's frame
+                            // cap is refused as a typed error rather
+                            // than shipped as an undecodable frame.
+                            let mut windows = Vec::new();
+                            let mut bytes = 0usize;
+                            while let Some((window, clusters)) = batch.next() {
+                                let w = WireWindow { window, clusters };
+                                let cost = w.encoded_len();
+                                if cost > sgs_wire::MAX_FRAME_LEN - 1024 {
+                                    batch.put_back(w.window, w.clusters);
+                                    if windows.is_empty() {
+                                        return error_frame(
+                                            ErrorCode::Internal,
+                                            format!(
+                                                "window {} encodes to {cost} bytes, beyond \
+                                                 the frame cap — cancel the query to discard it",
+                                                w.window.0
+                                            ),
+                                        );
+                                    }
+                                    break;
+                                }
+                                if !windows.is_empty() && bytes + cost > POLL_PAGE_BYTES {
+                                    batch.put_back(w.window, w.clusters);
+                                    break;
+                                }
+                                bytes += cost;
+                                windows.push(w);
+                                if bytes >= POLL_PAGE_BYTES {
+                                    break;
+                                }
+                            }
+                            Frame::Windows {
+                                query: local,
+                                windows,
+                            }
+                        }
+                        Err(e) => runtime_error_frame(&e),
+                    }
+                }
+                Err(e) => e,
+            }
+        }
+        Frame::StatsReq { query } => match session.resolve(query) {
+            Ok(id) => {
+                let rt = shared.rt.read();
+                match (rt.state(id), rt.stats(id), rt.text_of(id)) {
+                    (Ok(state), Ok(stats), Ok(text)) => Frame::StatsReply(WireQuery {
+                        query,
+                        state: wire_state(state),
+                        text: text.to_string(),
+                        stats: wire_stats(&stats),
+                    }),
+                    (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => runtime_error_frame(&e),
+                }
+            }
+            Err(e) => e,
+        },
+        Frame::ListQueries => {
+            let rt = shared.rt.read();
+            let descriptors = rt.queries_for(session.owner);
+            Frame::Queries(
+                session
+                    .queries
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(local, id)| {
+                        descriptors
+                            .iter()
+                            .find(|d| d.id == *id)
+                            .map(|d| describe(local as u64, d))
+                    })
+                    .collect(),
+            )
+        }
+        Frame::Pause { query } => lifecycle(shared, session, query, |rt, id| rt.pause(id)),
+        Frame::Resume { query } => lifecycle(shared, session, query, |rt, id| rt.resume(id)),
+        Frame::Cancel { query } => match session.resolve(query) {
+            // Queue the stop under the write lock, but wait for the
+            // backlog drain with the lock released — a cancel of a
+            // deeply-queued query must not stall other sessions. The
+            // begun cancel is bound first so the guard (a temporary in
+            // the expression) is dropped before `wait()` blocks.
+            Ok(id) => {
+                let begun = shared.rt.write().cancel_begin(id);
+                match begun.and_then(|pending| pending.wait()) {
+                    Ok(report) => Frame::Report {
+                        query,
+                        stats: wire_stats(&report.stats),
+                    },
+                    Err(e) => runtime_error_frame(&e),
+                }
+            }
+            Err(e) => e,
+        },
+        Frame::Bind { name, sgs } => {
+            // The wire decoder checks structure only; enforce the full
+            // Sgs invariants before the summary enters the shared
+            // binding namespace every session's matching reads.
+            if let Err(e) = sgs.validate() {
+                return error_frame(ErrorCode::Plan, format!("invalid cluster summary: {e}"));
+            }
+            shared.rt.write().bind_cluster(&name, sgs);
+            Frame::OkAck
+        }
+        Frame::Quiesce => {
+            // Barrier over this session's queries only (its feeds target
+            // nothing else). Snapshot under the lock, wait without it —
+            // the barrier can take as long as the queued work.
+            let feeder = shared.rt.read().feeder(Some(session.owner), None);
+            feeder.quiesce();
+            Frame::OkAck
+        }
+        Frame::Goodbye => Frame::OkAck,
+        // Response kinds are not requests.
+        other => error_frame(
+            ErrorCode::Protocol,
+            format!("frame kind {:#04x} is not a request", other.kind()),
+        ),
+    }
+}
+
+/// `Feed` dispatch: validate against the catalog, then route through the
+/// bounded input queues of this session's queries (blocking = the
+/// backpressure path; the ack is withheld until the batch is queued).
+///
+/// The runtime lock is held only for validation and the
+/// [`Runtime::feeder`] snapshot, **not** across the potentially long
+/// backpressure block — otherwise one stalled session would wedge every
+/// write operation (submits, teardowns, even new sessions' handshakes)
+/// server-wide.
+fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> Frame {
+    let feeder = {
+        let rt = shared.rt.read();
+        let Some(dim) = rt.planner().catalog().dim_of(stream) else {
+            return error_frame(
+                ErrorCode::UnknownStream,
+                format!("stream {stream:?} is not in the catalog"),
+            );
+        };
+        if let Some(bad) = points.iter().find(|p| p.dim() != dim) {
+            return error_frame(
+                ErrorCode::Dimension,
+                format!(
+                    "stream {stream:?} is {dim}-dimensional, got a {}-dimensional point",
+                    bad.dim()
+                ),
+            );
+        }
+        rt.feeder(Some(session.owner), Some(stream))
+    };
+    feeder.push_batch(points);
+    Frame::OkAck
+}
+
+fn lifecycle(
+    shared: &Shared,
+    session: &Session,
+    local: u64,
+    op: impl FnOnce(&mut Runtime, QueryId) -> Result<(), RuntimeError>,
+) -> Frame {
+    match session.resolve(local) {
+        Ok(id) => match op(&mut shared.rt.write(), id) {
+            Ok(()) => Frame::OkAck,
+            Err(e) => runtime_error_frame(&e),
+        },
+        Err(e) => e,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime → wire mappings
+// ---------------------------------------------------------------------------
+
+fn wire_state(state: QueryState) -> WireQueryState {
+    match state {
+        QueryState::Running => WireQueryState::Running,
+        QueryState::Paused => WireQueryState::Paused,
+        QueryState::Cancelled => WireQueryState::Cancelled,
+        QueryState::Failed => WireQueryState::Failed,
+    }
+}
+
+fn wire_stats(stats: &QueryStats) -> WireStats {
+    WireStats {
+        points: stats.points,
+        windows: stats.windows,
+        clusters: stats.clusters,
+        windows_dropped: stats.windows_dropped,
+        archived: stats.archived,
+        archive_bytes: stats.archive_bytes as u64,
+        busy_nanos: stats.busy_nanos,
+        error: stats.error.clone(),
+    }
+}
+
+fn describe(local: u64, descriptor: &QueryDescriptor) -> WireQuery {
+    WireQuery {
+        query: local,
+        state: wire_state(descriptor.state),
+        text: descriptor.text.clone(),
+        stats: wire_stats(&descriptor.stats),
+    }
+}
+
+fn error_frame(code: ErrorCode, message: String) -> Frame {
+    Frame::Error { code, message }
+}
+
+fn runtime_error_frame(e: &RuntimeError) -> Frame {
+    let code = match e {
+        RuntimeError::Plan(_) | RuntimeError::Query(_) => ErrorCode::Plan,
+        RuntimeError::UnknownQuery(_) => ErrorCode::UnknownQuery,
+        RuntimeError::UnknownBinding(_) => ErrorCode::UnknownBinding,
+        RuntimeError::InvalidTransition { .. } | RuntimeError::Disconnected(_) => {
+            ErrorCode::InvalidTransition
+        }
+    };
+    error_frame(code, e.to_string())
+}

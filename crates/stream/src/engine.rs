@@ -268,7 +268,10 @@ mod tests {
         // Windows complete when tuple 4 and tuple 6 arrive.
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[0].0, WindowId(0));
-        assert_eq!(outs[0].1, vec![PointId(0), PointId(1), PointId(2), PointId(3)]);
+        assert_eq!(
+            outs[0].1,
+            vec![PointId(0), PointId(1), PointId(2), PointId(3)]
+        );
         assert_eq!(outs[1].0, WindowId(1));
         assert_eq!(
             outs[1].1,
@@ -315,7 +318,13 @@ mod tests {
         let mut rec = Recorder::default();
         let mut outs = Vec::new();
         let err = eng.push(pt(0.0, 0), &mut rec, &mut outs).unwrap_err();
-        assert!(matches!(err, Error::DimensionMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            Error::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -331,7 +340,10 @@ mod tests {
 
     #[test]
     fn push_batch_equals_per_point_push() {
-        for spec in [WindowSpec::count(6, 2).unwrap(), WindowSpec::time(10, 5).unwrap()] {
+        for spec in [
+            WindowSpec::count(6, 2).unwrap(),
+            WindowSpec::time(10, 5).unwrap(),
+        ] {
             let points: Vec<Point> = (0..50).map(|i| pt(i as f64, i * 2)).collect();
 
             let mut solo_eng = WindowEngine::new(spec, 1);
@@ -372,7 +384,8 @@ mod tests {
                 self.runs.push(vec![id.0]);
             }
             fn insert_batch(&mut self, items: &[(PointId, Point, WindowId)]) {
-                self.runs.push(items.iter().map(|(id, _, _)| id.0).collect());
+                self.runs
+                    .push(items.iter().map(|(id, _, _)| id.0).collect());
             }
             fn slide(&mut self, _completed: WindowId) {
                 self.slides += 1;
@@ -403,7 +416,13 @@ mod tests {
         let mut outs = Vec::new();
         let batch = vec![pt(0.0, 0), pt(1.0, 0), Point::new(vec![0.0, 0.0], 0)];
         let err = eng.push_batch(batch, &mut rec, &mut outs).unwrap_err();
-        assert!(matches!(err, Error::DimensionMismatch { expected: 1, got: 2 }));
+        assert!(matches!(
+            err,
+            Error::DimensionMismatch {
+                expected: 1,
+                got: 2
+            }
+        ));
         // The two good points before the failure were accepted.
         assert_eq!(eng.accepted(), 2);
     }
@@ -416,7 +435,10 @@ mod tests {
         let mut outs = Vec::new();
         let batch = vec![pt(0.0, 3), pt(1.0, 7), pt(2.0, 6)];
         let err = eng.push_batch(batch, &mut rec, &mut outs).unwrap_err();
-        assert!(matches!(err, Error::OutOfOrderTimestamp { last: 7, got: 6 }));
+        assert!(matches!(
+            err,
+            Error::OutOfOrderTimestamp { last: 7, got: 6 }
+        ));
         // The two in-order points before the failure were accepted.
         assert_eq!(eng.accepted(), 2);
     }

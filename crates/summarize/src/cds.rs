@@ -34,7 +34,10 @@ pub fn greedy_cds(adj: &[Vec<u32>], coverage: &[Vec<u32>], n_targets: usize) -> 
     let mut out: Vec<u32> = Vec::new();
 
     let gain = |node: usize, white: &[bool]| -> usize {
-        coverage[node].iter().filter(|&&t| white[t as usize]).count()
+        coverage[node]
+            .iter()
+            .filter(|&&t| white[t as usize])
+            .count()
     };
 
     // Seed: the node covering the most whites (ties: lowest index).
@@ -52,11 +55,11 @@ pub fn greedy_cds(adj: &[Vec<u32>], coverage: &[Vec<u32>], n_targets: usize) -> 
     }
 
     let take = |node: usize,
-                    white: &mut Vec<bool>,
-                    whites_left: &mut usize,
-                    chosen: &mut Vec<bool>,
-                    frontier: &mut Vec<bool>,
-                    out: &mut Vec<u32>| {
+                white: &mut Vec<bool>,
+                whites_left: &mut usize,
+                chosen: &mut Vec<bool>,
+                frontier: &mut Vec<bool>,
+                out: &mut Vec<u32>| {
         chosen[node] = true;
         frontier[node] = false;
         for &t in &coverage[node] {
@@ -86,8 +89,8 @@ pub fn greedy_cds(adj: &[Vec<u32>], coverage: &[Vec<u32>], n_targets: usize) -> 
         // Scan the frontier node with maximal white gain.
         let mut best: Option<usize> = None;
         let mut best_gain = 0usize;
-        for i in 0..n {
-            if !frontier[i] {
+        for (i, in_frontier) in frontier.iter().enumerate().take(n) {
+            if !in_frontier {
                 continue;
             }
             let g = gain(i, &white);
@@ -112,9 +115,9 @@ pub fn greedy_cds(adj: &[Vec<u32>], coverage: &[Vec<u32>], n_targets: usize) -> 
                 // unreachable from the current component.
                 let expand = (0..n).find(|&i| {
                     frontier[i]
-                        && adj[i].iter().any(|&nb| {
-                            !chosen[nb as usize] && gain(nb as usize, &white) > 0
-                        })
+                        && adj[i]
+                            .iter()
+                            .any(|&nb| !chosen[nb as usize] && gain(nb as usize, &white) > 0)
                 });
                 match expand {
                     Some(node) => take(

@@ -50,8 +50,7 @@ impl Crd {
     /// the "subtraction function" of §8.2.
     pub fn distance(&self, other: &Crd) -> f64 {
         let span = self.radius.max(other.radius).max(1e-9);
-        let centroid_d =
-            (sgs_core::dist(&self.centroid, &other.centroid) / (2.0 * span)).min(1.0);
+        let centroid_d = (sgs_core::dist(&self.centroid, &other.centroid) / (2.0 * span)).min(1.0);
         let radius_d = rel_diff(self.radius, other.radius);
         let density_d = rel_diff(self.density, other.density);
         (centroid_d + radius_d + density_d) / 3.0

@@ -187,8 +187,12 @@ mod tests {
     #[test]
     fn disconnected_components_stay_disconnected_unless_merged_by_geometry() {
         // Two blobs 100 cells apart cannot share a parent at θ=3.
-        let cores_a: Vec<Box<[f64]>> = (0..4).map(|i| vec![0.05 + i as f64 * 0.3, 0.05].into()).collect();
-        let cores_b: Vec<Box<[f64]>> = (0..4).map(|i| vec![70.0 + i as f64 * 0.3, 0.05].into()).collect();
+        let cores_a: Vec<Box<[f64]>> = (0..4)
+            .map(|i| vec![0.05 + i as f64 * 0.3, 0.05].into())
+            .collect();
+        let cores_b: Vec<Box<[f64]>> = (0..4)
+            .map(|i| vec![70.0 + i as f64 * 0.3, 0.05].into())
+            .collect();
         let base = Sgs::from_members(
             &MemberSet::new([cores_a, cores_b].concat(), vec![]),
             &GridGeometry::basic(2, 1.0),
@@ -208,7 +212,10 @@ mod tests {
         assert_eq!(coarse.population(), base.population());
         coarse.validate().unwrap();
         // div_euclid semantics: -1 / 2 → -1, not 0
-        assert!(coarse.cells.iter().any(|c| c.coord.0.iter().any(|&v| v < 0)));
+        assert!(coarse
+            .cells
+            .iter()
+            .any(|c| c.coord.0.iter().any(|&v| v < 0)));
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub fn decode(mut buf: Bytes) -> Option<Sgs> {
     let level = buf.get_u8();
     let count = buf.get_u32_le() as usize;
     let side = buf.get_f64_le();
-    if dim == 0 || !(side > 0.0) || buf.remaining() < count * bytes_per_cell(dim) {
+    if dim == 0 || side <= 0.0 || side.is_nan() || buf.remaining() < count * bytes_per_cell(dim) {
         return None;
     }
     let mut packed = Vec::with_capacity(count);

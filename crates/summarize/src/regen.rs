@@ -45,7 +45,11 @@ pub fn regeneration_error(original: &MemberSet, regenerated: &MemberSet) -> f64 
     let orig: Vec<&[f64]> = original.iter_all().collect();
     let regen: Vec<&[f64]> = regenerated.iter_all().collect();
     if orig.is_empty() || regen.is_empty() {
-        return if orig.len() == regen.len() { 0.0 } else { f64::INFINITY };
+        return if orig.len() == regen.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     let dir = |from: &[&[f64]], to: &[&[f64]]| -> f64 {
         from.iter()

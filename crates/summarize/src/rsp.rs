@@ -82,10 +82,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn members(n: usize) -> MemberSet {
-        MemberSet::new(
-            (0..n).map(|i| vec![i as f64, 0.0].into()).collect(),
-            vec![],
-        )
+        MemberSet::new((0..n).map(|i| vec![i as f64, 0.0].into()).collect(), vec![])
     }
 
     #[test]

@@ -254,9 +254,7 @@ impl Sgs {
 
     /// Index of the cell at `coord`, if present (cells are kept sorted).
     pub fn index_of(&self, coord: &CellCoord) -> Option<usize> {
-        self.cells
-            .binary_search_by(|c| c.coord.cmp(coord))
-            .ok()
+        self.cells.binary_search_by(|c| c.coord.cmp(coord)).ok()
     }
 
     /// Fidelity check for Lemma 4.3: every cell's data-space box is within
@@ -264,11 +262,7 @@ impl Sgs {
     /// a member). Exposed for property tests: verifies cells are non-empty
     /// and sorted.
     pub fn validate(&self) -> Result<(), String> {
-        if !self
-            .cells
-            .windows(2)
-            .all(|w| w[0].coord < w[1].coord)
-        {
+        if !self.cells.windows(2).all(|w| w[0].coord < w[1].coord) {
             return Err("cells not sorted by coordinate".into());
         }
         for (i, c) in self.cells.iter().enumerate() {
@@ -405,10 +399,7 @@ mod tests {
 
     #[test]
     fn disconnected_cores_split_components() {
-        let members = MemberSet::new(
-            vec![vec![0.1, 0.1].into(), vec![8.0, 8.0].into()],
-            vec![],
-        );
+        let members = MemberSet::new(vec![vec![0.1, 0.1].into(), vec![8.0, 8.0].into()], vec![]);
         let sgs = Sgs::from_members(&members, &geo());
         assert_eq!(sgs.components().len(), 2);
     }
@@ -420,7 +411,7 @@ mod tests {
         assert_eq!(f[0], 3.0); // volume
         assert_eq!(f[1], 2.0); // core cells
         assert!((f[2] - 4.0 / 3.0).abs() < 1e-12); // avg density
-        // connectivity: c0 has 1 connection, c1 has 2 → avg 1.5
+                                                   // connectivity: c0 has 1 connection, c1 has 2 → avg 1.5
         assert!((f[3] - 1.5).abs() < 1e-12);
     }
 

@@ -124,14 +124,9 @@ mod tests {
     #[test]
     fn denser_cells_get_heavier_glyphs() {
         // One very dense cell among light ones.
-        let mut cores: Vec<Box<[f64]>> = (0..20)
-            .map(|_| vec![0.1, 0.1].into())
-            .collect();
+        let mut cores: Vec<Box<[f64]>> = (0..20).map(|_| vec![0.1, 0.1].into()).collect();
         cores.push(vec![1.5, 0.1].into());
-        let sgs = Sgs::from_members(
-            &MemberSet::new(cores, vec![]),
-            &GridGeometry::basic(2, 1.0),
-        );
+        let sgs = Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0));
         let art = render_ascii(&sgs, 0, 1);
         assert!(art.contains('@'), "{art}");
     }

@@ -30,7 +30,9 @@ impl Default for SvgStyle {
 }
 
 /// Hues assigned to successive summaries.
-const HUES: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const HUES: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
 
 /// Render summaries (projected onto dimensions `dx`, `dy`) into an SVG
 /// document string.
@@ -54,7 +56,9 @@ pub fn render_svg(summaries: &[&Sgs], dx: usize, dy: usize, style: &SvgStyle) ->
     }
     if x0 > x1 {
         // No cells at all.
-        return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1\" height=\"1\"/>");
+        return String::from(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1\" height=\"1\"/>",
+        );
     }
     let s = style.cell_px;
     let m = style.margin;

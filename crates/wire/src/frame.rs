@@ -1,0 +1,346 @@
+//! The frame vocabulary: every message either peer can send.
+
+use sgs_core::{Point, WindowId};
+use sgs_csgs::WindowOutput;
+use sgs_summarize::Sgs;
+
+/// Execution statistics of one query as carried on the wire — the
+/// protocol's stable mirror of `sgs_runtime::QueryStats` (the runtime
+/// struct can evolve; this one only changes with [`crate::WIRE_VERSION`]).
+///
+/// Body grammar: 7 × `u64` in field order, then `error` as an
+/// option-flagged string (`u8` 0 = absent; 1 = present, followed by the
+/// string).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Points processed.
+    pub points: u64,
+    /// Windows emitted.
+    pub windows: u64,
+    /// Clusters extracted across all windows.
+    pub clusters: u64,
+    /// Windows discarded by a `DropOldest` output policy.
+    pub windows_dropped: u64,
+    /// Summaries archived into the pattern base.
+    pub archived: u64,
+    /// Packed bytes of the archived summaries.
+    pub archive_bytes: u64,
+    /// Worker-side processing time, nanoseconds.
+    pub busy_nanos: u64,
+    /// The error that failed the query, if any.
+    pub error: Option<String>,
+}
+
+/// Lifecycle state of a query as carried on the wire (`u8` code in
+/// declaration order; any other code is a decode error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireQueryState {
+    /// Receiving points and emitting windows.
+    Running,
+    /// Alive but skipping ingested points.
+    Paused,
+    /// Stopped; final stats remain readable.
+    Cancelled,
+    /// Hit an unrecoverable error (see [`WireStats::error`]).
+    Failed,
+}
+
+impl WireQueryState {
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            WireQueryState::Running => 0,
+            WireQueryState::Paused => 1,
+            WireQueryState::Cancelled => 2,
+            WireQueryState::Failed => 3,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => WireQueryState::Running,
+            1 => WireQueryState::Paused,
+            2 => WireQueryState::Cancelled,
+            3 => WireQueryState::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// One registered query as the server describes it: the id is
+/// **session-local** (each connection numbers its own queries from 0 —
+/// sessions own their query ids and never see another session's).
+///
+/// Body grammar: `query:u64 state:u8 text:string stats:WireStats`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireQuery {
+    /// Session-local query id.
+    pub query: u64,
+    /// Lifecycle state at snapshot time.
+    pub state: WireQueryState,
+    /// Canonical statement text.
+    pub text: String,
+    /// Statistics at snapshot time.
+    pub stats: WireStats,
+}
+
+/// One match of a GIVEN/SELECT statement.
+///
+/// Body grammar: `pattern:u64 distance:f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireMatch {
+    /// Pattern id in the server's shared history base.
+    pub pattern: u64,
+    /// Distance from the query cluster.
+    pub distance: f64,
+}
+
+/// One completed window of a query: the window id plus every extracted
+/// cluster (cores, edges, and the full SGS with its complete connection
+/// lists — *not* the lossy face-mask archive layout, so a polled window
+/// round-trips byte-identically).
+///
+/// Body grammar: `window:u64 clusters:seq(cluster)` where
+/// `cluster := cores:seq(u32) edges:seq(u32) sgs` and
+/// `sgs := dim:u16 level:u8 side:f64 cells:seq(coord:i32×dim
+/// population:u32 status:u8 connections:seq(u32))`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireWindow {
+    /// The window id.
+    pub window: WindowId,
+    /// Extracted clusters, in extraction order.
+    pub clusters: WindowOutput,
+}
+
+impl WireWindow {
+    /// Exact encoded size of this window inside a [`Frame::Windows`]
+    /// body — what a server's page budget sums so a response never
+    /// exceeds [`crate::MAX_FRAME_LEN`]. Kept next to the grammar it
+    /// mirrors (and pinned to the encoder by a codec test).
+    pub fn encoded_len(&self) -> usize {
+        let mut bytes = 8 + 4; // window id + cluster count
+        for c in &self.clusters {
+            bytes += 4 + 4 * c.cores.len() + 4 + 4 * c.edges.len();
+            bytes += 2 + 1 + 8 + 4; // SGS header: dim, level, side, cell count
+            for cell in &c.sgs.cells {
+                bytes += 4 * cell.coord.0.len() + 4 + 1 + 4 + 4 * cell.connections.len();
+            }
+        }
+        bytes
+    }
+}
+
+/// Machine-readable class of a server-reported failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The peer broke the protocol (bad handshake, a response frame sent
+    /// as a request, ...). The server closes the connection after this.
+    Protocol,
+    /// The statement could not be planned (parse/semantic error).
+    Plan,
+    /// No query with that session-local id.
+    UnknownQuery,
+    /// The named stream is not in the catalog.
+    UnknownStream,
+    /// The GIVEN name has no bound cluster.
+    UnknownBinding,
+    /// Illegal lifecycle transition (e.g. resuming a running query).
+    InvalidTransition,
+    /// Dimensionality mismatch between fed points and the stream.
+    Dimension,
+    /// Anything else; the message says what.
+    Internal,
+}
+
+impl ErrorCode {
+    pub(crate) fn code(self) -> u16 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::Plan => 2,
+            ErrorCode::UnknownQuery => 3,
+            ErrorCode::UnknownStream => 4,
+            ErrorCode::UnknownBinding => 5,
+            ErrorCode::InvalidTransition => 6,
+            ErrorCode::Dimension => 7,
+            ErrorCode::Internal => 8,
+        }
+    }
+
+    pub(crate) fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::Plan,
+            3 => ErrorCode::UnknownQuery,
+            4 => ErrorCode::UnknownStream,
+            5 => ErrorCode::UnknownBinding,
+            6 => ErrorCode::InvalidTransition,
+            7 => ErrorCode::Dimension,
+            8 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Every message of the protocol. Kinds `0x01..=0x0C` are requests
+/// (client → server), `0x81..` and `0xFF` are responses; the kind byte
+/// is noted on each variant. A request's point encoding is
+/// `ts:u64 dim:u16 coords:f64×dim` per point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    // ---- requests -------------------------------------------------------
+    /// `0x01` — opens a session; must be the first frame on a connection.
+    Hello {
+        /// Client software name, for the server log.
+        client: String,
+    },
+    /// `0x02` — submit one statement of either template (DETECT registers
+    /// a continuous query → [`Frame::Registered`]; GIVEN/SELECT executes
+    /// immediately → [`Frame::Matches`]).
+    Submit {
+        /// The statement text.
+        text: String,
+    },
+    /// `0x03` — ingest a batch of points into a named stream. The server
+    /// routes them to **this session's** queries reading that stream,
+    /// through each query's bounded input queue — a full queue blocks
+    /// the session's reader, which stops draining the socket, which is
+    /// how backpressure reaches the client as TCP flow control.
+    Feed {
+        /// Catalog name of the source stream.
+        stream: String,
+        /// The batch (clients chunk to ≤ [`crate::FEED_CHUNK`] points).
+        points: Vec<Point>,
+    },
+    /// `0x04` — drain up to `max` buffered completed windows of one of
+    /// this session's queries → [`Frame::Windows`].
+    Poll {
+        /// Session-local query id.
+        query: u64,
+        /// Maximum windows to return (0 means "all buffered").
+        max: u32,
+    },
+    /// `0x05` — fetch one query's state + statistics → [`Frame::StatsReply`].
+    StatsReq {
+        /// Session-local query id.
+        query: u64,
+    },
+    /// `0x06` — list this session's queries → [`Frame::Queries`].
+    ListQueries,
+    /// `0x07` — pause a running query → [`Frame::OkAck`].
+    Pause {
+        /// Session-local query id.
+        query: u64,
+    },
+    /// `0x08` — resume a paused query → [`Frame::OkAck`].
+    Resume {
+        /// Session-local query id.
+        query: u64,
+    },
+    /// `0x09` — cancel a query after its queued input is processed →
+    /// [`Frame::Report`].
+    Cancel {
+        /// Session-local query id.
+        query: u64,
+    },
+    /// `0x0A` — bind a cluster summary to a name, making it addressable
+    /// as the GIVEN clause of matching statements → [`Frame::OkAck`].
+    /// The binding namespace is shared across sessions (analysts share
+    /// the history they match against).
+    Bind {
+        /// Binding name.
+        name: String,
+        /// The cluster summary.
+        sgs: Sgs,
+    },
+    /// `0x0B` — barrier: ack once every point fed so far has been fully
+    /// processed → [`Frame::OkAck`].
+    Quiesce,
+    /// `0x0C` — close the session cleanly → [`Frame::OkAck`], then EOF.
+    Goodbye,
+
+    // ---- responses ------------------------------------------------------
+    /// `0x81` — handshake acknowledgement.
+    HelloAck {
+        /// Server software name.
+        server: String,
+        /// The server's [`crate::WIRE_VERSION`].
+        protocol: u8,
+    },
+    /// `0x82` — a DETECT statement became a continuous query.
+    Registered {
+        /// Session-local query id.
+        query: u64,
+    },
+    /// `0x83` — result of an immediately-executed matching statement.
+    Matches {
+        /// Candidates surviving the locational filter.
+        candidates: u64,
+        /// Candidates refined with full distance computation.
+        refined: u64,
+        /// The matches.
+        matches: Vec<WireMatch>,
+    },
+    /// `0x84` — polled windows of one query, oldest first.
+    Windows {
+        /// Session-local query id.
+        query: u64,
+        /// The drained windows.
+        windows: Vec<WireWindow>,
+    },
+    /// `0x85` — one query's state and statistics.
+    StatsReply(WireQuery),
+    /// `0x86` — the session's query listing.
+    Queries(Vec<WireQuery>),
+    /// `0x87` — success acknowledgement for requests with no payload to
+    /// return.
+    OkAck,
+    /// `0x88` — final accounting of a cancelled query.
+    Report {
+        /// Session-local query id.
+        query: u64,
+        /// Final statistics ([`WireStats::archived`] counts its pattern
+        /// base).
+        stats: WireStats,
+    },
+    /// `0xFF` — the request failed; the session stays usable unless the
+    /// code is [`ErrorCode::Protocol`].
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// The kind byte identifying this frame on the wire.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::Submit { .. } => 0x02,
+            Frame::Feed { .. } => 0x03,
+            Frame::Poll { .. } => 0x04,
+            Frame::StatsReq { .. } => 0x05,
+            Frame::ListQueries => 0x06,
+            Frame::Pause { .. } => 0x07,
+            Frame::Resume { .. } => 0x08,
+            Frame::Cancel { .. } => 0x09,
+            Frame::Bind { .. } => 0x0A,
+            Frame::Quiesce => 0x0B,
+            Frame::Goodbye => 0x0C,
+            Frame::HelloAck { .. } => 0x81,
+            Frame::Registered { .. } => 0x82,
+            Frame::Matches { .. } => 0x83,
+            Frame::Windows { .. } => 0x84,
+            Frame::StatsReply(_) => 0x85,
+            Frame::Queries(_) => 0x86,
+            Frame::OkAck => 0x87,
+            Frame::Report { .. } => 0x88,
+            Frame::Error { .. } => 0xFF,
+        }
+    }
+
+    /// Is this a request (client → server) kind?
+    pub fn is_request(&self) -> bool {
+        self.kind() < 0x80
+    }
+}

@@ -1,0 +1,145 @@
+//! Blocking frame I/O over any `Read`/`Write` transport (the server and
+//! client use `TcpStream`).
+
+use std::io::{self, Read, Write};
+
+use crate::codec::{decode, WireError};
+use crate::frame::Frame;
+
+/// Why [`read_frame`] produced no frame.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly (EOF on a frame boundary).
+    Closed,
+    /// Transport failure (includes EOF mid-frame as
+    /// [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+    /// The bytes received are not a valid frame.
+    Wire(WireError),
+}
+
+impl core::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed by peer"),
+            RecvError::Io(e) => write!(f, "transport error: {e}"),
+            RecvError::Wire(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecvError::Io(e) => Some(e),
+            RecvError::Wire(e) => Some(e),
+            RecvError::Closed => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+impl From<WireError> for RecvError {
+    fn from(e: WireError) -> Self {
+        RecvError::Wire(e)
+    }
+}
+
+/// Write one frame (length prefix included) and flush.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Read exactly one frame, blocking until it is complete.
+///
+/// EOF *between* frames is the clean-shutdown signal
+/// ([`RecvError::Closed`]); EOF in the middle of one is an I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, RecvError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Err(RecvError::Closed),
+            0 => {
+                return Err(RecvError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    // Validate the announced length through the decoder's own bound (a
+    // 4-byte buffer always yields Ok(None) or the Oversized error).
+    if let Err(e) = decode(&header) {
+        return Err(RecvError::Wire(e));
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&header);
+    buf.resize(4 + len, 0);
+    r.read_exact(&mut buf[4..])?;
+    match decode(&buf)? {
+        Some((frame, consumed)) => {
+            debug_assert_eq!(consumed, buf.len());
+            Ok(frame)
+        }
+        // Unreachable: the buffer holds exactly the announced frame.
+        None => Err(RecvError::Wire(WireError::Truncated)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_a_byte_pipe() {
+        let frames = vec![
+            Frame::Hello {
+                client: "test".into(),
+            },
+            Frame::Poll { query: 3, max: 16 },
+            Frame::OkAck,
+        ];
+        let mut pipe = Vec::new();
+        for f in &frames {
+            write_frame(&mut pipe, f).unwrap();
+        }
+        let mut cursor = io::Cursor::new(pipe);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(RecvError::Closed)));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_io_error_not_a_clean_close() {
+        let bytes = Frame::Hello {
+            client: "abc".into(),
+        }
+        .encode();
+        let mut cursor = io::Cursor::new(bytes[..bytes.len() - 1].to_vec());
+        match read_frame(&mut cursor) {
+            Err(RecvError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected UnexpectedEof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_reading_the_body() {
+        let mut bytes = ((crate::MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        let mut cursor = io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(RecvError::Wire(WireError::Oversized { .. }))
+        ));
+    }
+}

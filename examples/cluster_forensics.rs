@@ -15,8 +15,8 @@
 //! cargo run --release --example cluster_forensics
 //! ```
 
-use streamsum::prelude::*;
 use streamsum::archive::shared_pattern_base;
+use streamsum::prelude::*;
 use streamsum::summarize::{coarsen, multires, packed};
 
 fn main() -> Result<()> {

@@ -102,12 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             matched.window, best.distance
         );
         print!("{}", render_ascii(&matched.sgs, 0, 1));
-        let svg = render_svg(
-            &[&current.sgs, &matched.sgs],
-            0,
-            1,
-            &SvgStyle::default(),
-        );
+        let svg = render_svg(&[&current.sgs, &matched.sgs], 0, 1, &SvgStyle::default());
         let path = std::env::temp_dir().join("streamsum_match.svg");
         std::fs::write(&path, svg)?;
         println!("\nside-by-side SVG written to {}", path.display());

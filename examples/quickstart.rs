@@ -23,10 +23,7 @@ fn main() -> Result<()> {
         let p = match i % 3 {
             0 => Point::new(vec![1.0 + t * 2.0 + jitter(i), 1.0 + jitter(i * 7)], i),
             1 => Point::new(vec![6.0 - t * 1.5 + jitter(i * 3), 4.0 + jitter(i * 11)], i),
-            _ => Point::new(
-                vec![(i % 97) as f64 / 10.0, (i % 89) as f64 / 10.0],
-                i,
-            ),
+            _ => Point::new(vec![(i % 97) as f64 / 10.0, (i % 89) as f64 / 10.0], i),
         };
         for (window, clusters) in pipeline.push(p)? {
             if printed < 4 {

@@ -1,0 +1,261 @@
+//! Remote analyst console: the `runtime_console` workflow over a real
+//! TCP socket — DETECT statements register continuous queries on a
+//! `streamsum-server`, `feed` generates stream data client-side and
+//! ships it over the wire, windows come back as `sgs-wire` frames, and
+//! GIVEN statements match bound clusters against the server's shared
+//! history.
+//!
+//! Point it at a running server:
+//!
+//! ```text
+//! cargo run --release -p sgs-server --bin streamsum-server -- --addr 127.0.0.1:7878 &
+//! REMOTE_CONSOLE_ADDR=127.0.0.1:7878 cargo run --release --example remote_console
+//! ```
+//!
+//! With no `REMOTE_CONSOLE_ADDR` (or `--addr`) it spins up an
+//! in-process server on a loopback port and talks to that — still
+//! through the full TCP + wire-protocol path.
+//!
+//! Scriptable from a pipe exactly like `runtime_console`, e.g.:
+//!
+//! ```text
+//! printf 'DETECT DensityBasedClusters f+s FROM gmti USING theta_range = 0.6 \
+//! AND theta_cnt = 8 IN Windows WITH win = 4000 AND slide = 1000\nfeed gmti 20000\n\
+//! bind Cnow\nGIVEN DensityBasedClusters Cnow SELECT DensityBasedClusters FROM History \
+//! WHERE Distance(Cnow, Cnow) <= 0.3\nstats\nquit\n' | cargo run --release --example remote_console
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+
+use streamsum::prelude::*;
+
+const HELP: &str = "\
+commands:
+  DETECT ...                register a continuous query on the server (Fig. 2 syntax)
+  GIVEN ...                 run a matching query against the server's shared history (Fig. 3 syntax)
+  feed <stream> <n>         generate n tuples client-side (gmti | stt) and ship them over the wire
+  bind <name> [Qk]          bind the largest cluster of query Qk's newest window (default: first query with one)
+  stats                     per-query table: state, windows, clusters, archive, latency
+  pause Qk | resume Qk | cancel Qk
+  help | quit";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Explicit address → talk to that server; otherwise serve ourselves
+    // on a loopback port (the wire path is identical either way).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr_arg = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("REMOTE_CONSOLE_ADDR").ok());
+    let mut client = match addr_arg {
+        Some(addr) => {
+            println!("remote console — connecting to {addr}");
+            Client::connect(addr.as_str())?
+        }
+        None => {
+            let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+            let addr = server.local_addr()?;
+            std::thread::spawn(move || server.run());
+            println!("remote console — no --addr/REMOTE_CONSOLE_ADDR, serving myself on {addr}");
+            Client::connect(addr)?
+        }
+    };
+
+    // Newest window output per session-local query id, for `bind`.
+    let mut newest: HashMap<u64, WindowOutput> = HashMap::new();
+
+    println!("{HELP}");
+    let stdin = std::io::stdin();
+    loop {
+        print!("sgs> ");
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let cmd = words[0].to_ascii_lowercase();
+        match cmd.as_str() {
+            "quit" | "exit" => break,
+            "help" => println!("{HELP}"),
+            "feed" => match feed(&mut client, &mut newest, &words) {
+                Ok(summary) => println!("{summary}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "bind" => match bind(&mut client, &newest, &words) {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "stats" => match client.queries() {
+                Ok(queries) => print_stats(&queries),
+                Err(e) => println!("error: {e}"),
+            },
+            "pause" | "resume" | "cancel" => match parse_qid(words.get(1).copied()) {
+                Some(id) => {
+                    let result = match cmd.as_str() {
+                        "pause" => client.pause(id).map(|()| format!("Q{id} paused")),
+                        "resume" => client.resume(id).map(|()| format!("Q{id} resumed")),
+                        _ => client.cancel(id).map(|stats| {
+                            newest.remove(&id);
+                            format!(
+                                "Q{id} cancelled after {} windows, {} archived patterns",
+                                stats.windows, stats.archived
+                            )
+                        }),
+                    };
+                    match result {
+                        Ok(msg) => println!("{msg}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                None => println!("usage: {} Qk", words[0]),
+            },
+            _ => match client.submit(line) {
+                Ok(Submitted::Continuous(id)) => println!("registered Q{id}"),
+                Ok(Submitted::Matches {
+                    candidates,
+                    refined,
+                    matches,
+                }) => {
+                    println!(
+                        "{candidates} candidates → {refined} refined → {} matches",
+                        matches.len()
+                    );
+                    for m in matches.iter().take(5) {
+                        println!("  pattern {}: distance {:.4}", m.pattern, m.distance);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+    // Final accounting on exit.
+    if let Ok(queries) = client.queries() {
+        print_stats(&queries);
+    }
+    client.goodbye()?;
+    Ok(())
+}
+
+/// `feed <stream> <n>`: generate client-side, ship, quiesce, then drain
+/// every query's windows over the wire so `bind` sees the newest.
+fn feed(
+    client: &mut Client,
+    newest: &mut HashMap<u64, WindowOutput>,
+    words: &[&str],
+) -> Result<String, Box<dyn std::error::Error>> {
+    let (stream, n) = match words {
+        [_, stream, n] => (stream.to_ascii_lowercase(), n.parse::<usize>()?),
+        _ => return Err("usage: feed <gmti|stt> <n>".into()),
+    };
+    let points = match stream.as_str() {
+        "gmti" => generate_gmti(&GmtiConfig {
+            n_records: n,
+            ..GmtiConfig::default()
+        }),
+        "stt" => generate_stt(&SttConfig {
+            n_records: n,
+            ..SttConfig::default()
+        }),
+        other => return Err(format!("unknown stream {other:?} (try gmti or stt)").into()),
+    };
+    client.feed(&stream, &points)?;
+    client.quiesce()?;
+    let mut parts = Vec::new();
+    for q in client.queries()? {
+        if q.state == WireQueryState::Cancelled {
+            continue;
+        }
+        let windows = client.poll(q.query, 0)?;
+        if let Some((_, clusters)) = windows.last() {
+            newest.insert(q.query, clusters.clone());
+        }
+        parts.push(format!(
+            "Q{}: +{} windows ({} clusters)",
+            q.query,
+            windows.len(),
+            windows.iter().map(|(_, c)| c.len()).sum::<usize>()
+        ));
+    }
+    if parts.is_empty() {
+        parts.push("no live queries — submit a DETECT statement first".into());
+    }
+    Ok(format!("fed {n} tuples of {stream} → {}", parts.join(", ")))
+}
+
+/// `bind <name> [Qk]`: bind the largest cluster of a query's newest
+/// window on the server.
+fn bind(
+    client: &mut Client,
+    newest: &HashMap<u64, WindowOutput>,
+    words: &[&str],
+) -> Result<String, String> {
+    let name = words.get(1).ok_or("usage: bind <name> [Qk]")?;
+    let id = match words.get(2) {
+        Some(w) => parse_qid(Some(w)).ok_or("bad query id (expected Qk)")?,
+        None => *newest
+            .keys()
+            .min()
+            .ok_or("no query has emitted a window yet")?,
+    };
+    let output = newest
+        .get(&id)
+        .ok_or("that query has not emitted a window yet")?;
+    let cluster = output
+        .iter()
+        .max_by_key(|c| c.population())
+        .ok_or("newest window is empty")?;
+    client
+        .bind(name, &cluster.sgs)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    Ok(format!(
+        "{name} := largest cluster of Q{id}'s newest window ({} members, {} cells)",
+        cluster.population(),
+        cluster.sgs.volume()
+    ))
+}
+
+/// Accept `Q3` or `3`.
+fn parse_qid(word: Option<&str>) -> Option<u64> {
+    let w = word?;
+    let digits = w
+        .strip_prefix('Q')
+        .or_else(|| w.strip_prefix('q'))
+        .unwrap_or(w);
+    digits.parse().ok()
+}
+
+fn print_stats(queries: &[WireQuery]) {
+    if queries.is_empty() {
+        println!("no queries registered");
+        return;
+    }
+    println!(
+        "{:<5} {:<10} {:>9} {:>8} {:>9} {:>9} {:>12} {:>11}",
+        "id", "state", "points", "windows", "clusters", "archived", "bytes", "ms/window"
+    );
+    for q in queries {
+        let ms_per_window = if q.stats.windows == 0 {
+            0.0
+        } else {
+            q.stats.busy_nanos as f64 / 1e6 / q.stats.windows as f64
+        };
+        println!(
+            "{:<5} {:<10} {:>9} {:>8} {:>9} {:>9} {:>12} {:>11.2}",
+            format!("Q{}", q.query),
+            format!("{:?}", q.state),
+            q.stats.points,
+            q.stats.windows,
+            q.stats.clusters,
+            q.stats.archived,
+            q.stats.archive_bytes,
+            ms_per_window,
+        );
+    }
+}

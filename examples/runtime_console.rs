@@ -140,7 +140,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for report in rt.shutdown() {
         println!(
             "{}: {} points, {} windows, {} archived patterns",
-            report.id, report.stats.points, report.stats.windows, report.base.len()
+            report.id,
+            report.stats.points,
+            report.stats.windows,
+            report.base.len()
         );
     }
     Ok(())
@@ -202,9 +205,14 @@ fn bind(
     let name = words.get(1).ok_or("usage: bind <name> [Qk]")?;
     let id = match words.get(2) {
         Some(w) => parse_qid(Some(w)).ok_or("bad query id (expected Qk)")?,
-        None => *newest.keys().min().ok_or("no query has emitted a window yet")?,
+        None => *newest
+            .keys()
+            .min()
+            .ok_or("no query has emitted a window yet")?,
     };
-    let output = newest.get(&id).ok_or("that query has not emitted a window yet")?;
+    let output = newest
+        .get(&id)
+        .ok_or("that query has not emitted a window yet")?;
     let cluster = output
         .iter()
         .max_by_key(|c| c.population())
@@ -220,7 +228,10 @@ fn bind(
 /// Accept `Q3` or `3`.
 fn parse_qid(word: Option<&str>) -> Option<QueryId> {
     let w = word?;
-    let digits = w.strip_prefix('Q').or_else(|| w.strip_prefix('q')).unwrap_or(w);
+    let digits = w
+        .strip_prefix('Q')
+        .or_else(|| w.strip_prefix('q'))
+        .unwrap_or(w);
     digits.parse().ok().map(QueryId)
 }
 

@@ -49,8 +49,7 @@ fn main() -> Result<()> {
         pipeline.base().len()
     );
 
-    let Some(current) = pipeline.last_output().iter().max_by_key(|c| c.population())
-    else {
+    let Some(current) = pipeline.last_output().iter().max_by_key(|c| c.population()) else {
         println!("no pattern in the last window");
         return Ok(());
     };
@@ -68,7 +67,9 @@ fn main() -> Result<()> {
     println!(
         "\nmatching query (weights [0.15, 0.15, 0.40, 0.30]): {} candidates, \
          {} refined, {} similar historical patterns",
-        outcome.candidates, outcome.refined, outcome.matches.len()
+        outcome.candidates,
+        outcome.refined,
+        outcome.matches.len()
     );
     for m in outcome.matches.iter().take(5) {
         let a = pipeline.archived(m.id).unwrap();

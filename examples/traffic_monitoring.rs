@@ -25,10 +25,7 @@ fn main() -> Result<()> {
     let mut last_windows = Vec::new();
     for p in stream {
         for (window, clusters) in pipeline.push(p)? {
-            let congested: Vec<_> = clusters
-                .iter()
-                .filter(|c| c.population() >= 30)
-                .collect();
+            let congested: Vec<_> = clusters.iter().filter(|c| c.population() >= 30).collect();
             if last_windows.len() < 8 {
                 println!(
                     "window {window}: {} cluster(s), {} congestion-grade \
@@ -50,8 +47,7 @@ fn main() -> Result<()> {
 
     // A new congestion was just detected — has this area been congested
     // with a similar structure before? (position-sensitive: ps = 1)
-    let Some(current) = pipeline.last_output().iter().max_by_key(|c| c.population())
-    else {
+    let Some(current) = pipeline.last_output().iter().max_by_key(|c| c.population()) else {
         println!("no clusters in the last window");
         return Ok(());
     };
@@ -65,7 +61,9 @@ fn main() -> Result<()> {
     println!(
         "position-sensitive matching: {} overlapping candidates, {} refined, \
          {} historical congestion(s) similar",
-        outcome.candidates, outcome.refined, outcome.matches.len()
+        outcome.candidates,
+        outcome.refined,
+        outcome.matches.len()
     );
     for m in outcome.matches.iter().take(5) {
         let a = pipeline.archived(m.id).unwrap();

@@ -58,6 +58,9 @@
 //! | [`archive`] | pattern archiver + pattern base |
 //! | [`query`] | DETECT/MATCH query language (lexer, parser, AST) |
 //! | [`runtime`] | multi-query planner, registry, pool-multiplexed executor, `Runtime` session API |
+//! | [`wire`] | length-prefixed, versioned binary protocol of the network front-end |
+//! | [`client`] | blocking TCP client for a `streamsum-server` |
+//! | [`server`] | the TCP server multiplexing remote sessions onto one shared `Runtime` |
 //! | [`datagen`] | GMTI- and STT-like stream generators |
 //!
 //! ## Serving many queries at once
@@ -88,18 +91,21 @@
 //! ```
 
 pub use sgs_archive as archive;
+pub use sgs_client as client;
 pub use sgs_cluster as cluster;
 pub use sgs_core as core;
 pub use sgs_csgs as csgs;
 pub use sgs_datagen as datagen;
 pub use sgs_exec as exec;
 pub use sgs_index as index;
-pub use sgs_query as query;
 pub use sgs_matching as matching;
+pub use sgs_query as query;
 pub use sgs_runtime as runtime;
+pub use sgs_server as server;
 pub use sgs_stream as stream;
 pub use sgs_summarize as summarize;
 pub use sgs_viz as viz;
+pub use sgs_wire as wire;
 
 pub mod pipeline;
 
@@ -109,19 +115,23 @@ pub use pipeline::StreamPipeline;
 pub mod prelude {
     pub use crate::pipeline::StreamPipeline;
     pub use sgs_archive::{ArchivePolicy, MatchOutcome, MatchResult, PatternBase, PatternId};
+    pub use sgs_client::{Client, ClientError, Submitted};
     pub use sgs_cluster::{cluster_snapshot, CanonicalClustering, ExtraN, NaiveClusterer};
     pub use sgs_core::{
-        ClusterQuery, Error, Point, PointId, PoolThreads, Result, ShardCount, WindowId,
-        WindowSpec,
+        ClusterQuery, Error, Point, PointId, PoolThreads, Result, ShardCount, WindowId, WindowSpec,
     };
     pub use sgs_csgs::{CSgs, ClusterTracker, ExtractedCluster, TrackId, WindowOutput};
     pub use sgs_datagen::{generate_gmti, generate_stt, GmtiConfig, SttConfig};
     pub use sgs_matching::MatchConfig;
-    pub use sgs_query::{parse_any, parse_detect, parse_match, DetectQuery, MatchQueryAst, QueryAst};
-    pub use sgs_runtime::{
-        DetectPlan, MatchPlan, OutputPolicy, QueryId, QueryPlan, QueryReport, QueryState,
-        QueryStats, Runtime, RuntimeConfig, RuntimeError, Submission,
+    pub use sgs_query::{
+        parse_any, parse_detect, parse_match, DetectQuery, MatchQueryAst, QueryAst,
     };
+    pub use sgs_runtime::{
+        DetectPlan, MatchPlan, OutputPolicy, OwnerId, PollBatch, QueryId, QueryPlan, QueryReport,
+        QueryState, QueryStats, Runtime, RuntimeConfig, RuntimeError, Submission,
+    };
+    pub use sgs_server::{Server, ServerConfig, ServerHandle};
     pub use sgs_stream::{replay, WindowConsumer, WindowEngine};
     pub use sgs_summarize::{Crd, MemberSet, Rsp, Sgs, SkPs};
+    pub use sgs_wire::{Frame, WireQuery, WireQueryState, WireStats, WIRE_VERSION};
 }

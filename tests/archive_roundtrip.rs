@@ -30,8 +30,7 @@ fn study_summaries(n: usize) -> Vec<Sgs> {
 fn archiver_levels_respect_budget_end_to_end() {
     let summaries = study_summaries(30);
     let budget = 200usize;
-    let mut archiver =
-        PatternArchiver::new(ArchivePolicy::All, 0).with_budget(3, budget, 3);
+    let mut archiver = PatternArchiver::new(ArchivePolicy::All, 0).with_budget(3, budget, 3);
     archiver.observe(WindowId(0), summaries.iter());
     let base = archiver.into_base();
     assert_eq!(base.len(), 30);
@@ -71,7 +70,11 @@ fn coarse_archive_still_matches_translated_twin() {
     let query = coarsen(&summaries[4], 3);
     let outcome = base.match_query(&query, &MatchConfig::equal_weights(false, 0.2));
     assert!(!outcome.matches.is_empty());
-    assert!(outcome.matches[0].distance < 0.05, "d={}", outcome.matches[0].distance);
+    assert!(
+        outcome.matches[0].distance < 0.05,
+        "d={}",
+        outcome.matches[0].distance
+    );
 }
 
 #[test]

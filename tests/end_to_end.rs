@@ -152,8 +152,7 @@ fn edge_cells_carry_no_connections_in_output() {
 #[test]
 fn sampling_policy_archives_fraction() {
     let query = ClusterQuery::new(0.5, 6, 2, WindowSpec::count(2000, 500).unwrap()).unwrap();
-    let mut pipeline =
-        StreamPipeline::new(query, ArchivePolicy::Sample(0.25), 9).unwrap();
+    let mut pipeline = StreamPipeline::new(query, ArchivePolicy::Sample(0.25), 9).unwrap();
     let stream = generate_gmti(&GmtiConfig {
         n_records: 10_000,
         ..GmtiConfig::default()

@@ -5,8 +5,8 @@
 //! semantics must produce identical clusters. We require per-window
 //! canonical equality of naive DBSCAN, Extra-N, and C-SGS.
 
-use streamsum::prelude::*;
 use streamsum::cluster::FullCluster;
+use streamsum::prelude::*;
 
 fn canonical_csgs(out: &WindowOutput) -> CanonicalClustering {
     CanonicalClustering::from(
@@ -28,15 +28,14 @@ fn check_all(points: Vec<Point>, query: ClusterQuery) -> usize {
     let naive_out = replay(spec, points.iter().cloned(), dim, &mut naive).unwrap();
     let extra_out = replay(spec, points.iter().cloned(), dim, &mut extra).unwrap();
     let csgs_out = replay(spec, points, dim, &mut csgs).unwrap();
-    assert!(!naive_out.is_empty(), "stream too short to complete a window");
+    assert!(
+        !naive_out.is_empty(),
+        "stream too short to complete a window"
+    );
     assert_eq!(naive_out.len(), extra_out.len());
     assert_eq!(naive_out.len(), csgs_out.len());
     let mut nonempty = 0;
-    for (((w, a), (_, b)), (_, c)) in naive_out
-        .iter()
-        .zip(extra_out.iter())
-        .zip(csgs_out.iter())
-    {
+    for (((w, a), (_, b)), (_, c)) in naive_out.iter().zip(extra_out.iter()).zip(csgs_out.iter()) {
         let ca = CanonicalClustering::from(a.clone());
         let cb = CanonicalClustering::from(b.clone());
         let cc = canonical_csgs(c);

@@ -9,7 +9,13 @@ fn dimension_mismatch_mid_stream_is_rejected_and_recoverable() {
     let mut pipeline = StreamPipeline::new(query, ArchivePolicy::All, 0).unwrap();
     pipeline.push(Point::new(vec![0.0, 0.0], 0)).unwrap();
     let err = pipeline.push(Point::new(vec![0.0], 1)).unwrap_err();
-    assert!(matches!(err, Error::DimensionMismatch { expected: 2, got: 1 }));
+    assert!(matches!(
+        err,
+        Error::DimensionMismatch {
+            expected: 2,
+            got: 1
+        }
+    ));
     // The pipeline keeps working after the rejected point.
     for i in 2..30u64 {
         pipeline
@@ -25,7 +31,10 @@ fn out_of_order_timestamps_rejected_for_time_windows() {
     let mut pipeline = StreamPipeline::new(query, ArchivePolicy::All, 0).unwrap();
     pipeline.push(Point::new(vec![0.0, 0.0], 10)).unwrap();
     let err = pipeline.push(Point::new(vec![0.0, 0.0], 5)).unwrap_err();
-    assert!(matches!(err, Error::OutOfOrderTimestamp { last: 10, got: 5 }));
+    assert!(matches!(
+        err,
+        Error::OutOfOrderTimestamp { last: 10, got: 5 }
+    ));
 }
 
 #[test]
@@ -83,7 +92,12 @@ fn huge_theta_r_gives_one_cluster() {
     let query = ClusterQuery::new(1e6, 3, 2, WindowSpec::count(16, 16).unwrap()).unwrap();
     let mut csgs = CSgs::new(query);
     let mut pts: Vec<Point> = (0..16)
-        .map(|i| Point::new(vec![(i % 4) as f64 * 100.0, (i / 4) as f64 * 100.0], i as u64))
+        .map(|i| {
+            Point::new(
+                vec![(i % 4) as f64 * 100.0, (i / 4) as f64 * 100.0],
+                i as u64,
+            )
+        })
         .collect();
     pts.push(Point::new(vec![0.0, 0.0], 16)); // completes window 0
     let out = replay(WindowSpec::count(16, 16).unwrap(), pts, 2, &mut csgs).unwrap();
@@ -100,9 +114,12 @@ fn negative_coordinates_work_end_to_end() {
         let y = -20.0 + (i % 7) as f64 * 0.1;
         pipeline.push(Point::new(vec![x, y], i)).unwrap();
     }
-    assert!(pipeline.base().len() > 0);
+    assert!(!pipeline.base().is_empty());
     let recent = &pipeline.last_output()[0].sgs;
-    assert!(recent.cells.iter().all(|c| c.coord.0.iter().all(|&v| v < 0)));
+    assert!(recent
+        .cells
+        .iter()
+        .all(|c| c.coord.0.iter().all(|&v| v < 0)));
     let outcome = pipeline
         .base()
         .match_query(recent, &MatchConfig::equal_weights(true, 0.2));
@@ -125,10 +142,7 @@ fn matching_empty_archive_finds_nothing() {
     use streamsum::core::GridGeometry;
     let base = PatternBase::new();
     let cores: Vec<Box<[f64]>> = (0..10).map(|i| vec![i as f64 * 0.3, 0.0].into()).collect();
-    let sgs = Sgs::from_members(
-        &MemberSet::new(cores, vec![]),
-        &GridGeometry::basic(2, 1.0),
-    );
+    let sgs = Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0));
     let out = base.match_query(&sgs, &MatchConfig::equal_weights(false, 0.5));
     assert!(out.matches.is_empty());
     assert_eq!(out.candidates, 0);

@@ -22,10 +22,8 @@ fn archive_from_stream() -> (StreamPipeline, Vec<MemberSet>) {
     let mut coords: std::collections::HashMap<PointId, Box<[f64]>> = Default::default();
     let mut members_per_cluster = Vec::new();
     let mut outs = Vec::new();
-    let mut next = 0u32;
-    for p in stream {
-        coords.insert(PointId(next), p.coords.clone());
-        next += 1;
+    for (next, p) in stream.into_iter().enumerate() {
+        coords.insert(PointId(next as u32), p.coords.clone());
         pipeline.push(p.clone()).unwrap();
         engine.push(p, &mut csgs, &mut outs).unwrap();
         for (_, clusters) in outs.drain(..) {

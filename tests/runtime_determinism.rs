@@ -58,14 +58,17 @@ fn concurrent_queries_archive_byte_identically_to_solo_runs() {
 
     for (id, solo) in ids.into_iter().zip(&solo_bases) {
         let report = rt.cancel(id).unwrap();
-        assert!(solo.len() > 0, "reference run must archive something");
+        assert!(!solo.is_empty(), "reference run must archive something");
         assert_eq!(
             report.base.len(),
             solo.len(),
             "{id}: archived pattern count differs from solo run"
         );
         for (concurrent, reference) in report.base.iter().zip(solo.iter()) {
-            assert_eq!(concurrent.window, reference.window, "{id}: window id differs");
+            assert_eq!(
+                concurrent.window, reference.window,
+                "{id}: window id differs"
+            );
             assert_eq!(
                 packed::encode(&concurrent.sgs),
                 packed::encode(&reference.sgs),

@@ -63,7 +63,7 @@ fn thirty_two_queries_on_two_workers_archive_byte_identically() {
         solo_bases.push(pipeline.into_base());
     }
     assert!(
-        solo_bases.iter().any(|b| b.len() > 0),
+        solo_bases.iter().any(|b| !b.is_empty()),
         "workload must archive something"
     );
 
@@ -119,8 +119,7 @@ fn pause_resume_under_load_keeps_exact_gap_semantics() {
     let QueryPlan::Detect(plan) = rt.plan(text).unwrap() else {
         panic!("expected detect plan");
     };
-    let mut solo =
-        StreamPipeline::new(plan.query.clone(), plan.policy.clone(), plan.seed).unwrap();
+    let mut solo = StreamPipeline::new(plan.query.clone(), plan.policy.clone(), plan.seed).unwrap();
     solo.push_batch(stream[..a].iter().cloned()).unwrap();
     solo.push_batch(stream[b..].iter().cloned()).unwrap();
     let solo_base = solo.into_base();
@@ -155,7 +154,10 @@ fn pause_resume_under_load_keeps_exact_gap_semantics() {
     rt.quiesce().unwrap();
 
     // The paused query saw exactly the gapped stream…
-    assert_eq!(rt.stats(id).unwrap().points, (stream.len() - (b - a)) as u64);
+    assert_eq!(
+        rt.stats(id).unwrap().points,
+        (stream.len() - (b - a)) as u64
+    );
     let report = rt.cancel(id).unwrap();
     assert_eq!(report.base.len(), solo_base.len());
     for (concurrent, reference) in report.base.iter().zip(solo_base.iter()) {

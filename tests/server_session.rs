@@ -1,0 +1,230 @@
+//! In-process loopback tests of the network front-end: a real
+//! `sgs-server` on a loopback TCP port, driven by real `sgs-client`
+//! sessions — proving the wire path preserves the runtime's isolation
+//! and determinism guarantees (`DESIGN.md` §9).
+
+use std::collections::BTreeSet;
+
+use streamsum::prelude::*;
+use streamsum::wire::WireWindow;
+
+const DETECT: &str = "DETECT DensityBasedClusters f+s FROM gmti \
+                      USING theta_range = 0.6 AND theta_cnt = 6 \
+                      IN Windows WITH win = 1000 AND slide = 250";
+
+fn gmti(n: usize) -> Vec<Point> {
+    generate_gmti(&GmtiConfig {
+        n_records: n,
+        ..GmtiConfig::default()
+    })
+}
+
+/// Start an in-process server on a loopback port, returning its address
+/// and a shutdown handle (the accept loop runs on a background thread).
+fn start_server() -> (std::net::SocketAddr, ServerHandle) {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Canonical bytes of a polled window set (one `Windows` frame), for
+/// byte-identity comparisons across sessions and against solo runs.
+fn window_bytes(windows: &[(WindowId, WindowOutput)]) -> Vec<u8> {
+    Frame::Windows {
+        query: 0,
+        windows: windows
+            .iter()
+            .map(|(window, clusters)| WireWindow {
+                window: *window,
+                clusters: clusters.clone(),
+            })
+            .collect(),
+    }
+    .encode()
+}
+
+#[test]
+fn concurrent_sessions_are_isolated_and_byte_identical_to_a_solo_run() {
+    let stream = gmti(4000);
+
+    // Ground truth: a solo in-process Runtime over the same plan + data.
+    let expected = {
+        let mut rt = Runtime::new();
+        rt.register_stream("gmti", 2);
+        let Submission::Continuous(id) = rt.submit(DETECT).unwrap() else {
+            panic!("expected a continuous registration");
+        };
+        rt.push_batch(&stream).unwrap();
+        rt.quiesce().unwrap();
+        let windows = rt.poll(id).unwrap();
+        assert!(!windows.is_empty());
+        window_bytes(&windows)
+    };
+
+    let (addr, handle) = start_server();
+    // Two concurrent sessions, each replaying the same stream into its
+    // own query namespace.
+    let outcomes: Vec<(u64, Vec<u8>, u64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let stream = &stream;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let q = client.detect(DETECT).unwrap();
+                    client.feed("gmti", stream).unwrap();
+                    client.quiesce().unwrap();
+                    let windows = client.poll(q, 0).unwrap();
+                    let stats = client.stats(q).unwrap();
+                    assert_eq!(stats.stats.points, stream.len() as u64);
+                    assert_eq!(stats.stats.windows, windows.len() as u64);
+                    // The session sees exactly its own registry.
+                    let listing = client.queries().unwrap();
+                    assert_eq!(listing.len(), 1);
+                    assert_eq!(listing[0].query, q);
+                    let report = client.cancel(q).unwrap();
+                    assert_eq!(report.points, stream.len() as u64);
+                    client.goodbye().unwrap();
+                    (q, window_bytes(&windows), stats.stats.windows)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    handle.shutdown();
+
+    // Isolated namespaces: both sessions own a query named Q0.
+    let ids: BTreeSet<u64> = outcomes.iter().map(|(q, _, _)| *q).collect();
+    assert_eq!(ids, BTreeSet::from([0]), "each session numbers from Q0");
+    // Determinism across the wire: every session's windows are
+    // byte-identical to the solo in-process run.
+    for (_, bytes, windows) in &outcomes {
+        assert!(*windows > 0);
+        assert_eq!(
+            bytes, &expected,
+            "remote windows diverged from the solo run"
+        );
+    }
+}
+
+#[test]
+fn cross_session_handles_do_not_resolve_and_bad_requests_fail_cleanly() {
+    let (addr, handle) = start_server();
+    let mut alice = Client::connect(addr).unwrap();
+    let mut bob = Client::connect(addr).unwrap();
+
+    let qa = alice.detect(DETECT).unwrap();
+    assert_eq!(qa, 0);
+    // Bob never registered anything: Alice's Q0 does not resolve in his
+    // session, so he can neither read nor cancel her query.
+    for result in [bob.poll(0, 0).map(|_| ()), bob.cancel(0).map(|_| ())] {
+        match result {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, streamsum::wire::ErrorCode::UnknownQuery)
+            }
+            other => panic!("expected UnknownQuery, got {other:?}"),
+        }
+    }
+    assert!(bob.queries().unwrap().is_empty());
+
+    // Unknown stream and dimension mismatches are rejected with their
+    // own codes, and the session stays usable afterwards.
+    match alice.feed("nope", &gmti(10)) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, streamsum::wire::ErrorCode::UnknownStream)
+        }
+        other => panic!("expected UnknownStream, got {other:?}"),
+    }
+    let bad = vec![Point::new(vec![0.0, 0.0, 0.0], 0)];
+    match alice.feed("gmti", &bad) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, streamsum::wire::ErrorCode::Dimension)
+        }
+        other => panic!("expected Dimension, got {other:?}"),
+    }
+    // A bad statement reports a Plan error without killing the session.
+    match alice.submit("DETECT gibberish") {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, streamsum::wire::ErrorCode::Plan)
+        }
+        other => panic!("expected Plan error, got {other:?}"),
+    }
+    alice.feed("gmti", &gmti(100)).unwrap();
+    alice.quiesce().unwrap();
+    assert_eq!(alice.stats(qa).unwrap().stats.points, 100);
+
+    alice.goodbye().unwrap();
+    bob.goodbye().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn matching_statements_run_against_the_shared_history_over_the_wire() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(addr).unwrap();
+    let q = client.detect(DETECT).unwrap();
+    client.feed("gmti", &gmti(5000)).unwrap();
+    client.quiesce().unwrap();
+    let windows = client.poll(q, 0).unwrap();
+    let cluster = windows
+        .iter()
+        .rev()
+        .flat_map(|(_, clusters)| clusters.iter())
+        .max_by_key(|c| c.population())
+        .expect("some cluster extracted")
+        .sgs
+        .clone();
+    client.bind("Cnow", &cluster).unwrap();
+    let Submitted::Matches {
+        candidates,
+        matches,
+        ..
+    } = client
+        .submit(
+            "GIVEN DensityBasedClusters Cnow \
+             SELECT DensityBasedClusters Cpast FROM History \
+             WHERE Distance(Cnow, Cpast) <= 0.25",
+        )
+        .unwrap()
+    else {
+        panic!("expected immediate match execution");
+    };
+    assert!(candidates > 0);
+    assert!(
+        !matches.is_empty(),
+        "the archived twin of the bound cluster must match"
+    );
+    // An unbound GIVEN name is its own error class.
+    match client.submit(
+        "GIVEN DensityBasedClusters Ghost \
+         SELECT DensityBasedClusters Cpast FROM History \
+         WHERE Distance(Ghost, Cpast) <= 0.25",
+    ) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, streamsum::wire::ErrorCode::UnknownBinding)
+        }
+        other => panic!("expected UnknownBinding, got {other:?}"),
+    }
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn poll_max_pages_through_buffered_windows() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(addr).unwrap();
+    let q = client.detect(DETECT).unwrap();
+    client.feed("gmti", &gmti(3000)).unwrap();
+    client.quiesce().unwrap();
+    let total = client.stats(q).unwrap().stats.windows;
+    assert!(total > 2);
+    let first = client.poll(q, 2).unwrap();
+    assert_eq!(first.len(), 2);
+    let rest = client.poll(q, 0).unwrap();
+    assert_eq!(rest.len() as u64, total - 2);
+    let ids: Vec<u64> = first.iter().chain(rest.iter()).map(|(w, _)| w.0).collect();
+    assert_eq!(ids, (0..total).collect::<Vec<_>>(), "oldest first, no gaps");
+    client.goodbye().unwrap();
+    handle.shutdown();
+}

@@ -70,9 +70,9 @@ fn births_match_first_appearances() {
             let new = seen.insert(*t);
             if new {
                 // First appearance must be a birth OR a split fragment.
-                let is_fragment = events.iter().any(|e| {
-                    matches!(e, Event::Split { fragments, .. } if fragments.contains(t))
-                });
+                let is_fragment = events
+                    .iter()
+                    .any(|e| matches!(e, Event::Split { fragments, .. } if fragments.contains(t)));
                 assert!(
                     born.contains(t) || is_fragment,
                     "{w}: track {t:?} appeared without a Born/Split event"

@@ -28,12 +28,16 @@ impl<T> RwLock<T> {
 
     /// Acquire a shared read guard, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Acquire an exclusive write guard, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Consume the lock, returning the inner value.

@@ -40,7 +40,11 @@ pub mod prelude {
 /// Run `cases` deterministic cases of a closure taking a fresh [`test_runner::TestRng`].
 /// Used by the [`proptest!`] expansion; not part of the public mirror API.
 #[doc(hidden)]
-pub fn run_cases(test_name: &str, cases: u64, mut case: impl FnMut(&mut test_runner::TestRng, u64)) {
+pub fn run_cases(
+    test_name: &str,
+    cases: u64,
+    mut case: impl FnMut(&mut test_runner::TestRng, u64),
+) {
     for i in 0..cases {
         let mut rng = test_runner::TestRng::for_case(test_name, i);
         case(&mut rng, i);
