@@ -32,7 +32,8 @@ import sys
 
 # Fields that define "equal scale": a mismatch makes a report
 # incomparable (warn), rather than a regression (fail).
-SCALE_FIELDS = ("tuples", "win", "slide", "dataset", "pool_threads", "available_parallelism")
+SCALE_FIELDS = ("tuples", "win", "slide", "dataset", "pool_threads", "available_parallelism",
+                "patterns_base")
 
 
 def is_rate_field(name):
@@ -57,7 +58,7 @@ def load_reports(directory):
 # Row fields that define a *configuration* (what was run), as opposed to
 # results (what came out — windows, clusters, ... — which legitimately
 # change with the code under test and must not break row matching).
-CONFIG_FIELDS = ("queries", "shards", "workers")
+CONFIG_FIELDS = ("queries", "shards", "workers", "mode", "patterns")
 
 
 def row_key(row, index):

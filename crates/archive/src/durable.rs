@@ -1,0 +1,559 @@
+//! The durable tiered pattern base (`DESIGN.md` §10).
+//!
+//! [`DurablePatternBase`] wraps the in-memory [`PatternBase`] with a
+//! write-ahead log, periodic page-store checkpoints, and retention that
+//! **coarsens instead of dropping** (§6.1): when a byte budget or window
+//! horizon is exceeded, the oldest patterns are demoted one
+//! multi-resolution level at a time, so MATCH keeps answering over the
+//! full history at degraded granularity.
+//!
+//! The recovery invariant — *replay ⇒ byte-identical* — rests on three
+//! rules:
+//!
+//! 1. every mutation is a WAL record fsynced **before** it is applied in
+//!    memory (an insert logs the pattern's packed bytes; a retention
+//!    demotion logs the pattern's index);
+//! 2. the in-memory base stores the *canonical* form of every pattern —
+//!    `packed::decode(packed::encode(sgs))` — which is exactly what WAL
+//!    replay reconstructs, so live state and replayed state coarsen
+//!    identically;
+//! 3. a checkpoint atomically replaces the store file (whose header
+//!    records `applied_seq`) before truncating the log, and recovery
+//!    skips WAL records older than `applied_seq` — a crash between the
+//!    two steps merely replays records that are already in the snapshot,
+//!    and the skip makes that a no-op.
+
+use std::path::Path;
+
+use sgs_core::{ArchiveRetention, ReplacementPolicy, WindowId};
+use sgs_summarize::{multires, packed, Sgs};
+
+use crate::io::{ArchiveIo, DiskIo};
+use crate::pager::{self, BufferPool, PagedReader, PoolStats};
+use crate::pattern_base::{PatternBase, PatternId};
+use crate::persist::{self, PersistError};
+use crate::wal::{self, WalRecord};
+
+/// Store file name inside the archive directory.
+pub const STORE_FILE: &str = "base.store";
+/// WAL file name inside the archive directory.
+pub const WAL_FILE: &str = "base.wal";
+
+/// Configuration of a durable pattern base.
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// What happens as the archive grows ([`ArchiveRetention`]).
+    pub retention: ArchiveRetention,
+    /// Buffer-pool replacement policy for checkpoint reads.
+    pub replacement: ReplacementPolicy,
+    /// Buffer-pool byte budget (bounds the checkpoint-read working set).
+    pub pool_budget_bytes: usize,
+    /// Checkpoint once the WAL exceeds this many bytes.
+    pub checkpoint_wal_bytes: u64,
+    /// Multi-resolution compression rate θ used when retention coarsens
+    /// (θ ≥ 2, §6.1).
+    pub theta: u32,
+    /// Coarsest level retention may demote a pattern to.
+    pub max_level: u8,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            retention: ArchiveRetention::Unbounded,
+            replacement: ReplacementPolicy::Sieve,
+            pool_budget_bytes: 4 << 20,
+            checkpoint_wal_bytes: 1 << 20,
+            theta: 2,
+            max_level: 4,
+        }
+    }
+}
+
+struct Storage {
+    io: Box<dyn ArchiveIo>,
+    cfg: DurableConfig,
+    pool: BufferPool,
+    /// Sequence number the next WAL record will carry.
+    next_seq: u64,
+    /// Current WAL length in bytes (checkpoint trigger).
+    wal_len: u64,
+}
+
+/// A pattern base whose mutations survive process crashes.
+///
+/// Dereferences to [`PatternBase`] for all read paths (`len`, `get`,
+/// `match_query`, …); mutation goes through [`insert`](Self::insert),
+/// which write-ahead-logs before touching memory. With no storage
+/// attached ([`memory`](Self::memory)) it behaves exactly like the plain
+/// in-memory base.
+pub struct DurablePatternBase {
+    base: PatternBase,
+    storage: Option<Storage>,
+}
+
+impl std::ops::Deref for DurablePatternBase {
+    type Target = PatternBase;
+
+    fn deref(&self) -> &PatternBase {
+        &self.base
+    }
+}
+
+/// The canonical archived form: what packing keeps (face connections,
+/// sorted cells). Live inserts store this so WAL replay — which can only
+/// reconstruct from packed bytes — produces bit-for-bit the same base.
+fn canonical(sgs: &Sgs) -> Option<(bytes::Bytes, Sgs)> {
+    sgs.mbr()?;
+    let packed = packed::encode(sgs);
+    let canon = packed::decode(packed.clone())?;
+    Some((packed, canon))
+}
+
+fn build_base(entries: &[(Sgs, WindowId)]) -> PatternBase {
+    let mut base = PatternBase::new();
+    for (sgs, window) in entries {
+        base.insert(sgs.clone(), *window);
+    }
+    base
+}
+
+impl Default for DurablePatternBase {
+    fn default() -> Self {
+        Self::memory()
+    }
+}
+
+impl DurablePatternBase {
+    /// Memory-only base: no WAL, no checkpoints, no retention — the
+    /// pre-durability behavior, byte-for-byte.
+    pub fn memory() -> DurablePatternBase {
+        DurablePatternBase {
+            base: PatternBase::new(),
+            storage: None,
+        }
+    }
+
+    /// Open (or create) a durable base in directory `dir`, recovering
+    /// whatever a previous process made durable.
+    pub fn open(dir: impl AsRef<Path>, cfg: DurableConfig) -> Result<Self, PersistError> {
+        let io = DiskIo::open(dir.as_ref())?;
+        Self::open_with(Box::new(io), cfg)
+    }
+
+    /// Open over an explicit [`ArchiveIo`] — the seam the crash-injection
+    /// tests use (`FaultFs`).
+    pub fn open_with(mut io: Box<dyn ArchiveIo>, cfg: DurableConfig) -> Result<Self, PersistError> {
+        assert!(cfg.theta >= 2, "compression rate must be at least 2");
+        let mut pool = BufferPool::new(cfg.replacement, cfg.pool_budget_bytes);
+
+        // 1. The last checkpoint, if any.
+        let header = pager::read_header(io.as_mut(), STORE_FILE)?;
+        let (mut entries, applied_seq) = match header {
+            Some(h) => {
+                let reader = PagedReader::new(io.as_mut(), STORE_FILE, &mut pool, h);
+                let base = persist::load_from(reader)?;
+                let entries: Vec<(Sgs, WindowId)> =
+                    base.iter().map(|p| (p.sgs.clone(), p.window)).collect();
+                (entries, h.applied_seq)
+            }
+            None => (Vec::new(), 0),
+        };
+
+        // 2. Replay the WAL tail, discarding torn bytes.
+        let wal_bytes = io.read_file(WAL_FILE)?.unwrap_or_default();
+        let replayed = wal::replay(&wal_bytes);
+        if replayed.durable_len < wal_bytes.len() as u64 {
+            io.truncate(WAL_FILE, replayed.durable_len)?;
+        }
+        let mut next_seq = applied_seq;
+        for (seq, record) in replayed.records {
+            if seq < applied_seq {
+                continue; // already in the checkpoint
+            }
+            match record {
+                WalRecord::Insert { window, packed } => {
+                    let sgs = packed::decode(packed).ok_or_else(|| {
+                        PersistError::Corrupt(format!("WAL insert {seq} undecodable"))
+                    })?;
+                    entries.push((sgs, window));
+                }
+                WalRecord::Coarsen { index } => {
+                    let (sgs, _) = entries.get_mut(index as usize).ok_or_else(|| {
+                        PersistError::Corrupt(format!(
+                            "WAL coarsen {seq} targets missing pattern {index}"
+                        ))
+                    })?;
+                    let coarse = multires::coarsen(sgs, cfg.theta);
+                    let (_, canon) = canonical(&coarse).ok_or_else(|| {
+                        PersistError::Corrupt(format!("WAL coarsen {seq} emptied pattern {index}"))
+                    })?;
+                    *sgs = canon;
+                }
+            }
+            next_seq = seq + 1;
+        }
+
+        Ok(DurablePatternBase {
+            base: build_base(&entries),
+            storage: Some(Storage {
+                io,
+                cfg,
+                pool,
+                next_seq,
+                wal_len: replayed.durable_len,
+            }),
+        })
+    }
+
+    /// Whether this base is backed by storage.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Buffer-pool counters (durable mode only).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.storage.as_ref().map(|s| s.pool.stats)
+    }
+
+    /// Current WAL length in bytes (durable mode only).
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.storage.as_ref().map(|s| s.wal_len)
+    }
+
+    /// Archive a summary, surviving a crash at any point: on `Ok`, the
+    /// insert is durable; on `Err`, recovery yields either the previous
+    /// state or — if the crash hit after the WAL commit — this state.
+    /// Empty summaries return `Ok(None)` without logging.
+    pub fn try_insert(
+        &mut self,
+        sgs: Sgs,
+        window: WindowId,
+    ) -> Result<Option<PatternId>, PersistError> {
+        let Some(storage) = &mut self.storage else {
+            return Ok(self.base.insert(sgs, window));
+        };
+        let Some((packed, canon)) = canonical(&sgs) else {
+            return Ok(None);
+        };
+
+        // WAL first, memory second.
+        let frame = wal::encode_frame(storage.next_seq, &WalRecord::Insert { window, packed });
+        storage.io.append(WAL_FILE, &frame)?;
+        storage.io.sync(WAL_FILE)?;
+        storage.next_seq += 1;
+        storage.wal_len += frame.len() as u64;
+
+        let id = self.base.insert(canon, window);
+        self.enforce_retention()?;
+        self.maybe_checkpoint()?;
+        Ok(id)
+    }
+
+    /// Infallible [`try_insert`](Self::try_insert) for the runtime's
+    /// archiving hot path.
+    ///
+    /// # Panics
+    /// Panics if the underlying storage fails — a durable archive that
+    /// cannot log can no longer honor its recovery contract.
+    pub fn insert(&mut self, sgs: Sgs, window: WindowId) -> Option<PatternId> {
+        self.try_insert(sgs, window)
+            .expect("durable pattern base: WAL write failed")
+    }
+
+    /// Force a checkpoint: snapshot the base into the store file
+    /// atomically, then truncate the WAL.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        let Some(storage) = &mut self.storage else {
+            return Ok(());
+        };
+        let mut payload = Vec::new();
+        persist::save_to(&self.base, &mut payload)?;
+        let image = pager::encode_store(storage.next_seq, &payload);
+        storage.io.write_file_atomic(STORE_FILE, &image)?;
+        storage.io.truncate(WAL_FILE, 0)?;
+        storage.wal_len = 0;
+        storage.pool.clear();
+        Ok(())
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), PersistError> {
+        let due = self
+            .storage
+            .as_ref()
+            .is_some_and(|s| s.wal_len >= s.cfg.checkpoint_wal_bytes);
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Apply the retention policy by coarsening — never dropping —
+    /// patterns, oldest first, one level per pass, logging each demotion
+    /// to the WAL before rebuilding the in-memory base.
+    fn enforce_retention(&mut self) -> Result<(), PersistError> {
+        let Some(storage) = &mut self.storage else {
+            return Ok(());
+        };
+        let theta = storage.cfg.theta;
+        let max_level = storage.cfg.max_level;
+
+        // Decide the demotions on a scratch copy of the entries.
+        let mut entries: Vec<(Sgs, WindowId)> = self
+            .base
+            .iter()
+            .map(|p| (p.sgs.clone(), p.window))
+            .collect();
+        let mut demoted: Vec<u64> = Vec::new();
+        match storage.cfg.retention {
+            ArchiveRetention::Unbounded => {}
+            ArchiveRetention::ByteBudget(budget) => {
+                let mut total: usize = entries.iter().map(|(s, _)| packed::archived_bytes(s)).sum();
+                // Oldest-first passes; each pass demotes each pattern at
+                // most one level, so resolution degrades evenly from the
+                // old end instead of one pattern collapsing to dust.
+                'outer: while total > budget {
+                    let mut progressed = false;
+                    for (i, (sgs, _)) in entries.iter_mut().enumerate() {
+                        if total <= budget {
+                            break 'outer;
+                        }
+                        if sgs.level >= max_level {
+                            continue;
+                        }
+                        let before = packed::archived_bytes(sgs);
+                        let Some((_, canon)) = canonical(&multires::coarsen(sgs, theta)) else {
+                            continue;
+                        };
+                        total = total - before + packed::archived_bytes(&canon);
+                        *sgs = canon;
+                        demoted.push(i as u64);
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break; // everything is at max_level already
+                    }
+                }
+            }
+            ArchiveRetention::WindowHorizon(horizon) => {
+                let newest = entries.iter().map(|(_, w)| w.0).max().unwrap_or(0);
+                for (i, (sgs, window)) in entries.iter_mut().enumerate() {
+                    if newest.saturating_sub(window.0) <= horizon || sgs.level >= max_level {
+                        continue;
+                    }
+                    if let Some((_, canon)) = canonical(&multires::coarsen(sgs, theta)) {
+                        *sgs = canon;
+                        demoted.push(i as u64);
+                    }
+                }
+            }
+        }
+        if demoted.is_empty() {
+            return Ok(());
+        }
+
+        // Log the whole demotion batch, commit, then apply in memory.
+        let mut batch = Vec::new();
+        for &index in &demoted {
+            batch.extend_from_slice(&wal::encode_frame(
+                storage.next_seq,
+                &WalRecord::Coarsen { index },
+            ));
+            storage.next_seq += 1;
+        }
+        storage.io.append(WAL_FILE, &batch)?;
+        storage.io.sync(WAL_FILE)?;
+        storage.wal_len += batch.len() as u64;
+        self.base = build_base(&entries);
+        Ok(())
+    }
+
+    /// The base's persist-format byte image — the oracle the recovery
+    /// tests compare: two bases are equivalent iff these bytes match.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        persist::save_to(&self.base, &mut buf).expect("Vec write cannot fail");
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::FaultFs;
+    use sgs_core::GridGeometry;
+    use sgs_summarize::MemberSet;
+
+    fn blob(x0: f64, n: usize) -> Sgs {
+        let cores: Vec<Box<[f64]>> = (0..n)
+            .map(|i| {
+                vec![
+                    x0 + 0.05 + (i % 6) as f64 * 0.3,
+                    0.05 + (i / 6) as f64 * 0.3,
+                ]
+                .into()
+            })
+            .collect();
+        Sgs::from_members(&MemberSet::new(cores, vec![]), &GridGeometry::basic(2, 1.0))
+    }
+
+    fn tiny_checkpoint_cfg() -> DurableConfig {
+        DurableConfig {
+            checkpoint_wal_bytes: 512,
+            ..DurableConfig::default()
+        }
+    }
+
+    #[test]
+    fn memory_mode_matches_plain_base() {
+        let mut durable = DurablePatternBase::memory();
+        let mut plain = PatternBase::new();
+        for k in 0..6 {
+            let sgs = blob(k as f64 * 9.0, 18 + k);
+            assert_eq!(
+                durable.insert(sgs.clone(), WindowId(k as u64)),
+                plain.insert(sgs, WindowId(k as u64))
+            );
+        }
+        assert!(!durable.is_durable());
+        assert_eq!(durable.len(), plain.len());
+        let mut plain_bytes = Vec::new();
+        persist::save_to(&plain, &mut plain_bytes).unwrap();
+        assert_eq!(durable.snapshot_bytes(), plain_bytes);
+    }
+
+    #[test]
+    fn reopen_recovers_wal_only_state() {
+        let fs = FaultFs::new();
+        let cfg = DurableConfig::default();
+        let mut a = DurablePatternBase::open_with(Box::new(fs.clone()), cfg.clone()).unwrap();
+        for k in 0..5 {
+            a.try_insert(blob(k as f64 * 9.0, 20), WindowId(k)).unwrap();
+        }
+        let want = a.snapshot_bytes();
+        // No checkpoint has run: everything lives in the WAL.
+        assert!(a.wal_bytes().unwrap() > 0);
+        let b = DurablePatternBase::open_with(Box::new(fs), cfg).unwrap();
+        assert_eq!(b.snapshot_bytes(), want);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn reopen_recovers_checkpoint_plus_tail() {
+        let fs = FaultFs::new();
+        let cfg = tiny_checkpoint_cfg();
+        let mut a = DurablePatternBase::open_with(Box::new(fs.clone()), cfg.clone()).unwrap();
+        for k in 0..12 {
+            a.try_insert(blob(k as f64 * 9.0, 16 + k as usize), WindowId(k))
+                .unwrap();
+        }
+        let want = a.snapshot_bytes();
+        // The tiny threshold forces checkpoints mid-run, so recovery
+        // exercises snapshot + WAL-tail composition and seq skipping.
+        let mut b = DurablePatternBase::open_with(Box::new(fs), cfg).unwrap();
+        assert_eq!(b.snapshot_bytes(), want);
+        // The recovered base keeps accepting inserts.
+        assert!(b
+            .try_insert(blob(999.0, 25), WindowId(99))
+            .unwrap()
+            .is_some());
+        assert_eq!(b.len(), 13);
+    }
+
+    #[test]
+    fn explicit_checkpoint_empties_wal_and_preserves_bytes() {
+        let fs = FaultFs::new();
+        let cfg = DurableConfig::default();
+        let mut a = DurablePatternBase::open_with(Box::new(fs.clone()), cfg.clone()).unwrap();
+        for k in 0..4 {
+            a.try_insert(blob(k as f64 * 9.0, 20), WindowId(k)).unwrap();
+        }
+        a.checkpoint().unwrap();
+        assert_eq!(a.wal_bytes(), Some(0));
+        let want = a.snapshot_bytes();
+        let b = DurablePatternBase::open_with(Box::new(fs), cfg).unwrap();
+        assert_eq!(b.snapshot_bytes(), want);
+    }
+
+    #[test]
+    fn byte_budget_coarsens_oldest_never_drops() {
+        let fs = FaultFs::new();
+        let mut base = DurablePatternBase::open_with(
+            Box::new(fs.clone()),
+            DurableConfig {
+                retention: ArchiveRetention::ByteBudget(700),
+                ..DurableConfig::default()
+            },
+        )
+        .unwrap();
+        for k in 0..10 {
+            base.try_insert(blob(k as f64 * 9.0, 30), WindowId(k))
+                .unwrap();
+        }
+        assert_eq!(base.len(), 10, "retention must never drop patterns");
+        assert!(base.archived_bytes() <= 700);
+        // Oldest-first: the first pattern is at least as coarse as the last.
+        let levels: Vec<u8> = base.iter().map(|p| p.sgs.level).collect();
+        assert!(levels[0] >= *levels.last().unwrap());
+        assert!(
+            levels.iter().any(|&l| l > 0),
+            "something must have coarsened"
+        );
+        // And the demotions are WAL-logged: recovery reproduces them.
+        let want = base.snapshot_bytes();
+        let b = DurablePatternBase::open_with(
+            Box::new(fs),
+            DurableConfig {
+                retention: ArchiveRetention::ByteBudget(700),
+                ..DurableConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(b.snapshot_bytes(), want);
+    }
+
+    #[test]
+    fn window_horizon_coarsens_stale_patterns() {
+        let fs = FaultFs::new();
+        let mut base = DurablePatternBase::open_with(
+            Box::new(fs),
+            DurableConfig {
+                retention: ArchiveRetention::WindowHorizon(3),
+                ..DurableConfig::default()
+            },
+        )
+        .unwrap();
+        for k in 0..8 {
+            base.try_insert(blob(k as f64 * 9.0, 30), WindowId(k))
+                .unwrap();
+        }
+        assert_eq!(base.len(), 8);
+        // Window 0 is 7 behind: repeatedly demoted. Recent windows stay basic.
+        assert!(base.iter().next().unwrap().sgs.level > 0);
+        assert_eq!(base.iter().last().unwrap().sgs.level, 0);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_on_open() {
+        let fs = FaultFs::new();
+        let cfg = DurableConfig::default();
+        let mut a = DurablePatternBase::open_with(Box::new(fs.clone()), cfg.clone()).unwrap();
+        a.try_insert(blob(0.0, 20), WindowId(0)).unwrap();
+        a.try_insert(blob(9.0, 20), WindowId(1)).unwrap();
+        let want_one = {
+            let mut solo =
+                DurablePatternBase::open_with(Box::new(FaultFs::new()), cfg.clone()).unwrap();
+            solo.try_insert(blob(0.0, 20), WindowId(0)).unwrap();
+            solo.snapshot_bytes()
+        };
+        // Tear the last 3 bytes off the WAL by hand.
+        let wal = fs.contents(WAL_FILE).unwrap();
+        let mut io: Box<dyn ArchiveIo> = Box::new(fs.clone());
+        io.truncate(WAL_FILE, wal.len() as u64 - 3).unwrap();
+        let b = DurablePatternBase::open_with(Box::new(fs.clone()), cfg).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.snapshot_bytes(), want_one);
+        // The torn tail is gone from disk too.
+        assert!(fs.contents(WAL_FILE).unwrap().len() < wal.len() - 3);
+    }
+}

@@ -17,20 +17,44 @@
 //!   appended to concurrently).
 
 pub mod archiver;
+pub mod durable;
+pub mod io;
+pub mod pager;
 pub mod pattern_base;
 pub mod persist;
+pub mod wal;
 
+use std::path::Path;
 use std::sync::Arc;
 
 pub use archiver::{choose_level, ArchivePolicy, PatternArchiver};
+pub use durable::{DurableConfig, DurablePatternBase};
+pub use io::{ArchiveIo, DiskIo};
+pub use pager::{BufferPool, PoolStats};
 pub use pattern_base::{ArchivedPattern, MatchOutcome, MatchResult, PatternBase, PatternId};
 pub use persist::{load, save, PersistError};
 
-/// Thread-safe handle to a pattern base (writer: archiver; readers:
-/// matching queries).
-pub type SharedPatternBase = Arc<parking_lot::RwLock<PatternBase>>;
+#[cfg(any(test, feature = "test-util"))]
+pub use io::{FaultFs, FaultMode, FaultPlan};
 
-/// Create an empty shared pattern base.
+/// Thread-safe handle to a pattern base (writer: archiver; readers:
+/// matching queries). Since the durable tier landed (`DESIGN.md` §10)
+/// this wraps [`DurablePatternBase`]; read paths reach [`PatternBase`]
+/// through its `Deref`, and a memory-only handle behaves exactly as the
+/// plain base used to.
+pub type SharedPatternBase = Arc<parking_lot::RwLock<DurablePatternBase>>;
+
+/// Create an empty, memory-only shared pattern base.
 pub fn shared_pattern_base() -> SharedPatternBase {
-    Arc::new(parking_lot::RwLock::new(PatternBase::new()))
+    Arc::new(parking_lot::RwLock::new(DurablePatternBase::memory()))
+}
+
+/// Open (or recover) a durable shared pattern base in `dir`.
+pub fn shared_durable_base(
+    dir: impl AsRef<Path>,
+    cfg: DurableConfig,
+) -> Result<SharedPatternBase, PersistError> {
+    Ok(Arc::new(parking_lot::RwLock::new(
+        DurablePatternBase::open(dir, cfg)?,
+    )))
 }

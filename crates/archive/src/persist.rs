@@ -88,10 +88,16 @@ pub fn load_from(mut r: impl Read) -> Result<PatternBase, PersistError> {
     Ok(base)
 }
 
-/// Save the base to a file path.
+/// Save the base to a file path, atomically: the bytes are staged in a
+/// sibling `.tmp` file, fsynced, renamed over the target, and the parent
+/// directory fsynced — a crash at any point leaves the previous archive
+/// intact (the pre-durability version wrote straight to the target, so a
+/// mid-save crash corrupted the only copy).
 pub fn save(base: &PatternBase, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let file = std::fs::File::create(path)?;
-    save_to(base, io::BufWriter::new(file))
+    let mut buf = Vec::new();
+    save_to(base, &mut buf)?;
+    crate::io::atomic_write_bytes(path.as_ref(), &buf)?;
+    Ok(())
 }
 
 /// Load a base from a file path.
@@ -178,6 +184,11 @@ mod tests {
         save(&base, &path).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.len(), 5);
+        // Atomic save leaves no staging residue behind.
+        assert!(!path.with_extension("bin.tmp").exists());
+        // Overwriting an existing archive goes through the same tmp+rename.
+        save(&base, &path).unwrap();
+        assert_eq!(load(&path).unwrap().len(), 5);
         std::fs::remove_file(&path).ok();
     }
 

@@ -72,6 +72,44 @@ impl PoolThreads {
     }
 }
 
+/// Retention policy of a durable pattern base (see `DESIGN.md` §10):
+/// what happens to the archive as it grows. Eviction never *drops* a
+/// pattern — it coarsens it to the next multi-resolution level (§6.1),
+/// so MATCH keeps answering over the whole history, just at degraded
+/// granularity for the oldest/cheapest patterns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArchiveRetention {
+    /// Keep every pattern at the resolution it was archived at.
+    #[default]
+    Unbounded,
+    /// Bound the archive's packed byte footprint: when exceeded, the
+    /// oldest patterns are coarsened (one level at a time, oldest
+    /// first) until the base fits again or everything has reached the
+    /// coarsest allowed level.
+    ByteBudget(usize),
+    /// Bound by stream age, in windows: a pattern whose window is more
+    /// than this many windows behind the newest insert is coarsened one
+    /// level per enforcement pass until it reaches the coarsest allowed
+    /// level.
+    WindowHorizon(u64),
+}
+
+/// Buffer-pool page-replacement policy of a durable pattern base's store
+/// reader (see `DESIGN.md` §10). SIEVE is the default: on scan-heavy
+/// matching probes it keeps the hot set where LRU would thrash it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// FIFO queue with a visited bit and a lazily moving eviction hand
+    /// (the SIEVE algorithm) — scan-resistant, no per-hit bookkeeping.
+    #[default]
+    Sieve,
+    /// Classic clock (second-chance) sweep over a circular frame list.
+    Clock,
+    /// Least-recently-used — the baseline the other two are measured
+    /// against; kept selectable for comparison runs.
+    Lru,
+}
+
 /// Parameters of a continuous density-based clustering query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterQuery {

@@ -53,5 +53,6 @@ pub use pipeline::StreamPipeline;
 pub use plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
 pub use registry::{OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats};
 pub use runtime::{
-    PendingCancel, QueryReport, Runtime, RuntimeConfig, RuntimeError, StreamFeeder, Submission,
+    DurableArchive, PendingCancel, QueryReport, Runtime, RuntimeConfig, RuntimeError, StreamFeeder,
+    Submission,
 };

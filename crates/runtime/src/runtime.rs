@@ -2,10 +2,12 @@
 //! running pipelines — submit statements as text, fan one ingested stream
 //! out to every registered query, control lifecycles, and read stats.
 
+use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
 
 use sgs_archive::{
-    shared_pattern_base, ArchivePolicy, MatchOutcome, PatternBase, SharedPatternBase,
+    shared_durable_base, shared_pattern_base, ArchivePolicy, DurableConfig, MatchOutcome,
+    PatternBase, PersistError, SharedPatternBase,
 };
 use sgs_core::{Point, PoolThreads, ShardCount, WindowId};
 use sgs_csgs::WindowOutput;
@@ -23,6 +25,29 @@ use crate::registry::{
 /// the bounded input channels keep exerting backpressure under
 /// [`Runtime::push_batch`].
 const BATCH_CHUNK: usize = 256;
+
+/// Where (and how) the runtime's shared history bases persist. With one
+/// of these in [`RuntimeConfig::durable_archive`], every per-dimension
+/// history becomes a [`sgs_archive::DurablePatternBase`] rooted under
+/// `dir` (`dir/dim2`, `dir/dim4`, …), recovering whatever a previous
+/// process made durable at first use (`DESIGN.md` §10).
+#[derive(Clone, Debug)]
+pub struct DurableArchive {
+    /// Root directory; each dimensionality gets a `dim{N}` subdirectory.
+    pub dir: PathBuf,
+    /// WAL/retention/buffer-pool settings shared by every history base.
+    pub config: DurableConfig,
+}
+
+impl DurableArchive {
+    /// Durable archiving under `dir` with default settings.
+    pub fn at(dir: impl Into<PathBuf>) -> DurableArchive {
+        DurableArchive {
+            dir: dir.into(),
+            config: DurableConfig::default(),
+        }
+    }
+}
 
 /// Construction-time settings of a [`Runtime`].
 #[derive(Clone, Debug)]
@@ -58,6 +83,11 @@ pub struct RuntimeConfig {
     /// draining fast enough. Defaults to the historical
     /// [`OutputPolicy::Unbounded`].
     pub output_policy: OutputPolicy,
+    /// When set, shared history bases are durable: WAL-backed,
+    /// checkpointed, and retention-bounded under this directory
+    /// (`DESIGN.md` §10). `None` (the default) keeps the historical
+    /// memory-only behavior.
+    pub durable_archive: Option<DurableArchive>,
 }
 
 impl Default for RuntimeConfig {
@@ -69,6 +99,7 @@ impl Default for RuntimeConfig {
             default_shards: ShardCount::Fixed(1),
             pool_threads: PoolThreads::Auto,
             output_policy: OutputPolicy::Unbounded,
+            durable_archive: None,
         }
     }
 }
@@ -119,6 +150,8 @@ pub enum RuntimeError {
     /// The query's pipeline has already been handed back by a previous
     /// [`Runtime::cancel`](crate::runtime::Runtime::cancel).
     Disconnected(QueryId),
+    /// The durable archive could not be opened or recovered.
+    Archive(PersistError),
 }
 
 impl core::fmt::Display for RuntimeError {
@@ -142,6 +175,7 @@ impl core::fmt::Display for RuntimeError {
             RuntimeError::Disconnected(id) => {
                 write!(f, "query {id} was already cancelled (its pipeline is gone)")
             }
+            RuntimeError::Archive(e) => write!(f, "durable archive failure: {e}"),
         }
     }
 }
@@ -151,6 +185,7 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Plan(e) => Some(e),
             RuntimeError::Query(e) => Some(e),
+            RuntimeError::Archive(e) => Some(e),
             _ => None,
         }
     }
@@ -385,7 +420,7 @@ impl Runtime {
     ) -> Result<QueryId, RuntimeError> {
         let id = QueryId(self.next_id);
         let shared = new_shared_status();
-        let history = self.history_for_dim(plan.query.dim);
+        let history = self.history_for_dim(plan.query.dim)?;
         let cell = QueryCell::new(
             &plan,
             shared.clone(),
@@ -760,14 +795,21 @@ impl Runtime {
         self.histories.iter().map(|(d, h)| (*d, h))
     }
 
-    /// The history base for `dim`, created on first use.
-    fn history_for_dim(&mut self, dim: usize) -> SharedPatternBase {
+    /// The history base for `dim`, created (or, when a durable archive
+    /// directory is configured, opened and recovered) on first use.
+    fn history_for_dim(&mut self, dim: usize) -> Result<SharedPatternBase, RuntimeError> {
         if let Some((_, h)) = self.histories.iter().find(|(d, _)| *d == dim) {
-            return h.clone();
+            return Ok(h.clone());
         }
-        let h = shared_pattern_base();
+        let h = match &self.config.durable_archive {
+            Some(durable) => {
+                let dir = durable.dir.join(format!("dim{dim}"));
+                shared_durable_base(dir, durable.config.clone()).map_err(RuntimeError::Archive)?
+            }
+            None => shared_pattern_base(),
+        };
         self.histories.push((dim, h.clone()));
-        h
+        Ok(h)
     }
 
     /// Remove the registry entries of an owner's **cancelled** queries,

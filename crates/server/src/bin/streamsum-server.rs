@@ -5,14 +5,16 @@
 //! streamsum-server [--addr 127.0.0.1:7878] [--stream name:dim]...
 //!                  [--channel-capacity N] [--output-policy unbounded|block:N|drop-oldest:N]
 //!                  [--pool-threads N] [--shards N] [--seed N]
+//!                  [--archive-dir PATH] [--archive-budget BYTES]
+//!                  [--archive-replacer sieve|clock|lru]
 //! ```
 //!
 //! With no `--stream` flags the two generator streams are registered:
 //! `gmti` (2-d) and `stt` (4-d). The listening line is printed to stdout
 //! once the socket is bound (CI waits for it before connecting).
 
-use sgs_core::{PoolThreads, ShardCount};
-use sgs_runtime::{OutputPolicy, RuntimeConfig};
+use sgs_core::{ArchiveRetention, PoolThreads, ReplacementPolicy, ShardCount};
+use sgs_runtime::{DurableArchive, OutputPolicy, RuntimeConfig};
 use sgs_server::{Server, ServerConfig};
 
 const USAGE: &str = "\
@@ -24,6 +26,12 @@ usage: streamsum-server [options]
   --pool-threads N          dedicated scheduler pool of N workers (default: shared auto pool)
   --shards N                extraction shards per query (default 1)
   --seed N                  archiver RNG seed (default 0)
+  --archive-dir PATH        persist the shared history there (WAL + checkpoints;
+                            recovers on restart; default: memory-only)
+  --archive-budget BYTES    retention byte budget — over it, the oldest patterns
+                            are coarsened, never dropped (default: unbounded)
+  --archive-replacer P      buffer-pool replacement: sieve | clock | lru
+                            (default sieve)
   --help                    this text";
 
 fn main() {
@@ -70,6 +78,9 @@ fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut runtime = RuntimeConfig::default();
     let mut streams: Vec<(String, usize)> = Vec::new();
+    let mut archive_dir: Option<String> = None;
+    let mut archive_budget: Option<usize> = None;
+    let mut archive_replacer = ReplacementPolicy::Sieve;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -118,8 +129,43 @@ fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
                     .parse()
                     .map_err(|_| "bad --seed".to_string())?;
             }
+            "--archive-dir" => archive_dir = Some(value("--archive-dir")?),
+            "--archive-budget" => {
+                archive_budget = Some(
+                    value("--archive-budget")?
+                        .parse()
+                        .map_err(|_| "bad --archive-budget".to_string())?,
+                );
+            }
+            "--archive-replacer" => {
+                let spec = value("--archive-replacer")?;
+                archive_replacer = match spec.to_ascii_lowercase().as_str() {
+                    "sieve" => ReplacementPolicy::Sieve,
+                    "clock" => ReplacementPolicy::Clock,
+                    "lru" => ReplacementPolicy::Lru,
+                    _ => {
+                        return Err(format!(
+                            "bad --archive-replacer {spec:?} (sieve | clock | lru)"
+                        ))
+                    }
+                };
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    match archive_dir {
+        Some(dir) => {
+            let mut durable = DurableArchive::at(dir);
+            if let Some(budget) = archive_budget {
+                durable.config.retention = ArchiveRetention::ByteBudget(budget);
+            }
+            durable.config.replacement = archive_replacer;
+            runtime.durable_archive = Some(durable);
+        }
+        None if archive_budget.is_some() => {
+            return Err("--archive-budget requires --archive-dir".to_string());
+        }
+        None => {}
     }
     let mut config = ServerConfig {
         runtime,

@@ -562,6 +562,7 @@ fn runtime_error_frame(e: &RuntimeError) -> Frame {
         RuntimeError::InvalidTransition { .. } | RuntimeError::Disconnected(_) => {
             ErrorCode::InvalidTransition
         }
+        RuntimeError::Archive(_) => ErrorCode::Internal,
     };
     error_frame(code, e.to_string())
 }

@@ -1,7 +1,13 @@
 //! Archive-layer integration: multi-resolution archival, budget selection,
-//! shared (concurrent) pattern base, and matching through coarser levels.
+//! shared (concurrent) pattern base, matching through coarser levels, and
+//! the durable tier's crash-injection suite (`DESIGN.md` §10): every
+//! mutation is recoverable to the longest durable prefix, checkpoints are
+//! atomic, and retention coarsens instead of dropping.
 
+use proptest::prelude::*;
+use sgs_archive::{DurableConfig, DurablePatternBase, FaultFs, FaultMode, FaultPlan};
 use streamsum::archive::{choose_level, shared_pattern_base, ArchivePolicy, PatternArchiver};
+use streamsum::core::ArchiveRetention;
 use streamsum::matching::MatchConfig;
 use streamsum::prelude::*;
 use streamsum::summarize::{coarsen, multires, packed};
@@ -135,5 +141,283 @@ fn packed_codec_through_all_levels() {
             assert_eq!(decoded.level, cur.level);
             cur = coarsen(&cur, 3);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable tier: kill-and-recover crash injection (DESIGN.md §10).
+
+fn durable_open(fs: &FaultFs, cfg: &DurableConfig) -> DurablePatternBase {
+    DurablePatternBase::open_with(Box::new(fs.clone()), cfg.clone()).expect("open/recover")
+}
+
+/// Drive the study workload against a durable base on `fs` until the
+/// armed fault (if any) kills it; returns how many inserts committed.
+fn run_workload(fs: &FaultFs, cfg: &DurableConfig, summaries: &[Sgs]) -> usize {
+    let Ok(mut base) = DurablePatternBase::open_with(Box::new(fs.clone()), cfg.clone()) else {
+        return 0;
+    };
+    let mut committed = 0;
+    for (k, s) in summaries.iter().enumerate() {
+        match base.try_insert(s.clone(), WindowId(k as u64)) {
+            Ok(_) => committed += 1,
+            Err(_) => break,
+        }
+    }
+    committed
+}
+
+/// Snapshot bytes of each committed prefix of `summaries` — the oracle a
+/// recovered base is compared against.
+fn prefix_snapshots(cfg: &DurableConfig, summaries: &[Sgs]) -> Vec<Vec<u8>> {
+    (0..=summaries.len())
+        .map(|k| {
+            let mut base = durable_open(&FaultFs::new(), cfg);
+            for (i, s) in summaries[..k].iter().enumerate() {
+                base.try_insert(s.clone(), WindowId(i as u64)).unwrap();
+            }
+            base.snapshot_bytes()
+        })
+        .collect()
+}
+
+/// The headline crash sweep: for every enumerated byte offset of the
+/// workload's write stream and every fault mode, kill the process there,
+/// recover, and require the recovered base to be **byte-identical** to
+/// the longest durable prefix — then accept new inserts.
+///
+/// By default offsets are stride-sampled to keep the tier-1 gate fast;
+/// `SGS_FAULT_SWEEP=full` (the CI recovery step) sweeps every byte.
+#[test]
+fn crash_sweep_recovers_longest_durable_prefix() {
+    let summaries = study_summaries(6);
+    let cfg = DurableConfig::default(); // unbounded: the sweep is exact
+    let prefixes = prefix_snapshots(&cfg, &summaries);
+
+    // A fault-free dry run sizes the sweep range.
+    let dry = FaultFs::new();
+    assert_eq!(run_workload(&dry, &cfg, &summaries), summaries.len());
+    let total = dry.total_written();
+
+    let full = std::env::var("SGS_FAULT_SWEEP").as_deref() == Ok("full");
+    let stride = if full { 1 } else { (total / 32).max(1) };
+    let mut offsets: Vec<u64> = (0..total).step_by(stride as usize).collect();
+    offsets.push(total - 1);
+
+    for mode in [
+        FaultMode::Truncate,
+        FaultMode::ShortWrite,
+        FaultMode::BitFlip,
+    ] {
+        for &at in &offsets {
+            let fs = FaultFs::new();
+            fs.arm(FaultPlan { at, mode });
+            let committed = run_workload(&fs, &cfg, &summaries);
+            assert!(fs.crashed(), "{mode:?}@{at}: fault must fire");
+            fs.disarm();
+
+            let mut recovered = durable_open(&fs, &cfg);
+            let snap = recovered.snapshot_bytes();
+            // A bit flip landing exactly on a frame boundary corrupts the
+            // tail of the *previous*, already-committed frame; one insert
+            // is lost but the result is still a committed prefix.
+            let boundary_flip =
+                mode == FaultMode::BitFlip && committed > 0 && snap == prefixes[committed - 1];
+            assert!(
+                boundary_flip || snap == prefixes[committed],
+                "{mode:?}@{at}: recovered base is not the committed prefix \
+                 ({committed} of {} inserts committed)",
+                summaries.len()
+            );
+            // Recovery must leave a live, writable base.
+            assert!(
+                recovered
+                    .try_insert(summaries[0].clone(), WindowId(99))
+                    .unwrap()
+                    .is_some(),
+                "{mode:?}@{at}: post-recovery insert rejected"
+            );
+        }
+    }
+}
+
+/// A crash at any byte of a checkpoint — mid store swap or between the
+/// swap and the WAL truncate — must leave the recovered state identical
+/// to the pre-checkpoint state (atomic replace + `applied_seq` skip).
+#[test]
+fn checkpoint_crash_sweep_preserves_state() {
+    let summaries = study_summaries(5);
+    let cfg = DurableConfig::default();
+    let want = prefix_snapshots(&cfg, &summaries).pop().unwrap();
+
+    // Dry run brackets the checkpoint's write range [w0, w1).
+    let dry = FaultFs::new();
+    assert_eq!(run_workload(&dry, &cfg, &summaries), summaries.len());
+    let w0 = dry.total_written();
+    durable_open(&dry, &cfg).checkpoint().unwrap();
+    let w1 = dry.total_written();
+    assert!(w1 > w0, "checkpoint must write something");
+
+    let stride = ((w1 - w0) / 16).max(1);
+    for at in (w0..w1).step_by(stride as usize) {
+        let fs = FaultFs::new();
+        assert_eq!(run_workload(&fs, &cfg, &summaries), summaries.len());
+        fs.arm(FaultPlan {
+            at,
+            mode: FaultMode::Truncate,
+        });
+        let _ = durable_open(&fs, &cfg).checkpoint(); // killed mid-flight
+        fs.disarm();
+        let recovered = durable_open(&fs, &cfg);
+        assert!(
+            recovered.snapshot_bytes() == want,
+            "checkpoint crash @{at}: recovered state diverged"
+        );
+    }
+}
+
+/// Regression for the `persist::save` durability hole: a process killed
+/// mid-save leaves only a torn sibling tmp file — the archive written by
+/// the previous save must stay loadable, and the next save must replace
+/// both atomically.
+#[test]
+fn torn_tmp_from_killed_save_does_not_break_load() {
+    use streamsum::archive::{load, save};
+    let dir = std::env::temp_dir().join(format!("sgs_persist_kill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("base.bin");
+
+    let mut archiver = PatternArchiver::new(ArchivePolicy::All, 0);
+    archiver.observe(WindowId(0), study_summaries(8).iter());
+    let base = archiver.into_base();
+    save(&base, &path).unwrap();
+
+    std::fs::write(dir.join("base.bin.tmp"), b"torn half-written garbage").unwrap();
+    assert_eq!(load(&path).unwrap().len(), base.len());
+
+    save(&base, &path).unwrap();
+    assert_eq!(load(&path).unwrap().len(), base.len());
+    assert!(!dir.join("base.bin.tmp").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Retention property: under a byte budget the base never exceeds it
+/// (unless every pattern is already at the coarsest level), never drops
+/// a pattern, demotes oldest-first, keeps every pattern findable by
+/// MATCH, and recovery reproduces the demotions from the WAL.
+#[test]
+fn byte_budget_eviction_coarsens_and_stays_matchable() {
+    let summaries = study_summaries(16);
+    let total_basic: usize = summaries.iter().map(packed::archived_bytes).sum();
+    let budget = total_basic / 2;
+
+    let fs = FaultFs::new();
+    let cfg = DurableConfig {
+        retention: ArchiveRetention::ByteBudget(budget),
+        theta: 3,
+        max_level: 3,
+        ..DurableConfig::default()
+    };
+    let mut base = durable_open(&fs, &cfg);
+    for (k, s) in summaries.iter().enumerate() {
+        base.try_insert(s.clone(), WindowId(k as u64)).unwrap();
+        assert_eq!(base.len(), k + 1, "eviction must never drop a pattern");
+        let within = base.archived_bytes() <= budget;
+        let exhausted = base.iter().all(|p| p.sgs.level >= cfg.max_level);
+        assert!(
+            within || exhausted,
+            "after insert {k}: {} bytes over budget {budget}",
+            base.archived_bytes()
+        );
+    }
+    assert!(
+        base.iter().any(|p| p.sgs.level > 0),
+        "the budget must have forced demotions"
+    );
+    let levels: Vec<u8> = base.iter().map(|p| p.sgs.level).collect();
+    assert!(
+        levels[0] >= *levels.last().unwrap(),
+        "coarsening must hit the oldest patterns first: {levels:?}"
+    );
+
+    // Every pattern — demoted or not — is still found by MATCH.
+    let match_cfg = MatchConfig::equal_weights(false, 0.2);
+    for p in base.iter() {
+        let outcome = base.match_query(&p.sgs, &match_cfg);
+        assert!(
+            outcome
+                .matches
+                .iter()
+                .any(|m| m.id == p.id && m.distance < 1e-9),
+            "pattern {:?} (level {}) unfindable after eviction",
+            p.id,
+            p.sgs.level
+        );
+    }
+
+    // The demotions are WAL-logged: a fresh open reproduces them.
+    let want = base.snapshot_bytes();
+    drop(base);
+    let recovered = durable_open(&fs, &cfg);
+    assert!(
+        recovered.snapshot_bytes() == want,
+        "recovered eviction state diverged"
+    );
+}
+
+proptest! {
+    /// Randomized kill-and-recover: any workload shape × any crash
+    /// offset × any fault mode recovers to a committed prefix and keeps
+    /// accepting inserts afterwards.
+    #[test]
+    fn random_workload_crash_recovers_to_a_prefix(
+        n in 2usize..6,
+        sizes in prop::collection::vec(10usize..60, 6),
+        frac in 0.0f64..1.0,
+        mode_ix in 0usize..3,
+    ) {
+        let summaries: Vec<Sgs> = {
+            use streamsum::core::GridGeometry;
+            let g = GridGeometry::basic(2, 1.0);
+            (0..n)
+                .map(|k| {
+                    let x0 = (k as f64) * 11.0;
+                    let cores: Vec<Box<[f64]>> = (0..sizes[k])
+                        .map(|i| {
+                            vec![x0 + 0.1 + (i % 5) as f64 * 0.4, 0.1 + (i / 5) as f64 * 0.4]
+                                .into()
+                        })
+                        .collect();
+                    Sgs::from_members(&MemberSet::new(cores, vec![]), &g)
+                })
+                .collect()
+        };
+        let cfg = DurableConfig::default();
+        let prefixes = prefix_snapshots(&cfg, &summaries);
+
+        let dry = FaultFs::new();
+        prop_assert_eq!(run_workload(&dry, &cfg, &summaries), n);
+        let total = dry.total_written();
+        let at = ((total - 1) as f64 * frac) as u64;
+        let mode = [FaultMode::Truncate, FaultMode::ShortWrite, FaultMode::BitFlip][mode_ix];
+
+        let fs = FaultFs::new();
+        fs.arm(FaultPlan { at, mode });
+        let committed = run_workload(&fs, &cfg, &summaries);
+        fs.disarm();
+
+        let mut recovered = durable_open(&fs, &cfg);
+        let snap = recovered.snapshot_bytes();
+        let boundary_flip =
+            mode == FaultMode::BitFlip && committed > 0 && snap == prefixes[committed - 1];
+        prop_assert!(
+            boundary_flip || snap == prefixes[committed],
+            "{:?}@{}: not a committed prefix", mode, at
+        );
+        prop_assert!(recovered
+            .try_insert(summaries[0].clone(), WindowId(99))
+            .unwrap()
+            .is_some());
     }
 }

@@ -82,3 +82,52 @@ fn concurrent_queries_archive_byte_identically_to_solo_runs() {
     let total: usize = solo_bases.iter().map(|b| b.len()).sum();
     assert_eq!(rt.history(2).unwrap().read().len(), total);
 }
+
+/// With no retention pressure, a durable-backed shared history is
+/// **byte-identical** to the memory-only one — and reopening the archive
+/// directory recovers exactly those bytes (`DESIGN.md` §10).
+#[test]
+fn durable_history_matches_memory_only_and_recovers() {
+    use streamsum::archive::{DurableConfig, DurablePatternBase};
+    use streamsum::runtime::DurableArchive;
+
+    let stream = generate_gmti(&GmtiConfig {
+        n_records: 4000,
+        n_convoys: 3,
+        ..GmtiConfig::default()
+    });
+    let run = |config: RuntimeConfig| {
+        let mut rt = Runtime::with_config(config);
+        rt.register_stream("gmti", 2);
+        let Submission::Continuous(_) = rt.submit(STATEMENTS[0]).unwrap() else {
+            panic!("expected continuous registration");
+        };
+        rt.push_batch(&stream).unwrap();
+        rt.quiesce().unwrap();
+        let guard = rt.history(2).unwrap().read();
+        assert!(!guard.is_empty(), "the run must archive something");
+        guard.snapshot_bytes()
+    };
+
+    let memory = run(RuntimeConfig::default());
+
+    let dir = std::env::temp_dir().join(format!("sgs_rt_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = run(RuntimeConfig {
+        durable_archive: Some(DurableArchive::at(dir.clone())),
+        ..RuntimeConfig::default()
+    });
+    assert_eq!(
+        durable, memory,
+        "durable-backed history diverged from memory-only run"
+    );
+
+    // The WAL alone (no checkpoint ever ran) recovers the same bytes.
+    let recovered = DurablePatternBase::open(dir.join("dim2"), DurableConfig::default()).unwrap();
+    assert_eq!(
+        recovered.snapshot_bytes(),
+        memory,
+        "recovered history diverged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
