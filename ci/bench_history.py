@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Longitudinal bench history for the BENCH_*.json reports CI produces.
+
+Appends one entry per CI run to a JSON-Lines series under a history
+directory (``dev/bench`` in CI, carried between runs as an artifact).
+Each line is a self-contained record::
+
+    {"commit": "<sha>", "timestamp": <unix>, "reports": {<bench>: {...}}}
+
+so plotting throughput (or any embedded metric counter) over commits is
+one ``jq``/pandas pass over a single file — no artifact archaeology.
+
+The file is append-only and tolerant: a missing history directory is
+created, unreadable reports are skipped with a warning, and duplicate
+commits are appended anyway (re-runs are real data points; consumers can
+keep the last per commit). ``--max-entries`` trims the oldest lines so
+the artifact cannot grow without bound.
+
+Exit codes: 0 = appended (even if zero reports were found — the run
+still happened), 2 = usage.
+
+Usage:
+    python3 ci/bench_history.py --reports DIR --history DIR \
+        [--commit SHA] [--timestamp UNIX] [--max-entries 500]
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+HISTORY_FILE = "history.jsonl"
+
+
+def load_reports(directory):
+    """Map bench name -> parsed report, for every BENCH_*.json in directory."""
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}")
+            continue
+        name = report.get("bench") or os.path.basename(path)
+        reports[name] = report
+    return reports
+
+
+def resolve_commit(explicit):
+    if explicit:
+        return explicit
+    for var in ("GITHUB_SHA", "CI_COMMIT_SHA"):
+        sha = os.environ.get(var)
+        if sha:
+            return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=10,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reports", required=True,
+                        help="directory holding this run's BENCH_*.json files")
+    parser.add_argument("--history", required=True,
+                        help="history directory (created if missing)")
+    parser.add_argument("--commit", default=None,
+                        help="commit SHA (default: $GITHUB_SHA, then git rev-parse HEAD)")
+    parser.add_argument("--timestamp", type=int, default=None,
+                        help="unix timestamp of the run (default: now)")
+    parser.add_argument("--max-entries", type=int, default=500,
+                        help="keep at most this many newest entries (default 500)")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.reports):
+        print(f"error: --reports {args.reports} is not a directory")
+        return 2
+
+    reports = load_reports(args.reports)
+    entry = {
+        "commit": resolve_commit(args.commit),
+        "timestamp": args.timestamp if args.timestamp is not None else int(time.time()),
+        "reports": reports,
+    }
+
+    os.makedirs(args.history, exist_ok=True)
+    path = os.path.join(args.history, HISTORY_FILE)
+    lines = []
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line.strip()]
+    lines.append(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+    if args.max_entries > 0:
+        lines = lines[-args.max_entries:]
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+    print(f"bench history: {len(reports)} report(s) appended for "
+          f"{entry['commit'][:12]} — {len(lines)} entr{'y' if len(lines) == 1 else 'ies'} "
+          f"in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -239,8 +239,13 @@ impl DurablePatternBase {
 
         // WAL first, memory second.
         let frame = wal::encode_frame(storage.next_seq, &WalRecord::Insert { window, packed });
+        let m = crate::metrics::metrics();
+        let start = std::time::Instant::now();
         storage.io.append(WAL_FILE, &frame)?;
+        m.wal_append_nanos.record_since(start);
+        let start = std::time::Instant::now();
         storage.io.sync(WAL_FILE)?;
+        m.wal_fsync_nanos.record_since(start);
         storage.next_seq += 1;
         storage.wal_len += frame.len() as u64;
 
@@ -267,6 +272,9 @@ impl DurablePatternBase {
         let Some(storage) = &mut self.storage else {
             return Ok(());
         };
+        let m = crate::metrics::metrics();
+        let _span = sgs_obs::SpanGuard::new(&m.checkpoint_nanos);
+        m.checkpoints.inc();
         let mut payload = Vec::new();
         persist::save_to(&self.base, &mut payload)?;
         let image = pager::encode_store(storage.next_seq, &payload);
@@ -361,8 +369,14 @@ impl DurablePatternBase {
             ));
             storage.next_seq += 1;
         }
+        let m = crate::metrics::metrics();
+        let start = std::time::Instant::now();
         storage.io.append(WAL_FILE, &batch)?;
+        m.wal_append_nanos.record_since(start);
+        let start = std::time::Instant::now();
         storage.io.sync(WAL_FILE)?;
+        m.wal_fsync_nanos.record_since(start);
+        m.coarsenings.add(demoted.len() as u64);
         storage.wal_len += batch.len() as u64;
         self.base = build_base(&entries);
         Ok(())

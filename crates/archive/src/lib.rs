@@ -19,6 +19,7 @@
 pub mod archiver;
 pub mod durable;
 pub mod io;
+pub(crate) mod metrics;
 pub mod pager;
 pub mod pattern_base;
 pub mod persist;

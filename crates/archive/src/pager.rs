@@ -245,6 +245,39 @@ pub struct PoolStats {
     pub evictions: u64,
 }
 
+/// Per-replacer observability counters of a [`BufferPool`], registered
+/// at construction with a `replacer="…"` label (`DESIGN.md` §11). The
+/// process-wide registry aggregates pools sharing a policy; `lookups`
+/// exists so scrapers can check `hits + misses == lookups` without
+/// racing two separate reads.
+struct PoolObs {
+    lookups: std::sync::Arc<sgs_obs::Counter>,
+    hits: std::sync::Arc<sgs_obs::Counter>,
+    misses: std::sync::Arc<sgs_obs::Counter>,
+    evictions: std::sync::Arc<sgs_obs::Counter>,
+}
+
+impl PoolObs {
+    fn new(policy: ReplacementPolicy) -> PoolObs {
+        let name = match policy {
+            ReplacementPolicy::Sieve => "sieve",
+            ReplacementPolicy::Clock => "clock",
+            ReplacementPolicy::Lru => "lru",
+        };
+        let labels = [("replacer", name)];
+        let r = sgs_obs::registry();
+        PoolObs {
+            lookups: r.counter(&sgs_obs::labeled("sgs_archive_pool_lookups_total", &labels)),
+            hits: r.counter(&sgs_obs::labeled("sgs_archive_pool_hits_total", &labels)),
+            misses: r.counter(&sgs_obs::labeled("sgs_archive_pool_misses_total", &labels)),
+            evictions: r.counter(&sgs_obs::labeled(
+                "sgs_archive_pool_evictions_total",
+                &labels,
+            )),
+        }
+    }
+}
+
 /// A byte-budget-bounded cache of store pages with a pluggable
 /// [`Replacer`]. Storage-agnostic: the caller supplies a fetch closure,
 /// so the pool fronts any [`ArchiveIo`] (or a synthetic page source in
@@ -256,6 +289,8 @@ pub struct BufferPool {
     capacity: usize,
     /// Counters exposed for benches and policy tests.
     pub stats: PoolStats,
+    /// Registry twins of `stats`, labeled by replacer.
+    obs: PoolObs,
 }
 
 impl BufferPool {
@@ -268,6 +303,7 @@ impl BufferPool {
             replacer: make_replacer(policy),
             capacity: (budget_bytes / PAGE_SIZE).max(1),
             stats: PoolStats::default(),
+            obs: PoolObs::new(policy),
         }
     }
 
@@ -299,17 +335,21 @@ impl BufferPool {
         page: u64,
         fetch: impl FnOnce(u64) -> io::Result<Vec<u8>>,
     ) -> io::Result<&[u8]> {
+        self.obs.lookups.inc();
         if self.pages.contains_key(&page) {
             self.stats.hits += 1;
+            self.obs.hits.inc();
             self.replacer.record_access(page);
         } else {
             self.stats.misses += 1;
+            self.obs.misses.inc();
             let data = fetch(page)?;
             while self.pages.len() >= self.capacity {
                 match self.replacer.victim() {
                     Some(victim) => {
                         self.pages.remove(&victim);
                         self.stats.evictions += 1;
+                        self.obs.evictions.inc();
                     }
                     None => break,
                 }

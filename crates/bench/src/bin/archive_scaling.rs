@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use sgs_archive::{DurableConfig, DurablePatternBase};
 use sgs_bench::json::JsonObject;
+use sgs_bench::obs_report::{metrics_json, parse_metrics};
 use sgs_bench::table::print_table;
 use sgs_bench::workload::parse_scale;
 use sgs_core::{GridGeometry, ReplacementPolicy, WindowId};
@@ -125,6 +126,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale(&args);
     let json = args.iter().any(|a| a == "--json");
+    let metrics = parse_metrics(&args);
     let n = ((2_000.0 * scale) as usize).max(100);
 
     let modes: [(&'static str, Option<ReplacementPolicy>); 4] = [
@@ -159,7 +161,9 @@ fn main() {
         let report = JsonObject::new()
             .str("bench", "archive_scaling")
             .u64("patterns_base", n as u64)
+            .u64("metrics_enabled", metrics as u64)
             .array("rows", &json_rows)
+            .array("metrics", &metrics_json())
             .render();
         println!("{report}");
     } else {

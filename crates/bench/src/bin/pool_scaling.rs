@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sgs_bench::json::JsonObject;
+use sgs_bench::obs_report::{metrics_json, parse_metrics};
 use sgs_bench::table::print_table;
 use sgs_bench::workload::{parse_dataset, parse_scale, Dataset};
 use sgs_core::PoolThreads;
@@ -42,6 +43,7 @@ fn main() {
     let scale = parse_scale(&args);
     let dataset = parse_dataset(&args);
     let json = args.iter().any(|a| a == "--json");
+    let metrics = parse_metrics(&args);
     let n = ((60_000.0 * scale) as usize).max(2_000);
     let points = dataset.points(n);
     let stream_name = match dataset {
@@ -121,7 +123,9 @@ fn main() {
                 "available_parallelism",
                 std::thread::available_parallelism().map_or(0, |p| p.get() as u64),
             )
+            .u64("metrics_enabled", metrics as u64)
             .array("rows", &json_rows)
+            .array("metrics", &metrics_json())
             .render();
         println!("{report}");
     } else {

@@ -10,7 +10,7 @@
 //! archival for every query, not just channel handoff.
 //!
 //! ```text
-//! cargo run --release -p sgs-bench --bin runtime_throughput -- [--scale 0.1] [--dataset gmti|stt] [--json]
+//! cargo run --release -p sgs-bench --bin runtime_throughput -- [--scale 0.1] [--dataset gmti|stt] [--json] [--metrics]
 //! ```
 //!
 //! `--json` prints one machine-readable report object to stdout instead
@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sgs_bench::json::JsonObject;
+use sgs_bench::obs_report::{metrics_json, parse_metrics};
 use sgs_bench::table::print_table;
 use sgs_bench::workload::{parse_dataset, parse_scale, Dataset};
 use sgs_runtime::{QueryPlan, Runtime, RuntimeConfig};
@@ -39,6 +40,7 @@ fn main() {
     let scale = parse_scale(&args);
     let dataset = parse_dataset(&args);
     let json = args.iter().any(|a| a == "--json");
+    let metrics = parse_metrics(&args);
     let n = ((100_000.0 * scale) as usize).max(2_000);
     let points = dataset.points(n);
     let stream_name = match dataset {
@@ -53,6 +55,7 @@ fn main() {
     for k in [1usize, 2, 4, 8] {
         let mut rt = Runtime::with_config(RuntimeConfig {
             channel_capacity: 64,
+            metrics,
             ..RuntimeConfig::default()
         });
         rt.register_stream(stream_name, dataset.dim());
@@ -117,7 +120,9 @@ fn main() {
                 std::thread::available_parallelism().map_or(0, |p| p.get() as u64),
             )
             .u64("pool_threads", sgs_exec::global().threads() as u64)
+            .u64("metrics_enabled", metrics as u64)
             .array("rows", &json_rows)
+            .array("metrics", &metrics_json())
             .render();
         println!("{report}");
     } else {

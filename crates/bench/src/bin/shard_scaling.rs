@@ -22,6 +22,7 @@
 use std::time::Instant;
 
 use sgs_bench::json::JsonObject;
+use sgs_bench::obs_report::{metrics_json, parse_metrics};
 use sgs_bench::table::print_table;
 use sgs_bench::workload::{parse_dataset, parse_scale, Dataset};
 use sgs_core::{ClusterQuery, ShardCount, WindowSpec};
@@ -41,6 +42,7 @@ fn main() {
     let scale = parse_scale(&args);
     let dataset = parse_dataset(&args);
     let json = args.iter().any(|a| a == "--json");
+    let metrics = parse_metrics(&args);
 
     // Fig. 7 geometry: win = 10K tuples, slide = 1K, scaled down for
     // quick runs; pattern case 2 (§8.1) of the chosen dataset.
@@ -114,7 +116,9 @@ fn main() {
                 std::thread::available_parallelism().map_or(0, |p| p.get() as u64),
             )
             .u64("pool_threads", sgs_exec::global().threads() as u64)
+            .u64("metrics_enabled", metrics as u64)
             .array("rows", &json_rows)
+            .array("metrics", &metrics_json())
             .render();
         println!("{report}");
     } else {

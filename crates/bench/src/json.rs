@@ -30,6 +30,12 @@ impl JsonObject {
         self
     }
 
+    /// Add a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
     /// Add a float field (non-finite values render as `null`).
     pub fn f64(mut self, key: &str, value: f64) -> Self {
         let rendered = if value.is_finite() {

@@ -21,6 +21,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod obs_report;
 pub mod quality;
 pub mod table;
 pub mod workload;

@@ -45,8 +45,8 @@ use sgs_core::{Point, WindowId};
 use sgs_csgs::WindowOutput;
 use sgs_summarize::Sgs;
 use sgs_wire::{
-    read_frame, write_frame, ErrorCode, Frame, RecvError, WireMatch, WireQuery, WireStats,
-    FEED_CHUNK, WIRE_VERSION,
+    read_frame, write_frame, ErrorCode, Frame, RecvError, WireMatch, WireMetric, WireQuery,
+    WireStats, FEED_CHUNK, WIRE_VERSION,
 };
 
 /// Why a client call failed.
@@ -285,6 +285,16 @@ impl Client {
         match self.call(Frame::StatsReq { query })? {
             Frame::StatsReply(q) => Ok(q),
             _ => Err(ClientError::Unexpected("stats reply")),
+        }
+    }
+
+    /// Snapshot the server's process-wide metric registry (all sessions
+    /// and layers — unlike [`stats`](Self::stats), which is one query).
+    /// Sorted by metric name. Empty until the server enables metrics.
+    pub fn metrics(&mut self) -> Result<Vec<WireMetric>, ClientError> {
+        match self.call(Frame::MetricsReq)? {
+            Frame::MetricsReply(metrics) => Ok(metrics),
+            _ => Err(ClientError::Unexpected("metrics reply")),
         }
     }
 

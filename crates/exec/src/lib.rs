@@ -49,8 +49,75 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use sgs_obs::{labeled, registry, Counter, Gauge, Histogram, SpanGuard};
+
 /// A unit of pool work.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Construction-time handles into the process-wide metric registry
+/// (`DESIGN.md` §11). Registered by name, so every pool in the process
+/// shares one set of instruments — the scheduler metrics are process
+/// totals, not per-pool series.
+struct PoolMetrics {
+    /// Tasks executed, labeled by the worker that ran them.
+    tasks: Vec<Arc<Counter>>,
+    /// Tasks help-executed by a blocked [`Pool::scope`] caller that is
+    /// not a pool worker (`worker="caller"`).
+    tasks_caller: Arc<Counter>,
+    /// Successful steals from a sibling worker's deque.
+    steals: Arc<Counter>,
+    /// Times a worker went to sleep on the wake condvar.
+    parks: Arc<Counter>,
+    /// Times a sleeping worker was woken.
+    unparks: Arc<Counter>,
+    /// Tasks currently queued in the two-priority global injector.
+    injector_depth: Arc<Gauge>,
+    /// Tasks currently queued across all per-worker deques.
+    deque_depth: Arc<Gauge>,
+    /// Task execution latency (nanoseconds), by priority.
+    task_nanos_high: Arc<Histogram>,
+    task_nanos_normal: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    fn new(threads: usize) -> PoolMetrics {
+        let r = registry();
+        PoolMetrics {
+            tasks: (0..threads)
+                .map(|w| {
+                    r.counter(&labeled(
+                        "sgs_exec_tasks_total",
+                        &[("worker", &w.to_string())],
+                    ))
+                })
+                .collect(),
+            tasks_caller: r.counter(&labeled("sgs_exec_tasks_total", &[("worker", "caller")])),
+            steals: r.counter("sgs_exec_steals_total"),
+            parks: r.counter("sgs_exec_parks_total"),
+            unparks: r.counter("sgs_exec_unparks_total"),
+            injector_depth: r.gauge("sgs_exec_injector_depth"),
+            deque_depth: r.gauge("sgs_exec_deque_depth"),
+            task_nanos_high: r.histogram(&labeled("sgs_exec_task_nanos", &[("priority", "high")])),
+            task_nanos_normal: r
+                .histogram(&labeled("sgs_exec_task_nanos", &[("priority", "normal")])),
+        }
+    }
+
+    fn task_nanos(&self, priority: Priority) -> &Histogram {
+        match priority {
+            Priority::High => &self.task_nanos_high,
+            Priority::Normal => &self.task_nanos_normal,
+        }
+    }
+
+    /// Count a task execution against the worker that ran it.
+    fn count_task(&self, me: Option<usize>) {
+        match me {
+            Some(w) => self.tasks[w].inc(),
+            None => self.tasks_caller.inc(),
+        }
+    }
+}
 
 /// Scheduling class of a [`Pool::spawn`]ed task.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +158,8 @@ struct Inner {
     /// zero — the common saturated case — keeping the hot spawn path off
     /// the global mutex.
     sleepers: AtomicUsize,
+    /// Scheduler observability handles (`DESIGN.md` §11).
+    metrics: PoolMetrics,
 }
 
 std::thread_local! {
@@ -112,13 +181,18 @@ impl Inner {
         // rescan a touch sooner than the task is visible.
         self.queued.fetch_add(1, Ordering::SeqCst);
         match worker {
-            Some(w) => self.deques[w].lock().unwrap().push_back(task),
+            Some(w) => {
+                self.deques[w].lock().unwrap().push_back(task);
+                self.metrics.deque_depth.inc();
+            }
             None => {
                 let mut inj = self.injector.lock().unwrap();
                 match priority {
                     Priority::High => inj.high.push_back(task),
                     Priority::Normal => inj.normal.push_back(task),
                 }
+                drop(inj);
+                self.metrics.injector_depth.inc();
             }
         }
         // Wake a sleeper if there is one. The order is what makes this
@@ -140,16 +214,18 @@ impl Inner {
     /// `include_normal` — the injector's `Normal` queue. Stealing before
     /// `Normal` is what gives a blocked fork-join caller's phases
     /// cross-worker parallelism even while ingestion work is queued.
-    fn find_task(&self, me: Option<usize>, include_normal: bool) -> Option<Task> {
+    fn find_task(&self, me: Option<usize>, include_normal: bool) -> Option<(Task, Priority)> {
         if let Some(w) = me {
             if let Some(t) = self.deques[w].lock().unwrap().pop_back() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(t);
+                self.metrics.deque_depth.dec();
+                return Some((t, Priority::High));
             }
         }
         if let Some(t) = self.injector.lock().unwrap().high.pop_front() {
             self.queued.fetch_sub(1, Ordering::SeqCst);
-            return Some(t);
+            self.metrics.injector_depth.dec();
+            return Some((t, Priority::High));
         }
         let n = self.deques.len();
         let start = me.map_or(0, |w| w + 1);
@@ -160,16 +236,30 @@ impl Inner {
             }
             if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(t);
+                self.metrics.deque_depth.dec();
+                self.metrics.steals.inc();
+                return Some((t, Priority::High));
             }
         }
         if include_normal {
             if let Some(t) = self.injector.lock().unwrap().normal.pop_front() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(t);
+                self.metrics.injector_depth.dec();
+                return Some((t, Priority::Normal));
             }
         }
         None
+    }
+
+    /// Execute one claimed task with its observability bookkeeping: the
+    /// per-worker task count and the per-priority latency histogram.
+    fn run_task(&self, me: Option<usize>, task: Task, priority: Priority) {
+        self.metrics.count_task(me);
+        let _span = SpanGuard::new(self.metrics.task_nanos(priority));
+        // A detached task must never take its thread down: panics are
+        // contained here (task owners that care — scopes, the runtime
+        // executor — install their own handlers underneath).
+        let _ = catch_unwind(AssertUnwindSafe(task));
     }
 }
 
@@ -178,11 +268,8 @@ impl Inner {
 fn worker_loop(inner: Arc<Inner>, me: usize) {
     WORKER.with(|w| *w.borrow_mut() = Some((inner.clone(), me)));
     loop {
-        if let Some(task) = inner.find_task(Some(me), true) {
-            // A detached task must never take its worker down: panics are
-            // contained here (task owners that care — scopes, the runtime
-            // executor — install their own handlers underneath).
-            let _ = catch_unwind(AssertUnwindSafe(task));
+        if let Some((task, priority)) = inner.find_task(Some(me), true) {
+            inner.run_task(Some(me), task, priority);
             continue;
         }
         let mut sleep = inner.sleep.lock().unwrap();
@@ -202,7 +289,9 @@ fn worker_loop(inner: Arc<Inner>, me: usize) {
                 inner.sleepers.fetch_sub(1, Ordering::SeqCst);
                 break; // rescan
             }
+            inner.metrics.parks.inc();
             sleep = inner.wake.wait(sleep).unwrap();
+            inner.metrics.unparks.inc();
             inner.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -250,6 +339,7 @@ impl Pool {
             wake: Condvar::new(),
             queued: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
+            metrics: PoolMetrics::new(threads),
         });
         for me in 0..threads {
             let inner = inner.clone();
@@ -323,8 +413,8 @@ impl Pool {
             // Only high-priority work is safe to help with: `Normal`
             // ingestion tasks may block (bounded output) and would stall
             // this scope on an unrelated query.
-            if let Some(task) = self.inner.find_task(me, false) {
-                let _ = catch_unwind(AssertUnwindSafe(task));
+            if let Some((task, priority)) = self.inner.find_task(me, false) {
+                self.inner.run_task(me, task, priority);
                 continue;
             }
             let guard = scope.state.done.lock().unwrap();

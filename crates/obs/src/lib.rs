@@ -1,0 +1,580 @@
+//! Zero-dependency metrics + tracing core (`DESIGN.md` §11).
+//!
+//! Every layer of the system registers its instruments here at
+//! construction time and holds typed handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) — recording is a handful of relaxed atomic operations
+//! on the hot path and **a single relaxed load** when metrics are
+//! disabled (the default). The process-wide [`Registry`] is the one
+//! source every exposition surface reads: the `MetricsReq` wire frame,
+//! the `--metrics-addr` Prometheus text endpoint, and the bench
+//! harnesses' `--json` snapshots.
+//!
+//! Metric names follow `sgs_<layer>_<name>` with Prometheus-style inline
+//! labels (`sgs_exec_tasks_total{worker="0"}`); see [`labeled`].
+//!
+//! Enabling is **monotonic**: [`enable`] flips a process-global flag
+//! that is never cleared, so concurrently running queries and tests can
+//! race on it safely (recording is always correct; only the no-op
+//! fast-path is at stake).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Process-global enable flag. Off by default; flipped (once) by
+/// `RuntimeConfig::metrics` or the server/bench entry points.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn metric recording on for the whole process. One-way: there is no
+/// `disable`, so instrumented code may cache the answer-shaped fast path
+/// without ever observing a flip back.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether metric recording is on. A single relaxed load — the entire
+/// cost of instrumentation when metrics are disabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Count one event. No-op while metrics are disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events. No-op while metrics are disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, open sessions, ...).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Move the level by `delta` (negative to decrease). No-op while
+    /// metrics are disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increase the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrease the level by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrite the level. No-op while metrics are disabled.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if enabled() {
+            self.0.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two of the recorded
+/// value, so bucket `i` spans `[2^i, 2^(i+1))` (bucket 0 also catches 0).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log-bucketed latency histogram with a lock-free record path.
+///
+/// Values (nanoseconds by convention) land in power-of-two buckets, so
+/// quantile estimates carry at most one octave of error — plenty for
+/// "did p99 fsync latency double", at 64 words of memory and zero locks.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of `value`: floor(log2(value)), with 0 mapping to
+/// bucket 0.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (63 - value.max(1).leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one observation. No-op while metrics are disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record the nanoseconds elapsed since `start`.
+    #[inline]
+    pub fn record_since(&self, start: Instant) {
+        if enabled() {
+            self.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Point-in-time snapshot with estimated quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile observation, 1-based.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Report the bucket's upper bound, clipped to the
+                    // largest value actually observed.
+                    let upper = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                    return upper.min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Estimated median (upper bound of its power-of-two bucket).
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A scope timer: records the elapsed nanoseconds into a histogram when
+/// dropped. Constructed through [`span!`] or [`SpanGuard::new`]; when
+/// metrics are disabled it never reads the clock and drops for free.
+#[must_use = "a span guard records on drop — binding it to _ discards the measurement"]
+pub struct SpanGuard<'a> {
+    histogram: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Start timing into `histogram` (a no-op guard when disabled).
+    #[inline]
+    pub fn new(histogram: &'a Histogram) -> SpanGuard<'a> {
+        SpanGuard {
+            histogram,
+            start: enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Time the enclosing scope into the named histogram:
+///
+/// ```
+/// # sgs_obs::enable();
+/// {
+///     let _span = sgs_obs::span!("sgs_example_phase_nanos");
+///     // ... timed work ...
+/// }
+/// assert_eq!(
+///     sgs_obs::registry()
+///         .histogram("sgs_example_phase_nanos")
+///         .snapshot()
+///         .count,
+///     1
+/// );
+/// ```
+///
+/// The histogram handle is resolved once per call site and cached in a
+/// static, so repeated entries cost no registry lookup.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static SPAN_HISTOGRAM: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        $crate::SpanGuard::new(SPAN_HISTOGRAM.get_or_init(|| $crate::registry().histogram($name)))
+    }};
+}
+
+/// Render `name{label="value",...}` — the inline-label naming scheme the
+/// registry keys on (`DESIGN.md` §11).
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", inner.join(","))
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The value of one metric in a [`Registry::snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A [`Counter`] reading.
+    Counter(u64),
+    /// A [`Gauge`] reading.
+    Gauge(i64),
+    /// A [`Histogram`] snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in a [`Registry::snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Full display name, labels inline.
+    pub name: String,
+    /// The reading at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The process-wide metric registry: a name → instrument map that every
+/// exposition surface snapshots. Get-or-register is idempotent — two
+/// sites asking for the same name share one instrument — but asking for
+/// the same name with a different type panics (a wiring bug, not a
+/// runtime condition).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// The map is consistent at every panic point (type-confusion panics
+    /// happen after any insertion), so a poisoned lock is still usable.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The process-wide [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Read every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let metrics = self.lock();
+        metrics
+            .iter()
+            .map(|(name, metric)| MetricSnapshot {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Counters and gauges render directly; histograms
+    /// render as summaries (`{quantile="…"}` series plus `_sum`,
+    /// `_count`, and a `_max` gauge).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for MetricSnapshot { name, value } in self.snapshot() {
+            let (base, labels) = split_labels(&name);
+            match value {
+                MetricValue::Counter(v) => {
+                    type_line(&mut out, &mut last_base, base, "counter");
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    type_line(&mut out, &mut last_base, base, "gauge");
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    type_line(&mut out, &mut last_base, base, "summary");
+                    for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                        let qlabel = format!("quantile=\"{q}\"");
+                        let series = match labels {
+                            Some(l) => format!("{base}{{{l},{qlabel}}}"),
+                            None => format!("{base}{{{qlabel}}}"),
+                        };
+                        out.push_str(&format!("{series} {v}\n"));
+                    }
+                    let suffixed = |suffix: &str| match labels {
+                        Some(l) => format!("{base}{suffix}{{{l}}}"),
+                        None => format!("{base}{suffix}"),
+                    };
+                    out.push_str(&format!("{} {}\n", suffixed("_sum"), h.sum));
+                    out.push_str(&format!("{} {}\n", suffixed("_count"), h.count));
+                    out.push_str(&format!("{} {}\n", suffixed("_max"), h.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Split `name{labels}` into `(name, Some(labels))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Emit one `# TYPE` comment per base name (label variants share it).
+fn type_line(out: &mut String, last_base: &mut String, base: &str, kind: &str) {
+    if last_base != base {
+        out.push_str(&format!("# TYPE {base} {kind}\n"));
+        *last_base = base.to_string();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_floor_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_distribution() {
+        enable();
+        let h = Histogram::default();
+        // 90 fast observations around 1µs, 10 slow ones around 1ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1_000_000);
+        // p50 sits in the 1µs bucket [512, 1024); p99 in the 1ms bucket.
+        assert!(s.p50 >= 1_000 && s.p50 < 2_048, "p50 = {}", s.p50);
+        assert!(s.p95 >= 1_000_000, "p95 = {}", s.p95);
+        assert_eq!(s.p99, 1_000_000, "p99 clips to the observed max");
+        assert!((s.mean() - (90.0 * 1e3 + 10.0 * 1e6) / 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn registry_get_or_register_shares_instruments() {
+        enable();
+        let a = registry().counter("sgs_test_shared_total");
+        let b = registry().counter("sgs_test_shared_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(registry()
+            .snapshot()
+            .iter()
+            .any(|m| m.name == "sgs_test_shared_total" && m.value == MetricValue::Counter(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_type_confusion() {
+        registry().counter("sgs_test_confused");
+        registry().gauge("sgs_test_confused");
+    }
+
+    #[test]
+    fn labeled_renders_prometheus_style() {
+        assert_eq!(labeled("sgs_x_total", &[]), "sgs_x_total");
+        assert_eq!(
+            labeled("sgs_x_total", &[("worker", "3"), ("prio", "high")]),
+            "sgs_x_total{worker=\"3\",prio=\"high\"}"
+        );
+        assert_eq!(
+            split_labels("sgs_x_total{worker=\"3\"}"),
+            ("sgs_x_total", Some("worker=\"3\""))
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_kinds() {
+        enable();
+        registry().counter("sgs_test_render_total").add(7);
+        registry().gauge("sgs_test_render_depth").set(-2);
+        registry()
+            .histogram("sgs_test_render_nanos{phase=\"x\"}")
+            .record(100);
+        let text = registry().render_prometheus();
+        assert!(text.contains("# TYPE sgs_test_render_total counter\n"));
+        assert!(text.contains("sgs_test_render_total 7\n"));
+        assert!(text.contains("# TYPE sgs_test_render_depth gauge\n"));
+        assert!(text.contains("sgs_test_render_depth -2\n"));
+        assert!(text.contains("# TYPE sgs_test_render_nanos summary\n"));
+        assert!(text.contains("sgs_test_render_nanos{phase=\"x\",quantile=\"0.5\"} "));
+        assert!(text.contains("sgs_test_render_nanos_count{phase=\"x\"} 1\n"));
+        assert!(text.contains("sgs_test_render_nanos_sum{phase=\"x\"} 100\n"));
+        assert!(text.contains("sgs_test_render_nanos_max{phase=\"x\"} 100\n"));
+    }
+
+    #[test]
+    fn span_macro_records_into_its_histogram() {
+        enable();
+        for _ in 0..3 {
+            let _span = span!("sgs_test_span_nanos");
+        }
+        let snapshot = registry().histogram("sgs_test_span_nanos").snapshot();
+        assert_eq!(snapshot.count, 3);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        enable();
+        let g = Gauge::default();
+        g.inc();
+        g.add(5);
+        g.dec();
+        assert_eq!(g.get(), 5);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+}

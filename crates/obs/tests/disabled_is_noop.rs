@@ -1,0 +1,55 @@
+//! The disabled fast path really is a no-op. This lives in its own
+//! integration-test binary because `sgs_obs::enable()` is process-global
+//! and monotonic: the crate's unit tests enable metrics, so disabled
+//! behavior can only be observed in a process that has never enabled
+//! them — and everything here must run inside ONE `#[test]` so the
+//! enable happens strictly after the disabled assertions.
+
+use sgs_obs::{registry, Counter, Gauge, Histogram, MetricValue, SpanGuard};
+
+#[test]
+fn nothing_records_until_enable_and_everything_after() {
+    assert!(!sgs_obs::enabled());
+
+    let c = Counter::default();
+    let g = Gauge::default();
+    let h = Histogram::default();
+    c.inc();
+    c.add(10);
+    g.inc();
+    g.set(99);
+    h.record(123);
+    h.record_since(std::time::Instant::now());
+    {
+        let _span = SpanGuard::new(&h);
+    }
+    {
+        let _span = sgs_obs::span!("sgs_test_disabled_span_nanos");
+    }
+    assert_eq!(c.get(), 0, "disabled counter must not move");
+    assert_eq!(g.get(), 0, "disabled gauge must not move");
+    assert_eq!(h.snapshot().count, 0, "disabled histogram must not record");
+
+    // Registration still works while disabled (construction-time handle
+    // registration must not depend on the flag), it just reads zero.
+    let registered = registry().counter("sgs_test_disabled_total");
+    registered.add(7);
+    let snapshot = registry().snapshot();
+    let entry = snapshot
+        .iter()
+        .find(|m| m.name == "sgs_test_disabled_total")
+        .expect("registered while disabled");
+    assert_eq!(entry.value, MetricValue::Counter(0));
+
+    // After the one-way enable, the same handles record normally.
+    sgs_obs::enable();
+    assert!(sgs_obs::enabled());
+    c.inc();
+    g.set(99);
+    h.record(123);
+    registered.add(7);
+    assert_eq!(c.get(), 1);
+    assert_eq!(g.get(), 99);
+    assert_eq!(h.snapshot().count, 1);
+    assert_eq!(registered.get(), 7);
+}

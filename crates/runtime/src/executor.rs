@@ -44,19 +44,23 @@ use sgs_core::{Point, WindowId};
 use sgs_csgs::WindowOutput;
 use sgs_exec::{Pool, Priority};
 
+use crate::metrics::metrics;
 use crate::output::OutputBuffer;
 use crate::pipeline::StreamPipeline;
 use crate::plan::DetectPlan;
 use crate::registry::{QueryState, SharedStatus};
 
-/// Control/data messages sent to a query's input queue.
+/// Control/data messages sent to a query's input queue. Data messages
+/// carry their enqueue instant so the executor can attribute the full
+/// ingest→window-emit latency (`sgs_runtime_ingest_to_emit_nanos`), not
+/// just pipeline time.
 pub(crate) enum Msg {
     /// One point to process.
-    Point(Point),
+    Point(Point, Instant),
     /// A batch of points to process as one unit. Shared (`Arc`) so the
     /// ingest thread materializes each broadcast chunk once, not once per
     /// query; tasks pay the per-point clone on the pool.
-    Batch(Arc<[Point]>),
+    Batch(Arc<[Point]>, Instant),
     /// Synchronization barrier: acked once every message queued before
     /// this one has been fully processed.
     Barrier(mpsc::Sender<()>),
@@ -100,6 +104,8 @@ impl InputQueue {
             q = self.not_full.wait(q).unwrap();
         }
         q.push_back(msg);
+        drop(q);
+        metrics().input_queue_depth.inc();
     }
 
     /// Enqueue without the capacity wait — for control messages that
@@ -108,6 +114,7 @@ impl InputQueue {
     /// is processed, e.g. a stop issued under the caller's lock).
     fn send_unbounded(&self, msg: Msg) {
         self.queue.lock().unwrap().push_back(msg);
+        metrics().input_queue_depth.inc();
     }
 
     fn pop(&self) -> Option<Msg> {
@@ -118,6 +125,10 @@ impl InputQueue {
             // Producers only wait while the queue is at capacity, so
             // notifying is needed exactly on the full → not-full edge.
             self.not_full.notify_all();
+        }
+        drop(q);
+        if msg.is_some() {
+            metrics().input_queue_depth.dec();
         }
         msg
     }
@@ -216,7 +227,7 @@ impl QueryCell {
     /// into the shared history, emit outputs, update the stats cell. A
     /// panic (e.g. in an analyst callback) fails the query instead of
     /// poisoning the worker.
-    fn process(&self, points: &[Point]) {
+    fn process(&self, points: &[Point], enqueued: Instant) {
         if self.shared.read().state == QueryState::Failed {
             return; // Drop points that were in flight when the query failed.
         }
@@ -230,6 +241,7 @@ impl QueryCell {
             process_batch(
                 pipeline,
                 points,
+                enqueued,
                 &self.shared,
                 &self.history,
                 sink,
@@ -283,8 +295,8 @@ fn run(cell: Arc<QueryCell>) {
         };
         quantum -= 1;
         match msg {
-            Msg::Point(p) => cell.process(std::slice::from_ref(&p)),
-            Msg::Batch(b) => cell.process(&b),
+            Msg::Point(p, enqueued) => cell.process(std::slice::from_ref(&p), enqueued),
+            Msg::Batch(b, enqueued) => cell.process(&b, enqueued),
             Msg::Barrier(ack) => {
                 // Sender may have given up waiting; a dead ack is fine.
                 let _ = ack.send(());
@@ -303,9 +315,11 @@ fn run(cell: Arc<QueryCell>) {
 
 /// The batch-processing body (unchanged semantics from the
 /// thread-per-query executor).
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     pipeline: &mut StreamPipeline,
     points: &[Point],
+    enqueued: Instant,
     shared: &SharedStatus,
     history: &SharedPatternBase,
     sink: &mut Sink,
@@ -344,6 +358,21 @@ fn process_batch(
             for (window, out) in &outputs {
                 cb(*window, out);
             }
+        }
+    }
+
+    // Process-wide runtime metrics, one update per batch. The
+    // ingest→emit histogram is attributed only to batches that actually
+    // completed a window — it measures end-to-end result latency (queue
+    // wait + pipeline), not per-batch overhead.
+    if sgs_obs::enabled() {
+        let m = metrics();
+        m.points.add(points.len() as u64);
+        m.batch_nanos.record(busy);
+        m.windows_emitted.add(n_windows);
+        m.windows_dropped.add(n_dropped);
+        if n_windows > 0 {
+            m.ingest_to_emit_nanos.record_since(enqueued);
         }
     }
 

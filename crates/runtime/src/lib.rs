@@ -42,6 +42,7 @@
 //! pool). See `DESIGN.md` §5 and §8 for the architecture rationale.
 
 pub mod executor;
+pub(crate) mod metrics;
 pub mod output;
 pub mod pipeline;
 pub mod plan;

@@ -88,6 +88,12 @@ pub struct RuntimeConfig {
     /// (`DESIGN.md` §10). `None` (the default) keeps the historical
     /// memory-only behavior.
     pub durable_archive: Option<DurableArchive>,
+    /// Turn on metric recording (`DESIGN.md` §11) for the whole process.
+    /// Off by default: instrumented hot paths then cost a single relaxed
+    /// atomic load. Enabling is process-global and one-way (the `sgs-obs`
+    /// flag is monotonic), so one metrics-on runtime lights up every
+    /// instrumented layer.
+    pub metrics: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -100,6 +106,7 @@ impl Default for RuntimeConfig {
             pool_threads: PoolThreads::Auto,
             output_policy: OutputPolicy::Unbounded,
             durable_archive: None,
+            metrics: false,
         }
     }
 }
@@ -288,6 +295,9 @@ impl Runtime {
 
     /// Runtime with explicit configuration.
     pub fn with_config(config: RuntimeConfig) -> Self {
+        if config.metrics {
+            sgs_obs::enable();
+        }
         let mut planner = Planner::new(StreamCatalog::new());
         planner.default_policy = config.default_policy.clone();
         planner.default_seed = config.base_seed;
@@ -502,7 +512,9 @@ impl Runtime {
             if entry.shared.read().state != QueryState::Running {
                 continue;
             }
-            entry.cell.send(Msg::Point(point.clone()));
+            entry
+                .cell
+                .send(Msg::Point(point.clone(), std::time::Instant::now()));
         }
         Ok(())
     }
@@ -647,6 +659,11 @@ impl Runtime {
             });
         }
         status.state = to;
+        match to {
+            QueryState::Paused => crate::metrics::metrics().pauses.inc(),
+            QueryState::Running => crate::metrics::metrics().resumes.inc(),
+            _ => {}
+        }
         Ok(())
     }
 
@@ -899,11 +916,12 @@ impl StreamFeeder {
     pub fn push_batch(&self, points: &[Point]) {
         for chunk in points.chunks(BATCH_CHUNK) {
             let chunk: Arc<[Point]> = chunk.into();
+            let enqueued = std::time::Instant::now();
             for (shared, cell) in &self.targets {
                 if shared.read().state != QueryState::Running {
                     continue;
                 }
-                cell.send(Msg::Batch(chunk.clone()));
+                cell.send(Msg::Batch(chunk.clone(), enqueued));
             }
         }
     }

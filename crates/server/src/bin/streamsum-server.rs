@@ -7,6 +7,7 @@
 //!                  [--pool-threads N] [--shards N] [--seed N]
 //!                  [--archive-dir PATH] [--archive-budget BYTES]
 //!                  [--archive-replacer sieve|clock|lru]
+//!                  [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! With no `--stream` flags the two generator streams are registered:
@@ -32,6 +33,8 @@ usage: streamsum-server [options]
                             are coarsened, never dropped (default: unbounded)
   --archive-replacer P      buffer-pool replacement: sieve | clock | lru
                             (default sieve)
+  --metrics-addr HOST:PORT  also serve Prometheus text exposition over HTTP
+                            there (port 0 = OS-assigned; enables metrics)
   --help                    this text";
 
 fn main() {
@@ -46,7 +49,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (addr, server_config) = config;
+    let (addr, metrics_addr, server_config) = config;
     let server = match Server::bind(addr.as_str(), server_config.clone()) {
         Ok(server) => server,
         Err(e) => {
@@ -54,6 +57,15 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(metrics_addr) = metrics_addr {
+        match sgs_server::spawn_metrics_listener(metrics_addr.as_str()) {
+            Ok(bound) => println!("streamsum-server metrics on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("error: cannot bind metrics address {metrics_addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let streams: Vec<String> = server_config
         .streams
         .iter()
@@ -72,10 +84,11 @@ fn main() {
     }
 }
 
-type Parsed = (String, ServerConfig);
+type Parsed = (String, Option<String>, ServerConfig);
 
 fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut metrics_addr: Option<String> = None;
     let mut runtime = RuntimeConfig::default();
     let mut streams: Vec<(String, usize)> = Vec::new();
     let mut archive_dir: Option<String> = None;
@@ -129,6 +142,10 @@ fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
                     .parse()
                     .map_err(|_| "bad --seed".to_string())?;
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(value("--metrics-addr")?);
+                runtime.metrics = true;
+            }
             "--archive-dir" => archive_dir = Some(value("--archive-dir")?),
             "--archive-budget" => {
                 archive_budget = Some(
@@ -174,7 +191,7 @@ fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
     if !streams.is_empty() {
         config.streams = streams;
     }
-    Ok(Some((addr, config)))
+    Ok(Some((addr, metrics_addr, config)))
 }
 
 fn parse_policy(spec: &str) -> Result<OutputPolicy, String> {

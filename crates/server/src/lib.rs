@@ -36,6 +36,8 @@
 //! live queries are cancelled, so abandoned clients do not leak pipeline
 //! state — their archived history remains, by design.
 
+pub mod metrics;
+
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,9 +49,12 @@ use sgs_runtime::{
     OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats, Runtime, RuntimeConfig, RuntimeError,
 };
 use sgs_wire::{
-    read_frame, write_frame, ErrorCode, Frame, RecvError, WireQuery, WireQueryState, WireStats,
-    WireWindow, WIRE_VERSION,
+    read_frame, write_frame, ErrorCode, Frame, RecvError, WireMetric, WireMetricValue, WireQuery,
+    WireQueryState, WireStats, WireWindow, WIRE_VERSION,
 };
+
+pub use metrics::spawn_metrics_listener;
+use metrics::{CountingStream, ServerMetrics};
 
 /// Construction-time settings of a [`Server`].
 #[derive(Clone, Debug)]
@@ -84,6 +89,7 @@ const POLL_PAGE_BYTES: usize = 8 << 20;
 struct Shared {
     rt: RwLock<Runtime>,
     shutting_down: AtomicBool,
+    metrics: ServerMetrics,
 }
 
 /// The listening server. Construct with [`Server::bind`], then either
@@ -136,6 +142,7 @@ impl Server {
             shared: Arc::new(Shared {
                 rt: RwLock::new(rt),
                 shutting_down: AtomicBool::new(false),
+                metrics: ServerMetrics::new(),
             }),
         })
     }
@@ -201,8 +208,15 @@ impl Session {
 
 /// Serve one connection to completion. Any protocol violation ends the
 /// session; any transport error ends it silently (the peer is gone).
-fn serve_session(shared: &Shared, mut stream: TcpStream) {
+fn serve_session(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    shared.metrics.sessions_total.inc();
+    shared.metrics.sessions.inc();
+    serve_session_inner(shared, CountingStream::new(stream, &shared.metrics));
+    shared.metrics.sessions.dec();
+}
+
+fn serve_session_inner(shared: &Shared, mut stream: CountingStream) {
     // Handshake: the first frame must be Hello.
     match read_frame(&mut stream) {
         Ok(Frame::Hello { .. }) => {
@@ -292,6 +306,7 @@ fn serve_session(shared: &Shared, mut stream: TcpStream) {
 
 /// Execute one request frame against the shared runtime.
 fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
+    shared.metrics.count_frame(frame.kind());
     match frame {
         Frame::Hello { .. } => error_frame(ErrorCode::Protocol, "duplicate Hello".into()),
         Frame::Submit { text } => {
@@ -459,6 +474,27 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
             Frame::OkAck
         }
         Frame::Goodbye => Frame::OkAck,
+        Frame::MetricsReq => Frame::MetricsReply(
+            sgs_obs::registry()
+                .snapshot()
+                .into_iter()
+                .map(|m| WireMetric {
+                    name: m.name,
+                    value: match m.value {
+                        sgs_obs::MetricValue::Counter(v) => WireMetricValue::Counter(v),
+                        sgs_obs::MetricValue::Gauge(v) => WireMetricValue::Gauge(v),
+                        sgs_obs::MetricValue::Histogram(h) => WireMetricValue::Histogram {
+                            count: h.count,
+                            sum: h.sum,
+                            max: h.max,
+                            p50: h.p50,
+                            p95: h.p95,
+                            p99: h.p99,
+                        },
+                    },
+                })
+                .collect(),
+        ),
         // Response kinds are not requests.
         other => error_frame(
             ErrorCode::Protocol,
@@ -496,7 +532,10 @@ fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> F
         }
         rt.feeder(Some(session.owner), Some(stream))
     };
-    feeder.push_batch(points);
+    {
+        let _block = sgs_obs::SpanGuard::new(&shared.metrics.feed_block_nanos);
+        feeder.push_batch(points);
+    }
     Frame::OkAck
 }
 

@@ -1,0 +1,182 @@
+//! Server-layer instrumentation (`DESIGN.md` §11): session and frame
+//! accounting, transport byte counts, and the optional HTTP scrape
+//! endpoint serving the Prometheus text exposition.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use sgs_obs::{labeled, registry, Counter, Gauge, Histogram};
+
+/// Request-kind byte → stable label value for
+/// `sgs_server_frames_total{kind=...}`.
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        0x01 => "hello",
+        0x02 => "submit",
+        0x03 => "feed",
+        0x04 => "poll",
+        0x05 => "stats",
+        0x06 => "list",
+        0x07 => "pause",
+        0x08 => "resume",
+        0x09 => "cancel",
+        0x0A => "bind",
+        0x0B => "quiesce",
+        0x0C => "goodbye",
+        0x0D => "metrics",
+        _ => "other",
+    }
+}
+
+/// Typed handles into the process registry, resolved once at server
+/// construction so per-frame accounting is a relaxed atomic, not a map
+/// lookup.
+pub(crate) struct ServerMetrics {
+    /// Sessions currently connected.
+    pub sessions: Arc<Gauge>,
+    /// Sessions accepted since start.
+    pub sessions_total: Arc<Counter>,
+    /// Request frames dispatched, by kind (index = kind byte; `[0]` is
+    /// the `other` fallback for unknown kinds).
+    frames: Vec<Arc<Counter>>,
+    /// Transport bytes read off client sockets.
+    pub bytes_in: Arc<Counter>,
+    /// Transport bytes written to client sockets.
+    pub bytes_out: Arc<Counter>,
+    /// Time one `Feed` dispatch spends blocked pushing into the bounded
+    /// input queues — the server-side view of backpressure.
+    pub feed_block_nanos: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> ServerMetrics {
+        let r = registry();
+        let frames = (0u8..=0x0D)
+            .map(|k| {
+                r.counter(&labeled(
+                    "sgs_server_frames_total",
+                    &[("kind", kind_name(if k == 0 { 0xFF } else { k }))],
+                ))
+            })
+            .collect();
+        ServerMetrics {
+            sessions: r.gauge("sgs_server_sessions"),
+            sessions_total: r.counter("sgs_server_sessions_total"),
+            frames,
+            bytes_in: r.counter("sgs_server_bytes_in_total"),
+            bytes_out: r.counter("sgs_server_bytes_out_total"),
+            feed_block_nanos: r.histogram("sgs_server_feed_block_nanos"),
+        }
+    }
+
+    /// Count one dispatched request frame by its kind byte.
+    pub(crate) fn count_frame(&self, kind: u8) {
+        let idx = if (kind as usize) < self.frames.len() {
+            kind as usize
+        } else {
+            0
+        };
+        self.frames[idx].inc();
+    }
+}
+
+/// A `Read`/`Write` transport wrapper that counts the bytes actually
+/// moved over the socket (frame overhead included — this measures the
+/// wire, not the payloads).
+pub(crate) struct CountingStream {
+    inner: TcpStream,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+impl CountingStream {
+    pub(crate) fn new(inner: TcpStream, m: &ServerMetrics) -> CountingStream {
+        CountingStream {
+            inner,
+            bytes_in: m.bytes_in.clone(),
+            bytes_out: m.bytes_out.clone(),
+        }
+    }
+}
+
+impl Read for CountingStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes_in.add(n as u64);
+        Ok(n)
+    }
+}
+
+impl Write for CountingStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes_out.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP scrape endpoint
+// ---------------------------------------------------------------------------
+
+/// Bind `addr` and serve the process metric registry as Prometheus text
+/// exposition (format 0.0.4) from a background thread, one connection at
+/// a time — a scrape endpoint sees one poller every few seconds, not a
+/// thundering herd. Returns the bound address (use port 0 to let the OS
+/// pick). The thread runs for the life of the process.
+///
+/// The server is deliberately minimal (no routing, no keep-alive): any
+/// `GET` line gets `200 OK` with the exposition; anything else gets
+/// `405`. That is all `curl` and a Prometheus scraper need.
+pub fn spawn_metrics_listener(addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("sgs-metrics-http".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let _ = serve_scrape(stream);
+            }
+        })?;
+    Ok(bound)
+}
+
+fn serve_scrape(stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers so the client's write side is not reset before
+    // it reads our response.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    if request_line.starts_with("GET ") {
+        let body = registry().render_prometheus();
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body.as_bytes())?;
+    } else {
+        let body = "method not allowed\n";
+        write!(
+            stream,
+            "HTTP/1.1 405 Method Not Allowed\r\nContent-Type: text/plain\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    }
+    stream.flush()
+}

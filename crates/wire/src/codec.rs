@@ -9,7 +9,10 @@ use sgs_core::{CellCoord, Point, PointId, WindowId};
 use sgs_csgs::ExtractedCluster;
 use sgs_summarize::{CellStatus, Sgs, SkeletalCell};
 
-use crate::frame::{ErrorCode, Frame, WireMatch, WireQuery, WireQueryState, WireStats, WireWindow};
+use crate::frame::{
+    ErrorCode, Frame, WireMatch, WireMetric, WireMetricValue, WireQuery, WireQueryState, WireStats,
+    WireWindow,
+};
 use crate::{MAX_FRAME_LEN, WIRE_VERSION};
 
 /// Why a byte sequence is not a valid frame.
@@ -157,6 +160,36 @@ fn put_query(out: &mut Vec<u8>, q: &WireQuery) {
     put_stats(out, &q.stats);
 }
 
+fn put_metric(out: &mut Vec<u8>, m: &WireMetric) {
+    put_str(out, &m.name);
+    match m.value {
+        WireMetricValue::Counter(v) => {
+            out.push(0);
+            put_u64(out, v);
+        }
+        WireMetricValue::Gauge(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        WireMetricValue::Histogram {
+            count,
+            sum,
+            max,
+            p50,
+            p95,
+            p99,
+        } => {
+            out.push(2);
+            put_u64(out, count);
+            put_u64(out, sum);
+            put_u64(out, max);
+            put_u64(out, p50);
+            put_u64(out, p95);
+            put_u64(out, p99);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------
@@ -194,6 +227,10 @@ impl<'a> Rd<'a> {
 
     fn i32(&mut self) -> Result<i32, WireError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -330,6 +367,24 @@ impl<'a> Rd<'a> {
             stats: self.stats()?,
         })
     }
+
+    fn metric(&mut self) -> Result<WireMetric, WireError> {
+        let name = self.str()?;
+        let value = match self.u8()? {
+            0 => WireMetricValue::Counter(self.u64()?),
+            1 => WireMetricValue::Gauge(self.i64()?),
+            2 => WireMetricValue::Histogram {
+                count: self.u64()?,
+                sum: self.u64()?,
+                max: self.u64()?,
+                p50: self.u64()?,
+                p95: self.u64()?,
+                p99: self.u64()?,
+            },
+            _ => return Err(WireError::Invalid("metric value tag")),
+        };
+        Ok(WireMetric { name, value })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -368,7 +423,11 @@ impl Frame {
             | Frame::Resume { query }
             | Frame::Cancel { query }
             | Frame::Registered { query } => put_u64(out, *query),
-            Frame::ListQueries | Frame::Quiesce | Frame::Goodbye | Frame::OkAck => {}
+            Frame::ListQueries
+            | Frame::Quiesce
+            | Frame::Goodbye
+            | Frame::MetricsReq
+            | Frame::OkAck => {}
             Frame::Bind { name, sgs } => {
                 put_str(out, name);
                 put_sgs(out, sgs);
@@ -412,6 +471,12 @@ impl Frame {
                 put_u64(out, *query);
                 put_stats(out, stats);
             }
+            Frame::MetricsReply(metrics) => {
+                put_u32(out, metrics.len() as u32);
+                for m in metrics {
+                    put_metric(out, m);
+                }
+            }
             Frame::Error { code, message } => {
                 put_u16(out, code.code());
                 put_str(out, message);
@@ -447,6 +512,7 @@ impl Frame {
             },
             0x0B => Frame::Quiesce,
             0x0C => Frame::Goodbye,
+            0x0D => Frame::MetricsReq,
             0x81 => Frame::HelloAck {
                 server: rd.str()?,
                 protocol: rd.u8()?,
@@ -498,6 +564,16 @@ impl Frame {
                 query: rd.u64()?,
                 stats: rd.stats()?,
             },
+            0x89 => {
+                // Min element bytes: name length u32 + value tag u8 +
+                // the smallest value body (counter/gauge, 8 bytes).
+                let n = rd.count(4 + 1 + 8)?;
+                let mut metrics = Vec::with_capacity(n);
+                for _ in 0..n {
+                    metrics.push(rd.metric()?);
+                }
+                Frame::MetricsReply(metrics)
+            }
             0xFF => Frame::Error {
                 code: ErrorCode::from_code(rd.u16()?).ok_or(WireError::Invalid("error code"))?,
                 message: rd.str()?,

@@ -129,6 +129,49 @@ impl WireWindow {
     }
 }
 
+/// The value of one metric in a [`Frame::MetricsReply`] — the wire
+/// mirror of `sgs_obs::MetricValue`.
+///
+/// Body grammar: `tag:u8` then tag-specific fields: `0` counter
+/// (`value:u64`), `1` gauge (`value:i64`), `2` histogram
+/// (`count sum max p50 p95 p99`, each `u64`). Any other tag is a decode
+/// error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// An instantaneous signed level.
+    Gauge(i64),
+    /// A latency histogram snapshot (nanoseconds).
+    Histogram {
+        /// Observations recorded.
+        count: u64,
+        /// Sum of recorded values.
+        sum: u64,
+        /// Largest recorded value.
+        max: u64,
+        /// Estimated median.
+        p50: u64,
+        /// Estimated 95th percentile.
+        p95: u64,
+        /// Estimated 99th percentile.
+        p99: u64,
+    },
+}
+
+/// One named metric in a [`Frame::MetricsReply`].
+///
+/// Body grammar: `name:string value:WireMetricValue`. Names follow the
+/// `sgs_<layer>_<name>` scheme with Prometheus-style inline labels
+/// (`DESIGN.md` §11).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireMetric {
+    /// Full display name, labels inline.
+    pub name: String,
+    /// The reading at snapshot time.
+    pub value: WireMetricValue,
+}
+
 /// Machine-readable class of a server-reported failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -180,7 +223,7 @@ impl ErrorCode {
     }
 }
 
-/// Every message of the protocol. Kinds `0x01..=0x0C` are requests
+/// Every message of the protocol. Kinds `0x01..=0x0D` are requests
 /// (client → server), `0x81..` and `0xFF` are responses; the kind byte
 /// is noted on each variant. A request's point encoding is
 /// `ts:u64 dim:u16 coords:f64×dim` per point.
@@ -256,6 +299,11 @@ pub enum Frame {
     Quiesce,
     /// `0x0C` — close the session cleanly → [`Frame::OkAck`], then EOF.
     Goodbye,
+    /// `0x0D` — snapshot the server's process-wide metric registry →
+    /// [`Frame::MetricsReply`]. Empty body. Metrics are process-global
+    /// (all sessions, queries, and layers), unlike the session-scoped
+    /// query statistics.
+    MetricsReq,
 
     // ---- responses ------------------------------------------------------
     /// `0x81` — handshake acknowledgement.
@@ -293,6 +341,9 @@ pub enum Frame {
     /// `0x87` — success acknowledgement for requests with no payload to
     /// return.
     OkAck,
+    /// `0x89` — a snapshot of the server's metric registry, sorted by
+    /// name.
+    MetricsReply(Vec<WireMetric>),
     /// `0x88` — final accounting of a cancelled query.
     Report {
         /// Session-local query id.
@@ -327,6 +378,7 @@ impl Frame {
             Frame::Bind { .. } => 0x0A,
             Frame::Quiesce => 0x0B,
             Frame::Goodbye => 0x0C,
+            Frame::MetricsReq => 0x0D,
             Frame::HelloAck { .. } => 0x81,
             Frame::Registered { .. } => 0x82,
             Frame::Matches { .. } => 0x83,
@@ -335,6 +387,7 @@ impl Frame {
             Frame::Queries(_) => 0x86,
             Frame::OkAck => 0x87,
             Frame::Report { .. } => 0x88,
+            Frame::MetricsReply(_) => 0x89,
             Frame::Error { .. } => 0xFF,
         }
     }

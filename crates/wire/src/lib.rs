@@ -45,12 +45,18 @@ pub mod frame;
 pub mod io;
 
 pub use codec::{decode, WireError};
-pub use frame::{ErrorCode, Frame, WireMatch, WireQuery, WireQueryState, WireStats, WireWindow};
+pub use frame::{
+    ErrorCode, Frame, WireMatch, WireMetric, WireMetricValue, WireQuery, WireQueryState, WireStats,
+    WireWindow,
+};
 pub use io::{read_frame, write_frame, RecvError};
 
 /// Protocol version carried by every frame. Bump on **any** grammar
 /// change; decoders reject all other versions.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// History: `1` — initial protocol; `2` — added the
+/// [`Frame::MetricsReq`] / [`Frame::MetricsReply`] pair.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard cap on one frame's payload length (64 MiB). Applied before any
 /// allocation, so a corrupt or hostile length prefix cannot balloon

@@ -11,8 +11,8 @@ use sgs_core::{CellCoord, Point, PointId, WindowId};
 use sgs_csgs::ExtractedCluster;
 use sgs_summarize::{CellStatus, Sgs, SkeletalCell};
 use sgs_wire::{
-    decode, ErrorCode, Frame, WireError, WireMatch, WireQuery, WireQueryState, WireStats,
-    WireWindow,
+    decode, ErrorCode, Frame, WireError, WireMatch, WireMetric, WireMetricValue, WireQuery,
+    WireQueryState, WireStats, WireWindow,
 };
 
 // ---------------------------------------------------------------------------
@@ -101,6 +101,25 @@ fn rand_stats(rng: &mut StdRng) -> WireStats {
     }
 }
 
+fn rand_metric(rng: &mut StdRng) -> WireMetric {
+    let value = match rng.gen_range(0u8..3) {
+        0 => WireMetricValue::Counter(rng.gen_range(0u64..1 << 50)),
+        1 => WireMetricValue::Gauge(rng.gen_range(-(1i64 << 30)..1 << 30)),
+        _ => WireMetricValue::Histogram {
+            count: rng.gen_range(0u64..1 << 30),
+            sum: rng.gen_range(0u64..1 << 50),
+            max: rng.gen_range(0u64..1 << 40),
+            p50: rng.gen_range(0u64..1 << 40),
+            p95: rng.gen_range(0u64..1 << 40),
+            p99: rng.gen_range(0u64..1 << 40),
+        },
+    };
+    WireMetric {
+        name: rand_string(rng, 60),
+        value,
+    }
+}
+
 fn rand_query(rng: &mut StdRng) -> WireQuery {
     let states = [
         WireQueryState::Running,
@@ -116,7 +135,7 @@ fn rand_query(rng: &mut StdRng) -> WireQuery {
     }
 }
 
-/// One random frame of each of the 21 kinds.
+/// One random frame of each of the 23 kinds.
 fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
     let q = |rng: &mut StdRng| rng.gen_range(0u64..1 << 20);
     vec![
@@ -148,6 +167,7 @@ fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
         },
         Frame::Quiesce,
         Frame::Goodbye,
+        Frame::MetricsReq,
         Frame::HelloAck {
             server: rand_string(rng, 40),
             protocol: rng.gen_range(0u32..256) as u8,
@@ -191,6 +211,10 @@ fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
             query: q(rng),
             stats: rand_stats(rng),
         },
+        Frame::MetricsReply({
+            let n = rng.gen_range(0usize..12);
+            (0..n).map(|_| rand_metric(rng)).collect()
+        }),
         Frame::Error {
             code: [
                 ErrorCode::Protocol,
@@ -224,6 +248,7 @@ fn assert_generator_covers(frame: &Frame) {
         | Frame::Bind { .. }
         | Frame::Quiesce
         | Frame::Goodbye
+        | Frame::MetricsReq
         | Frame::HelloAck { .. }
         | Frame::Registered { .. }
         | Frame::Matches { .. }
@@ -232,6 +257,7 @@ fn assert_generator_covers(frame: &Frame) {
         | Frame::Queries(_)
         | Frame::OkAck
         | Frame::Report { .. }
+        | Frame::MetricsReply(_)
         | Frame::Error { .. } => {}
     }
 }
@@ -324,5 +350,5 @@ fn generator_covers_every_kind_byte_exactly_once() {
     let mut kinds: Vec<u8> = all_frame_kinds(&mut rng).iter().map(|f| f.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 21, "one generated frame per protocol kind");
+    assert_eq!(kinds.len(), 23, "one generated frame per protocol kind");
 }

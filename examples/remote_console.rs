@@ -37,6 +37,7 @@ commands:
   feed <stream> <n>         generate n tuples client-side (gmti | stt) and ship them over the wire
   bind <name> [Qk]          bind the largest cluster of query Qk's newest window (default: first query with one)
   stats                     per-query table: state, windows, clusters, archive, latency
+  metrics                   server-wide metric registry snapshot (all sessions and layers)
   pause Qk | resume Qk | cancel Qk
   help | quit";
 
@@ -55,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Client::connect(addr.as_str())?
         }
         None => {
-            let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+            let mut config = ServerConfig::default();
+            config.runtime.metrics = true; // so `metrics` shows live values
+            let server = Server::bind("127.0.0.1:0", config)?;
             let addr = server.local_addr()?;
             std::thread::spawn(move || server.run());
             println!("remote console — no --addr/REMOTE_CONSOLE_ADDR, serving myself on {addr}");
@@ -94,6 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             "stats" => match client.queries() {
                 Ok(queries) => print_stats(&queries),
+                Err(e) => println!("error: {e}"),
+            },
+            "metrics" => match client.metrics() {
+                Ok(metrics) => print_metrics(&metrics),
                 Err(e) => println!("error: {e}"),
             },
             "pause" | "resume" | "cancel" => match parse_qid(words.get(1).copied()) {
@@ -237,8 +244,8 @@ fn print_stats(queries: &[WireQuery]) {
         return;
     }
     println!(
-        "{:<5} {:<10} {:>9} {:>8} {:>9} {:>9} {:>12} {:>11}",
-        "id", "state", "points", "windows", "clusters", "archived", "bytes", "ms/window"
+        "{:<5} {:<10} {:>9} {:>8} {:>8} {:>9} {:>9} {:>12} {:>11}",
+        "id", "state", "points", "windows", "dropped", "clusters", "archived", "bytes", "ms/window"
     );
     for q in queries {
         let ms_per_window = if q.stats.windows == 0 {
@@ -247,15 +254,53 @@ fn print_stats(queries: &[WireQuery]) {
             q.stats.busy_nanos as f64 / 1e6 / q.stats.windows as f64
         };
         println!(
-            "{:<5} {:<10} {:>9} {:>8} {:>9} {:>9} {:>12} {:>11.2}",
+            "{:<5} {:<10} {:>9} {:>8} {:>8} {:>9} {:>9} {:>12} {:>11.2}",
             format!("Q{}", q.query),
             format!("{:?}", q.state),
             q.stats.points,
             q.stats.windows,
+            q.stats.windows_dropped,
             q.stats.clusters,
             q.stats.archived,
             q.stats.archive_bytes,
             ms_per_window,
         );
+    }
+}
+
+/// `metrics`: the server's whole registry as one table. Histograms get
+/// their count, mean, and tail quantiles; everything is nanoseconds
+/// unless the name says otherwise.
+fn print_metrics(metrics: &[WireMetric]) {
+    if metrics.is_empty() {
+        println!("no metrics — start the server with metrics enabled (--metrics-addr)");
+        return;
+    }
+    println!(
+        "{:<55} {:>14} {:>10} {:>10} {:>10}",
+        "metric", "value/count", "mean", "p95", "max"
+    );
+    for m in metrics {
+        match m.value {
+            WireMetricValue::Counter(v) => {
+                println!("{:<55} {:>14}", m.name, v);
+            }
+            WireMetricValue::Gauge(v) => {
+                println!("{:<55} {:>14}", m.name, v);
+            }
+            WireMetricValue::Histogram {
+                count,
+                sum,
+                max,
+                p95,
+                ..
+            } => {
+                let mean = sum.checked_div(count).unwrap_or(0);
+                println!(
+                    "{:<55} {:>14} {:>10} {:>10} {:>10}",
+                    m.name, count, mean, p95, max
+                );
+            }
+        }
     }
 }

@@ -99,6 +99,7 @@ pub use sgs_datagen as datagen;
 pub use sgs_exec as exec;
 pub use sgs_index as index;
 pub use sgs_matching as matching;
+pub use sgs_obs as obs;
 pub use sgs_query as query;
 pub use sgs_runtime as runtime;
 pub use sgs_server as server;
@@ -133,5 +134,7 @@ pub mod prelude {
     pub use sgs_server::{Server, ServerConfig, ServerHandle};
     pub use sgs_stream::{replay, WindowConsumer, WindowEngine};
     pub use sgs_summarize::{Crd, MemberSet, Rsp, Sgs, SkPs};
-    pub use sgs_wire::{Frame, WireQuery, WireQueryState, WireStats, WIRE_VERSION};
+    pub use sgs_wire::{
+        Frame, WireMetric, WireMetricValue, WireQuery, WireQueryState, WireStats, WIRE_VERSION,
+    };
 }
