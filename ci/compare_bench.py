@@ -17,6 +17,21 @@ regression beyond the threshold *at equal scale*:
   compared. Rows with no known configuration field fall back to
   positional matching.
 
+Report schema (what the bench binaries emit with --json):
+
+* Top level: "bench" (name), the SCALE_FIELDS below, "rows" (the
+  measurements), and — when run with --metrics — "metrics": the full
+  observability-registry snapshot as a list of
+  {"name", "type", "value" | histogram fields} objects. The snapshot is
+  longitudinal data for dev/bench/history.jsonl and is NEVER compared
+  here: registry counters (retries, timeouts, quota rejections, wire
+  errors...) measure workload composition, not code speed, and new
+  counters appear whenever a subsystem grows an obs surface.
+* Rows: flat objects mixing configuration fields (CONFIG_FIELDS),
+  result fields (windows, clusters, ...), and rate fields. Only rate
+  fields are compared, and only numeric scalars qualify — list- or
+  dict-valued fields are structural and skipped unconditionally.
+
 Exit codes: 0 = pass (including "no baseline yet" and "incomparable
 baseline", both warn-only), 1 = regression beyond threshold, 2 = usage.
 
@@ -37,7 +52,15 @@ SCALE_FIELDS = ("tuples", "win", "slide", "dataset", "pool_threads", "available_
 
 
 def is_rate_field(name):
-    return "per_sec" in name
+    """A sustained-throughput field: compared against the baseline.
+
+    Excludes monotone counters (``*_total``, the obs-registry naming
+    convention): a counter with a rate-like name still counts events
+    over a whole run, and event volume tracks workload shape — e.g. the
+    fault-injection suites legitimately shift retry/timeout counts
+    without any code being slower.
+    """
+    return "per_sec" in name and not name.endswith("_total")
 
 
 def load_reports(directory):
@@ -92,6 +115,11 @@ def compare_report(name, base, cur, threshold):
             lines.append(f"warning: {name}[{label}]: no baseline row, skipping")
             continue
         for field, cur_value in row.items():
+            # Structural values (embedded metric snapshots, nested
+            # breakdowns) are never rates, whatever their name says;
+            # bool is an int subclass but never a measurement.
+            if isinstance(cur_value, (list, dict, bool)):
+                continue
             if not is_rate_field(field) or not isinstance(cur_value, (int, float)):
                 continue
             base_value = base_row.get(field)

@@ -39,7 +39,8 @@
 //! [`Runtime`]: ../sgs_runtime/runtime/struct.Runtime.html
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use sgs_core::{Point, WindowId};
 use sgs_csgs::WindowOutput;
@@ -49,15 +50,34 @@ use sgs_wire::{
     WireStats, FEED_CHUNK, WIRE_VERSION,
 };
 
+mod metrics;
+use metrics::metrics;
+
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport failure (connect, read, write).
+    /// Transport failure (connect, read, write) other than a deadline or
+    /// a lost connection (those get their own variants below).
     Io(io::Error),
     /// The server's bytes were not valid protocol.
     Wire(sgs_wire::WireError),
-    /// The server closed the connection.
+    /// The server closed the connection cleanly (EOF between frames).
     Closed,
+    /// The request's deadline expired before the reply arrived
+    /// ([`ClientConfig::request_timeout`]). The connection is shut down
+    /// — a late reply must not desync the next request — so further
+    /// calls fail with [`ClientError::ConnectionLost`] until
+    /// [`Client::reconnect`].
+    Timeout,
+    /// The connection dropped mid-exchange (reset, broken pipe, EOF
+    /// inside a frame). The request's fate on the server is unknown.
+    ConnectionLost,
+    /// The server is draining (shutdown in progress) and sent
+    /// [`Frame::GoAway`]; it will accept no further requests.
+    GoAway {
+        /// The server's stated reason.
+        reason: String,
+    },
     /// The server reported a failure for this request.
     Server {
         /// Failure class.
@@ -74,12 +94,30 @@ pub enum ClientError {
     Invalid(&'static str),
 }
 
+impl ClientError {
+    /// Is this a transport-level failure a reconnect might cure (as
+    /// opposed to a server-reported or caller-side error)?
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Closed
+                | ClientError::Timeout
+                | ClientError::ConnectionLost
+                | ClientError::GoAway { .. }
+        )
+    }
+}
+
 impl core::fmt::Display for ClientError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Wire(e) => write!(f, "protocol error: {e}"),
             ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Timeout => write!(f, "request deadline expired"),
+            ClientError::ConnectionLost => write!(f, "connection lost"),
+            ClientError::GoAway { reason } => write!(f, "server going away: {reason}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
             }
@@ -99,9 +137,30 @@ impl std::error::Error for ClientError {
     }
 }
 
+/// Classify a raw transport error into the typed variants: socket
+/// deadlines surface as [`ClientError::Timeout`], peer-gone conditions
+/// as [`ClientError::ConnectionLost`], anything else stays `Io`.
+fn classify_io(e: io::Error) -> ClientError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            metrics().timeouts.inc();
+            ClientError::Timeout
+        }
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::NotConnected
+        | io::ErrorKind::UnexpectedEof => {
+            metrics().connections_lost.inc();
+            ClientError::ConnectionLost
+        }
+        _ => ClientError::Io(e),
+    }
+}
+
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        classify_io(e)
     }
 }
 
@@ -109,8 +168,85 @@ impl From<RecvError> for ClientError {
     fn from(e: RecvError) -> Self {
         match e {
             RecvError::Closed => ClientError::Closed,
-            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Io(e) => classify_io(e),
             RecvError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// Capped exponential backoff with jitter, governing how the client
+/// re-issues idempotent requests after a transient transport failure.
+/// Opt-in via [`ClientConfig::retry`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Re-issue attempts per request (0 disables retries).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based): capped
+    /// exponential, then jittered to 50–100% so a fleet of clients does
+    /// not reconnect in lockstep.
+    fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let jitter_permille = 500 + (jitter_seed() % 501); // 500..=1000
+        exp.mul_f64(jitter_permille as f64 / 1000.0)
+    }
+}
+
+/// Cheap per-call jitter source (no RNG dependency): the sub-second
+/// clock reading scrambled by a xorshift round.
+fn jitter_seed() -> u64 {
+    let mut x = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0)
+        | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Resilience knobs for a [`Client`] connection.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Socket read/write deadline for every request/response exchange.
+    /// `None` (the default) waits indefinitely — feed backpressure can
+    /// legitimately block for as long as the server needs.
+    pub request_timeout: Option<Duration>,
+    /// Deadline for TCP connect **and** the Hello handshake, so a dead
+    /// or wedged address fails fast with [`ClientError::Timeout`]
+    /// instead of hanging.
+    pub connect_timeout: Option<Duration>,
+    /// Reconnect-and-retry policy for idempotent requests. `None` (the
+    /// default): every transport failure surfaces to the caller.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            request_timeout: None,
+            connect_timeout: Some(Duration::from_secs(10)),
+            retry: None,
         }
     }
 }
@@ -140,32 +276,139 @@ pub enum Submitted {
 /// number of sessions onto its shared runtime.
 pub struct Client {
     stream: TcpStream,
+    /// The resolved address the handshake succeeded against, for
+    /// [`Client::reconnect`].
+    peer: SocketAddr,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connect and shake hands. Fails if the server speaks a different
-    /// [`WIRE_VERSION`].
+    /// Connect and shake hands with the default [`ClientConfig`]. Fails
+    /// if the server speaks a different [`WIRE_VERSION`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect and shake hands with explicit resilience settings.
+    ///
+    /// The whole handshake runs under
+    /// [`ClientConfig::connect_timeout`], so an address that accepts
+    /// but never answers (or answers and immediately closes) yields a
+    /// typed [`ClientError::Timeout`] / [`ClientError::Closed`] fast,
+    /// never an indefinite hang.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for peer in addr.to_socket_addrs().map_err(ClientError::Io)? {
+            match Client::connect_one(peer, config) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Invalid("address resolved to nothing")))
+    }
+
+    fn connect_one(peer: SocketAddr, config: ClientConfig) -> Result<Client, ClientError> {
+        let stream = match config.connect_timeout {
+            Some(d) => TcpStream::connect_timeout(&peer, d).map_err(classify_io)?,
+            None => TcpStream::connect(peer).map_err(classify_io)?,
+        };
         stream.set_nodelay(true)?;
-        let mut client = Client { stream };
+        // The handshake runs under the connect deadline; per-request
+        // deadlines take over once the session is up.
+        stream.set_read_timeout(config.connect_timeout)?;
+        stream.set_write_timeout(config.connect_timeout)?;
+        let mut client = Client {
+            stream,
+            peer,
+            config,
+        };
         let ack = client.call(Frame::Hello {
             client: concat!("sgs-client/", env!("CARGO_PKG_VERSION")).into(),
         })?;
         match ack {
-            Frame::HelloAck { protocol, .. } if protocol == WIRE_VERSION => Ok(client),
+            Frame::HelloAck { protocol, .. } if protocol == WIRE_VERSION => {
+                client.stream.set_read_timeout(config.request_timeout)?;
+                client.stream.set_write_timeout(config.request_timeout)?;
+                Ok(client)
+            }
             Frame::HelloAck { .. } => Err(ClientError::Unexpected("protocol version mismatch")),
             _ => Err(ClientError::Unexpected("handshake reply was not HelloAck")),
         }
     }
 
+    /// Drop the current connection and open a fresh session to the same
+    /// address (same config). Session-local state — query ids, unpolled
+    /// windows — does not carry over; server-wide state (bindings, the
+    /// shared history) does.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        let fresh = Client::connect_one(self.peer, self.config)?;
+        metrics().reconnects.inc();
+        self.stream = fresh.stream;
+        Ok(())
+    }
+
     /// One request/response exchange. A server `Error` frame becomes
-    /// [`ClientError::Server`].
+    /// [`ClientError::Server`]; a `GoAway` frame (the server is
+    /// draining) becomes [`ClientError::GoAway`].
+    ///
+    /// On a deadline or transport failure the socket is shut down: a
+    /// reply arriving after its request was abandoned would otherwise be
+    /// mistaken for the *next* request's reply (protocol desync).
     fn call(&mut self, request: Frame) -> Result<Frame, ClientError> {
-        write_frame(&mut self.stream, &request)?;
-        match read_frame(&mut self.stream)? {
-            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
-            reply => Ok(reply),
+        let exchange = (|| {
+            write_frame(&mut self.stream, &request)?;
+            Ok(read_frame(&mut self.stream)?)
+        })();
+        match exchange {
+            Ok(Frame::Error { code, message }) => Err(ClientError::Server { code, message }),
+            Ok(Frame::GoAway { reason, .. }) => {
+                metrics().goaways.inc();
+                Err(ClientError::GoAway { reason })
+            }
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                if matches!(
+                    e,
+                    ClientError::Timeout | ClientError::ConnectionLost | ClientError::Io(_)
+                ) {
+                    let _ = self.stream.shutdown(Shutdown::Both);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Client::call`] plus the opt-in reconnect policy, for requests
+    /// that are **idempotent** (poll / stats / queries / metrics): on a
+    /// transient failure, back off (capped exponential + jitter),
+    /// reconnect, and re-issue. Non-idempotent requests (submit, feed,
+    /// lifecycle transitions) never take this path — their fate on the
+    /// server is unknown, so the failure surfaces to the caller.
+    fn call_idempotent(&mut self, request: Frame) -> Result<Frame, ClientError> {
+        let Some(policy) = self.config.retry else {
+            return self.call(request);
+        };
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call(request.clone()) {
+                Err(e) if e.is_transient() => e,
+                other => return other,
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            std::thread::sleep(policy.delay(attempt));
+            attempt += 1;
+            metrics().retries.inc();
+            if let Err(e) = self.reconnect() {
+                if attempt > policy.max_retries || !e.is_transient() {
+                    return Err(e);
+                }
+            }
         }
     }
 
@@ -271,7 +514,7 @@ impl Client {
         query: u64,
         max: u32,
     ) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
-        match self.call(Frame::Poll { query, max })? {
+        match self.call_idempotent(Frame::Poll { query, max })? {
             Frame::Windows { query: q, windows } if q == query => Ok(windows
                 .into_iter()
                 .map(|w| (w.window, w.clusters))
@@ -282,7 +525,7 @@ impl Client {
 
     /// Fetch one query's state and statistics.
     pub fn stats(&mut self, query: u64) -> Result<WireQuery, ClientError> {
-        match self.call(Frame::StatsReq { query })? {
+        match self.call_idempotent(Frame::StatsReq { query })? {
             Frame::StatsReply(q) => Ok(q),
             _ => Err(ClientError::Unexpected("stats reply")),
         }
@@ -292,7 +535,7 @@ impl Client {
     /// and layers — unlike [`stats`](Self::stats), which is one query).
     /// Sorted by metric name. Empty until the server enables metrics.
     pub fn metrics(&mut self) -> Result<Vec<WireMetric>, ClientError> {
-        match self.call(Frame::MetricsReq)? {
+        match self.call_idempotent(Frame::MetricsReq)? {
             Frame::MetricsReply(metrics) => Ok(metrics),
             _ => Err(ClientError::Unexpected("metrics reply")),
         }
@@ -301,7 +544,7 @@ impl Client {
     /// List this session's queries (never another session's — the server
     /// scopes the registry view to this connection).
     pub fn queries(&mut self) -> Result<Vec<WireQuery>, ClientError> {
-        match self.call(Frame::ListQueries)? {
+        match self.call_idempotent(Frame::ListQueries)? {
             Frame::Queries(qs) => Ok(qs),
             _ => Err(ClientError::Unexpected("list reply")),
         }

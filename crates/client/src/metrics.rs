@@ -1,0 +1,36 @@
+//! Client-side resilience counters, registered in the process-global
+//! `sgs-obs` registry (naming scheme `sgs_client_*`, `DESIGN.md` §11).
+//! They count failure handling, not traffic: the chaos suite asserts
+//! every injected fault is not just survived but *counted*.
+
+use std::sync::{Arc, OnceLock};
+
+use sgs_obs::{registry, Counter};
+
+pub(crate) struct ClientMetrics {
+    /// Request deadlines that expired ([`crate::ClientError::Timeout`]).
+    pub timeouts: Arc<Counter>,
+    /// Connections lost mid-exchange
+    /// ([`crate::ClientError::ConnectionLost`]).
+    pub connections_lost: Arc<Counter>,
+    /// Idempotent requests re-issued by the retry policy.
+    pub retries: Arc<Counter>,
+    /// Successful [`crate::Client::reconnect`] handshakes.
+    pub reconnects: Arc<Counter>,
+    /// `GoAway` frames received (server draining).
+    pub goaways: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static ClientMetrics {
+    static METRICS: OnceLock<ClientMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = registry();
+        ClientMetrics {
+            timeouts: r.counter("sgs_client_timeouts_total"),
+            connections_lost: r.counter("sgs_client_connections_lost_total"),
+            retries: r.counter("sgs_client_retries_total"),
+            reconnects: r.counter("sgs_client_reconnects_total"),
+            goaways: r.counter("sgs_client_goaways_total"),
+        }
+    })
+}

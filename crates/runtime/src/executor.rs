@@ -35,7 +35,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -88,22 +88,42 @@ pub(crate) enum Sink {
 /// behind other ready queries — the fairness quantum of the multiplexer.
 const TASK_QUANTUM: usize = 16;
 
+/// Approximate heap size of one queued message — what per-owner input
+/// quotas meter. Points cost their payload (8 bytes per coordinate plus
+/// a 16-byte header for the timestamp and allocation); control messages
+/// are free. A shared [`Msg::Batch`] chunk is charged once per queue it
+/// sits in: the quota bounds *admitted-but-unprocessed work*, not
+/// allocator bytes.
+fn msg_bytes(msg: &Msg) -> usize {
+    const POINT: usize = 16;
+    match msg {
+        Msg::Point(p, _) => POINT + 8 * p.dim(),
+        Msg::Batch(b, _) => b.iter().map(|p| POINT + 8 * p.dim()).sum(),
+        Msg::Barrier(_) | Msg::Stop(_) => 0,
+    }
+}
+
 /// The bounded input queue of one query. Producers block while it is at
 /// capacity (backpressure); the query's executor task drains it.
 struct InputQueue {
     capacity: usize,
     queue: Mutex<VecDeque<Msg>>,
+    /// [`msg_bytes`] sum of everything queued — read lock-free by the
+    /// server's per-owner quota check, updated under the queue lock.
+    bytes: AtomicUsize,
     not_full: Condvar,
 }
 
 impl InputQueue {
     /// Enqueue, blocking while the queue is at capacity.
     fn send(&self, msg: Msg) {
+        let cost = msg_bytes(&msg);
         let mut q = self.queue.lock().unwrap();
         while q.len() >= self.capacity {
             q = self.not_full.wait(q).unwrap();
         }
         q.push_back(msg);
+        self.bytes.fetch_add(cost, Ordering::Relaxed);
         drop(q);
         metrics().input_queue_depth.inc();
     }
@@ -113,7 +133,11 @@ impl InputQueue {
     /// producer may be unable to make progress until this very message
     /// is processed, e.g. a stop issued under the caller's lock).
     fn send_unbounded(&self, msg: Msg) {
-        self.queue.lock().unwrap().push_back(msg);
+        let cost = msg_bytes(&msg);
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(msg);
+        self.bytes.fetch_add(cost, Ordering::Relaxed);
+        drop(q);
         metrics().input_queue_depth.inc();
     }
 
@@ -121,6 +145,9 @@ impl InputQueue {
         let mut q = self.queue.lock().unwrap();
         let was_full = q.len() >= self.capacity;
         let msg = q.pop_front();
+        if let Some(msg) = &msg {
+            self.bytes.fetch_sub(msg_bytes(msg), Ordering::Relaxed);
+        }
         if msg.is_some() && was_full {
             // Producers only wait while the queue is at capacity, so
             // notifying is needed exactly on the full → not-full edge.
@@ -187,6 +214,7 @@ impl QueryCell {
             input: InputQueue {
                 capacity: capacity.max(1),
                 queue: Mutex::new(VecDeque::new()),
+                bytes: AtomicUsize::new(0),
                 not_full: Condvar::new(),
             },
             exec: Mutex::new(ExecState {
@@ -213,6 +241,12 @@ impl QueryCell {
     pub(crate) fn send_control(self: &Arc<Self>, msg: Msg) {
         self.input.send_unbounded(msg);
         self.schedule();
+    }
+
+    /// [`msg_bytes`] sum of this query's queued-but-unprocessed input —
+    /// the per-query term of a per-owner input quota. Lock-free.
+    pub(crate) fn queued_bytes(&self) -> usize {
+        self.input.bytes.load(Ordering::Relaxed)
     }
 
     /// Spawn the query's executor task unless one is already live.

@@ -72,10 +72,31 @@ pub(crate) struct OutputBuffer {
 /// Lock-guarded buffer state.
 struct Buffered {
     windows: VecDeque<(WindowId, WindowOutput)>,
+    /// Wire-encoded size of every buffered window (the
+    /// [`window_cost`] sum) — what per-owner output quotas meter.
+    bytes: usize,
     /// Set when the query is being cancelled: [`OutputPolicy::Block`]
     /// stops blocking (overflow is admitted losslessly) so teardown can
     /// never hang behind an undrained buffer.
     closed: bool,
+}
+
+/// Encoded size of one buffered window — the same formula as
+/// `sgs_wire::WireWindow::encoded_len` (window id + cluster count, then
+/// per cluster its cores/edges/SGS cells), so a per-owner output quota
+/// meters exactly the bytes a `Windows` response would carry. Kept here
+/// (not imported) because the runtime does not depend on the wire crate;
+/// a server-side test pins the two formulas together.
+pub(crate) fn window_cost(clusters: &WindowOutput) -> usize {
+    let mut bytes = 8 + 4;
+    for c in clusters {
+        bytes += 4 + 4 * c.cores.len() + 4 + 4 * c.edges.len();
+        bytes += 2 + 1 + 8 + 4;
+        for cell in &c.sgs.cells {
+            bytes += 4 * cell.coord.0.len() + 4 + 1 + 4 + 4 * cell.connections.len();
+        }
+    }
+    bytes
 }
 
 impl OutputBuffer {
@@ -84,6 +105,7 @@ impl OutputBuffer {
             policy,
             queue: Mutex::new(Buffered {
                 windows: VecDeque::new(),
+                bytes: 0,
                 closed: false,
             }),
             not_full: Condvar::new(),
@@ -95,6 +117,7 @@ impl OutputBuffer {
     /// [`OutputPolicy::Block`] while the buffer is at capacity, until
     /// drained or [`close`](Self::close)d.
     pub(crate) fn push(&self, window: WindowId, out: WindowOutput) -> u64 {
+        let cost = window_cost(&out);
         let mut q = self.queue.lock().unwrap();
         let mut dropped = 0;
         match self.policy {
@@ -108,12 +131,15 @@ impl OutputBuffer {
             OutputPolicy::DropOldest(cap) => {
                 let cap = cap.max(1);
                 while q.windows.len() >= cap {
-                    q.windows.pop_front();
+                    if let Some((_, old)) = q.windows.pop_front() {
+                        q.bytes -= window_cost(&old);
+                    }
                     dropped += 1;
                 }
             }
         }
         q.windows.push_back((window, out));
+        q.bytes += cost;
         dropped
     }
 
@@ -129,6 +155,7 @@ impl OutputBuffer {
     pub(crate) fn drain(&self) -> Vec<(WindowId, WindowOutput)> {
         let mut q = self.queue.lock().unwrap();
         let out: Vec<_> = q.windows.drain(..).collect();
+        q.bytes = 0;
         if !out.is_empty() {
             self.not_full.notify_all();
         }
@@ -140,7 +167,8 @@ impl OutputBuffer {
     pub(crate) fn pop(&self) -> Option<(WindowId, WindowOutput)> {
         let mut q = self.queue.lock().unwrap();
         let out = q.windows.pop_front();
-        if out.is_some() {
+        if let Some((_, clusters)) = &out {
+            q.bytes -= window_cost(clusters);
             self.not_full.notify_all();
         }
         out
@@ -152,7 +180,16 @@ impl OutputBuffer {
     /// `Block` capacity if a producer slipped in since the pop —
     /// harmless, since producers only wait before their own push.
     pub(crate) fn push_front(&self, window: WindowId, out: WindowOutput) {
-        self.queue.lock().unwrap().windows.push_front((window, out));
+        let cost = window_cost(&out);
+        let mut q = self.queue.lock().unwrap();
+        q.windows.push_front((window, out));
+        q.bytes += cost;
+    }
+
+    /// Wire-encoded size of everything buffered right now — what
+    /// per-owner output quotas meter ([`window_cost`] sum).
+    pub(crate) fn buffered_bytes(&self) -> usize {
+        self.queue.lock().unwrap().bytes
     }
 }
 
@@ -279,6 +316,31 @@ mod tests {
         let ids: Vec<u64> = batch.map(|(w, _)| w.0).collect();
         assert_eq!(ids, vec![0, 1]);
         assert_eq!(buf.drain().len(), 3, "undrained windows stay buffered");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_every_mutation() {
+        let buf = OutputBuffer::new(OutputPolicy::Unbounded);
+        assert_eq!(buf.buffered_bytes(), 0);
+        let per_window = window_cost(&Vec::new());
+        assert_eq!(per_window, 12, "empty window: id + cluster count");
+        for n in 0..3 {
+            buf.push(window(n).0, window(n).1);
+        }
+        assert_eq!(buf.buffered_bytes(), 3 * per_window);
+        let (w, out) = buf.pop().unwrap();
+        assert_eq!(buf.buffered_bytes(), 2 * per_window);
+        buf.push_front(w, out);
+        assert_eq!(buf.buffered_bytes(), 3 * per_window);
+        buf.drain();
+        assert_eq!(buf.buffered_bytes(), 0);
+
+        // DropOldest releases the evicted window's bytes.
+        let buf = OutputBuffer::new(OutputPolicy::DropOldest(2));
+        for n in 0..5 {
+            buf.push(window(n).0, window(n).1);
+        }
+        assert_eq!(buf.buffered_bytes(), 2 * per_window);
     }
 
     #[test]

@@ -843,6 +843,57 @@ impl Runtime {
         before - self.entries.len()
     }
 
+    /// Close the output buffers of every query registered by `owner`,
+    /// returning how many buffers were closed. Closing ends
+    /// [`OutputPolicy::Block`] blocking permanently (losslessly — the
+    /// buffers stay pollable), so an executor task wedged on a full
+    /// buffer drains its input and parks instead of holding a feeder
+    /// hostage. This is the server's disconnect lever: when a session's
+    /// peer vanishes mid-`Feed`, nobody will ever poll again, and the
+    /// blocked feeder must unwedge *now* — before teardown, which needs
+    /// the very locks the feeder's caller may hold. Takes `&self` (like
+    /// [`poll`](Self::poll)) so a watcher thread can fire it while
+    /// another thread is blocked inside
+    /// [`StreamFeeder::push_batch`].
+    pub fn close_outputs(&self, owner: OwnerId) -> usize {
+        let mut closed = 0;
+        for entry in &self.entries {
+            if entry.owner != Some(owner) {
+                continue;
+            }
+            if let Some(buffer) = &entry.outputs {
+                buffer.close();
+                closed += 1;
+            }
+        }
+        closed
+    }
+
+    /// Bytes of admitted-but-unprocessed input across every live query
+    /// registered by `owner` (the per-query
+    /// input-queue sums) — the level a per-owner input quota compares
+    /// against. Lock-free per query; the snapshot is advisory (the
+    /// executor drains concurrently).
+    pub fn input_queue_bytes_for(&self, owner: OwnerId) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.owner == Some(owner) && !e.stopped)
+            .map(|e| e.cell.queued_bytes())
+            .sum()
+    }
+
+    /// Wire-encoded bytes of completed-but-unpolled windows across every
+    /// live query registered by `owner` — the level a per-owner output
+    /// quota compares against. Polling releases it.
+    pub fn output_bytes_for(&self, owner: OwnerId) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.owner == Some(owner) && !e.stopped)
+            .filter_map(|e| e.outputs.as_ref())
+            .map(|b| b.buffered_bytes())
+            .sum()
+    }
+
     /// The canonical statement text of a query (the rendering of its
     /// submitted AST) — a per-id lookup, unlike the descriptor
     /// snapshots of [`queries`](Self::queries).
@@ -1519,6 +1570,63 @@ mod tests {
         assert_eq!(rt.stats(live).unwrap().points, 1500);
         assert_eq!(rt.state(foreign).unwrap(), QueryState::Running);
         assert_eq!(rt.evict_cancelled(session), 0, "idempotent");
+    }
+
+    #[test]
+    fn close_outputs_unblocks_an_owners_wedged_feeder() {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            output_policy: crate::output::OutputPolicy::Block(1),
+            channel_capacity: 2, // small, so the wedge reaches the feeder
+            ..RuntimeConfig::default()
+        });
+        rt.register_stream("gmti", 2);
+        let owner = rt.new_owner();
+        let Submission::Continuous(id) = rt.submit_for(owner, DETECT).unwrap() else {
+            panic!()
+        };
+        let stream = gmti(6000);
+        let rt_ref = &rt;
+        std::thread::scope(|s| {
+            let feeder = s.spawn(move || {
+                // Wedges: the never-polled Block(1) buffer fills, the
+                // executor task blocks, the input queue backs up, and
+                // this push stalls — the disconnected-session shape.
+                rt_ref.push_stream_for(owner, "gmti", &stream).unwrap();
+            });
+            // Wait for the wedge to back up into the input queue, which
+            // is also when the owner's input-byte gauge must be visible.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while rt_ref.input_queue_bytes_for(owner) == 0 {
+                assert!(std::time::Instant::now() < deadline, "feeder never wedged");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(rt_ref.close_outputs(owner), 1);
+            feeder.join().unwrap(); // must return promptly after the close
+        });
+        rt.quiesce().unwrap();
+        // Closing is lossless: everything fed was processed and buffered.
+        let stats = rt.stats(id).unwrap();
+        assert_eq!(stats.points, 6000);
+        assert_eq!(stats.windows_dropped, 0);
+        assert!(rt.output_bytes_for(owner) > 0);
+        assert_eq!(rt.poll(id).unwrap().len() as u64, stats.windows);
+        assert_eq!(rt.output_bytes_for(owner), 0, "polling releases the quota");
+        assert_eq!(
+            rt.input_queue_bytes_for(owner),
+            0,
+            "quiesced queue is empty"
+        );
+    }
+
+    #[test]
+    fn close_outputs_scopes_to_the_owner() {
+        let mut rt = runtime();
+        let mine = rt.new_owner();
+        let theirs = rt.new_owner();
+        rt.submit_for(mine, DETECT).unwrap();
+        rt.submit_for(theirs, DETECT).unwrap();
+        assert_eq!(rt.close_outputs(mine), 1, "only the owner's buffer");
+        assert_eq!(rt.close_outputs(OwnerId(999)), 0);
     }
 
     #[test]

@@ -8,11 +8,22 @@
 //!                  [--archive-dir PATH] [--archive-budget BYTES]
 //!                  [--archive-replacer sieve|clock|lru]
 //!                  [--metrics-addr HOST:PORT]
+//!                  [--idle-timeout SECS] [--drain-timeout SECS]
+//!                  [--owner-max-queries N] [--owner-max-queue-bytes N]
+//!                  [--owner-max-buffer-bytes N]
 //! ```
 //!
 //! With no `--stream` flags the two generator streams are registered:
 //! `gmti` (2-d) and `stt` (4-d). The listening line is printed to stdout
 //! once the socket is bound (CI waits for it before connecting).
+//!
+//! `SIGTERM` triggers a graceful drain (`DESIGN.md` §12): the server
+//! stops accepting, sends `GoAway` to every session, waits up to
+//! `--drain-timeout` for them to finish, force-closes stragglers,
+//! checkpoints durable archives, and exits 0.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use sgs_core::{ArchiveRetention, PoolThreads, ReplacementPolicy, ShardCount};
 use sgs_runtime::{DurableArchive, OutputPolicy, RuntimeConfig};
@@ -35,7 +46,40 @@ usage: streamsum-server [options]
                             (default sieve)
   --metrics-addr HOST:PORT  also serve Prometheus text exposition over HTTP
                             there (port 0 = OS-assigned; enables metrics)
+  --idle-timeout SECS       close sessions with no complete request for SECS
+                            seconds (default: never)
+  --drain-timeout SECS      grace window of the SIGTERM drain before stragglers
+                            are force-closed (default 10)
+  --owner-max-queries N     per-session cap on live queries (default: unlimited)
+  --owner-max-queue-bytes N per-session cap on queued-but-unprocessed input
+                            bytes; over it, Feed is refused with QuotaExceeded
+                            (default: unlimited)
+  --owner-max-buffer-bytes N per-session cap on completed-but-unpolled window
+                            bytes; over it, Feed is refused until polled
+                            (default: unlimited)
   --help                    this text";
+
+/// Set (asynchronously, from the signal handler) when SIGTERM arrives.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// The SIGTERM disposition: an async-signal-safe handler that only
+/// stores a flag; a watcher thread does the actual drain. Installed via
+/// the platform C library's `signal` (already linked — no new
+/// dependency); `SIG_ERR` is ignored because the fallback (no graceful
+/// drain, plain process kill) is the pre-signal behavior anyway.
+fn install_sigterm_handler() {
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        signal(SIGTERM, on_term as *const () as usize);
+    }
+}
 
 fn main() {
     let config = match parse_args(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -49,7 +93,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (addr, metrics_addr, server_config) = config;
+    let (addr, metrics_addr, server_config, drain_timeout) = config;
     let server = match Server::bind(addr.as_str(), server_config.clone()) {
         Ok(server) => server,
         Err(e) => {
@@ -57,6 +101,26 @@ fn main() {
             std::process::exit(1);
         }
     };
+    install_sigterm_handler();
+    if let Ok(handle) = server.handle() {
+        // The drain watcher: SIGTERM's handler only sets a flag; this
+        // thread turns it into a graceful drain. `Server::run` below
+        // returns once the drain completes, and main exits 0.
+        std::thread::Builder::new()
+            .name("sgs-drain-watch".into())
+            .spawn(move || loop {
+                if TERM.load(Ordering::SeqCst) {
+                    println!("streamsum-server draining (SIGTERM, {drain_timeout:?} grace)");
+                    let forced = handle.drain(drain_timeout);
+                    if forced > 0 {
+                        println!("streamsum-server drain force-closed {forced} session(s)");
+                    }
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            })
+            .ok();
+    }
     if let Some(metrics_addr) = metrics_addr {
         match sgs_server::spawn_metrics_listener(metrics_addr.as_str()) {
             Ok(bound) => println!("streamsum-server metrics on http://{bound}/metrics"),
@@ -84,7 +148,7 @@ fn main() {
     }
 }
 
-type Parsed = (String, Option<String>, ServerConfig);
+type Parsed = (String, Option<String>, ServerConfig, Duration);
 
 fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
     let mut addr = "127.0.0.1:7878".to_string();
@@ -94,6 +158,11 @@ fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
     let mut archive_dir: Option<String> = None;
     let mut archive_budget: Option<usize> = None;
     let mut archive_replacer = ReplacementPolicy::Sieve;
+    let mut idle_timeout: Option<Duration> = None;
+    let mut drain_timeout = Duration::from_secs(10);
+    let mut owner_max_queries: Option<usize> = None;
+    let mut owner_max_queue_bytes: Option<usize> = None;
+    let mut owner_max_buffer_bytes: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -146,6 +215,45 @@ fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
                 metrics_addr = Some(value("--metrics-addr")?);
                 runtime.metrics = true;
             }
+            "--idle-timeout" => {
+                let secs: f64 = value("--idle-timeout")?
+                    .parse()
+                    .map_err(|_| "bad --idle-timeout".to_string())?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--idle-timeout must be a positive number of seconds".into());
+                }
+                idle_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--drain-timeout" => {
+                let secs: f64 = value("--drain-timeout")?
+                    .parse()
+                    .map_err(|_| "bad --drain-timeout".to_string())?;
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    return Err("--drain-timeout must be a number of seconds".into());
+                }
+                drain_timeout = Duration::from_secs_f64(secs);
+            }
+            "--owner-max-queries" => {
+                owner_max_queries = Some(
+                    value("--owner-max-queries")?
+                        .parse()
+                        .map_err(|_| "bad --owner-max-queries".to_string())?,
+                );
+            }
+            "--owner-max-queue-bytes" => {
+                owner_max_queue_bytes = Some(
+                    value("--owner-max-queue-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --owner-max-queue-bytes".to_string())?,
+                );
+            }
+            "--owner-max-buffer-bytes" => {
+                owner_max_buffer_bytes = Some(
+                    value("--owner-max-buffer-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --owner-max-buffer-bytes".to_string())?,
+                );
+            }
             "--archive-dir" => archive_dir = Some(value("--archive-dir")?),
             "--archive-budget" => {
                 archive_budget = Some(
@@ -186,12 +294,16 @@ fn parse_args(args: &[String]) -> Result<Option<Parsed>, String> {
     }
     let mut config = ServerConfig {
         runtime,
+        idle_timeout,
+        owner_max_queries,
+        owner_max_queue_bytes,
+        owner_max_buffer_bytes,
         ..ServerConfig::default()
     };
     if !streams.is_empty() {
         config.streams = streams;
     }
-    Ok(Some((addr, metrics_addr, config)))
+    Ok(Some((addr, metrics_addr, config, drain_timeout)))
 }
 
 fn parse_policy(spec: &str) -> Result<OutputPolicy, String> {

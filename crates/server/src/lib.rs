@@ -38,10 +38,12 @@
 
 pub mod metrics;
 
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use sgs_core::Point;
@@ -49,7 +51,7 @@ use sgs_runtime::{
     OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats, Runtime, RuntimeConfig, RuntimeError,
 };
 use sgs_wire::{
-    read_frame, write_frame, ErrorCode, Frame, RecvError, WireMetric, WireMetricValue, WireQuery,
+    decode, write_frame, ErrorCode, Frame, WireError, WireMetric, WireMetricValue, WireQuery,
     WireQueryState, WireStats, WireWindow, WIRE_VERSION,
 };
 
@@ -68,6 +70,29 @@ pub struct ServerConfig {
     /// Source streams to register (name, dimensionality). Defaults to
     /// the two generator streams: `gmti` (2-d) and `stt` (4-d).
     pub streams: Vec<(String, usize)>,
+    /// Close a session that produces no complete request frame within
+    /// this window (counted from the previous complete frame; a peer
+    /// stalled mid-frame trips it too). `None` (the default) keeps
+    /// sessions open indefinitely — the historical behavior.
+    pub idle_timeout: Option<Duration>,
+    /// Per-owner admission control: maximum live (non-cancelled)
+    /// queries one session may hold. A `Submit` of a DETECT statement
+    /// past the limit is refused with
+    /// [`ErrorCode::QuotaExceeded`]; cancelling a query frees a slot.
+    /// `None` (the default) is unlimited.
+    pub owner_max_queries: Option<usize>,
+    /// Per-owner admission control: maximum bytes of
+    /// admitted-but-unprocessed input across one session's query input
+    /// queues. A `Feed` that would exceed it is refused whole with
+    /// [`ErrorCode::QuotaExceeded`]; processing drains the level.
+    /// `None` (the default) is unlimited (backpressure alone governs).
+    pub owner_max_queue_bytes: Option<usize>,
+    /// Per-owner admission control: once one session's
+    /// completed-but-unpolled windows exceed this many (wire-encoded)
+    /// bytes, further `Feed`s are refused with
+    /// [`ErrorCode::QuotaExceeded`] until the session polls. `None`
+    /// (the default) is unlimited.
+    pub owner_max_buffer_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +100,10 @@ impl Default for ServerConfig {
         ServerConfig {
             runtime: RuntimeConfig::default(),
             streams: vec![("gmti".into(), 2), ("stt".into(), 4)],
+            idle_timeout: None,
+            owner_max_queries: None,
+            owner_max_queue_bytes: None,
+            owner_max_buffer_bytes: None,
         }
     }
 }
@@ -85,10 +114,49 @@ impl Default for ServerConfig {
 /// for the client's next page request.
 const POLL_PAGE_BYTES: usize = 8 << 20;
 
+/// How often a session's read loop wakes to check the drain flag and
+/// its idle deadline (the socket read timeout). Also bounds how long a
+/// disconnect watcher's `peek` can block.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// The session-limit subset of [`ServerConfig`], shared with every
+/// session thread.
+#[derive(Clone, Copy, Debug, Default)]
+struct Limits {
+    idle_timeout: Option<Duration>,
+    owner_max_queries: Option<usize>,
+    owner_max_queue_bytes: Option<usize>,
+    owner_max_buffer_bytes: Option<usize>,
+}
+
+/// One live session's entry in the drain registry: a socket clone to
+/// force-close stragglers with, and the owner whose output buffers must
+/// be released when that happens (a force-closed session may be wedged
+/// mid-`Feed` behind a full `Block`-policy buffer).
+struct Seat {
+    socket: TcpStream,
+    owner: OwnerId,
+}
+
 /// State shared by the accept loop and every session thread.
 struct Shared {
     rt: RwLock<Runtime>,
     shutting_down: AtomicBool,
+    /// Set by [`ServerHandle::drain`]: sessions send `GoAway` at their
+    /// next read tick and close instead of serving further requests.
+    draining: AtomicBool,
+    /// Set once [`ServerHandle::drain`] has finished its final
+    /// checkpoint; [`Server::run`] waits for it before returning so the
+    /// hosting process cannot exit mid-checkpoint.
+    drain_done: AtomicBool,
+    /// The `drain_millis` value `GoAway` frames advertise.
+    drain_millis: AtomicU64,
+    /// Live sessions by seat id — present from handshake until the
+    /// session's teardown (cancel + evict) has fully finished, so an
+    /// empty registry means the runtime holds no session state.
+    seats: Mutex<HashMap<u64, Seat>>,
+    next_seat: AtomicU64,
+    limits: Limits,
     metrics: ServerMetrics,
 }
 
@@ -125,6 +193,72 @@ impl ServerHandle {
         }
         let _ = TcpStream::connect(addr);
     }
+
+    /// Gracefully drain the server (`DESIGN.md` §12): stop accepting,
+    /// announce `GoAway` to every session at its next read tick, wait up
+    /// to `timeout` for sessions to finish voluntarily, force-close the
+    /// stragglers (socket shutdown + releasing their owners' output
+    /// buffers, so even a session wedged mid-`Feed` unblocks), and
+    /// finally checkpoint every durable history base so a restarted
+    /// server recovers the archive from a clean store file. Returns the
+    /// number of sessions that had to be force-closed (0 = fully
+    /// graceful). [`Server::run`] returns once the drain completes.
+    pub fn drain(&self, timeout: Duration) -> usize {
+        let shared = &self.shared;
+        shared.metrics.drains.inc();
+        shared
+            .drain_millis
+            .store(timeout.as_millis() as u64, Ordering::SeqCst);
+        shared.draining.store(true, Ordering::SeqCst);
+        self.shutdown();
+
+        // Phase 1: sessions notice the flag within one read tick, send
+        // GoAway, and tear themselves down. Wait out the grace window.
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if shared.seats.lock().unwrap().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Phase 2: force-close whoever is left. Shutting the socket
+        // breaks their read loop; releasing the owner's output buffers
+        // breaks a Feed wedged behind a full Block-policy buffer (the
+        // reply write then fails on the shut socket).
+        let forced = {
+            let seats = shared.seats.lock().unwrap();
+            for seat in seats.values() {
+                let _ = seat.socket.shutdown(Shutdown::Both);
+                shared.rt.read().close_outputs(seat.owner);
+            }
+            seats.len()
+        };
+        // Forced sessions unwind through normal teardown; give that a
+        // bounded grace so the checkpoint below sees their cancels.
+        let grace = Instant::now() + Duration::from_secs(5);
+        while forced > 0 && Instant::now() < grace {
+            if shared.seats.lock().unwrap().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Phase 3: make the archive durable *now*. Teardown only
+        // cancels pipelines; the WAL would recover without this, but a
+        // checkpointed store file makes restart recovery instant and
+        // exercises the same path as the periodic checkpointer.
+        let rt = shared.rt.read();
+        for (_dim, history) in rt.histories() {
+            let mut base = history.write();
+            if base.is_durable() {
+                let _ = base.checkpoint();
+            }
+        }
+        drop(rt);
+        shared.drain_done.store(true, Ordering::SeqCst);
+        forced
+    }
 }
 
 impl Server {
@@ -142,6 +276,17 @@ impl Server {
             shared: Arc::new(Shared {
                 rt: RwLock::new(rt),
                 shutting_down: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                drain_done: AtomicBool::new(false),
+                drain_millis: AtomicU64::new(0),
+                seats: Mutex::new(HashMap::new()),
+                next_seat: AtomicU64::new(0),
+                limits: Limits {
+                    idle_timeout: config.idle_timeout,
+                    owner_max_queries: config.owner_max_queries,
+                    owner_max_queue_bytes: config.owner_max_queue_bytes,
+                    owner_max_buffer_bytes: config.owner_max_buffer_bytes,
+                },
                 metrics: ServerMetrics::new(),
             }),
         })
@@ -183,6 +328,15 @@ impl Server {
         for session in sessions {
             let _ = session.join();
         }
+        // A drain wakes this loop during its phase 1, long before its
+        // final checkpoint. Honor the documented contract — `run`
+        // returns once the drain *completes* — so a `main` that exits
+        // right after us cannot kill the checkpoint midway.
+        while self.shared.draining.load(Ordering::SeqCst)
+            && !self.shared.drain_done.load(Ordering::SeqCst)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         Ok(())
     }
 }
@@ -206,20 +360,106 @@ impl Session {
     }
 }
 
+/// What one turn of the tick-based frame reader produced.
+enum Step {
+    /// A complete, well-formed request frame.
+    Frame(Frame),
+    /// The server started draining: send `GoAway` and close.
+    Drain,
+    /// No complete frame arrived within the idle deadline.
+    Idle,
+    /// The peer is gone (clean close, mid-frame EOF, or a transport
+    /// error) — nothing left to say to it.
+    Gone,
+    /// Malformed bytes: explain with a typed Protocol error, then close.
+    Wire(WireError),
+}
+
+/// Read one frame through the session's incremental buffer, waking every
+/// [`READ_TICK`] (the socket read timeout) to check the drain flag and
+/// the idle deadline. Unlike a blocking `read_frame`, a timeout here
+/// never tears a frame: partial bytes stay in `buf` for the next tick.
+fn next_frame(stream: &mut CountingStream, buf: &mut Vec<u8>, shared: &Shared) -> Step {
+    let deadline = shared.limits.idle_timeout.map(|d| Instant::now() + d);
+    loop {
+        match decode(buf) {
+            Ok(Some((frame, used))) => {
+                buf.drain(..used);
+                return Step::Frame(frame);
+            }
+            Ok(None) => {}
+            Err(e) => return Step::Wire(e),
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return Step::Drain;
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Step::Gone,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Step::Idle;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Step::Gone,
+        }
+    }
+}
+
+/// Watch a session's socket from a side thread while the session thread
+/// may be blocked elsewhere (most importantly: wedged in a `Feed`
+/// against a full `Block`-policy output buffer). `peek` never consumes
+/// — it only answers "is the peer still there?". The moment the peer
+/// vanishes, the owner's output buffers are closed, which unblocks the
+/// wedged feeder immediately instead of waiting for a poll that will
+/// never come (the standing `Block`-policy disconnect gap).
+fn watch_disconnect(socket: TcpStream, shared: Arc<Shared>, owner: OwnerId, stop: Arc<AtomicBool>) {
+    let mut byte = [0u8; 1];
+    while !stop.load(Ordering::SeqCst) {
+        let gone = match socket.peek(&mut byte) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) => !matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+        };
+        if gone {
+            shared.metrics.disconnect_reaps.inc();
+            shared.rt.read().close_outputs(owner);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 /// Serve one connection to completion. Any protocol violation ends the
 /// session; any transport error ends it silently (the peer is gone).
-fn serve_session(shared: &Shared, stream: TcpStream) {
+fn serve_session(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    // The tick: bounds both the session's reads and the watcher's peeks
+    // (a cloned socket shares its options with the original).
+    let _ = stream.set_read_timeout(Some(READ_TICK));
     shared.metrics.sessions_total.inc();
     shared.metrics.sessions.inc();
     serve_session_inner(shared, CountingStream::new(stream, &shared.metrics));
     shared.metrics.sessions.dec();
 }
 
-fn serve_session_inner(shared: &Shared, mut stream: CountingStream) {
-    // Handshake: the first frame must be Hello.
-    match read_frame(&mut stream) {
-        Ok(Frame::Hello { .. }) => {
+fn serve_session_inner(shared: &Arc<Shared>, mut stream: CountingStream) {
+    let mut buf = Vec::new();
+
+    // Handshake: the first frame must be Hello (under the same idle
+    // deadline and drain checks as every later read).
+    match next_frame(&mut stream, &mut buf, shared) {
+        Step::Frame(Frame::Hello { .. }) => {
             let ack = Frame::HelloAck {
                 server: concat!("streamsum-server/", env!("CARGO_PKG_VERSION")).into(),
                 protocol: WIRE_VERSION,
@@ -228,7 +468,7 @@ fn serve_session_inner(shared: &Shared, mut stream: CountingStream) {
                 return;
             }
         }
-        Ok(_) => {
+        Step::Frame(_) => {
             let _ = write_frame(
                 &mut stream,
                 &error_frame(ErrorCode::Protocol, "expected Hello".into()),
@@ -238,14 +478,25 @@ fn serve_session_inner(shared: &Shared, mut stream: CountingStream) {
         // A malformed first frame — most importantly a WIRE_VERSION
         // mismatch — gets an explanatory Error frame, not a silent
         // close, so mixed-version deployments fail loudly (§9's rule).
-        Err(RecvError::Wire(e)) => {
+        Step::Wire(e) => {
+            shared.metrics.wire_errors.inc();
             let _ = write_frame(
                 &mut stream,
                 &error_frame(ErrorCode::Protocol, e.to_string()),
             );
             return;
         }
-        Err(_) => return,
+        Step::Drain => {
+            shared.metrics.goaways.inc();
+            let _ = write_frame(&mut stream, &goaway_frame(shared));
+            return;
+        }
+        Step::Idle => {
+            shared.metrics.idle_timeouts.inc();
+            let _ = write_frame(&mut stream, &idle_timeout_frame(shared));
+            return;
+        }
+        Step::Gone => return,
     }
 
     let mut session = Session {
@@ -253,19 +504,53 @@ fn serve_session_inner(shared: &Shared, mut stream: CountingStream) {
         queries: Vec::new(),
     };
 
+    // Register the drain seat and start the disconnect watcher — both
+    // need a socket clone; without one the session still works, it just
+    // cannot be force-closed or reaped early.
+    let seat_id = shared.next_seat.fetch_add(1, Ordering::SeqCst);
+    let watcher_stop = Arc::new(AtomicBool::new(false));
+    let mut watcher = None;
+    if let Ok(socket) = stream.get_ref().try_clone() {
+        shared.seats.lock().unwrap().insert(
+            seat_id,
+            Seat {
+                socket,
+                owner: session.owner,
+            },
+        );
+    }
+    if let Ok(socket) = stream.get_ref().try_clone() {
+        let (shared, owner, stop) = (shared.clone(), session.owner, watcher_stop.clone());
+        watcher = std::thread::Builder::new()
+            .name("sgs-session-watch".into())
+            .spawn(move || watch_disconnect(socket, shared, owner, stop))
+            .ok();
+    }
+
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(frame) => frame,
-            // Clean close, peer vanished, or garbage: session over
-            // either way. A wire error gets a best-effort explanation.
-            Err(RecvError::Wire(e)) => {
+        let frame = match next_frame(&mut stream, &mut buf, shared) {
+            Step::Frame(frame) => frame,
+            Step::Drain => {
+                shared.metrics.goaways.inc();
+                let _ = write_frame(&mut stream, &goaway_frame(shared));
+                break;
+            }
+            Step::Idle => {
+                shared.metrics.idle_timeouts.inc();
+                let _ = write_frame(&mut stream, &idle_timeout_frame(shared));
+                break;
+            }
+            // Garbage gets a best-effort typed explanation; a vanished
+            // peer gets nothing. Session over either way.
+            Step::Wire(e) => {
+                shared.metrics.wire_errors.inc();
                 let _ = write_frame(
                     &mut stream,
                     &error_frame(ErrorCode::Protocol, e.to_string()),
                 );
                 break;
             }
-            Err(_) => break,
+            Step::Gone => break,
         };
         let goodbye = matches!(frame, Frame::Goodbye);
         let reply = dispatch(shared, &mut session, frame);
@@ -279,6 +564,14 @@ fn serve_session_inner(shared: &Shared, mut stream: CountingStream) {
         if write_frame(&mut stream, &reply).is_err() || goodbye || fatal {
             break;
         }
+    }
+
+    // Stop the watcher before teardown so a peer that disappears right
+    // now (after the session already decided to close) is not counted
+    // as a reap of a live session.
+    watcher_stop.store(true, Ordering::SeqCst);
+    if let Some(watcher) = watcher {
+        let _ = watcher.join();
     }
 
     // Teardown: cancel the session's live queries so a vanished analyst
@@ -302,6 +595,26 @@ fn serve_session_inner(shared: &Shared, mut stream: CountingStream) {
     // server living through thousands of connect/feed/disconnect cycles
     // must not accumulate registry garbage per past session.
     shared.rt.write().evict_cancelled(session.owner);
+    // Leave the seat last: an empty registry tells the drain that no
+    // session state remains in the runtime.
+    shared.seats.lock().unwrap().remove(&seat_id);
+}
+
+/// The frame a draining server sends in place of any further response.
+fn goaway_frame(shared: &Shared) -> Frame {
+    Frame::GoAway {
+        reason: "server draining".into(),
+        drain_millis: shared.drain_millis.load(Ordering::SeqCst),
+    }
+}
+
+/// The typed farewell of an idle-timeout close.
+fn idle_timeout_frame(shared: &Shared) -> Frame {
+    let window = shared.limits.idle_timeout.unwrap_or_default();
+    error_frame(
+        ErrorCode::Protocol,
+        format!("idle timeout: no complete request within {window:?}"),
+    )
 }
 
 /// Execute one request frame against the shared runtime.
@@ -317,7 +630,28 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
             let planned = shared.rt.read().plan(&text);
             match planned {
                 Ok(sgs_runtime::QueryPlan::Detect(plan)) => {
-                    match shared.rt.write().submit_detect_for(session.owner, *plan) {
+                    let mut rt = shared.rt.write();
+                    // Admission control, checked and enforced under the
+                    // same write-lock hold as the registration so two
+                    // racing submits cannot both squeeze under the cap.
+                    if let Some(max) = shared.limits.owner_max_queries {
+                        let live = rt
+                            .queries_for(session.owner)
+                            .iter()
+                            .filter(|d| d.state != QueryState::Cancelled)
+                            .count();
+                        if live >= max {
+                            shared.metrics.quota_rejections.inc();
+                            return error_frame(
+                                ErrorCode::QuotaExceeded,
+                                format!(
+                                    "session holds {live} live queries (limit {max}); \
+                                     cancel one to free a slot"
+                                ),
+                            );
+                        }
+                    }
+                    match rt.submit_detect_for(session.owner, *plan) {
                         Ok(id) => {
                             session.queries.push(id);
                             Frame::Registered {
@@ -529,6 +863,41 @@ fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> F
                     bad.dim()
                 ),
             );
+        }
+        // Admission control (DESIGN.md §12): refuse the batch *whole*
+        // before anything is enqueued, so a rejected Feed has no
+        // partial effect. Input-side: the points about to be queued
+        // (charged at the runtime's per-point queue cost) must fit
+        // under the owner's queued-input cap. Output-side: a session
+        // sitting on too many unpolled windows must poll before it may
+        // feed more — the non-blocking counterpart of `Block`.
+        if let Some(max) = shared.limits.owner_max_queue_bytes {
+            let incoming: usize = points.iter().map(|p| 16 + 8 * p.dim()).sum();
+            let queued = rt.input_queue_bytes_for(session.owner);
+            if queued.saturating_add(incoming) > max {
+                shared.metrics.quota_rejections.inc();
+                return error_frame(
+                    ErrorCode::QuotaExceeded,
+                    format!(
+                        "feeding {incoming} bytes atop {queued} queued would pass the \
+                         owner's input-queue limit of {max} bytes; let processing drain \
+                         and retry"
+                    ),
+                );
+            }
+        }
+        if let Some(max) = shared.limits.owner_max_buffer_bytes {
+            let buffered = rt.output_bytes_for(session.owner);
+            if buffered > max {
+                shared.metrics.quota_rejections.inc();
+                return error_frame(
+                    ErrorCode::QuotaExceeded,
+                    format!(
+                        "{buffered} bytes of completed windows are waiting unpolled \
+                         (limit {max}); poll to release the quota"
+                    ),
+                );
+            }
         }
         rt.feeder(Some(session.owner), Some(stream))
     };

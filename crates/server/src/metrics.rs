@@ -47,6 +47,24 @@ pub(crate) struct ServerMetrics {
     /// Time one `Feed` dispatch spends blocked pushing into the bounded
     /// input queues — the server-side view of backpressure.
     pub feed_block_nanos: Arc<Histogram>,
+    /// Sessions closed because no complete request arrived within the
+    /// configured idle deadline.
+    pub idle_timeouts: Arc<Counter>,
+    /// Requests refused with `QuotaExceeded` (per-owner admission
+    /// control).
+    pub quota_rejections: Arc<Counter>,
+    /// `GoAway` frames sent to sessions during a drain.
+    pub goaways: Arc<Counter>,
+    /// Graceful drains initiated ([`ServerHandle::drain`]).
+    ///
+    /// [`ServerHandle::drain`]: crate::ServerHandle::drain
+    pub drains: Arc<Counter>,
+    /// Vanished peers detected by the per-session disconnect watcher
+    /// (each one force-released the owner's output buffers).
+    pub disconnect_reaps: Arc<Counter>,
+    /// Malformed frames received (sessions ended with a typed Protocol
+    /// error rather than a hang or a panic).
+    pub wire_errors: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -67,6 +85,12 @@ impl ServerMetrics {
             bytes_in: r.counter("sgs_server_bytes_in_total"),
             bytes_out: r.counter("sgs_server_bytes_out_total"),
             feed_block_nanos: r.histogram("sgs_server_feed_block_nanos"),
+            idle_timeouts: r.counter("sgs_server_idle_timeouts_total"),
+            quota_rejections: r.counter("sgs_server_quota_rejections_total"),
+            goaways: r.counter("sgs_server_goaways_total"),
+            drains: r.counter("sgs_server_drains_total"),
+            disconnect_reaps: r.counter("sgs_server_disconnect_reaps_total"),
+            wire_errors: r.counter("sgs_server_wire_errors_total"),
         }
     }
 
@@ -97,6 +121,12 @@ impl CountingStream {
             bytes_in: m.bytes_in.clone(),
             bytes_out: m.bytes_out.clone(),
         }
+    }
+
+    /// The underlying socket — for timeouts, `try_clone` (the
+    /// disconnect watcher and the drain seat registry), and shutdown.
+    pub(crate) fn get_ref(&self) -> &TcpStream {
+        &self.inner
     }
 }
 

@@ -477,6 +477,13 @@ impl Frame {
                     put_metric(out, m);
                 }
             }
+            Frame::GoAway {
+                reason,
+                drain_millis,
+            } => {
+                put_str(out, reason);
+                put_u64(out, *drain_millis);
+            }
             Frame::Error { code, message } => {
                 put_u16(out, code.code());
                 put_str(out, message);
@@ -574,6 +581,10 @@ impl Frame {
                 }
                 Frame::MetricsReply(metrics)
             }
+            0x8A => Frame::GoAway {
+                reason: rd.str()?,
+                drain_millis: rd.u64()?,
+            },
             0xFF => Frame::Error {
                 code: ErrorCode::from_code(rd.u16()?).ok_or(WireError::Invalid("error code"))?,
                 message: rd.str()?,

@@ -192,6 +192,11 @@ pub enum ErrorCode {
     Dimension,
     /// Anything else; the message says what.
     Internal,
+    /// The request would push the session's owner past a configured
+    /// resource limit (live queries, queued input bytes, or buffered
+    /// output bytes). The session stays usable: cancel queries or poll
+    /// windows to release the quota, then retry.
+    QuotaExceeded,
 }
 
 impl ErrorCode {
@@ -205,6 +210,7 @@ impl ErrorCode {
             ErrorCode::InvalidTransition => 6,
             ErrorCode::Dimension => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::QuotaExceeded => 9,
         }
     }
 
@@ -218,6 +224,7 @@ impl ErrorCode {
             6 => ErrorCode::InvalidTransition,
             7 => ErrorCode::Dimension,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::QuotaExceeded,
             _ => return None,
         })
     }
@@ -352,6 +359,18 @@ pub enum Frame {
         /// base).
         stats: WireStats,
     },
+    /// `0x8A` — the server is draining (SIGTERM / administrative
+    /// shutdown) and will close this connection; no further requests
+    /// will be served. May arrive **in place of any expected response**
+    /// or unsolicited to an idle session — the only frame the strict
+    /// request/response discipline allows out of band. Clients should
+    /// reconnect elsewhere after `drain_millis`.
+    GoAway {
+        /// Why the server is going away, for the client log.
+        reason: String,
+        /// Upper bound on the server's remaining drain window, ms.
+        drain_millis: u64,
+    },
     /// `0xFF` — the request failed; the session stays usable unless the
     /// code is [`ErrorCode::Protocol`].
     Error {
@@ -388,6 +407,7 @@ impl Frame {
             Frame::OkAck => 0x87,
             Frame::Report { .. } => 0x88,
             Frame::MetricsReply(_) => 0x89,
+            Frame::GoAway { .. } => 0x8A,
             Frame::Error { .. } => 0xFF,
         }
     }

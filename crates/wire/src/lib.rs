@@ -41,10 +41,14 @@
 //! [`sgs-client`]: ../sgs_client/index.html
 
 pub mod codec;
+#[cfg(feature = "test-util")]
+pub mod fault;
 pub mod frame;
 pub mod io;
 
 pub use codec::{decode, WireError};
+#[cfg(feature = "test-util")]
+pub use fault::{Fault, FaultKind, FaultTransport};
 pub use frame::{
     ErrorCode, Frame, WireMatch, WireMetric, WireMetricValue, WireQuery, WireQueryState, WireStats,
     WireWindow,
@@ -55,8 +59,10 @@ pub use io::{read_frame, write_frame, RecvError};
 /// change; decoders reject all other versions.
 ///
 /// History: `1` — initial protocol; `2` — added the
-/// [`Frame::MetricsReq`] / [`Frame::MetricsReply`] pair.
-pub const WIRE_VERSION: u8 = 2;
+/// [`Frame::MetricsReq`] / [`Frame::MetricsReply`] pair; `3` — added
+/// [`Frame::GoAway`] (graceful drain) and
+/// [`ErrorCode::QuotaExceeded`] (per-owner admission control).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Hard cap on one frame's payload length (64 MiB). Applied before any
 /// allocation, so a corrupt or hostile length prefix cannot balloon

@@ -135,7 +135,7 @@ fn rand_query(rng: &mut StdRng) -> WireQuery {
     }
 }
 
-/// One random frame of each of the 23 kinds.
+/// One random frame of each of the 24 kinds.
 fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
     let q = |rng: &mut StdRng| rng.gen_range(0u64..1 << 20);
     vec![
@@ -215,6 +215,10 @@ fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
             let n = rng.gen_range(0usize..12);
             (0..n).map(|_| rand_metric(rng)).collect()
         }),
+        Frame::GoAway {
+            reason: rand_string(rng, 60),
+            drain_millis: rng.gen_range(0u64..1 << 40),
+        },
         Frame::Error {
             code: [
                 ErrorCode::Protocol,
@@ -225,7 +229,8 @@ fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
                 ErrorCode::InvalidTransition,
                 ErrorCode::Dimension,
                 ErrorCode::Internal,
-            ][rng.gen_range(0usize..8)],
+                ErrorCode::QuotaExceeded,
+            ][rng.gen_range(0usize..9)],
             message: rand_string(rng, 80),
         },
     ]
@@ -258,6 +263,7 @@ fn assert_generator_covers(frame: &Frame) {
         | Frame::OkAck
         | Frame::Report { .. }
         | Frame::MetricsReply(_)
+        | Frame::GoAway { .. }
         | Frame::Error { .. } => {}
     }
 }
@@ -350,5 +356,5 @@ fn generator_covers_every_kind_byte_exactly_once() {
     let mut kinds: Vec<u8> = all_frame_kinds(&mut rng).iter().map(|f| f.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 23, "one generated frame per protocol kind");
+    assert_eq!(kinds.len(), 24, "one generated frame per protocol kind");
 }
