@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Lint-suppression budget: no new `#[allow(...)]` without review.
+
+Scans first-party sources (crates/) for `#[allow(...)]` / `#![allow(...)]`
+attributes and compares the set against the checked-in manifest
+`ci/clippy_allows.txt` (one `path:lint` pair per line, `#` comments).
+Vendored shims under vendor/ are exempt — they stand in for third-party
+code.
+
+* An allow in the tree but not in the manifest fails the build: adding a
+  suppression is a reviewed decision, recorded by editing the manifest in
+  the same commit.
+* A manifest entry with no matching allow also fails: when a suppression
+  is removed, its budget line goes with it, so the manifest never
+  overstates the debt.
+
+Usage: python3 ci/check_allows.py [--root .]
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"#!?\[allow\(([^)]*)\)\]")
+
+
+def scan(root: Path):
+    found = set()
+    for path in sorted((root / "crates").rglob("*.rs")):
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        for match in ALLOW_RE.finditer(text):
+            for lint in match.group(1).split(","):
+                lint = lint.strip()
+                if lint:
+                    found.add(f"{rel}:{lint}")
+    return found
+
+
+def manifest(root: Path):
+    entries = set()
+    listing = root / "ci" / "clippy_allows.txt"
+    for line in listing.read_text(encoding="utf-8").splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            entries.add(line)
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = Path(args.root)
+
+    found = scan(root)
+    budget = manifest(root)
+
+    new = sorted(found - budget)
+    stale = sorted(budget - found)
+    for entry in new:
+        print(f"NEW ALLOW (not in ci/clippy_allows.txt): {entry}")
+    for entry in stale:
+        print(f"STALE BUDGET LINE (allow no longer present): {entry}")
+    if new or stale:
+        print(f"\nFAIL: {len(new)} unbudgeted allow(s), {len(stale)} stale line(s)")
+        return 1
+    print(f"OK: {len(found)} allow(s), all budgeted in ci/clippy_allows.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

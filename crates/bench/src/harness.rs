@@ -71,8 +71,9 @@ pub fn run_csgs(query: &ClusterQuery, points: &[Point]) -> RunStats {
     let mut engine = WindowEngine::new(spec, query.dim);
     // The figure harnesses replicate the paper's *single-threaded*
     // C-SGS-vs-Extra-N comparison, so extraction is pinned to one shard
-    // regardless of the host's core count (`ShardCount::Auto` default);
-    // the `shard_scaling` binary measures the sharded path.
+    // (the `ShardCount::Auto` default would adaptively re-shard from
+    // observed grid occupancy mid-run); the `shard_scaling` binary
+    // measures the sharded path.
     let mut csgs = CSgs::new(query.clone().with_shards(sgs_core::ShardCount::Fixed(1)));
     let mut outputs = Vec::new();
     let mut windows = 0usize;

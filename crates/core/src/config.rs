@@ -20,17 +20,24 @@ use crate::window::WindowSpec;
 /// byte-identical for every `S`, so this is purely a performance knob.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ShardCount {
-    /// One shard per available CPU (`std::thread::available_parallelism`,
-    /// falling back to 1 when that is unknown).
+    /// *Adaptive*: the extractor starts single-sharded and re-partitions
+    /// at window boundaries, picking the shard count from the observed
+    /// grid occupancy (live points and occupied cells) bounded by the
+    /// host's parallelism — instead of a static core count. The output
+    /// contract is unchanged: every window's output is byte-identical to
+    /// every fixed shard count.
     #[default]
     Auto,
-    /// Exactly this many shards. `Fixed(0)` and `Fixed(1)` both resolve to
-    /// the single-threaded extractor.
+    /// Exactly this many shards, always. `Fixed(0)` and `Fixed(1)` both
+    /// resolve to the single-threaded extractor.
     Fixed(u32),
 }
 
 impl ShardCount {
-    /// The concrete shard count (always ≥ 1).
+    /// A concrete static shard count (always ≥ 1) for consumers that
+    /// cannot adapt at runtime: `Auto` falls back to one shard per
+    /// available CPU. The adaptive extractor does **not** use this — it
+    /// observes occupancy instead.
     pub fn resolve(self) -> usize {
         match self {
             ShardCount::Auto => std::thread::available_parallelism()

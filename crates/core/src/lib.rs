@@ -36,6 +36,7 @@ pub mod cell;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod kernel;
 pub mod memsize;
 pub mod point;
 pub mod window;

@@ -41,9 +41,9 @@
 //! shard count, `S = 1` runs the original single-threaded code verbatim,
 //! and each object still costs exactly one range-query search.
 
-use sgs_core::{CellCoord, ClusterQuery, GridGeometry, Point, PointId, WindowId};
+use sgs_core::{kernel, CellCoord, ClusterQuery, GridGeometry, Point, PointId, WindowId};
 use sgs_exec::Pool;
-use sgs_index::grid::GridEntry;
+use sgs_index::grid::CellSlab;
 use sgs_index::ShardRouter;
 use sgs_stream::{ExpiryHistogram, WindowConsumer};
 
@@ -51,13 +51,25 @@ use crate::cell_store::CellStore;
 use crate::merge;
 use crate::output::WindowOutput;
 use crate::shard::{
-    for_each_par, for_each_par2, for_each_par3, resolve, HistMsg, LinkMsg, NewPointPlan, Shard,
+    for_each_par, for_each_par2, for_each_par3, resolve, HistMsg, LinkMsg, NewPointPlan,
+    PointState, Shard,
 };
 
 /// Batches smaller than this run the sharded phases inline on the calling
 /// thread: the phase semantics are identical, but even pool fork-join has
 /// enqueue/wake overhead that is not worth paying for a handful of points.
 const PAR_BATCH_MIN: usize = 32;
+
+/// Adaptive sharding ([`ShardCount::Auto`]): one shard per this many live
+/// points. Below it, a shard's batch slices are too small for the phase
+/// fork-join to pay for itself.
+const POINTS_PER_SHARD: usize = 256;
+
+/// Adaptive sharding: one shard per this many occupied grid cells. Cells
+/// are the unit of routing (via their regions), so fewer occupied cells
+/// than this per shard cannot balance load no matter how many points the
+/// cells hold.
+const CELLS_PER_SHARD: usize = 16;
 
 /// The integrated C-SGS extractor. Implements [`WindowConsumer`]; each
 /// slide returns the window's clusters in full + SGS representation.
@@ -78,6 +90,13 @@ pub struct CSgs {
     /// reading every shard's points).
     cell_stores: Vec<CellStore>,
     current: WindowId,
+    /// Adaptive mode ([`ShardCount::Auto`]): re-partition at window
+    /// boundaries from observed grid occupancy instead of holding a
+    /// static shard count.
+    adaptive: bool,
+    /// Upper bound for adaptive shard counts (derived from available
+    /// parallelism at construction).
+    max_shards: usize,
     /// Number of range query searches executed (one per object, §5.3 —
     /// regardless of shard count).
     pub rqs_count: u64,
@@ -95,7 +114,21 @@ impl CSgs {
     /// workers).
     pub fn with_pool(query: ClusterQuery, pool: Pool) -> Self {
         let geometry = query.basic_grid();
-        let s = query.shards.resolve();
+        // Adaptive mode starts single-sharded: a cold extractor has no
+        // occupancy to partition by, and S = 1 is the cheapest
+        // configuration for a small live set. `maybe_reshard` raises S
+        // once the observed grid justifies it.
+        let (s, adaptive) = match query.shards {
+            sgs_core::ShardCount::Fixed(n) => ((n as usize).max(1), false),
+            sgs_core::ShardCount::Auto => (1, true),
+        };
+        // Mild over-sharding (2× the worker count) improves fork-join
+        // load balance; the floor of 4 keeps adaptation observable — and
+        // useful for balance — even on low-core hosts.
+        let max_shards = std::thread::available_parallelism()
+            .map(|p| p.get() * 2)
+            .unwrap_or(1)
+            .max(4);
         // Region width ≥ the range-query reach, so a point's neighborhood
         // spans at most the regions adjacent to its own. Using a full
         // block width (2·reach + 1) keeps most of a point's neighborhood
@@ -111,7 +144,62 @@ impl CSgs {
             shards,
             cell_stores: (0..s).map(|_| CellStore::new()).collect(),
             current: WindowId(0),
+            adaptive,
+            max_shards,
             rqs_count: 0,
+        }
+    }
+
+    /// The shard count the adaptive policy wants for the current grid
+    /// occupancy: enough live points *and* enough occupied cells per
+    /// shard to keep every phase slice worth forking, capped by the
+    /// host's parallelism budget.
+    fn adaptive_target(&self) -> usize {
+        let live: usize = self.shards.iter().map(|sh| sh.points.len()).sum();
+        let cells: usize = self.shards.iter().map(|sh| sh.index.cell_count()).sum();
+        (live / POINTS_PER_SHARD)
+            .min(cells / CELLS_PER_SHARD)
+            .clamp(1, self.max_shards)
+    }
+
+    /// Re-partition all live extraction state onto `new_s` shards.
+    ///
+    /// Every watermark, histogram, and neighbor list is independent of
+    /// which shard holds it — sharding is pure routing — so the move is
+    /// wholesale: points re-index under the new router in id order
+    /// (matching the arrival order a fixed-`new_s` run would have used),
+    /// and each cell's state transfers untouched to its new owning
+    /// store. The observable output stays byte-identical to every fixed
+    /// shard count (the `shard_invariance` contract).
+    fn reshard(&mut self, new_s: usize) {
+        let dim = self.query.dim;
+        let old_shards = std::mem::take(&mut self.shards);
+        let old_stores = std::mem::take(&mut self.cell_stores);
+        self.router = ShardRouter::new(2 * self.geometry.reach().max(1) + 1, new_s);
+        self.shards = (0..new_s)
+            .map(|_| Shard::new(self.geometry.clone()))
+            .collect();
+        self.cell_stores = (0..new_s).map(|_| CellStore::new()).collect();
+
+        let mut moving: Vec<(PointId, PointState, usize)> = Vec::new();
+        let mut coords: Vec<f64> = Vec::new();
+        for mut sh in old_shards {
+            for (id, st) in sh.points.drain() {
+                let at = coords.len();
+                coords.extend_from_slice(sh.arena.get(st.slot));
+                moving.push((id, st, at));
+            }
+        }
+        moving.sort_unstable_by_key(|(id, _, _)| *id);
+        for (id, st, at) in moving {
+            let home = self.router.shard_of(&st.cell);
+            self.shards[home].adopt(id, &coords[at..at + dim], st);
+        }
+        for mut store in old_stores {
+            for (coord, state) in store.drain() {
+                let home = self.router.shard_of(&coord);
+                self.cell_stores[home].insert_state(coord, state);
+            }
         }
     }
 
@@ -176,16 +264,26 @@ impl CSgs {
         {
             let shards = &*shards;
             let mut walker = NeighborCellWalker::new(geometry, router);
-            walker.visit(shards, router, &center, |owner, bucket| {
-                for e in bucket {
-                    if e.id != id && sgs_core::dist_sq(&point.coords, &e.coords) <= theta_sq {
-                        // Expiry rides inline in the grid entry — no
-                        // point-map lookup on the discovery hot path.
-                        hist.add(e.expires_at);
-                        neighbors.push((e.id, owner));
-                    }
-                }
-            });
+            walker.visit(
+                shards,
+                router,
+                &center,
+                &point.coords,
+                theta_sq,
+                |owner, slab| {
+                    // Whole-cell batch distance pass; the self-exclusion
+                    // branch runs once per match, not once per candidate.
+                    kernel::for_each_within(&point.coords, slab.coords(), theta_sq, |j| {
+                        let e_id = slab.id(j);
+                        if e_id != id {
+                            // Expiry rides inline in the cell slab — no
+                            // point-map lookup on the discovery hot path.
+                            hist.add(slab.expires_at(j));
+                            neighbors.push((e_id, owner));
+                        }
+                    });
+                },
+            );
         }
         self.rqs_count += 1;
 
@@ -322,25 +420,31 @@ impl CSgs {
                     let center = &shards[i].points[&p_id].cell;
                     let mut hist = ExpiryHistogram::new();
                     let mut neighbors = Vec::new();
-                    walker.visit(shards, router, center, |owner, bucket| {
-                        for e in bucket {
-                            if e.id != p_id
-                                && sgs_core::dist_sq(&point.coords, &e.coords) <= theta_sq
-                            {
-                                // Inline entry expiry: no point-map lookup
-                                // per neighbor in the discover phase.
-                                hist.add(e.expires_at);
-                                neighbors.push((e.id, owner));
-                                if e.id < batch_first {
-                                    sc.out[owner as usize].push(HistMsg {
-                                        q: e.id,
-                                        p: p_id,
-                                        p_expires: p_exp,
-                                    });
+                    walker.visit(
+                        shards,
+                        router,
+                        center,
+                        &point.coords,
+                        theta_sq,
+                        |owner, slab| {
+                            kernel::for_each_within(&point.coords, slab.coords(), theta_sq, |j| {
+                                let e_id = slab.id(j);
+                                if e_id != p_id {
+                                    // Inline slab expiry: no point-map lookup
+                                    // per neighbor in the discover phase.
+                                    hist.add(slab.expires_at(j));
+                                    neighbors.push((e_id, owner));
+                                    if e_id < batch_first {
+                                        sc.out[owner as usize].push(HistMsg {
+                                            q: e_id,
+                                            p: p_id,
+                                            p_expires: p_exp,
+                                        });
+                                    }
                                 }
-                            }
-                        }
-                    });
+                            });
+                        },
+                    );
                     let core_until = hist.core_until(p_exp, now, theta_c).0;
                     sc.plans.push(NewPointPlan {
                         id: p_id,
@@ -505,6 +609,7 @@ impl CSgs {
 struct NeighborCellWalker {
     reach: i32,
     width: i32,
+    side: f64,
     /// Reused buffers: cell bounds, region bounds, odometers.
     lo: Vec<i32>,
     hi: Vec<i32>,
@@ -522,6 +627,7 @@ impl NeighborCellWalker {
         NeighborCellWalker {
             reach: geometry.reach(),
             width: router.width(),
+            side: geometry.side(),
             lo: vec![0; d],
             hi: vec![0; d],
             rlo: vec![0; d],
@@ -533,15 +639,23 @@ impl NeighborCellWalker {
         }
     }
 
-    /// Call `f(owner, bucket)` for every non-empty grid cell within reach
-    /// of `center`, across all shards.
+    /// Call `f(owner, slab)` for every non-empty grid cell within reach
+    /// of `center`, across all shards — skipping, before the per-cell
+    /// hash probe, any cell whose bounding box provably lies farther
+    /// than `theta_sq` from `coords` (same conservative 16 ε margin as
+    /// the single-grid walk in `sgs-index`; the skip can only drop cells
+    /// with no possible match, so sharded discovery stays byte-identical).
     fn visit<'a>(
         &mut self,
         shards: &'a [Shard],
         router: &ShardRouter,
         center: &CellCoord,
-        mut f: impl FnMut(u32, &'a [GridEntry]),
+        coords: &[f64],
+        theta_sq: f64,
+        mut f: impl FnMut(u32, &'a CellSlab),
     ) {
+        let prune = theta_sq + theta_sq * 16.0 * f64::EPSILON;
+        let side = self.side;
         let d = center.0.len();
         for i in 0..d {
             self.lo[i] = center.0[i] - self.reach;
@@ -561,9 +675,24 @@ impl NeighborCellWalker {
                     self.cell.0[i] = self.clo[i];
                 }
                 'cells: loop {
-                    let bucket = index.cell_points(&self.cell);
-                    if !bucket.is_empty() {
-                        f(owner as u32, bucket);
+                    let mut min_sq = 0.0;
+                    for (&ci, &c) in self.cell.0.iter().zip(coords) {
+                        let lo_edge = ci as f64 * side;
+                        let hi_edge = lo_edge + side;
+                        let delta = if c < lo_edge {
+                            lo_edge - c
+                        } else if c > hi_edge {
+                            c - hi_edge
+                        } else {
+                            0.0
+                        };
+                        min_sq += delta * delta;
+                    }
+                    if min_sq <= prune {
+                        let bucket = index.cell_points(&self.cell);
+                        if !bucket.is_empty() {
+                            f(owner as u32, bucket);
+                        }
                     }
                     let mut i = 0;
                     loop {
@@ -675,6 +804,15 @@ impl WindowConsumer for CSgs {
                     sh.maintain(cells, now);
                 },
             );
+        }
+
+        // Adaptive mode: with the window's churn settled, re-partition if
+        // the observed occupancy asks for a different shard count.
+        if self.adaptive {
+            let target = self.adaptive_target();
+            if target != self.shards.len() {
+                self.reshard(target);
+            }
         }
         out
     }

@@ -178,6 +178,22 @@ impl CellStore {
         self.cells.iter()
     }
 
+    /// Empty the store, yielding every cell's state for re-partitioning
+    /// (adaptive re-sharding): a cell's watermarks encode history that
+    /// cannot be rebuilt from live points, so moving a cell between
+    /// stores must move its state wholesale.
+    pub fn drain(&mut self) -> impl Iterator<Item = (CellCoord, CellState)> + '_ {
+        self.cells.drain()
+    }
+
+    /// Install a cell's state wholesale (the receiving side of a
+    /// re-shard move). Each cell is owned by exactly one store, so the
+    /// coord must not already be present.
+    pub fn insert_state(&mut self, coord: CellCoord, state: CellState) {
+        debug_assert!(!self.cells.contains_key(&coord), "cell owned twice");
+        self.cells.insert(coord, state);
+    }
+
     /// Approximate retained heap bytes.
     pub fn heap_bytes(&self) -> usize {
         let mut bytes =

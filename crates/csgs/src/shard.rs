@@ -254,6 +254,18 @@ impl Shard {
         extended
     }
 
+    /// Adopt a live point moved from another shard during adaptive
+    /// re-sharding: re-index its coordinates and expiry here and take
+    /// over its career state unchanged (watermarks, histogram, and
+    /// neighbor list are shard-placement-independent).
+    pub(crate) fn adopt(&mut self, id: PointId, coords: &[f64], mut state: PointState) {
+        self.index
+            .insert_at(&state.cell, id, coords, state.expires_at);
+        self.expiry.entry(state.expires_at.0).or_default().push(id);
+        state.slot = self.arena.alloc(coords);
+        self.points.insert(id, state);
+    }
+
     /// Slide: drop this shard's points expiring at `now`, returning each
     /// dead point's id and neighbor list (the input to eager cross-shard
     /// neighbor pruning).

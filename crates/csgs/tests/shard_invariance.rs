@@ -23,15 +23,15 @@ fn random_stream(seed: u64, n: usize, extent: f64) -> Vec<Point> {
 }
 
 /// Run the stream through a fresh extractor with `shards`, pushing
-/// `chunk`-sized batches, returning all windows plus the RQS count.
-fn run(
+/// `chunk`-sized batches, returning all windows plus the extractor.
+fn run_full(
     pts: &[Point],
     spec: WindowSpec,
     theta_r: f64,
     theta_c: u32,
     shards: ShardCount,
     chunk: usize,
-) -> (Vec<(WindowId, WindowOutput)>, u64) {
+) -> (Vec<(WindowId, WindowOutput)>, CSgs) {
     let query = ClusterQuery::new(theta_r, theta_c, 2, spec)
         .unwrap()
         .with_shards(shards);
@@ -43,7 +43,48 @@ fn run(
             .push_batch(c.iter().cloned(), &mut csgs, &mut outs)
             .unwrap();
     }
+    (outs, csgs)
+}
+
+/// Like [`run_full`] but returning only the windows plus the RQS count.
+fn run(
+    pts: &[Point],
+    spec: WindowSpec,
+    theta_r: f64,
+    theta_c: u32,
+    shards: ShardCount,
+    chunk: usize,
+) -> (Vec<(WindowId, WindowOutput)>, u64) {
+    let (outs, csgs) = run_full(pts, spec, theta_r, theta_c, shards, chunk);
     (outs, csgs.rqs_count)
+}
+
+/// `ShardCount::Auto` (adaptive re-sharding at window boundaries) must
+/// sit under the same contract as any fixed count: byte-identical
+/// windows, one RQS per object — while actually changing the shard count
+/// mid-stream on a workload big enough to trigger adaptation.
+#[test]
+fn adaptive_shards_are_byte_identical_to_every_fixed_count() {
+    let spec = WindowSpec::count(1200, 300).unwrap();
+    let (theta_r, theta_c, chunk) = (0.25f64, 3u32, 64usize);
+    let pts = random_stream(4242, 2600, 3.0);
+    let (auto_out, auto_csgs) = run_full(&pts, spec, theta_r, theta_c, ShardCount::Auto, chunk);
+    assert!(
+        auto_csgs.shard_count() > 1,
+        "workload must be big enough that the adaptive policy actually \
+         re-sharded (still at S = {})",
+        auto_csgs.shard_count()
+    );
+    assert_eq!(auto_csgs.rqs_count, pts.len() as u64, "one RQS per object");
+    assert!(
+        auto_out.iter().any(|(_, o)| !o.is_empty()),
+        "workload must produce clusters"
+    );
+    for s in [1u32, 2, 4] {
+        let (out, rqs) = run(&pts, spec, theta_r, theta_c, ShardCount::Fixed(s), chunk);
+        assert_eq!(rqs, pts.len() as u64);
+        assert_eq!(auto_out, out, "adaptive output diverged from S = {s}");
+    }
 }
 
 proptest! {

@@ -6,34 +6,129 @@
 //! and pruning by true distance. Because the basic cell diagonal equals θr,
 //! all points co-located in a cell are mutual neighbors (Lemma 4.1) — the
 //! index exposes per-cell buckets so algorithms can exploit that.
+//!
+//! Cell storage is structure-of-arrays ([`CellSlab`]): each cell keeps one
+//! contiguous coordinate slab plus parallel id/expiry columns, so the
+//! distance pruning of an RQS feeds whole cells into the batched
+//! [`sgs_core::kernel`] with zero pointer chasing (`DESIGN.md` §13).
 
-use sgs_core::{CellCoord, GridGeometry, HeapSize, Point, PointId, WindowId};
+use sgs_core::{kernel, CellCoord, GridGeometry, HeapSize, Point, PointId, WindowId};
 
 use crate::fx::FxHashMap;
 
-/// One indexed object: its id, an inline copy of its coordinates
-/// (copied so the distance loop never chases a pointer into a foreign
-/// slab), and its expiry window (inline for the same reason: C-SGS
-/// discovery reads every neighbor's expiry, and a point's expiry is
-/// fixed at arrival — see `DESIGN.md` §1 — so the copy can never go
-/// stale while the entry is indexed).
-#[derive(Clone, Debug)]
-pub struct GridEntry {
-    /// Stream object id.
-    pub id: PointId,
-    /// Position (same dimensionality as the grid).
-    pub coords: Box<[f64]>,
-    /// First window in which the object is no longer live
-    /// ([`WindowId::MAX`] for consumers indexing non-expiring data via
-    /// [`GridIndex::insert`]).
-    pub expires_at: WindowId,
+/// The points of one grid cell, stored column-wise: `coords` holds the
+/// cell's points back to back (`dim` consecutive `f64`s per point, the
+/// same slab layout the [`sgs_core::kernel`] batch primitives consume),
+/// with `ids[j]` / `expires[j]` the id and expiry window of the point at
+/// slab position `j`. Expiry rides inline because C-SGS discovery reads
+/// every neighbor's expiry and a point's expiry is fixed at arrival
+/// (`DESIGN.md` §1) — the copy can never go stale while indexed.
+#[derive(Clone, Debug, Default)]
+pub struct CellSlab {
+    ids: Vec<PointId>,
+    expires: Vec<WindowId>,
+    coords: Vec<f64>,
+}
+
+/// The bucket returned for cells with no live points.
+static EMPTY_SLAB: CellSlab = CellSlab {
+    ids: Vec::new(),
+    expires: Vec::new(),
+    coords: Vec::new(),
+};
+
+impl CellSlab {
+    /// Number of points in the cell.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the cell holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The ids column, slab order.
+    #[inline]
+    pub fn ids(&self) -> &[PointId] {
+        &self.ids
+    }
+
+    /// The expiry column, slab order.
+    #[inline]
+    pub fn expires(&self) -> &[WindowId] {
+        &self.expires
+    }
+
+    /// The contiguous point-major coordinate slab.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Id of the point at slab position `j`.
+    #[inline]
+    pub fn id(&self, j: usize) -> PointId {
+        self.ids[j]
+    }
+
+    /// Expiry window of the point at slab position `j`.
+    #[inline]
+    pub fn expires_at(&self, j: usize) -> WindowId {
+        self.expires[j]
+    }
+
+    /// Coordinates of the point at slab position `j`.
+    #[inline]
+    pub fn point(&self, j: usize) -> &[f64] {
+        let d = self.dim();
+        &self.coords[j * d..j * d + d]
+    }
+
+    /// Coordinate count per point (0 for an empty slab).
+    #[inline]
+    fn dim(&self) -> usize {
+        if self.ids.is_empty() {
+            0
+        } else {
+            self.coords.len() / self.ids.len()
+        }
+    }
+
+    fn push(&mut self, id: PointId, coords: &[f64], expires_at: WindowId) {
+        self.ids.push(id);
+        self.expires.push(expires_at);
+        self.coords.extend_from_slice(coords);
+    }
+
+    /// Remove position `pos` by swapping the last point into the hole —
+    /// all three columns move in lockstep so slab positions stay aligned.
+    fn swap_remove(&mut self, pos: usize) {
+        let d = self.dim();
+        let last = self.ids.len() - 1;
+        self.ids.swap_remove(pos);
+        self.expires.swap_remove(pos);
+        if pos != last {
+            let (head, tail) = self.coords.split_at_mut(last * d);
+            head[pos * d..pos * d + d].copy_from_slice(&tail[..d]);
+        }
+        self.coords.truncate(last * d);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * core::mem::size_of::<PointId>()
+            + self.expires.capacity() * core::mem::size_of::<WindowId>()
+            + self.coords.capacity() * core::mem::size_of::<f64>()
+    }
 }
 
 /// Uniform grid over the data space, bucketing live points by cell.
 #[derive(Clone, Debug)]
 pub struct GridIndex {
     geometry: GridGeometry,
-    cells: FxHashMap<CellCoord, Vec<GridEntry>>,
+    cells: FxHashMap<CellCoord, CellSlab>,
     len: usize,
 }
 
@@ -78,7 +173,7 @@ impl GridIndex {
     }
 
     /// Insert a point together with its expiry window, stored inline in
-    /// the entry so range-query consumers read it without a point-map
+    /// the cell slab so range-query consumers read it without a point-map
     /// lookup; returns the cell it landed in.
     pub fn insert_expiring(
         &mut self,
@@ -87,41 +182,67 @@ impl GridIndex {
         expires_at: WindowId,
     ) -> CellCoord {
         let cell = self.geometry.cell_of(point);
-        self.cells.entry(cell.clone()).or_default().push(GridEntry {
-            id,
-            coords: point.coords.clone(),
-            expires_at,
-        });
+        // Established cells (the overwhelmingly common case) take the
+        // `get_mut` fast path; the key is cloned only when the insert
+        // actually creates a new cell.
+        if let Some(slab) = self.cells.get_mut(&cell) {
+            slab.push(id, &point.coords, expires_at);
+        } else {
+            let mut slab = CellSlab::default();
+            slab.push(id, &point.coords, expires_at);
+            self.cells.insert(cell.clone(), slab);
+        }
         self.len += 1;
         cell
+    }
+
+    /// Insert a point whose cell is already known (the re-shard move
+    /// path): same effect as [`insert_expiring`](Self::insert_expiring)
+    /// without recomputing the cell from the geometry.
+    pub fn insert_at(
+        &mut self,
+        cell: &CellCoord,
+        id: PointId,
+        coords: &[f64],
+        expires_at: WindowId,
+    ) {
+        if let Some(slab) = self.cells.get_mut(cell) {
+            slab.push(id, coords, expires_at);
+        } else {
+            let mut slab = CellSlab::default();
+            slab.push(id, coords, expires_at);
+            self.cells.insert(cell.clone(), slab);
+        }
+        self.len += 1;
     }
 
     /// Remove a point from the cell it was inserted into. Returns `true`
     /// if it was present.
     pub fn remove(&mut self, id: PointId, cell: &CellCoord) -> bool {
-        let Some(bucket) = self.cells.get_mut(cell) else {
+        let Some(slab) = self.cells.get_mut(cell) else {
             return false;
         };
-        let Some(pos) = bucket.iter().position(|e| e.id == id) else {
+        let Some(pos) = slab.ids.iter().position(|&e| e == id) else {
             return false;
         };
-        bucket.swap_remove(pos);
-        if bucket.is_empty() {
+        slab.swap_remove(pos);
+        if slab.is_empty() {
             self.cells.remove(cell);
         }
         self.len -= 1;
         true
     }
 
-    /// The live points currently bucketed in `cell`.
+    /// The live points currently bucketed in `cell` (an empty slab when
+    /// the cell has none).
     #[inline]
-    pub fn cell_points(&self, cell: &CellCoord) -> &[GridEntry] {
-        self.cells.get(cell).map_or(&[], Vec::as_slice)
+    pub fn cell_points(&self, cell: &CellCoord) -> &CellSlab {
+        self.cells.get(cell).unwrap_or(&EMPTY_SLAB)
     }
 
     /// Iterate over all non-empty cells.
-    pub fn cells(&self) -> impl Iterator<Item = (&CellCoord, &[GridEntry])> {
-        self.cells.iter().map(|(c, v)| (c, v.as_slice()))
+    pub fn cells(&self) -> impl Iterator<Item = (&CellCoord, &CellSlab)> {
+        self.cells.iter()
     }
 
     /// Visit every non-empty cell of the reachability block around the
@@ -130,15 +251,26 @@ impl GridIndex {
     /// reused coordinate buffer instead of materializing `(2·reach+1)^d`
     /// cell allocations per query (this enumeration is the hottest loop
     /// of C-SGS insertion).
+    ///
+    /// Cells whose bounding box provably sits farther than `theta_sq`
+    /// from the query are skipped *before* the hash probe: the
+    /// reachability block over-covers the θr-ball (its corner cells
+    /// mostly lie outside it), and a few flops of box-clamping are much
+    /// cheaper than a map lookup. The skip threshold carries a 16 ε
+    /// relative margin so floating-point rounding in the box arithmetic
+    /// can only ever err toward *visiting* a cell — pruning never changes
+    /// the match set.
     fn for_each_reachable_bucket(
         &self,
         coords: &[f64],
-        mut f: impl FnMut(&CellCoord, &[GridEntry]),
+        theta_sq: f64,
+        mut f: impl FnMut(&CellCoord, &CellSlab),
     ) {
         let d = self.geometry.dim();
         let side = self.geometry.side();
         let reach = self.geometry.reach();
         debug_assert_eq!(coords.len(), d);
+        let prune = theta_sq + theta_sq * 16.0 * f64::EPSILON;
         let mut lo = vec![0i32; d];
         let mut hi = vec![0i32; d];
         for i in 0..d {
@@ -148,8 +280,24 @@ impl GridIndex {
         }
         let mut cell = CellCoord::new(lo.clone());
         loop {
-            if let Some(bucket) = self.cells.get(&cell) {
-                f(&cell, bucket);
+            // Minimum squared distance from the query to the cell's box.
+            let mut min_sq = 0.0;
+            for (&ci, &c) in cell.0.iter().zip(coords) {
+                let lo_edge = ci as f64 * side;
+                let hi_edge = lo_edge + side;
+                let delta = if c < lo_edge {
+                    lo_edge - c
+                } else if c > hi_edge {
+                    c - hi_edge
+                } else {
+                    0.0
+                };
+                min_sq += delta * delta;
+            }
+            if min_sq <= prune {
+                if let Some(bucket) = self.cells.get(&cell) {
+                    f(&cell, bucket);
+                }
             }
             // Odometer increment, dimension 0 fastest (the
             // `reachable_cells` order).
@@ -171,6 +319,10 @@ impl GridIndex {
     /// Range query search: every indexed point within `theta_r` of `coords`,
     /// excluding `exclude` (the querying point itself, per Def. 3.1 a point
     /// is not its own neighbor). Results are appended to `out`.
+    ///
+    /// Each visited cell's slab is fed whole into the batched distance
+    /// kernel; the self-exclusion check runs once per *match*, not once
+    /// per candidate.
     pub fn range_query(
         &self,
         coords: &[f64],
@@ -179,12 +331,13 @@ impl GridIndex {
         out: &mut Vec<PointId>,
     ) {
         let theta_sq = theta_r * theta_r;
-        self.for_each_reachable_bucket(coords, |_, bucket| {
-            for e in bucket {
-                if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
-                    out.push(e.id);
+        self.for_each_reachable_bucket(coords, theta_sq, |_, slab| {
+            kernel::for_each_within(coords, &slab.coords, theta_sq, |j| {
+                let id = slab.ids[j];
+                if id != exclude {
+                    out.push(id);
                 }
-            }
+            });
         });
     }
 
@@ -199,26 +352,23 @@ impl GridIndex {
         out: &mut Vec<(PointId, CellCoord, WindowId)>,
     ) {
         let theta_sq = theta_r * theta_r;
-        self.for_each_reachable_bucket(coords, |cell, bucket| {
-            for e in bucket {
-                if e.id != exclude && sgs_core::dist_sq(coords, &e.coords) <= theta_sq {
-                    out.push((e.id, cell.clone(), e.expires_at));
+        self.for_each_reachable_bucket(coords, theta_sq, |cell, slab| {
+            kernel::for_each_within(coords, &slab.coords, theta_sq, |j| {
+                let id = slab.ids[j];
+                if id != exclude {
+                    out.push((id, cell.clone(), slab.expires[j]));
                 }
-            }
+            });
         });
     }
 }
 
 impl HeapSize for GridIndex {
     fn heap_size(&self) -> usize {
-        let mut bytes =
-            self.cells.capacity() * (core::mem::size_of::<(CellCoord, Vec<GridEntry>)>() + 1);
-        for (c, v) in &self.cells {
+        let mut bytes = self.cells.capacity() * (core::mem::size_of::<(CellCoord, CellSlab)>() + 1);
+        for (c, slab) in &self.cells {
             bytes += c.heap_size();
-            bytes += v.capacity() * core::mem::size_of::<GridEntry>();
-            for e in v {
-                bytes += e.coords.len() * core::mem::size_of::<f64>();
-            }
+            bytes += slab.heap_bytes();
         }
         bytes
     }
@@ -284,6 +434,22 @@ mod tests {
     }
 
     #[test]
+    fn swap_remove_keeps_slab_columns_aligned() {
+        let mut g = index2d(10.0); // wide cells → everything co-located
+        let c = g.insert(PointId(0), &pt(0.0, 0.0));
+        g.insert_expiring(PointId(1), &pt(1.0, 1.0), WindowId(11));
+        g.insert_expiring(PointId(2), &pt(2.0, 2.0), WindowId(22));
+        assert!(g.remove(PointId(0), &c));
+        let slab = g.cell_points(&c);
+        assert_eq!(slab.len(), 2);
+        for j in 0..slab.len() {
+            let id = slab.id(j);
+            assert_eq!(slab.point(j), &[id.0 as f64, id.0 as f64]);
+            assert_eq!(slab.expires_at(j), WindowId(11 * id.0 as u64));
+        }
+    }
+
+    #[test]
     fn range_query_matches_brute_force() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -327,7 +493,7 @@ mod tests {
     fn plain_insert_pins_expiry_to_max() {
         let mut g = index2d(1.0);
         let c = g.insert(PointId(0), &pt(0.1, 0.1));
-        assert_eq!(g.cell_points(&c)[0].expires_at, WindowId::MAX);
+        assert_eq!(g.cell_points(&c).expires_at(0), WindowId::MAX);
     }
 
     #[test]

@@ -7,9 +7,8 @@
 //! status, density and connectivity are compared. A cell with no
 //! counterpart is "compared against an empty grid" — maximum difference.
 
+use sgs_core::kernel::rel_diff;
 use sgs_summarize::{CellStatus, Sgs, SkeletalCell};
-
-use crate::metric::rel_diff;
 
 /// Per-cell-pair difference in `[0, 1]`: mean of status mismatch,
 /// relative population difference and relative connectivity difference.

@@ -35,11 +35,17 @@ pub fn hungarian(cost: &[f64], n: usize) -> (Vec<usize>, f64) {
             let i0 = p[j0];
             let mut delta = INF;
             let mut j1 = 0usize;
+            // Row slice and dual hoisted out of the scan: the inner loop
+            // reads contiguous memory with no re-derived indices. The
+            // subtraction stays left-associated (`(cost − u) − v`), so
+            // every value is bitwise what the unhoisted form computed.
+            let row = &cost[(i0 - 1) * n..i0 * n];
+            let u_i0 = u[i0];
             for j in 1..=n {
                 if used[j] {
                     continue;
                 }
-                let cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+                let cur = row[j - 1] - u_i0 - v[j];
                 if cur < minv[j] {
                     minv[j] = cur;
                     way[j] = j0;

@@ -64,26 +64,17 @@ impl MatchConfig {
     }
 }
 
-/// Bounded relative difference `|a − b| / max(|a|, |b|)`, 0 when both are 0.
-#[inline]
-pub fn rel_diff(a: f64, b: f64) -> f64 {
-    let m = a.abs().max(b.abs());
-    if m <= f64::EPSILON {
-        0.0
-    } else {
-        ((a - b).abs() / m).min(1.0)
-    }
-}
+/// Bounded relative difference `|a − b| / max(|a|, |b|)`, 0 when both are
+/// 0 — shared with the extractor hot paths via [`sgs_core::kernel`], so
+/// every cost loop in the system compares features through one
+/// implementation.
+pub use sgs_core::kernel::rel_diff;
 
 /// Weighted distance between two feature vectors; each component is a
 /// bounded relative difference, so the result lies in `[0, 1]` when the
 /// weights sum to 1.
 pub fn feature_distance(a: &[f64; 4], b: &[f64; 4], weights: &[f64; 4]) -> f64 {
-    weights
-        .iter()
-        .zip(a.iter().zip(b.iter()))
-        .map(|(w, (x, y))| w * rel_diff(*x, *y))
-        .sum()
+    sgs_core::kernel::weighted_rel_diff_sum(a, b, weights)
 }
 
 /// Binary locational distance: 0 if the MBRs overlap, 1 otherwise (§7.2).

@@ -148,24 +148,25 @@ pub struct Planner {
     pub default_policy: ArchivePolicy,
     /// Archiver RNG seed given to DETECT plans.
     pub default_seed: u64,
-    /// Extraction shard count given to DETECT plans. Defaults to one
-    /// shard: the runtime's primary unit of parallelism is the *query*
-    /// (tasks multiplexed over the scheduler pool), so intra-query
-    /// sharding is opted into per plan (`plan.query.shards`) or per
-    /// runtime for hot single queries — see `DESIGN.md` §6 and §8.
-    /// Output is shard-invariant either way.
+    /// Extraction shard count given to DETECT plans. Defaults to
+    /// [`ShardCount::Auto`] — adaptive: each extractor starts
+    /// single-sharded and re-partitions from observed grid occupancy, so
+    /// small queries stay on the cheap sequential path while hot ones
+    /// grow shards (`DESIGN.md` §6 and §13). Output is shard-invariant
+    /// either way; pin `Fixed(n)` to opt out of adaptation.
     pub default_shards: ShardCount,
 }
 
 impl Planner {
     /// Planner over `catalog` with default archive settings
-    /// ([`ArchivePolicy::All`], seed 0) and single-shard extraction.
+    /// ([`ArchivePolicy::All`], seed 0) and adaptive extraction
+    /// sharding.
     pub fn new(catalog: StreamCatalog) -> Self {
         Planner {
             catalog,
             default_policy: ArchivePolicy::All,
             default_seed: 0,
-            default_shards: ShardCount::Fixed(1),
+            default_shards: ShardCount::Auto,
         }
     }
 
@@ -242,9 +243,9 @@ mod tests {
         assert_eq!(plan.query.dim, 2);
         assert_eq!(plan.query.theta_c, 8);
         assert_eq!(plan.policy, ArchivePolicy::All);
-        // Runtime queries default to single-shard extraction (the query is
-        // the fan-out unit); sharding is opted into per plan or planner.
-        assert_eq!(plan.query.shards, ShardCount::Fixed(1));
+        // Runtime queries default to adaptive sharding: cold extractors
+        // run single-sharded and grow with observed occupancy.
+        assert_eq!(plan.query.shards, ShardCount::Auto);
     }
 
     #[test]

@@ -64,12 +64,13 @@ pub struct RuntimeConfig {
     /// base_seed)`.
     pub base_seed: u64,
     /// Extraction shard count handed to DETECT statements submitted as
-    /// text. Defaults to a single shard — the runtime's primary unit of
-    /// parallelism is the query; raise this when a few hot queries should
-    /// each also parallelize *within* one stream pass (`DESIGN.md` §6).
+    /// text. Defaults to [`ShardCount::Auto`] — adaptive: each extractor
+    /// starts single-sharded and re-partitions from the grid occupancy
+    /// it observes, so cold/small queries pay nothing while hot ones
+    /// parallelize *within* one stream pass (`DESIGN.md` §6 and §13).
     /// Shard phases fork on the same scheduler pool the queries multiplex
     /// over, and the per-window output is shard-invariant, so this never
-    /// changes results.
+    /// changes results; pin `Fixed(n)` to opt out of adaptation.
     pub default_shards: ShardCount,
     /// Size of the scheduler pool every query task — and every sharded
     /// extraction phase — runs on (`DESIGN.md` §8).
@@ -102,7 +103,7 @@ impl Default for RuntimeConfig {
             channel_capacity: 1024,
             default_policy: ArchivePolicy::All,
             base_seed: 0,
-            default_shards: ShardCount::Fixed(1),
+            default_shards: ShardCount::Auto,
             pool_threads: PoolThreads::Auto,
             output_policy: OutputPolicy::Unbounded,
             durable_archive: None,
