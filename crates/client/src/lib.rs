@@ -1,19 +1,18 @@
 //! # sgs-client
 //!
 //! Blocking client library for the `streamsum-server` wire protocol
-//! ([`sgs-wire`], `DESIGN.md` §9): one [`Client`] per TCP connection,
-//! one server session per client, strict request/response over the
-//! socket. The remote analyst's loop is the same as the in-process
-//! [`Runtime`] session API — register DETECT statements, feed points,
-//! poll windows, match against the shared history — except every step
-//! crosses the network:
+//! ([`sgs-wire`], `DESIGN.md` §9 and §14): one [`Session`] per TCP
+//! connection, one server session per `Session`. The remote analyst's
+//! loop is the same as the in-process [`Runtime`] session API —
+//! register DETECT statements, feed points, poll windows, match against
+//! the shared history — except every step crosses the network:
 //!
 //! ```no_run
-//! use sgs_client::Client;
+//! use sgs_client::Session;
 //! use sgs_core::Point;
 //!
-//! let mut c = Client::connect("127.0.0.1:7878")?;
-//! let q = c.detect(
+//! let mut session = Session::connect("127.0.0.1:7878")?;
+//! let q = session.detect(
 //!     "DETECT DensityBasedClusters f+s FROM gmti \
 //!      USING theta_range = 0.6 AND theta_cnt = 8 \
 //!      IN Windows WITH win = 2000 AND slide = 500",
@@ -21,23 +20,54 @@
 //! let points: Vec<Point> = (0..4000)
 //!     .map(|i| Point::new(vec![(i % 50) as f64 * 0.1, (i % 40) as f64 * 0.1], i))
 //!     .collect();
-//! c.feed("gmti", &points)?;
-//! c.quiesce()?;
-//! for (window, clusters) in c.poll(q, 0)? {
+//! session.feed("gmti", &points)?;
+//! session.quiesce()?;
+//! for (window, clusters) in session.query(q).poll(0)? {
 //!     println!("window {}: {} clusters", window.0, clusters.len());
 //! }
 //! # Ok::<(), sgs_client::ClientError>(())
 //! ```
 //!
-//! Backpressure: a feed larger than [`sgs_wire::FEED_CHUNK`] is sent as
-//! multiple `Feed` frames, and the server acks each only after routing
-//! it through the bounded per-query input queues — so a slow server
-//! throttles [`Client::feed`] itself, exactly like `Runtime::push_batch`
-//! blocking in-process.
+//! ## Push delivery
+//!
+//! Instead of polling, a query can be switched to **server push**
+//! ([`Session::subscribe`]): the server sends completed windows as
+//! unsolicited `Windows` frames as soon as they exist, and the
+//! [`SubscribeHandle`] iterates them. An idle subscriber costs the
+//! server no thread and the client no traffic:
+//!
+//! ```no_run
+//! # let mut session = sgs_client::Session::connect("127.0.0.1:7878")?;
+//! # let q = session.detect("DETECT ...")?;
+//! let mut sub = session.subscribe(q)?;
+//! for pushed in sub.by_ref().take(8) {
+//!     let (window, clusters) = pushed?;
+//!     println!("pushed window {}: {} clusters", window.0, clusters.len());
+//! }
+//! let leftovers = sub.unsubscribe()?; // back to poll mode
+//! # drop(leftovers);
+//! # Ok::<(), sgs_client::ClientError>(())
+//! ```
+//!
+//! Pushed frames may race a request the client has just written (the
+//! server cannot know it is in transit), so every reply read *demuxes*:
+//! a `Windows` frame for a subscribed query is stashed for its
+//! [`SubscribeHandle`] and the read continues; anything else is the
+//! reply. The server never pushes between receiving a request and
+//! answering it, so the stash is the only reordering that can occur.
+//!
+//! ## Backpressure
+//!
+//! A feed larger than [`sgs_wire::FEED_CHUNK`] is sent as multiple
+//! `Feed` frames, and the server acks each only after routing it
+//! through the bounded per-query input queues — so a slow server
+//! throttles [`Session::feed`] itself, exactly like
+//! `Runtime::push_batch` blocking in-process.
 //!
 //! [`sgs-wire`]: ../sgs_wire/index.html
 //! [`Runtime`]: ../sgs_runtime/runtime/struct.Runtime.html
 
+use std::collections::{HashSet, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -47,7 +77,7 @@ use sgs_csgs::WindowOutput;
 use sgs_summarize::Sgs;
 use sgs_wire::{
     read_frame, write_frame, ErrorCode, Frame, RecvError, WireMatch, WireMetric, WireQuery,
-    WireStats, FEED_CHUNK, WIRE_VERSION,
+    WireStats, WireWindow, FEED_CHUNK, WIRE_VERSION,
 };
 
 mod metrics;
@@ -67,7 +97,7 @@ pub enum ClientError {
     /// ([`ClientConfig::request_timeout`]). The connection is shut down
     /// — a late reply must not desync the next request — so further
     /// calls fail with [`ClientError::ConnectionLost`] until
-    /// [`Client::reconnect`].
+    /// [`Session::reconnect`].
     Timeout,
     /// The connection dropped mid-exchange (reset, broken pipe, EOF
     /// inside a frame). The request's fate on the server is unknown.
@@ -77,6 +107,9 @@ pub enum ClientError {
     GoAway {
         /// The server's stated reason.
         reason: String,
+        /// Upper bound on the server's remaining drain window, in
+        /// milliseconds — reconnect elsewhere after this long.
+        drain_millis: u64,
     },
     /// The server reported a failure for this request.
     Server {
@@ -107,6 +140,19 @@ impl ClientError {
                 | ClientError::GoAway { .. }
         )
     }
+
+    /// Did the server refuse the session's credential
+    /// ([`ClientConfig::auth_token`])? Retrying without a different
+    /// token cannot succeed.
+    pub fn is_unauthorized(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::Unauthorized,
+                ..
+            }
+        )
+    }
 }
 
 impl core::fmt::Display for ClientError {
@@ -117,7 +163,10 @@ impl core::fmt::Display for ClientError {
             ClientError::Closed => write!(f, "server closed the connection"),
             ClientError::Timeout => write!(f, "request deadline expired"),
             ClientError::ConnectionLost => write!(f, "connection lost"),
-            ClientError::GoAway { reason } => write!(f, "server going away: {reason}"),
+            ClientError::GoAway {
+                reason,
+                drain_millis,
+            } => write!(f, "server going away in {drain_millis}ms: {reason}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
             }
@@ -225,8 +274,8 @@ fn jitter_seed() -> u64 {
     x
 }
 
-/// Resilience knobs for a [`Client`] connection.
-#[derive(Clone, Copy, Debug)]
+/// Resilience and identity knobs for a [`Session`].
+#[derive(Clone, Debug, Default)]
 pub struct ClientConfig {
     /// Socket read/write deadline for every request/response exchange.
     /// `None` (the default) waits indefinitely — feed backpressure can
@@ -234,24 +283,37 @@ pub struct ClientConfig {
     pub request_timeout: Option<Duration>,
     /// Deadline for TCP connect **and** the Hello handshake, so a dead
     /// or wedged address fails fast with [`ClientError::Timeout`]
-    /// instead of hanging.
+    /// instead of hanging. [`ClientConfig::new`] sets 10 s;
+    /// `Default::default()` leaves it unset (wait indefinitely).
     pub connect_timeout: Option<Duration>,
     /// Reconnect-and-retry policy for idempotent requests. `None` (the
     /// default): every transport failure surfaces to the caller.
     pub retry: Option<RetryPolicy>,
+    /// Shared-secret credential sent with `Hello`. Required when the
+    /// server was started with `--auth-token`; a missing or unknown
+    /// secret fails the handshake with a typed `Unauthorized` error
+    /// (see [`ClientError::is_unauthorized`]).
+    pub auth_token: Option<String>,
 }
 
-impl Default for ClientConfig {
-    fn default() -> Self {
+impl ClientConfig {
+    /// The recommended starting point: a 10 s connect deadline, no
+    /// request deadline, no retries, no credential.
+    pub fn new() -> ClientConfig {
         ClientConfig {
-            request_timeout: None,
             connect_timeout: Some(Duration::from_secs(10)),
-            retry: None,
+            ..ClientConfig::default()
         }
+    }
+
+    /// Attach the shared-secret credential sent with `Hello`.
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> ClientConfig {
+        self.auth_token = Some(token.into());
+        self
     }
 }
 
-/// What [`Client::submit`] produced — the wire mirror of
+/// What [`Session::submit`] produced — the wire mirror of
 /// `sgs_runtime::Submission`.
 #[derive(Debug)]
 pub enum Submitted {
@@ -271,25 +333,46 @@ pub enum Submitted {
 
 /// One blocking session with a streamsum server.
 ///
-/// Not thread-safe by design (the protocol is strict request/response);
-/// open one `Client` per thread instead — the server multiplexes any
-/// number of sessions onto its shared runtime.
-pub struct Client {
+/// Not thread-safe by design (the protocol is serial per connection);
+/// open one `Session` per thread instead — the server's reactor
+/// multiplexes any number of sessions onto one shared runtime.
+///
+/// Per-query operations hang off [`Session::query`] sub-handles;
+/// [`Session::subscribe`] switches a query to server-push delivery.
+pub struct Session {
     stream: TcpStream,
     /// The resolved address the handshake succeeded against, for
-    /// [`Client::reconnect`].
+    /// [`Session::reconnect`].
     peer: SocketAddr,
     config: ClientConfig,
+    /// Queries currently in push delivery — the demux key: a `Windows`
+    /// frame for one of these is never a reply.
+    subscribed: HashSet<u64>,
+    /// Pushed window batches that arrived while awaiting something
+    /// else, in arrival order, awaiting their [`SubscribeHandle`].
+    stash: VecDeque<(u64, Vec<WireWindow>)>,
 }
 
-impl Client {
-    /// Connect and shake hands with the default [`ClientConfig`]. Fails
-    /// if the server speaks a different [`WIRE_VERSION`].
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        Client::connect_with(addr, ClientConfig::default())
+impl core::fmt::Debug for Session {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Session")
+            .field("peer", &self.peer)
+            .field("subscribed", &self.subscribed)
+            .field("stashed_batches", &self.stash.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Connect and shake hands with the default [`ClientConfig::new`]
+    /// settings. Fails if the server speaks a different
+    /// [`WIRE_VERSION`] or requires a credential.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Session, ClientError> {
+        Session::connect_with(addr, ClientConfig::new())
     }
 
-    /// Connect and shake hands with explicit resilience settings.
+    /// Connect and shake hands with explicit resilience and identity
+    /// settings.
     ///
     /// The whole handshake runs under
     /// [`ClientConfig::connect_timeout`], so an address that accepts
@@ -299,18 +382,18 @@ impl Client {
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         config: ClientConfig,
-    ) -> Result<Client, ClientError> {
+    ) -> Result<Session, ClientError> {
         let mut last: Option<ClientError> = None;
         for peer in addr.to_socket_addrs().map_err(ClientError::Io)? {
-            match Client::connect_one(peer, config) {
-                Ok(client) => return Ok(client),
+            match Session::connect_one(peer, config.clone()) {
+                Ok(session) => return Ok(session),
                 Err(e) => last = Some(e),
             }
         }
         Err(last.unwrap_or(ClientError::Invalid("address resolved to nothing")))
     }
 
-    fn connect_one(peer: SocketAddr, config: ClientConfig) -> Result<Client, ClientError> {
+    fn connect_one(peer: SocketAddr, config: ClientConfig) -> Result<Session, ClientError> {
         let stream = match config.connect_timeout {
             Some(d) => TcpStream::connect_timeout(&peer, d).map_err(classify_io)?,
             None => TcpStream::connect(peer).map_err(classify_io)?,
@@ -320,19 +403,26 @@ impl Client {
         // deadlines take over once the session is up.
         stream.set_read_timeout(config.connect_timeout)?;
         stream.set_write_timeout(config.connect_timeout)?;
-        let mut client = Client {
+        let mut session = Session {
             stream,
             peer,
             config,
+            subscribed: HashSet::new(),
+            stash: VecDeque::new(),
         };
-        let ack = client.call(Frame::Hello {
+        let ack = session.call(Frame::Hello {
             client: concat!("sgs-client/", env!("CARGO_PKG_VERSION")).into(),
+            token: session.config.auth_token.clone(),
         })?;
         match ack {
             Frame::HelloAck { protocol, .. } if protocol == WIRE_VERSION => {
-                client.stream.set_read_timeout(config.request_timeout)?;
-                client.stream.set_write_timeout(config.request_timeout)?;
-                Ok(client)
+                session
+                    .stream
+                    .set_read_timeout(session.config.request_timeout)?;
+                session
+                    .stream
+                    .set_write_timeout(session.config.request_timeout)?;
+                Ok(session)
             }
             Frame::HelloAck { .. } => Err(ClientError::Unexpected("protocol version mismatch")),
             _ => Err(ClientError::Unexpected("handshake reply was not HelloAck")),
@@ -341,14 +431,31 @@ impl Client {
 
     /// Drop the current connection and open a fresh session to the same
     /// address (same config). Session-local state — query ids, unpolled
-    /// windows — does not carry over; server-wide state (bindings, the
-    /// shared history) does.
+    /// windows, subscriptions, stashed pushes — does not carry over;
+    /// server-wide state (bindings, the shared history) does.
     pub fn reconnect(&mut self) -> Result<(), ClientError> {
         let _ = self.stream.shutdown(Shutdown::Both);
-        let fresh = Client::connect_one(self.peer, self.config)?;
+        let fresh = Session::connect_one(self.peer, self.config.clone())?;
         metrics().reconnects.inc();
         self.stream = fresh.stream;
+        self.subscribed.clear();
+        self.stash.clear();
         Ok(())
+    }
+
+    /// Read the next *reply* frame, stashing any pushed `Windows`
+    /// frames that race it (a push the server wrote before it saw our
+    /// request in transit).
+    fn recv_reply(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::Windows { query, windows } if self.subscribed.contains(&query) => {
+                    metrics().pushed_windows.add(windows.len() as u64);
+                    self.stash.push_back((query, windows));
+                }
+                frame => return Ok(frame),
+            }
+        }
     }
 
     /// One request/response exchange. A server `Error` frame becomes
@@ -361,13 +468,19 @@ impl Client {
     fn call(&mut self, request: Frame) -> Result<Frame, ClientError> {
         let exchange = (|| {
             write_frame(&mut self.stream, &request)?;
-            Ok(read_frame(&mut self.stream)?)
+            self.recv_reply()
         })();
         match exchange {
             Ok(Frame::Error { code, message }) => Err(ClientError::Server { code, message }),
-            Ok(Frame::GoAway { reason, .. }) => {
+            Ok(Frame::GoAway {
+                reason,
+                drain_millis,
+            }) => {
                 metrics().goaways.inc();
-                Err(ClientError::GoAway { reason })
+                Err(ClientError::GoAway {
+                    reason,
+                    drain_millis,
+                })
             }
             Ok(reply) => Ok(reply),
             Err(e) => {
@@ -382,7 +495,7 @@ impl Client {
         }
     }
 
-    /// [`Client::call`] plus the opt-in reconnect policy, for requests
+    /// [`Session::call`] plus the opt-in reconnect policy, for requests
     /// that are **idempotent** (poll / stats / queries / metrics): on a
     /// transient failure, back off (capped exponential + jitter),
     /// reconnect, and re-issue. Non-idempotent requests (submit, feed,
@@ -430,7 +543,8 @@ impl Client {
     }
 
     /// Submit a DETECT statement, returning the new query's
-    /// session-local id.
+    /// session-local id (use it with [`Session::query`] /
+    /// [`Session::subscribe`]).
     pub fn detect(&mut self, text: &str) -> Result<u64, ClientError> {
         match self.submit(text)? {
             Submitted::Continuous(q) => Ok(q),
@@ -474,13 +588,143 @@ impl Client {
         Ok(())
     }
 
-    /// Drain up to `max` buffered completed windows of one of this
-    /// session's queries (`max == 0` means all buffered), oldest first.
+    /// Sub-handle for one of this session's queries: lifecycle
+    /// ([`QueryHandle::pause`] / [`resume`](QueryHandle::resume) /
+    /// [`cancel`](QueryHandle::cancel)), statistics, and polling. The
+    /// handle borrows the session; it is a view, not a resource.
+    pub fn query(&mut self, id: u64) -> QueryHandle<'_> {
+        QueryHandle { session: self, id }
+    }
+
+    /// Switch a query to server-push delivery: buffered and future
+    /// windows arrive as unsolicited `Windows` frames, iterated by the
+    /// returned [`SubscribeHandle`]. Idempotent — re-subscribing an
+    /// already-pushed query just returns a fresh handle (any windows
+    /// stashed since the last handle are retained).
+    ///
+    /// While subscribed, a `Poll` for the same query is refused by the
+    /// server (`InvalidTransition`); unsubscribe first.
+    pub fn subscribe(&mut self, id: u64) -> Result<SubscribeHandle<'_>, ClientError> {
+        self.subscribe_inner(id)?;
+        Ok(SubscribeHandle {
+            session: self,
+            query: id,
+            ready: VecDeque::new(),
+        })
+    }
+
+    fn subscribe_inner(&mut self, id: u64) -> Result<(), ClientError> {
+        match self.call(Frame::Subscribe { query: id })? {
+            Frame::OkAck => {
+                self.subscribed.insert(id);
+                metrics().subscribes.inc();
+                Ok(())
+            }
+            _ => Err(ClientError::Unexpected("subscribe reply")),
+        }
+    }
+
+    /// Revert a query to poll delivery, returning windows the server
+    /// had already pushed (they were irreversibly drained from its
+    /// output buffer; dropping them here would lose results).
+    fn unsubscribe_inner(&mut self, id: u64) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
+        match self.call(Frame::Unsubscribe { query: id })? {
+            Frame::OkAck => {
+                self.subscribed.remove(&id);
+                let mut pushed = Vec::new();
+                self.stash.retain_mut(|(q, windows)| {
+                    if *q == id {
+                        pushed.extend(windows.drain(..).map(|w| (w.window, w.clusters)));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                Ok(pushed)
+            }
+            _ => Err(ClientError::Unexpected("unsubscribe reply")),
+        }
+    }
+
+    /// Take the oldest stashed push batch for `query`, if any.
+    fn take_stashed(&mut self, query: u64) -> Option<Vec<WireWindow>> {
+        let pos = self.stash.iter().position(|(q, _)| *q == query)?;
+        self.stash.remove(pos).map(|(_, windows)| windows)
+    }
+
+    /// Block for the next frame addressed to `query`'s subscription,
+    /// stashing pushes for other subscriptions that arrive first.
+    fn next_pushed(&mut self, query: u64) -> Result<Vec<WireWindow>, ClientError> {
+        loop {
+            if let Some(batch) = self.take_stashed(query) {
+                return Ok(batch);
+            }
+            let received = match read_frame(&mut self.stream) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    let e = ClientError::from(e);
+                    if matches!(
+                        e,
+                        ClientError::Timeout | ClientError::ConnectionLost | ClientError::Io(_)
+                    ) {
+                        // A deadline mid-frame (or any transport fault)
+                        // leaves the stream position unknown; kill the
+                        // socket rather than risk a desync.
+                        let _ = self.stream.shutdown(Shutdown::Both);
+                    }
+                    return Err(e);
+                }
+            };
+            match received {
+                Frame::Windows { query: q, windows } => {
+                    metrics().pushed_windows.add(windows.len() as u64);
+                    if q == query {
+                        return Ok(windows);
+                    }
+                    if self.subscribed.contains(&q) {
+                        self.stash.push_back((q, windows));
+                    } else {
+                        return Err(ClientError::Unexpected(
+                            "pushed windows for an unsubscribed query",
+                        ));
+                    }
+                }
+                Frame::GoAway {
+                    reason,
+                    drain_millis,
+                } => {
+                    metrics().goaways.inc();
+                    return Err(ClientError::GoAway {
+                        reason,
+                        drain_millis,
+                    });
+                }
+                Frame::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => {
+                    return Err(ClientError::Unexpected(
+                        "unsolicited frame while awaiting pushed windows",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn stats_inner(&mut self, query: u64) -> Result<WireQuery, ClientError> {
+        match self.call_idempotent(Frame::StatsReq { query })? {
+            Frame::StatsReply(q) => Ok(q),
+            _ => Err(ClientError::Unexpected("stats reply")),
+        }
+    }
+
+    /// Drain up to `max` buffered completed windows of one query
+    /// (`max == 0` means all buffered), oldest first.
     ///
     /// The server pages large drains (one response frame stays far
     /// below the protocol's frame-size cap), so this loops requesting
     /// pages until it has `max` windows or a page comes back empty.
-    pub fn poll(
+    fn poll_inner(
         &mut self,
         query: u64,
         max: u32,
@@ -523,16 +767,8 @@ impl Client {
         }
     }
 
-    /// Fetch one query's state and statistics.
-    pub fn stats(&mut self, query: u64) -> Result<WireQuery, ClientError> {
-        match self.call_idempotent(Frame::StatsReq { query })? {
-            Frame::StatsReply(q) => Ok(q),
-            _ => Err(ClientError::Unexpected("stats reply")),
-        }
-    }
-
     /// Snapshot the server's process-wide metric registry (all sessions
-    /// and layers — unlike [`stats`](Self::stats), which is one query).
+    /// and layers — unlike [`QueryHandle::stats`], which is one query).
     /// Sorted by metric name. Empty until the server enables metrics.
     pub fn metrics(&mut self) -> Result<Vec<WireMetric>, ClientError> {
         match self.call_idempotent(Frame::MetricsReq)? {
@@ -547,24 +783,6 @@ impl Client {
         match self.call_idempotent(Frame::ListQueries)? {
             Frame::Queries(qs) => Ok(qs),
             _ => Err(ClientError::Unexpected("list reply")),
-        }
-    }
-
-    /// Pause a running query.
-    pub fn pause(&mut self, query: u64) -> Result<(), ClientError> {
-        self.expect_ok(Frame::Pause { query }, "pause reply")
-    }
-
-    /// Resume a paused query.
-    pub fn resume(&mut self, query: u64) -> Result<(), ClientError> {
-        self.expect_ok(Frame::Resume { query }, "resume reply")
-    }
-
-    /// Cancel a query, returning its final statistics.
-    pub fn cancel(&mut self, query: u64) -> Result<WireStats, ClientError> {
-        match self.call(Frame::Cancel { query })? {
-            Frame::Report { query: q, stats } if q == query => Ok(stats),
-            _ => Err(ClientError::Unexpected("cancel reply")),
         }
     }
 
@@ -596,5 +814,286 @@ impl Client {
             Frame::OkAck => Ok(()),
             _ => Err(ClientError::Unexpected(what)),
         }
+    }
+}
+
+/// Per-query view of a [`Session`] ([`Session::query`]): lifecycle,
+/// statistics, polling, and the hand-off into push delivery.
+pub struct QueryHandle<'s> {
+    session: &'s mut Session,
+    id: u64,
+}
+
+impl<'s> QueryHandle<'s> {
+    /// The session-local query id this handle addresses.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Pause the query (points route past it; no new windows).
+    pub fn pause(&mut self) -> Result<(), ClientError> {
+        let id = self.id;
+        self.session
+            .expect_ok(Frame::Pause { query: id }, "pause reply")
+    }
+
+    /// Resume a paused query.
+    pub fn resume(&mut self) -> Result<(), ClientError> {
+        let id = self.id;
+        self.session
+            .expect_ok(Frame::Resume { query: id }, "resume reply")
+    }
+
+    /// Cancel the query, returning its final statistics.
+    pub fn cancel(self) -> Result<WireStats, ClientError> {
+        match self.session.call(Frame::Cancel { query: self.id })? {
+            Frame::Report { query, stats } if query == self.id => Ok(stats),
+            _ => Err(ClientError::Unexpected("cancel reply")),
+        }
+    }
+
+    /// Fetch the query's state and statistics.
+    pub fn stats(&mut self) -> Result<WireQuery, ClientError> {
+        let id = self.id;
+        self.session.stats_inner(id)
+    }
+
+    /// Drain up to `max` buffered completed windows (`0` = all),
+    /// oldest first. Refused while the query is subscribed.
+    pub fn poll(&mut self, max: u32) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
+        let id = self.id;
+        self.session.poll_inner(id, max)
+    }
+
+    /// Switch this query to push delivery ([`Session::subscribe`]).
+    pub fn subscribe(self) -> Result<SubscribeHandle<'s>, ClientError> {
+        let QueryHandle { session, id } = self;
+        session.subscribe_inner(id)?;
+        Ok(SubscribeHandle {
+            session,
+            query: id,
+            ready: VecDeque::new(),
+        })
+    }
+}
+
+/// A query in server-push delivery ([`Session::subscribe`]): iterate
+/// pushed windows as they arrive, oldest first.
+///
+/// The handle borrows the session exclusively — the wire below it
+/// carries unsolicited frames, so request/response traffic must pause
+/// while the subscription is being consumed. Dropping the handle keeps
+/// the subscription live (windows keep arriving and are stashed by the
+/// next exchange's demux; re-[`subscribe`](Session::subscribe) to
+/// resume iterating); [`SubscribeHandle::unsubscribe`] ends it.
+pub struct SubscribeHandle<'s> {
+    session: &'s mut Session,
+    query: u64,
+    /// Windows already received but not yet yielded by the iterator.
+    ready: VecDeque<(WindowId, WindowOutput)>,
+}
+
+impl SubscribeHandle<'_> {
+    /// The subscribed query's session-local id.
+    pub fn query(&self) -> u64 {
+        self.query
+    }
+
+    /// Block until the next batch of pushed windows arrives (stashed
+    /// batches first). Windows already taken into the iterator's own
+    /// buffer are yielded before any new batch.
+    ///
+    /// Under a [`ClientConfig::request_timeout`] a silent subscription
+    /// fails with [`ClientError::Timeout`] and the connection is shut
+    /// down (a deadline mid-frame cannot be resynced) — prefer
+    /// [`wait_windows`](Self::wait_windows) for bounded waits.
+    pub fn next_windows(&mut self) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
+        if !self.ready.is_empty() {
+            return Ok(self.ready.drain(..).collect());
+        }
+        let batch = self.session.next_pushed(self.query)?;
+        Ok(batch.into_iter().map(|w| (w.window, w.clusters)).collect())
+    }
+
+    /// Wait up to `timeout` for pushed windows, returning `Ok(None)` on
+    /// a quiet subscription — without poisoning the connection. The
+    /// probe peeks the socket, so a deadline that fires while no frame
+    /// has started consumes nothing and the session stays in sync.
+    pub fn wait_windows(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Vec<(WindowId, WindowOutput)>>, ClientError> {
+        if !self.ready.is_empty() || self.session.stash.iter().any(|(q, _)| *q == self.query) {
+            return self.next_windows().map(Some);
+        }
+        self.session.stream.set_read_timeout(Some(timeout))?;
+        let mut probe = [0u8; 1];
+        let peeked = self.session.stream.peek(&mut probe);
+        self.session
+            .stream
+            .set_read_timeout(self.session.config.request_timeout)?;
+        match peeked {
+            Ok(0) => Err(ClientError::Closed),
+            Ok(_) => self.next_windows().map(Some),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(classify_io(e)),
+        }
+    }
+
+    /// End push delivery and return to poll mode. Windows the server
+    /// pushed before processing the unsubscribe (including any the
+    /// iterator had buffered) are returned — they were irreversibly
+    /// drained from the server's output buffer; undelivered windows
+    /// stay buffered server-side for [`QueryHandle::poll`].
+    pub fn unsubscribe(mut self) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
+        let mut windows: Vec<(WindowId, WindowOutput)> = self.ready.drain(..).collect();
+        windows.extend(self.session.unsubscribe_inner(self.query)?);
+        Ok(windows)
+    }
+}
+
+impl Iterator for SubscribeHandle<'_> {
+    type Item = Result<(WindowId, WindowOutput), ClientError>;
+
+    /// The next pushed window, blocking until one arrives. A transport
+    /// or server error is yielded as `Some(Err(..))`; iteration after
+    /// an error re-attempts the read (which fails again on a dead
+    /// connection), so callers should stop on the first `Err`.
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.ready.is_empty() {
+            match self.next_windows() {
+                Ok(batch) => self.ready.extend(batch),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        self.ready.pop_front().map(Ok)
+    }
+}
+
+impl Drop for SubscribeHandle<'_> {
+    /// Windows taken into the iterator's buffer but never yielded go
+    /// back to the session stash, so a re-subscribe sees them again —
+    /// dropping the handle must not lose delivered windows.
+    fn drop(&mut self) {
+        if !self.ready.is_empty() {
+            let windows = self
+                .ready
+                .drain(..)
+                .map(|(window, clusters)| WireWindow { window, clusters })
+                .collect();
+            self.session.stash.push_front((self.query, windows));
+        }
+    }
+}
+
+/// The pre-reactor client: strict request/response, flat per-query
+/// methods. A thin shim over [`Session`] kept for downstream code; it
+/// cannot subscribe. New code should use [`Session`] directly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session` — `session.query(id)` sub-handles and `session.subscribe(id)` push delivery"
+)]
+pub struct Client {
+    inner: Session,
+}
+
+#[allow(deprecated)]
+impl Client {
+    /// See [`Session::connect`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Ok(Client {
+            inner: Session::connect(addr)?,
+        })
+    }
+
+    /// See [`Session::connect_with`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        Ok(Client {
+            inner: Session::connect_with(addr, config)?,
+        })
+    }
+
+    /// See [`Session::reconnect`].
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.inner.reconnect()
+    }
+
+    /// See [`Session::submit`].
+    pub fn submit(&mut self, text: &str) -> Result<Submitted, ClientError> {
+        self.inner.submit(text)
+    }
+
+    /// See [`Session::detect`].
+    pub fn detect(&mut self, text: &str) -> Result<u64, ClientError> {
+        self.inner.detect(text)
+    }
+
+    /// See [`Session::feed`].
+    pub fn feed(&mut self, stream: &str, points: &[Point]) -> Result<(), ClientError> {
+        self.inner.feed(stream, points)
+    }
+
+    /// See [`QueryHandle::poll`].
+    pub fn poll(
+        &mut self,
+        query: u64,
+        max: u32,
+    ) -> Result<Vec<(WindowId, WindowOutput)>, ClientError> {
+        self.inner.poll_inner(query, max)
+    }
+
+    /// See [`QueryHandle::stats`].
+    pub fn stats(&mut self, query: u64) -> Result<WireQuery, ClientError> {
+        self.inner.stats_inner(query)
+    }
+
+    /// See [`Session::metrics`].
+    pub fn metrics(&mut self) -> Result<Vec<WireMetric>, ClientError> {
+        self.inner.metrics()
+    }
+
+    /// See [`Session::queries`].
+    pub fn queries(&mut self) -> Result<Vec<WireQuery>, ClientError> {
+        self.inner.queries()
+    }
+
+    /// See [`QueryHandle::pause`].
+    pub fn pause(&mut self, query: u64) -> Result<(), ClientError> {
+        self.inner.query(query).pause()
+    }
+
+    /// See [`QueryHandle::resume`].
+    pub fn resume(&mut self, query: u64) -> Result<(), ClientError> {
+        self.inner.query(query).resume()
+    }
+
+    /// See [`QueryHandle::cancel`].
+    pub fn cancel(&mut self, query: u64) -> Result<WireStats, ClientError> {
+        self.inner.query(query).cancel()
+    }
+
+    /// See [`Session::bind`].
+    pub fn bind(&mut self, name: &str, sgs: &Sgs) -> Result<(), ClientError> {
+        self.inner.bind(name, sgs)
+    }
+
+    /// See [`Session::quiesce`].
+    pub fn quiesce(&mut self) -> Result<(), ClientError> {
+        self.inner.quiesce()
+    }
+
+    /// See [`Session::goodbye`].
+    pub fn goodbye(self) -> Result<(), ClientError> {
+        self.inner.goodbye()
     }
 }

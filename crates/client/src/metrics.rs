@@ -1,7 +1,8 @@
 //! Client-side resilience counters, registered in the process-global
 //! `sgs-obs` registry (naming scheme `sgs_client_*`, `DESIGN.md` §11).
-//! They count failure handling, not traffic: the chaos suite asserts
-//! every injected fault is not just survived but *counted*.
+//! They count failure handling and push delivery, not plain traffic:
+//! the chaos suite asserts every injected fault is not just survived
+//! but *counted*.
 
 use std::sync::{Arc, OnceLock};
 
@@ -15,10 +16,14 @@ pub(crate) struct ClientMetrics {
     pub connections_lost: Arc<Counter>,
     /// Idempotent requests re-issued by the retry policy.
     pub retries: Arc<Counter>,
-    /// Successful [`crate::Client::reconnect`] handshakes.
+    /// Successful [`crate::Session::reconnect`] handshakes.
     pub reconnects: Arc<Counter>,
     /// `GoAway` frames received (server draining).
     pub goaways: Arc<Counter>,
+    /// `Subscribe` requests acknowledged by the server.
+    pub subscribes: Arc<Counter>,
+    /// Windows received as unsolicited pushed `Windows` frames.
+    pub pushed_windows: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static ClientMetrics {
@@ -31,6 +36,8 @@ pub(crate) fn metrics() -> &'static ClientMetrics {
             retries: r.counter("sgs_client_retries_total"),
             reconnects: r.counter("sgs_client_reconnects_total"),
             goaways: r.counter("sgs_client_goaways_total"),
+            subscribes: r.counter("sgs_client_subscribes_total"),
+            pushed_windows: r.counter("sgs_client_pushed_windows_total"),
         }
     })
 }

@@ -130,11 +130,89 @@ pub enum Priority {
 }
 
 /// The global two-priority task queue (spawns from non-worker threads,
-/// plus every `Normal`-priority spawn).
+/// plus every `Normal`-priority spawn). The `Normal` class is a set of
+/// weighted fair queues (see [`FairNormal`]); `High` stays strict FIFO.
 #[derive(Default)]
 struct Injector {
     high: VecDeque<Task>,
-    normal: VecDeque<Task>,
+    normal: FairNormal,
+}
+
+/// Numerator of the stride computation: a queue of weight `w` advances
+/// its pass by `STRIDE1 / w` per dispatched task, so dispatch frequency
+/// is proportional to weight. Large enough that integer division keeps
+/// resolution for any plausible weight.
+const STRIDE1: u64 = 1 << 20;
+
+/// One fair queue of the `Normal` injector class: the tasks of one
+/// tenancy key, dispatched at a rate proportional to `weight`.
+struct FairQueue {
+    key: u64,
+    weight: u32,
+    /// Virtual time at which this queue's next task is due. The queue
+    /// with the minimum pass is dispatched next (stride scheduling).
+    pass: u64,
+    tasks: VecDeque<Task>,
+}
+
+/// Stride-scheduled weighted fair queues over tenancy keys — the
+/// multi-tenant half of the scheduler (`DESIGN.md` §14). Each key (the
+/// server maps one per authenticated owner; plain [`Pool::spawn`] uses
+/// key 0 at weight 1) gets its own FIFO; dispatch picks the queue with
+/// the minimum virtual `pass` and advances it by `STRIDE1 / weight`, so
+/// over any busy interval each key receives pool slots in proportion to
+/// its weight. A queue created (or refilled) while others ran starts at
+/// the scheduler's current clock — an idle tenant accrues no credit to
+/// burst with later. Ties break toward the lowest key, keeping dispatch
+/// order deterministic for tests.
+#[derive(Default)]
+struct FairNormal {
+    /// Live queues; keys are few (one per connected owner), so linear
+    /// scans beat a map. Empty queues are dropped on pop — weight is
+    /// re-supplied with every [`Pool::spawn_fair`] call, so nothing is
+    /// lost and the set cannot grow with owner churn.
+    queues: Vec<FairQueue>,
+    /// Virtual clock: the pass of the most recently dispatched queue.
+    clock: u64,
+}
+
+impl FairNormal {
+    fn push(&mut self, key: u64, weight: u32, task: Task) {
+        let weight = weight.max(1);
+        match self.queues.iter_mut().find(|q| q.key == key) {
+            Some(q) => {
+                // Latest spawn wins: a weight change applies from the
+                // queue's next dispatch onward.
+                q.weight = weight;
+                q.tasks.push_back(task);
+            }
+            None => {
+                self.queues.push(FairQueue {
+                    key,
+                    weight,
+                    pass: self.clock,
+                    tasks: VecDeque::from([task]),
+                });
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Task> {
+        let next = self
+            .queues
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (q.pass, q.key))?
+            .0;
+        let q = &mut self.queues[next];
+        let task = q.tasks.pop_front().expect("fair queues are never empty");
+        self.clock = q.pass;
+        q.pass = q.pass.saturating_add(STRIDE1 / u64::from(q.weight));
+        if q.tasks.is_empty() {
+            self.queues.swap_remove(next);
+        }
+        Some(task)
+    }
 }
 
 /// Idle/shutdown coordination, guarded by `Inner::sleep`.
@@ -172,8 +250,9 @@ std::thread_local! {
 impl Inner {
     /// Push a task and wake one sleeping worker. `worker` routes to that
     /// worker's own deque; otherwise the task joins the injector at
-    /// `priority`.
-    fn push(&self, worker: Option<usize>, priority: Priority, task: Task) {
+    /// `priority`. `fair` is the `(key, weight)` tenancy tag of `Normal`
+    /// work (ignored for `High`); plain spawns use `(0, 1)`.
+    fn push(&self, worker: Option<usize>, priority: Priority, fair: (u64, u32), task: Task) {
         // Count before enqueueing: were the order reversed, a thief could
         // pop the task and decrement first, wrapping the counter to
         // `usize::MAX` and sending every idle worker into a busy-spin
@@ -189,7 +268,7 @@ impl Inner {
                 let mut inj = self.injector.lock().unwrap();
                 match priority {
                     Priority::High => inj.high.push_back(task),
-                    Priority::Normal => inj.normal.push_back(task),
+                    Priority::Normal => inj.normal.push(fair.0, fair.1, task),
                 }
                 drop(inj);
                 self.metrics.injector_depth.inc();
@@ -242,7 +321,7 @@ impl Inner {
             }
         }
         if include_normal {
-            if let Some(t) = self.injector.lock().unwrap().normal.pop_front() {
+            if let Some(t) = self.injector.lock().unwrap().normal.pop() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
                 self.metrics.injector_depth.dec();
                 return Some((t, Priority::Normal));
@@ -372,9 +451,25 @@ impl Pool {
 
     /// Submit a detached task. A panicking task is contained by its
     /// worker (the worker survives; the payload is dropped) — tasks that
-    /// need panic visibility must catch their own.
+    /// need panic visibility must catch their own. `Normal` work spawned
+    /// this way shares fair-share key 0 at weight 1; multi-tenant
+    /// callers use [`spawn_fair`](Self::spawn_fair).
     pub fn spawn(&self, priority: Priority, f: impl FnOnce() + Send + 'static) {
-        self.inner.push(None, priority, Box::new(f));
+        self.inner.push(None, priority, (0, 1), Box::new(f));
+    }
+
+    /// Submit a detached `Normal`-priority task under a tenancy `key`
+    /// with a fair-share `weight` (clamped to ≥ 1). When several keys
+    /// have work queued, the pool dispatches their tasks in proportion
+    /// to their weights (stride scheduling over per-key FIFOs) instead
+    /// of global FIFO order, so one owner's backlog cannot starve
+    /// another's — the scheduler half of the server's tenancy model.
+    /// Tasks under one key still dispatch in their spawn order, and the
+    /// weight supplied with the latest spawn wins. Key 0 is shared with
+    /// plain [`spawn`](Self::spawn).
+    pub fn spawn_fair(&self, key: u64, weight: u32, f: impl FnOnce() + Send + 'static) {
+        self.inner
+            .push(None, Priority::Normal, (key, weight), Box::new(f));
     }
 
     /// Scoped fork-join: run `f` with a [`Scope`] whose spawned closures
@@ -504,7 +599,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
         self.pool
             .inner
-            .push(self.pool.worker_index(), Priority::High, task);
+            .push(self.pool.worker_index(), Priority::High, (0, 1), task);
     }
 }
 
@@ -619,6 +714,62 @@ mod tests {
             .recv_timeout(std::time::Duration::from_secs(10))
             .unwrap();
         assert_eq!(*order.lock().unwrap(), vec!["high", "normal"]);
+    }
+
+    #[test]
+    fn fair_spawns_dispatch_in_weight_proportion() {
+        let pool = Pool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        // Occupy the only worker so every fair spawn below queues up
+        // behind the gate and is dispatched in one deterministic burst.
+        pool.spawn(Priority::Normal, move || {
+            gate_rx.recv().unwrap();
+        });
+        for (key, weight, tag, n) in [(1u64, 1u32, "a", 4usize), (2, 2, "b", 4)] {
+            for _ in 0..n {
+                let (order, done_tx) = (order.clone(), done_tx.clone());
+                pool.spawn_fair(key, weight, move || {
+                    order.lock().unwrap().push(tag);
+                    done_tx.send(()).unwrap();
+                });
+            }
+        }
+        gate_tx.send(()).unwrap();
+        for _ in 0..8 {
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .unwrap();
+        }
+        // Stride scheduling at weights 1:2 (ties toward the lower key):
+        // key 2 receives two dispatch slots for each of key 1's, instead
+        // of the strict spawn-order burst a FIFO would produce.
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["a", "b", "b", "a", "b", "b", "a", "a"]
+        );
+    }
+
+    #[test]
+    fn idle_fair_keys_accrue_no_credit() {
+        // A key that sat idle while another ran must re-enter at the
+        // current virtual clock, not at zero — otherwise it would burst
+        // ahead of the key that kept the pool busy.
+        let mut fair = FairNormal::default();
+        let noop = || Box::new(|| {}) as Task;
+        for _ in 0..3 {
+            fair.push(7, 1, noop());
+        }
+        // Two dispatches with the queue still backlogged: the clock
+        // follows key 7's growing pass.
+        assert!(fair.pop().is_some());
+        assert!(fair.pop().is_some());
+        let clock = fair.clock;
+        assert!(clock > 0);
+        fair.push(9, 1, noop()); // late arrival: starts at `clock`
+        let late = fair.queues.iter().find(|q| q.key == 9).unwrap();
+        assert_eq!(late.pass, clock);
     }
 
     #[test]

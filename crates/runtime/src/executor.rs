@@ -42,7 +42,7 @@ use std::time::Instant;
 use sgs_archive::SharedPatternBase;
 use sgs_core::{Point, WindowId};
 use sgs_csgs::WindowOutput;
-use sgs_exec::{Pool, Priority};
+use sgs_exec::Pool;
 
 use crate::metrics::metrics;
 use crate::output::OutputBuffer;
@@ -188,6 +188,12 @@ pub(crate) struct QueryCell {
     /// single-threaded in ingestion order.
     scheduled: AtomicBool,
     pool: Pool,
+    /// The `(fair key, weight)` tenancy tag this query's tasks are
+    /// spawned under ([`Pool::spawn_fair`]): the runtime derives it from
+    /// the query's owner, so a contended pool dispatches owners' work in
+    /// proportion to their configured weights. `(0, 1)` for unowned
+    /// queries.
+    fair: (u64, u32),
 }
 
 impl QueryCell {
@@ -201,6 +207,7 @@ impl QueryCell {
         capacity: usize,
         sink: Sink,
         pool: Pool,
+        fair: (u64, u32),
     ) -> sgs_core::Result<Arc<QueryCell>> {
         let pipeline = StreamPipeline::with_pool(
             plan.query.clone(),
@@ -224,6 +231,7 @@ impl QueryCell {
             }),
             scheduled: AtomicBool::new(false),
             pool,
+            fair,
         }))
     }
 
@@ -252,9 +260,16 @@ impl QueryCell {
     /// Spawn the query's executor task unless one is already live.
     fn schedule(self: &Arc<Self>) {
         if !self.scheduled.swap(true, Ordering::SeqCst) {
-            let cell = self.clone();
-            self.pool.spawn(Priority::Normal, move || run(cell));
+            self.respawn();
         }
+    }
+
+    /// Spawn the executor task under this query's fair-share tag (the
+    /// `scheduled` flag must already be held).
+    fn respawn(self: &Arc<Self>) {
+        let cell = self.clone();
+        self.pool
+            .spawn_fair(self.fair.0, self.fair.1, move || run(cell));
     }
 
     /// Process one batch: run the pipeline, mirror new archive entries
@@ -308,14 +323,12 @@ fn run(cell: Arc<QueryCell>) {
                 // (fresh task, fresh quantum).
                 cell.scheduled.store(false, Ordering::SeqCst);
                 if !cell.input.is_empty() && !cell.scheduled.swap(true, Ordering::SeqCst) {
-                    let next = cell.clone();
-                    cell.pool.spawn(Priority::Normal, move || run(next));
+                    cell.respawn();
                 }
                 return;
             }
             // Yield: stay scheduled, but let other ready queries run.
-            let next = cell.clone();
-            cell.pool.spawn(Priority::Normal, move || run(next));
+            cell.respawn();
             return;
         }
         let Some(msg) = cell.input.pop() else {

@@ -49,11 +49,11 @@ pub mod plan;
 pub mod registry;
 pub mod runtime;
 
-pub use output::{OutputPolicy, PollBatch};
+pub use output::{OutputNotify, OutputPolicy, PollBatch};
 pub use pipeline::StreamPipeline;
 pub use plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
 pub use registry::{OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats};
 pub use runtime::{
-    DurableArchive, PendingCancel, QueryReport, Runtime, RuntimeConfig, RuntimeError, StreamFeeder,
-    Submission,
+    DurableArchive, PendingCancel, QueryReport, Runtime, RuntimeConfig, RuntimeError,
+    RuntimeSession, StreamFeeder, Submission,
 };

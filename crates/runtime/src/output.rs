@@ -11,10 +11,18 @@
 //! [`Runtime::poll`]: crate::runtime::Runtime::poll
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use sgs_core::WindowId;
 use sgs_csgs::WindowOutput;
+
+/// Readiness callback attached to a query's output buffer: invoked (outside
+/// the buffer lock) after every push and on close, so an external
+/// consumer — the server's reactor, which turns buffered windows into
+/// pushed `Windows` frames — learns "this buffer has news" without
+/// polling. The callback must not block and must not call back into the
+/// runtime.
+pub type OutputNotify = Arc<dyn Fn() + Send + Sync>;
 
 /// What a `poll`-mode query does when its output buffer is full.
 ///
@@ -67,6 +75,9 @@ pub(crate) struct OutputBuffer {
     policy: OutputPolicy,
     queue: Mutex<Buffered>,
     not_full: Condvar,
+    /// Readiness hook ([`OutputNotify`]), swapped in by
+    /// `Runtime::set_output_notify` when a subscriber attaches.
+    notify: Mutex<Option<OutputNotify>>,
 }
 
 /// Lock-guarded buffer state.
@@ -109,6 +120,34 @@ impl OutputBuffer {
                 closed: false,
             }),
             not_full: Condvar::new(),
+            notify: Mutex::new(None),
+        }
+    }
+
+    /// Install (or clear) the readiness callback. The new callback is
+    /// invoked once immediately if windows are already buffered, so a
+    /// subscriber attaching late never misses the wake for what is
+    /// already there.
+    pub(crate) fn set_notify(&self, notify: Option<OutputNotify>) {
+        let fire_now = notify.is_some() && !self.queue.lock().unwrap().windows.is_empty();
+        let installed = {
+            let mut slot = self.notify.lock().unwrap();
+            *slot = notify;
+            slot.clone()
+        };
+        if fire_now {
+            if let Some(cb) = installed {
+                cb();
+            }
+        }
+    }
+
+    /// Run the readiness callback, if one is installed. Never called
+    /// under the queue lock.
+    fn fire_notify(&self) {
+        let cb = self.notify.lock().unwrap().clone();
+        if let Some(cb) = cb {
+            cb();
         }
     }
 
@@ -140,6 +179,8 @@ impl OutputBuffer {
         }
         q.windows.push_back((window, out));
         q.bytes += cost;
+        drop(q);
+        self.fire_notify();
         dropped
     }
 
@@ -148,6 +189,9 @@ impl OutputBuffer {
     pub(crate) fn close(&self) {
         self.queue.lock().unwrap().closed = true;
         self.not_full.notify_all();
+        // A subscriber learns about the close too: what is buffered is
+        // final, and its final drain should happen now.
+        self.fire_notify();
     }
 
     /// Take everything buffered so far (completion order preserved) and
@@ -341,6 +385,35 @@ mod tests {
             buf.push(window(n).0, window(n).1);
         }
         assert_eq!(buf.buffered_bytes(), 2 * per_window);
+    }
+
+    #[test]
+    fn notify_fires_on_push_close_and_late_attach() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let buf = OutputBuffer::new(OutputPolicy::Unbounded);
+        let fired = Arc::new(AtomicU64::new(0));
+        let counter = fired.clone();
+        buf.set_notify(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })));
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "empty buffer: no wake");
+        buf.push(window(0).0, window(0).1);
+        buf.push(window(1).0, window(1).1);
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "one wake per push");
+        buf.close();
+        assert_eq!(fired.load(Ordering::SeqCst), 3, "close wakes too");
+
+        // A subscriber attaching after windows buffered gets one
+        // immediate wake for the backlog.
+        let late = Arc::new(AtomicU64::new(0));
+        let counter = late.clone();
+        buf.set_notify(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })));
+        assert_eq!(late.load(Ordering::SeqCst), 1, "late attach sees backlog");
+        buf.set_notify(None);
+        buf.push(window(2).0, window(2).1);
+        assert_eq!(late.load(Ordering::SeqCst), 1, "cleared hook stays quiet");
     }
 
     #[test]

@@ -18,14 +18,12 @@ pub struct QueryId(pub u64);
 
 /// Opaque handle of one registration session (a network connection, a
 /// notebook, ...) for **owner-scoped registry views**: queries submitted
-/// through [`Runtime::submit_for`] are tagged with their session's
-/// `OwnerId`, and [`Runtime::queries_for`] /
-/// [`Runtime::push_stream_for`] see only that owner's queries. Mint one
-/// per session with [`Runtime::new_owner`].
+/// through a [`Runtime::session`] handle are tagged with their session's
+/// `OwnerId`, and the handle's listings, feeds, and lifecycle methods
+/// see only that owner's queries. Mint one per session with
+/// [`Runtime::new_owner`].
 ///
-/// [`Runtime::submit_for`]: crate::runtime::Runtime::submit_for
-/// [`Runtime::queries_for`]: crate::runtime::Runtime::queries_for
-/// [`Runtime::push_stream_for`]: crate::runtime::Runtime::push_stream_for
+/// [`Runtime::session`]: crate::runtime::Runtime::session
 /// [`Runtime::new_owner`]: crate::runtime::Runtime::new_owner
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OwnerId(pub u64);

@@ -15,7 +15,7 @@ use sgs_exec::Pool;
 use sgs_summarize::Sgs;
 
 use crate::executor::{Msg, QueryCell, Sink};
-use crate::output::{OutputBuffer, OutputPolicy, PollBatch};
+use crate::output::{OutputBuffer, OutputNotify, OutputPolicy, PollBatch};
 use crate::plan::{DetectPlan, MatchPlan, PlanError, Planner, QueryPlan, StreamCatalog};
 use crate::registry::{
     new_shared_status, OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats, SharedStatus,
@@ -265,6 +265,10 @@ pub struct Runtime {
     bindings: Vec<(String, Sgs)>,
     next_id: u64,
     next_owner: u64,
+    /// Fair-share weights by owner (absent = weight 1): the scheduler
+    /// share each owner's query tasks receive when the pool is
+    /// contended. See [`Runtime::set_owner_weight`].
+    owner_weights: Vec<(OwnerId, u32)>,
     config: RuntimeConfig,
 }
 
@@ -315,20 +319,67 @@ impl Runtime {
             bindings: Vec::new(),
             next_id: 0,
             next_owner: 0,
+            owner_weights: Vec::new(),
             config,
         }
     }
 
-    /// Mint a fresh session handle for the owner-scoped APIs
-    /// ([`submit_for`](Self::submit_for),
-    /// [`queries_for`](Self::queries_for),
-    /// [`push_stream_for`](Self::push_stream_for)). Each network session
-    /// of `streamsum-server` holds one, which is what keeps concurrent
+    /// Mint a fresh session handle for the owner-scoped API
+    /// ([`session`](Self::session)). Each network session of
+    /// `streamsum-server` holds one, which is what keeps concurrent
     /// analysts' query namespaces isolated on a shared runtime.
     pub fn new_owner(&mut self) -> OwnerId {
         let owner = OwnerId(self.next_owner);
         self.next_owner += 1;
         owner
+    }
+
+    /// The owner-scoped submission surface: a [`RuntimeSession`] handle
+    /// through which everything `owner` does — submitting, feeding,
+    /// polling, lifecycle — is tagged with and checked against that
+    /// owner. This is the seam the network server's per-connection state
+    /// machine drives, and the one in-process embedders building their
+    /// own tenancy should use; the unscoped [`submit`](Self::submit) /
+    /// [`push_batch`](Self::push_batch) family remains the single-user
+    /// convenience surface.
+    ///
+    /// The handle borrows the runtime exclusively; it is a view, not a
+    /// registration — constructing one is free, and a caller guarding
+    /// the runtime behind a lock takes a fresh one per operation.
+    pub fn session(&mut self, owner: OwnerId) -> RuntimeSession<'_> {
+        RuntimeSession { rt: self, owner }
+    }
+
+    /// Set the fair-share weight of an owner's query tasks (clamped to
+    /// ≥ 1; owners never configured default to 1). When the scheduler
+    /// pool is contended, owners receive task dispatch slots in proportion to
+    /// their weights ([`sgs_exec::Pool::spawn_fair`]) instead of global
+    /// FIFO order — the scheduler half of the server's tenancy model,
+    /// fed from the authenticated principal's configured weight. The
+    /// weight is captured per query at submit time.
+    pub fn set_owner_weight(&mut self, owner: OwnerId, weight: u32) {
+        let weight = weight.max(1);
+        match self.owner_weights.iter_mut().find(|(o, _)| *o == owner) {
+            Some(slot) => slot.1 = weight,
+            None => self.owner_weights.push((owner, weight)),
+        }
+    }
+
+    /// The `(fair key, weight)` scheduler tag of one owner's query
+    /// tasks. Key 0 is the unscoped class shared with plain spawns, so
+    /// owner keys are offset by one.
+    fn fair_tag(&self, owner: Option<OwnerId>) -> (u64, u32) {
+        match owner {
+            Some(o) => {
+                let weight = self
+                    .owner_weights
+                    .iter()
+                    .find(|(w, _)| *w == o)
+                    .map_or(1, |(_, w)| *w);
+                (o.0 + 1, weight)
+            }
+            None => (0, 1),
+        }
     }
 
     /// The scheduler pool this runtime multiplexes its queries (and
@@ -371,44 +422,13 @@ impl Runtime {
         }
     }
 
-    /// [`submit`](Self::submit), with a DETECT registration tagged as
-    /// owned by `owner` — the entry point network sessions use so that
-    /// [`queries_for`](Self::queries_for) and
-    /// [`push_stream_for`](Self::push_stream_for) can scope the registry
-    /// to one session. Matching statements execute identically to
-    /// [`submit`](Self::submit) (the history they read is shared by
-    /// design — every analyst matches against the union of all archives).
-    pub fn submit_for(&mut self, owner: OwnerId, text: &str) -> Result<Submission, RuntimeError> {
-        match self.plan(text)? {
-            QueryPlan::Detect(plan) => self
-                .submit_detect_for(owner, *plan)
-                .map(Submission::Continuous),
-            QueryPlan::Match(plan) => self.run_match(&plan).map(Submission::Matches),
-        }
-    }
-
     /// Register a planned DETECT query; completed windows are buffered for
     /// [`poll`](Self::poll) under the configured
-    /// [`OutputPolicy`](RuntimeConfig::output_policy).
+    /// [`OutputPolicy`](RuntimeConfig::output_policy). Owner-tagged
+    /// registration goes through [`session`](Self::session).
     pub fn submit_detect(&mut self, plan: DetectPlan) -> Result<QueryId, RuntimeError> {
         let buffer = Arc::new(OutputBuffer::new(self.config.output_policy));
         self.spawn(plan, Sink::Buffer(buffer.clone()), Some(buffer), None)
-    }
-
-    /// [`submit_detect`](Self::submit_detect), tagged as owned by
-    /// `owner`.
-    pub fn submit_detect_for(
-        &mut self,
-        owner: OwnerId,
-        plan: DetectPlan,
-    ) -> Result<QueryId, RuntimeError> {
-        let buffer = Arc::new(OutputBuffer::new(self.config.output_policy));
-        self.spawn(
-            plan,
-            Sink::Buffer(buffer.clone()),
-            Some(buffer),
-            Some(owner),
-        )
     }
 
     /// Register a planned DETECT query with a results callback, invoked on
@@ -439,6 +459,7 @@ impl Runtime {
             self.config.channel_capacity,
             sink,
             self.pool.clone(),
+            self.fair_tag(owner),
         )
         .map_err(RuntimeError::Query)?;
         self.next_id += 1;
@@ -538,22 +559,6 @@ impl Runtime {
         self.fan_chunks(points, Some(stream), None)
     }
 
-    /// [`push_stream`](Self::push_stream), restricted to the queries
-    /// registered by `owner` — the server's ingestion path, so one
-    /// session's `Feed` drives exactly its own queries and two sessions
-    /// replaying the same data stay byte-identical to solo runs instead
-    /// of double-feeding each other. Backpressure is per-query and
-    /// unchanged: this blocks while any targeted query's bounded input
-    /// queue is full.
-    pub fn push_stream_for(
-        &self,
-        owner: OwnerId,
-        stream: &str,
-        points: &[Point],
-    ) -> Result<(), RuntimeError> {
-        self.fan_chunks(points, Some(stream), Some(owner))
-    }
-
     fn fan_chunks(
         &self,
         points: &[Point],
@@ -631,6 +636,28 @@ impl Runtime {
             buffer: entry.outputs.clone(),
             remaining: if max == 0 { usize::MAX } else { max },
         })
+    }
+
+    /// Install (or, with `None`, clear) the readiness hook of a query's
+    /// output buffer: `notify` fires after every buffered window push
+    /// and on buffer close — and immediately, once, if windows are
+    /// already buffered when it is installed. This is the server-push
+    /// seam: the reactor registers a waker here so a completed window
+    /// turns into an unsolicited `Windows` frame without any polling
+    /// thread. The hook runs on the executor worker that completed the
+    /// window (outside the buffer lock) and must not block or call back
+    /// into the runtime. No-op (but `Ok`) for callback-mode queries,
+    /// which have no buffer.
+    pub fn set_output_notify(
+        &self,
+        id: QueryId,
+        notify: Option<OutputNotify>,
+    ) -> Result<(), RuntimeError> {
+        let entry = self.entry(id)?;
+        if let Some(buffer) = &entry.outputs {
+            buffer.set_notify(notify);
+        }
+        Ok(())
     }
 
     /// Pause a running query: subsequent points are skipped for it until
@@ -907,6 +934,203 @@ impl Runtime {
             .iter()
             .find(|e| e.id == id)
             .ok_or(RuntimeError::UnknownQuery(id))
+    }
+
+    /// [`entry`](Self::entry), additionally requiring that the query is
+    /// owned by `owner`. A foreign query resolves to
+    /// [`RuntimeError::UnknownQuery`] — indistinguishable from a query
+    /// that does not exist, so the scoped API never even confirms
+    /// another session's ids.
+    fn entry_for(&self, owner: OwnerId, id: QueryId) -> Result<&QueryEntry, RuntimeError> {
+        let entry = self.entry(id)?;
+        if entry.owner != Some(owner) {
+            return Err(RuntimeError::UnknownQuery(id));
+        }
+        Ok(entry)
+    }
+}
+
+/// The owner-scoped submission surface of one session, from
+/// [`Runtime::session`] — everything a tenant (a network connection, a
+/// notebook) may do, tagged with and checked against its [`OwnerId`]:
+///
+/// * registrations are owner-tagged, so listings, feeds, and teardown
+///   see exactly this session's queries;
+/// * every id-taking method resolves the id *within the owner's scope* —
+///   a foreign session's [`QueryId`] answers
+///   [`RuntimeError::UnknownQuery`], exactly as if it did not exist;
+/// * matching statements still read the shared history (every analyst
+///   matches against the union of all archives, by design).
+///
+/// The handle holds `&mut Runtime`; callers guarding the runtime behind
+/// a lock (the network server) construct one per operation under the
+/// lock and use the snapshot/handle methods ([`feeder`](Self::feeder),
+/// [`cancel_begin`](Self::cancel_begin), [`Runtime::poll_batch`]) to
+/// move any blocking wait outside it.
+pub struct RuntimeSession<'rt> {
+    rt: &'rt mut Runtime,
+    owner: OwnerId,
+}
+
+impl RuntimeSession<'_> {
+    /// The session's owner tag.
+    pub fn owner(&self) -> OwnerId {
+        self.owner
+    }
+
+    /// Submit one statement of either template — [`Runtime::submit`],
+    /// with DETECT registrations owned by this session.
+    pub fn submit(&mut self, text: &str) -> Result<Submission, RuntimeError> {
+        match self.rt.plan(text)? {
+            QueryPlan::Detect(plan) => self.submit_detect(*plan).map(Submission::Continuous),
+            QueryPlan::Match(plan) => self.rt.run_match(&plan).map(Submission::Matches),
+        }
+    }
+
+    /// Register a planned DETECT query owned by this session; completed
+    /// windows are buffered for [`poll`](Self::poll) under the runtime's
+    /// configured [`OutputPolicy`](RuntimeConfig::output_policy).
+    pub fn submit_detect(&mut self, plan: DetectPlan) -> Result<QueryId, RuntimeError> {
+        let buffer = Arc::new(OutputBuffer::new(self.rt.config.output_policy));
+        self.rt.spawn(
+            plan,
+            Sink::Buffer(buffer.clone()),
+            Some(buffer),
+            Some(self.owner),
+        )
+    }
+
+    /// Fan a batch from the named source stream out to this session's
+    /// queries reading that stream — the server's `Feed` path, which is
+    /// what keeps two sessions replaying the same stream byte-identical
+    /// to solo runs instead of double-feeding each other. Blocks under
+    /// per-query backpressure; lock-guarding callers should snapshot a
+    /// [`feeder`](Self::feeder) instead and block outside the lock.
+    pub fn feed(&self, stream: &str, points: &[Point]) -> Result<(), RuntimeError> {
+        self.feeder(Some(stream)).push_batch(points);
+        Ok(())
+    }
+
+    /// An owner-scoped [`Runtime::feeder`] snapshot (`None` = all of
+    /// this session's queries, regardless of stream).
+    pub fn feeder(&self, stream: Option<&str>) -> StreamFeeder {
+        self.rt.feeder(Some(self.owner), stream)
+    }
+
+    /// Block until every live query of this session has processed all
+    /// input queued so far ([`Runtime::quiesce`], owner-scoped).
+    pub fn quiesce(&self) -> Result<(), RuntimeError> {
+        self.feeder(None).quiesce();
+        Ok(())
+    }
+
+    /// Drain a query's buffered completed windows
+    /// ([`Runtime::poll`], owner-checked).
+    pub fn poll(&self, id: QueryId) -> Result<Vec<(WindowId, WindowOutput)>, RuntimeError> {
+        self.rt.entry_for(self.owner, id)?;
+        self.rt.poll(id)
+    }
+
+    /// Drain up to `max` buffered completed windows as an iterator
+    /// ([`Runtime::poll_batch`], owner-checked).
+    pub fn poll_batch(&self, id: QueryId, max: usize) -> Result<PollBatch, RuntimeError> {
+        self.rt.entry_for(self.owner, id)?;
+        self.rt.poll_batch(id, max)
+    }
+
+    /// Install or clear a query's output-readiness hook
+    /// ([`Runtime::set_output_notify`], owner-checked) — the server-push
+    /// seam.
+    pub fn set_output_notify(
+        &self,
+        id: QueryId,
+        notify: Option<OutputNotify>,
+    ) -> Result<(), RuntimeError> {
+        self.rt.entry_for(self.owner, id)?;
+        self.rt.set_output_notify(id, notify)
+    }
+
+    /// Snapshot of this session's queries ([`Runtime::queries_for`]).
+    pub fn queries(&self) -> Vec<QueryDescriptor> {
+        self.rt.queries_for(self.owner)
+    }
+
+    /// Current lifecycle state of one of this session's queries.
+    pub fn state(&self, id: QueryId) -> Result<QueryState, RuntimeError> {
+        Ok(self.rt.entry_for(self.owner, id)?.shared.read().state)
+    }
+
+    /// Current statistics of one of this session's queries.
+    pub fn stats(&self, id: QueryId) -> Result<QueryStats, RuntimeError> {
+        Ok(self
+            .rt
+            .entry_for(self.owner, id)?
+            .shared
+            .read()
+            .stats
+            .clone())
+    }
+
+    /// The canonical statement text of one of this session's queries.
+    pub fn text_of(&self, id: QueryId) -> Result<&str, RuntimeError> {
+        Ok(&self.rt.entry_for(self.owner, id)?.text)
+    }
+
+    /// Pause a running query ([`Runtime::pause`], owner-checked).
+    pub fn pause(&mut self, id: QueryId) -> Result<(), RuntimeError> {
+        self.rt.entry_for(self.owner, id)?;
+        self.rt.pause(id)
+    }
+
+    /// Resume a paused query ([`Runtime::resume`], owner-checked).
+    pub fn resume(&mut self, id: QueryId) -> Result<(), RuntimeError> {
+        self.rt.entry_for(self.owner, id)?;
+        self.rt.resume(id)
+    }
+
+    /// Cancel a query and return its final report
+    /// ([`Runtime::cancel`], owner-checked).
+    pub fn cancel(&mut self, id: QueryId) -> Result<QueryReport, RuntimeError> {
+        self.rt.entry_for(self.owner, id)?;
+        self.rt.cancel(id)
+    }
+
+    /// The non-blocking half of [`cancel`](Self::cancel)
+    /// ([`Runtime::cancel_begin`], owner-checked): begin under the
+    /// caller's lock, [`PendingCancel::wait`] outside it.
+    pub fn cancel_begin(&mut self, id: QueryId) -> Result<PendingCancel, RuntimeError> {
+        self.rt.entry_for(self.owner, id)?;
+        self.rt.cancel_begin(id)
+    }
+
+    /// Set this session's fair-share scheduling weight
+    /// ([`Runtime::set_owner_weight`]).
+    pub fn set_weight(&mut self, weight: u32) {
+        self.rt.set_owner_weight(self.owner, weight);
+    }
+
+    /// Bytes of admitted-but-unprocessed input across this session's
+    /// live queries ([`Runtime::input_queue_bytes_for`]).
+    pub fn input_queue_bytes(&self) -> usize {
+        self.rt.input_queue_bytes_for(self.owner)
+    }
+
+    /// Wire-encoded bytes of completed-but-unpolled windows across this
+    /// session's live queries ([`Runtime::output_bytes_for`]).
+    pub fn output_bytes(&self) -> usize {
+        self.rt.output_bytes_for(self.owner)
+    }
+
+    /// Close this session's output buffers
+    /// ([`Runtime::close_outputs`]) — the disconnect lever.
+    pub fn close_outputs(&self) -> usize {
+        self.rt.close_outputs(self.owner)
+    }
+
+    /// Remove this session's cancelled queries from the registry
+    /// ([`Runtime::evict_cancelled`]) — the teardown step.
+    pub fn evict_cancelled(&mut self) -> usize {
+        self.rt.evict_cancelled(self.owner)
     }
 }
 
@@ -1518,10 +1742,10 @@ mod tests {
         let alice = rt.new_owner();
         let bob = rt.new_owner();
         assert_ne!(alice, bob);
-        let Submission::Continuous(qa) = rt.submit_for(alice, DETECT).unwrap() else {
+        let Submission::Continuous(qa) = rt.session(alice).submit(DETECT).unwrap() else {
             panic!()
         };
-        let Submission::Continuous(qb) = rt.submit_for(bob, DETECT).unwrap() else {
+        let Submission::Continuous(qb) = rt.session(bob).submit(DETECT).unwrap() else {
             panic!()
         };
         // Unscoped query for contrast.
@@ -1539,11 +1763,29 @@ mod tests {
         assert_eq!(rt.queries().len(), 3, "the unscoped view still sees all");
 
         // Owner-scoped ingestion feeds exactly the owner's queries.
-        rt.push_stream_for(alice, "gmti", &gmti(1000)).unwrap();
+        rt.session(alice).feed("gmti", &gmti(1000)).unwrap();
         rt.quiesce().unwrap();
         assert_eq!(rt.stats(qa).unwrap().points, 1000);
         assert_eq!(rt.stats(qb).unwrap().points, 0);
         assert_eq!(rt.stats(qu).unwrap().points, 0);
+
+        // A session handle cannot even name another owner's query: every
+        // id-taking method answers UnknownQuery for a foreign id.
+        let mut alice_session = rt.session(alice);
+        assert!(matches!(
+            alice_session.stats(qb),
+            Err(RuntimeError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            alice_session.poll(qb),
+            Err(RuntimeError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            alice_session.cancel(qb),
+            Err(RuntimeError::UnknownQuery(_))
+        ));
+        assert_eq!(alice_session.queries().len(), 1);
+        assert!(alice_session.stats(qa).is_ok());
     }
 
     #[test]
@@ -1551,16 +1793,16 @@ mod tests {
         let mut rt = runtime();
         let session = rt.new_owner();
         let other = rt.new_owner();
-        let Submission::Continuous(dead) = rt.submit_for(session, DETECT).unwrap() else {
+        let Submission::Continuous(dead) = rt.session(session).submit(DETECT).unwrap() else {
             panic!()
         };
-        let Submission::Continuous(live) = rt.submit_for(session, DETECT).unwrap() else {
+        let Submission::Continuous(live) = rt.session(session).submit(DETECT).unwrap() else {
             panic!()
         };
-        let Submission::Continuous(foreign) = rt.submit_for(other, DETECT).unwrap() else {
+        let Submission::Continuous(foreign) = rt.session(other).submit(DETECT).unwrap() else {
             panic!()
         };
-        rt.push_stream_for(session, "gmti", &gmti(1500)).unwrap();
+        rt.session(session).feed("gmti", &gmti(1500)).unwrap();
         rt.quiesce().unwrap();
         rt.cancel(dead).unwrap();
         assert_eq!(rt.evict_cancelled(session), 1);
@@ -1582,7 +1824,7 @@ mod tests {
         });
         rt.register_stream("gmti", 2);
         let owner = rt.new_owner();
-        let Submission::Continuous(id) = rt.submit_for(owner, DETECT).unwrap() else {
+        let Submission::Continuous(id) = rt.session(owner).submit(DETECT).unwrap() else {
             panic!()
         };
         let stream = gmti(6000);
@@ -1592,7 +1834,7 @@ mod tests {
                 // Wedges: the never-polled Block(1) buffer fills, the
                 // executor task blocks, the input queue backs up, and
                 // this push stalls — the disconnected-session shape.
-                rt_ref.push_stream_for(owner, "gmti", &stream).unwrap();
+                rt_ref.feeder(Some(owner), Some("gmti")).push_batch(&stream);
             });
             // Wait for the wedge to back up into the input queue, which
             // is also when the owner's input-byte gauge must be visible.
@@ -1624,8 +1866,8 @@ mod tests {
         let mut rt = runtime();
         let mine = rt.new_owner();
         let theirs = rt.new_owner();
-        rt.submit_for(mine, DETECT).unwrap();
-        rt.submit_for(theirs, DETECT).unwrap();
+        rt.session(mine).submit(DETECT).unwrap();
+        rt.session(theirs).submit(DETECT).unwrap();
         assert_eq!(rt.close_outputs(mine), 1, "only the owner's buffer");
         assert_eq!(rt.close_outputs(OwnerId(999)), 0);
     }

@@ -1,8 +1,8 @@
 //! # sgs-server
 //!
-//! The TCP network front-end of the streamsum engine (`DESIGN.md` §9):
-//! an embeddable [`Server`] that listens on a socket and multiplexes any
-//! number of client connections onto **one shared
+//! The TCP network front-end of the streamsum engine (`DESIGN.md` §9,
+//! §14): an embeddable [`Server`] that listens on a socket and
+//! multiplexes any number of client connections onto **one shared
 //! [`Runtime`]** — the step that turns the in-process multi-query engine
 //! into a service remote analysts share, per the paper's setting of
 //! analysts issuing DETECT/MATCH statements against live streams (§1,
@@ -10,37 +10,51 @@
 //!
 //! ## Session model
 //!
-//! Each connection is a **session** served by one OS thread (network
-//! threads block on sockets; the compute stays on the runtime's
-//! `sgs-exec` scheduler pool). A session:
+//! Connections are driven by a single **reactor thread** (`DESIGN.md`
+//! §14): non-blocking sockets registered with the vendored epoll shim,
+//! each advanced through an explicit per-connection state machine
+//! (reading → executing → writing / pushing). Idle sessions park for
+//! free — no thread, no timer, just an epoll registration. Request
+//! execution hops onto a bounded `sgs-exec` dispatch pool, spawned with
+//! the session principal's fair-share weight, so the reactor never
+//! blocks and one tenant's backlog cannot starve another's dispatches.
+//! A session:
 //!
+//! * authenticates at `Hello`: a server configured with auth tokens
+//!   refuses a missing or unknown token with
+//!   [`sgs_wire::ErrorCode::Unauthorized`] and closes; the matching
+//!   token names the session's principal and fair-share weight;
 //! * owns its query namespace: ids on the wire are session-local
 //!   (`Q0, Q1, ...` per connection), mapped to runtime [`QueryId`]s
 //!   through the session's table and tagged with a runtime
-//!   [`OwnerId`] — another session cannot name,
-//!   list, poll, or cancel them;
-//! * feeds only its own queries: `Feed` frames route through
-//!   [`Runtime::push_stream_for`], so two sessions replaying the same
-//!   stream each see exactly their own data (byte-identical to a solo
-//!   run), while both archives still merge into the **shared history**
-//!   that matching statements query — the paper's many-analysts /
-//!   one-history arrangement;
+//!   [`OwnerId`] — another session cannot name, list, poll, or cancel
+//!   them;
+//! * feeds only its own queries: `Feed` frames route through the
+//!   owner-scoped [`Runtime::session`] seam, so two sessions replaying
+//!   the same stream each see exactly their own data (byte-identical to
+//!   a solo run), while both archives still merge into the **shared
+//!   history** that matching statements query — the paper's
+//!   many-analysts / one-history arrangement;
+//! * consumes results by poll **or** push: `Subscribe` turns a query's
+//!   output buffer into unsolicited `Windows` frames, sent only when
+//!   the socket is write-ready (an unread socket exerts plain TCP flow
+//!   control; the windows wait in the runtime's bounded output buffer
+//!   meanwhile);
 //! * is throttled end to end: a full bounded per-query `InputQueue`
-//!   blocks the session's `Feed` dispatch, which delays its ack, which
-//!   stops the client — and an unread socket eventually exerts plain TCP
-//!   flow control. Polled windows respect the runtime's configured
-//!   `OutputPolicy` (drained via [`Runtime::poll_batch`], which frees
-//!   output-buffer capacity window by window).
+//!   blocks the session's `Feed` dispatch, which withholds its ack,
+//!   which stops the client.
 //!
 //! On disconnect (clean `Goodbye` or a dropped socket) the session's
 //! live queries are cancelled, so abandoned clients do not leak pipeline
 //! state — their archived history remains, by design.
 
 pub mod metrics;
+mod reactor;
 
-use std::collections::HashMap;
-use std::io::{self, Read};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -51,12 +65,26 @@ use sgs_runtime::{
     OwnerId, QueryDescriptor, QueryId, QueryState, QueryStats, Runtime, RuntimeConfig, RuntimeError,
 };
 use sgs_wire::{
-    decode, write_frame, ErrorCode, Frame, WireError, WireMetric, WireMetricValue, WireQuery,
-    WireQueryState, WireStats, WireWindow, WIRE_VERSION,
+    ErrorCode, Frame, WireMetric, WireMetricValue, WireQuery, WireQueryState, WireStats, WireWindow,
 };
 
 pub use metrics::spawn_metrics_listener;
-use metrics::{CountingStream, ServerMetrics};
+use metrics::ServerMetrics;
+
+/// One shared-secret credential a [`Server`] accepts at `Hello`
+/// ([`ServerConfig::auth_tokens`]).
+#[derive(Clone, Debug)]
+pub struct AuthToken {
+    /// Principal name, for logs and diagnostics.
+    pub name: String,
+    /// The secret a client's `Hello` must carry verbatim.
+    pub secret: String,
+    /// Fair-share weight of this principal's dispatches on the server's
+    /// dispatch pool and of its queries on the runtime scheduler
+    /// (stride scheduling: a weight-2 principal is dispatched twice as
+    /// often as a weight-1 one under contention). Clamped to ≥ 1.
+    pub weight: u32,
+}
 
 /// Construction-time settings of a [`Server`].
 #[derive(Clone, Debug)]
@@ -71,8 +99,9 @@ pub struct ServerConfig {
     /// the two generator streams: `gmti` (2-d) and `stt` (4-d).
     pub streams: Vec<(String, usize)>,
     /// Close a session that produces no complete request frame within
-    /// this window (counted from the previous complete frame; a peer
-    /// stalled mid-frame trips it too). `None` (the default) keeps
+    /// this window (counted from the previous complete frame).
+    /// Sessions holding an active subscription are exempt — a
+    /// subscriber is legitimately silent. `None` (the default) keeps
     /// sessions open indefinitely — the historical behavior.
     pub idle_timeout: Option<Duration>,
     /// Per-owner admission control: maximum live (non-cancelled)
@@ -90,9 +119,22 @@ pub struct ServerConfig {
     /// Per-owner admission control: once one session's
     /// completed-but-unpolled windows exceed this many (wire-encoded)
     /// bytes, further `Feed`s are refused with
-    /// [`ErrorCode::QuotaExceeded`] until the session polls. `None`
-    /// (the default) is unlimited.
+    /// [`ErrorCode::QuotaExceeded`] until the session polls (or its
+    /// subscription drains them). `None` (the default) is unlimited.
     pub owner_max_buffer_bytes: Option<usize>,
+    /// Accepted `Hello` credentials. Empty (the default) means open
+    /// access: every session is anonymous with fair-share weight 1. Non-
+    /// empty means a `Hello` carrying no token, or a token matching no
+    /// entry, is refused with [`ErrorCode::Unauthorized`] and the
+    /// connection is closed.
+    pub auth_tokens: Vec<AuthToken>,
+    /// Workers on the server's dispatch pool — the threads request
+    /// execution hops onto so the reactor never blocks. Blocking
+    /// requests (a backpressured `Feed`, a `Cancel` draining a deep
+    /// backlog, `Quiesce`) occupy a worker for their duration, so this
+    /// bounds how many sessions can block concurrently. Clamped to ≥ 1;
+    /// default 4.
+    pub dispatch_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -104,23 +146,20 @@ impl Default for ServerConfig {
             owner_max_queries: None,
             owner_max_queue_bytes: None,
             owner_max_buffer_bytes: None,
+            auth_tokens: Vec::new(),
+            dispatch_threads: 4,
         }
     }
 }
 
 /// Byte budget of one `Windows` response page (8 MiB — an 8× margin
-/// under [`sgs_wire::MAX_FRAME_LEN`]): a `Poll` stops collecting once
-/// the accumulated window payload crosses it, leaving the rest buffered
-/// for the client's next page request.
+/// under [`sgs_wire::MAX_FRAME_LEN`]): a `Poll` reply or a pushed
+/// subscription frame stops collecting once the accumulated window
+/// payload crosses it, leaving the rest buffered for the next page.
 const POLL_PAGE_BYTES: usize = 8 << 20;
 
-/// How often a session's read loop wakes to check the drain flag and
-/// its idle deadline (the socket read timeout). Also bounds how long a
-/// disconnect watcher's `peek` can block.
-const READ_TICK: Duration = Duration::from_millis(100);
-
-/// The session-limit subset of [`ServerConfig`], shared with every
-/// session thread.
+/// The session-limit subset of [`ServerConfig`], shared with the
+/// reactor and every dispatch task.
 #[derive(Clone, Copy, Debug, Default)]
 struct Limits {
     idle_timeout: Option<Duration>,
@@ -138,12 +177,75 @@ struct Seat {
     owner: OwnerId,
 }
 
-/// State shared by the accept loop and every session thread.
+/// What a dispatch asks the reactor to do to the session state it owns
+/// (dispatch tasks see a snapshot; the reactor holds the canon).
+enum Effect {
+    /// Nothing beyond sending the reply.
+    None,
+    /// A DETECT registration succeeded: append the id to the session's
+    /// query table (its local id is the reply's `Registered.query`).
+    NewQuery(QueryId),
+    /// Switch the local query to push delivery: install the
+    /// output-buffer notify hook and exempt the session from the idle
+    /// timeout.
+    Subscribe(u64),
+    /// Revert the local query to poll delivery: clear the hook.
+    Unsubscribe(u64),
+}
+
+/// A finished dispatch, queued for the reactor by the dispatch task.
+struct Completion {
+    /// The connection the request came from.
+    token: u64,
+    /// The response frame to enqueue (dropped if the session is already
+    /// closing).
+    reply: Frame,
+    /// Session-state change to apply before the reply is sent.
+    effect: Effect,
+    /// The request was `Goodbye`: send the reply, then close cleanly.
+    goodbye: bool,
+}
+
+/// The reactor's cross-thread mailbox: dispatch completions and
+/// output-buffer readiness, each paired with a waker byte so the
+/// reactor's readiness wait returns promptly.
+struct Mailbox {
+    completions: Mutex<Vec<Completion>>,
+    /// (connection token, session-local query id) pairs whose output
+    /// buffer has news — fed by the notify hooks subscriptions install.
+    pushes: Mutex<BTreeSet<(u64, u64)>>,
+    /// Write end of the reactor's self-pipe (the read end is registered
+    /// with epoll). `None` until [`Server::run`] starts the reactor.
+    waker: Mutex<Option<UnixStream>>,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox {
+            completions: Mutex::new(Vec::new()),
+            pushes: Mutex::new(BTreeSet::new()),
+            waker: Mutex::new(None),
+        }
+    }
+
+    /// Nudge the reactor out of its readiness wait. Best-effort: a full
+    /// pipe means wakes are already pending, and a missing pipe means
+    /// the reactor is not running (nothing to wake).
+    fn wake(&self) {
+        use std::io::Write;
+        if let Some(pipe) = &*self.waker.lock().unwrap() {
+            let _ = (&*pipe).write(&[1u8]);
+        }
+    }
+}
+
+/// State shared by the reactor thread, the dispatch pool, and control
+/// handles.
 struct Shared {
     rt: RwLock<Runtime>,
     shutting_down: AtomicBool,
-    /// Set by [`ServerHandle::drain`]: sessions send `GoAway` at their
-    /// next read tick and close instead of serving further requests.
+    /// Set by [`ServerHandle::drain`]: the reactor sends `GoAway` to
+    /// every session and closes instead of serving further requests.
     draining: AtomicBool,
     /// Set once [`ServerHandle::drain`] has finished its final
     /// checkpoint; [`Server::run`] waits for it before returning so the
@@ -151,12 +253,20 @@ struct Shared {
     drain_done: AtomicBool,
     /// The `drain_millis` value `GoAway` frames advertise.
     drain_millis: AtomicU64,
-    /// Live sessions by seat id — present from handshake until the
-    /// session's teardown (cancel + evict) has fully finished, so an
-    /// empty registry means the runtime holds no session state.
+    /// Live sessions by connection token — present from a successful
+    /// `Hello` until the session's teardown (cancel + evict) has fully
+    /// finished, so an empty registry means the runtime holds no
+    /// session state.
     seats: Mutex<HashMap<u64, Seat>>,
-    next_seat: AtomicU64,
+    next_token: AtomicU64,
     limits: Limits,
+    auth: Vec<AuthToken>,
+    /// The dispatch pool request execution hops onto
+    /// (deliberately separate from the runtime's scheduler pool: a
+    /// blocking `Feed` must not occupy a worker the queries it is
+    /// waiting on need).
+    dispatch: sgs_exec::Pool,
+    mailbox: Mailbox,
     metrics: ServerMetrics,
 }
 
@@ -181,9 +291,9 @@ impl ServerHandle {
     /// the sessions alive at this moment have ended. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a throwaway connection. An
-        // unspecified bind address (0.0.0.0 / ::) is not connectable —
-        // rewrite it to the matching loopback, same port.
+        // Wake the reactor with a throwaway connection. An unspecified
+        // bind address (0.0.0.0 / ::) is not connectable — rewrite it
+        // to the matching loopback, same port.
         let mut addr = self.addr;
         if addr.ip().is_unspecified() {
             match &mut addr {
@@ -192,17 +302,18 @@ impl ServerHandle {
             }
         }
         let _ = TcpStream::connect(addr);
+        self.shared.mailbox.wake();
     }
 
     /// Gracefully drain the server (`DESIGN.md` §12): stop accepting,
-    /// announce `GoAway` to every session at its next read tick, wait up
-    /// to `timeout` for sessions to finish voluntarily, force-close the
-    /// stragglers (socket shutdown + releasing their owners' output
-    /// buffers, so even a session wedged mid-`Feed` unblocks), and
-    /// finally checkpoint every durable history base so a restarted
-    /// server recovers the archive from a clean store file. Returns the
-    /// number of sessions that had to be force-closed (0 = fully
-    /// graceful). [`Server::run`] returns once the drain completes.
+    /// announce `GoAway` to every session, wait up to `timeout` for
+    /// sessions to finish voluntarily, force-close the stragglers
+    /// (socket shutdown + releasing their owners' output buffers, so
+    /// even a session wedged mid-`Feed` unblocks), and finally
+    /// checkpoint every durable history base so a restarted server
+    /// recovers the archive from a clean store file. Returns the number
+    /// of sessions that had to be force-closed (0 = fully graceful).
+    /// [`Server::run`] returns once the drain completes.
     pub fn drain(&self, timeout: Duration) -> usize {
         let shared = &self.shared;
         shared.metrics.drains.inc();
@@ -212,8 +323,9 @@ impl ServerHandle {
         shared.draining.store(true, Ordering::SeqCst);
         self.shutdown();
 
-        // Phase 1: sessions notice the flag within one read tick, send
-        // GoAway, and tear themselves down. Wait out the grace window.
+        // Phase 1: the reactor notices the flag at its next wakeup,
+        // sends GoAway everywhere, and tears sessions down. Wait out
+        // the grace window.
         let deadline = Instant::now() + timeout;
         while Instant::now() < deadline {
             if shared.seats.lock().unwrap().is_empty() {
@@ -223,9 +335,10 @@ impl ServerHandle {
         }
 
         // Phase 2: force-close whoever is left. Shutting the socket
-        // breaks their read loop; releasing the owner's output buffers
-        // breaks a Feed wedged behind a full Block-policy buffer (the
-        // reply write then fails on the shut socket).
+        // surfaces as a hangup in the reactor; releasing the owner's
+        // output buffers breaks a Feed wedged behind a full
+        // Block-policy buffer (its dispatch then completes and the
+        // session unwinds).
         let forced = {
             let seats = shared.seats.lock().unwrap();
             for seat in seats.values() {
@@ -280,13 +393,16 @@ impl Server {
                 drain_done: AtomicBool::new(false),
                 drain_millis: AtomicU64::new(0),
                 seats: Mutex::new(HashMap::new()),
-                next_seat: AtomicU64::new(0),
+                next_token: AtomicU64::new(0),
                 limits: Limits {
                     idle_timeout: config.idle_timeout,
                     owner_max_queries: config.owner_max_queries,
                     owner_max_queue_bytes: config.owner_max_queue_bytes,
                     owner_max_buffer_bytes: config.owner_max_buffer_bytes,
                 },
+                auth: config.auth_tokens,
+                dispatch: sgs_exec::Pool::new(config.dispatch_threads.max(1)),
+                mailbox: Mailbox::new(),
                 metrics: ServerMetrics::new(),
             }),
         })
@@ -305,36 +421,24 @@ impl Server {
         })
     }
 
-    /// Accept and serve connections until [`ServerHandle::shutdown`].
-    /// Each connection gets one session thread; the call returns after
-    /// the accept loop stops and every session thread has ended.
+    /// Serve connections on the reactor until [`ServerHandle::shutdown`].
+    /// The calling thread *is* the reactor; the call returns after the
+    /// accept loop stops, every session has ended, and session teardown
+    /// has finished.
     pub fn run(self) -> io::Result<()> {
-        let mut sessions = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shared.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => return Err(e),
-            };
-            let shared = self.shared.clone();
-            sessions.push(std::thread::spawn(move || serve_session(&shared, stream)));
-            // Reap finished sessions so a long-lived server does not
-            // accumulate one parked JoinHandle per past connection.
-            sessions.retain(|h| !h.is_finished());
+        let shared = self.shared;
+        reactor::run(self.listener, &shared)?;
+        // Session teardown (cancel + evict) runs on the dispatch pool;
+        // wait for the seats to empty so "run returned" keeps meaning
+        // "no session state remains in the runtime".
+        while !shared.seats.lock().unwrap().is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
         }
-        for session in sessions {
-            let _ = session.join();
-        }
-        // A drain wakes this loop during its phase 1, long before its
-        // final checkpoint. Honor the documented contract — `run`
-        // returns once the drain *completes* — so a `main` that exits
-        // right after us cannot kill the checkpoint midway.
-        while self.shared.draining.load(Ordering::SeqCst)
-            && !self.shared.drain_done.load(Ordering::SeqCst)
-        {
+        // A drain wakes the reactor long before its final checkpoint.
+        // Honor the documented contract — `run` returns once the drain
+        // *completes* — so a `main` that exits right after us cannot
+        // kill the checkpoint midway.
+        while shared.draining.load(Ordering::SeqCst) && !shared.drain_done.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(10));
         }
         Ok(())
@@ -342,16 +446,20 @@ impl Server {
 }
 
 // ---------------------------------------------------------------------------
-// Sessions
+// Dispatch (runs on the dispatch pool)
 // ---------------------------------------------------------------------------
 
-/// One session's table of queries: index = session-local id.
-struct Session {
+/// The snapshot of session state a dispatch task works against. The
+/// reactor owns the canonical copy and applies the returned [`Effect`]
+/// itself; at most one dispatch is in flight per connection, so the
+/// snapshot cannot go stale.
+struct SessionView {
     owner: OwnerId,
     queries: Vec<QueryId>,
+    subscribed: HashSet<u64>,
 }
 
-impl Session {
+impl SessionView {
     fn resolve(&self, local: u64) -> Result<QueryId, Frame> {
         self.queries
             .get(local as usize)
@@ -360,267 +468,12 @@ impl Session {
     }
 }
 
-/// What one turn of the tick-based frame reader produced.
-enum Step {
-    /// A complete, well-formed request frame.
-    Frame(Frame),
-    /// The server started draining: send `GoAway` and close.
-    Drain,
-    /// No complete frame arrived within the idle deadline.
-    Idle,
-    /// The peer is gone (clean close, mid-frame EOF, or a transport
-    /// error) — nothing left to say to it.
-    Gone,
-    /// Malformed bytes: explain with a typed Protocol error, then close.
-    Wire(WireError),
-}
-
-/// Read one frame through the session's incremental buffer, waking every
-/// [`READ_TICK`] (the socket read timeout) to check the drain flag and
-/// the idle deadline. Unlike a blocking `read_frame`, a timeout here
-/// never tears a frame: partial bytes stay in `buf` for the next tick.
-fn next_frame(stream: &mut CountingStream, buf: &mut Vec<u8>, shared: &Shared) -> Step {
-    let deadline = shared.limits.idle_timeout.map(|d| Instant::now() + d);
-    loop {
-        match decode(buf) {
-            Ok(Some((frame, used))) => {
-                buf.drain(..used);
-                return Step::Frame(frame);
-            }
-            Ok(None) => {}
-            Err(e) => return Step::Wire(e),
-        }
-        if shared.draining.load(Ordering::SeqCst) {
-            return Step::Drain;
-        }
-        let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => return Step::Gone,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if deadline.is_some_and(|d| Instant::now() >= d) {
-                    return Step::Idle;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return Step::Gone,
-        }
-    }
-}
-
-/// Watch a session's socket from a side thread while the session thread
-/// may be blocked elsewhere (most importantly: wedged in a `Feed`
-/// against a full `Block`-policy output buffer). `peek` never consumes
-/// — it only answers "is the peer still there?". The moment the peer
-/// vanishes, the owner's output buffers are closed, which unblocks the
-/// wedged feeder immediately instead of waiting for a poll that will
-/// never come (the standing `Block`-policy disconnect gap).
-fn watch_disconnect(socket: TcpStream, shared: Arc<Shared>, owner: OwnerId, stop: Arc<AtomicBool>) {
-    let mut byte = [0u8; 1];
-    while !stop.load(Ordering::SeqCst) {
-        let gone = match socket.peek(&mut byte) {
-            Ok(0) => true,
-            Ok(_) => false,
-            Err(e) => !matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ),
-        };
-        if gone {
-            shared.metrics.disconnect_reaps.inc();
-            shared.rt.read().close_outputs(owner);
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    }
-}
-
-/// Serve one connection to completion. Any protocol violation ends the
-/// session; any transport error ends it silently (the peer is gone).
-fn serve_session(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    // The tick: bounds both the session's reads and the watcher's peeks
-    // (a cloned socket shares its options with the original).
-    let _ = stream.set_read_timeout(Some(READ_TICK));
-    shared.metrics.sessions_total.inc();
-    shared.metrics.sessions.inc();
-    serve_session_inner(shared, CountingStream::new(stream, &shared.metrics));
-    shared.metrics.sessions.dec();
-}
-
-fn serve_session_inner(shared: &Arc<Shared>, mut stream: CountingStream) {
-    let mut buf = Vec::new();
-
-    // Handshake: the first frame must be Hello (under the same idle
-    // deadline and drain checks as every later read).
-    match next_frame(&mut stream, &mut buf, shared) {
-        Step::Frame(Frame::Hello { .. }) => {
-            let ack = Frame::HelloAck {
-                server: concat!("streamsum-server/", env!("CARGO_PKG_VERSION")).into(),
-                protocol: WIRE_VERSION,
-            };
-            if write_frame(&mut stream, &ack).is_err() {
-                return;
-            }
-        }
-        Step::Frame(_) => {
-            let _ = write_frame(
-                &mut stream,
-                &error_frame(ErrorCode::Protocol, "expected Hello".into()),
-            );
-            return;
-        }
-        // A malformed first frame — most importantly a WIRE_VERSION
-        // mismatch — gets an explanatory Error frame, not a silent
-        // close, so mixed-version deployments fail loudly (§9's rule).
-        Step::Wire(e) => {
-            shared.metrics.wire_errors.inc();
-            let _ = write_frame(
-                &mut stream,
-                &error_frame(ErrorCode::Protocol, e.to_string()),
-            );
-            return;
-        }
-        Step::Drain => {
-            shared.metrics.goaways.inc();
-            let _ = write_frame(&mut stream, &goaway_frame(shared));
-            return;
-        }
-        Step::Idle => {
-            shared.metrics.idle_timeouts.inc();
-            let _ = write_frame(&mut stream, &idle_timeout_frame(shared));
-            return;
-        }
-        Step::Gone => return,
-    }
-
-    let mut session = Session {
-        owner: shared.rt.write().new_owner(),
-        queries: Vec::new(),
-    };
-
-    // Register the drain seat and start the disconnect watcher — both
-    // need a socket clone; without one the session still works, it just
-    // cannot be force-closed or reaped early.
-    let seat_id = shared.next_seat.fetch_add(1, Ordering::SeqCst);
-    let watcher_stop = Arc::new(AtomicBool::new(false));
-    let mut watcher = None;
-    if let Ok(socket) = stream.get_ref().try_clone() {
-        shared.seats.lock().unwrap().insert(
-            seat_id,
-            Seat {
-                socket,
-                owner: session.owner,
-            },
-        );
-    }
-    if let Ok(socket) = stream.get_ref().try_clone() {
-        let (shared, owner, stop) = (shared.clone(), session.owner, watcher_stop.clone());
-        watcher = std::thread::Builder::new()
-            .name("sgs-session-watch".into())
-            .spawn(move || watch_disconnect(socket, shared, owner, stop))
-            .ok();
-    }
-
-    loop {
-        let frame = match next_frame(&mut stream, &mut buf, shared) {
-            Step::Frame(frame) => frame,
-            Step::Drain => {
-                shared.metrics.goaways.inc();
-                let _ = write_frame(&mut stream, &goaway_frame(shared));
-                break;
-            }
-            Step::Idle => {
-                shared.metrics.idle_timeouts.inc();
-                let _ = write_frame(&mut stream, &idle_timeout_frame(shared));
-                break;
-            }
-            // Garbage gets a best-effort typed explanation; a vanished
-            // peer gets nothing. Session over either way.
-            Step::Wire(e) => {
-                shared.metrics.wire_errors.inc();
-                let _ = write_frame(
-                    &mut stream,
-                    &error_frame(ErrorCode::Protocol, e.to_string()),
-                );
-                break;
-            }
-            Step::Gone => break,
-        };
-        let goodbye = matches!(frame, Frame::Goodbye);
-        let reply = dispatch(shared, &mut session, frame);
-        let fatal = matches!(
-            reply,
-            Frame::Error {
-                code: ErrorCode::Protocol,
-                ..
-            }
-        );
-        if write_frame(&mut stream, &reply).is_err() || goodbye || fatal {
-            break;
-        }
-    }
-
-    // Stop the watcher before teardown so a peer that disappears right
-    // now (after the session already decided to close) is not counted
-    // as a reap of a live session.
-    watcher_stop.store(true, Ordering::SeqCst);
-    if let Some(watcher) = watcher {
-        let _ = watcher.join();
-    }
-
-    // Teardown: cancel the session's live queries so a vanished analyst
-    // does not leak running pipelines. Archived history stays. Begin
-    // every cancel under one short write-lock hold, then wait for the
-    // drains with the lock released — a big backlog must not stall the
-    // other sessions (and beginning all stops before waiting on any is
-    // the same no-deadlock order as Runtime::shutdown).
-    let pending: Vec<_> = {
-        let mut rt = shared.rt.write();
-        rt.queries_for(session.owner)
-            .into_iter()
-            .filter(|d| d.state != QueryState::Cancelled)
-            .filter_map(|d| rt.cancel_begin(d.id).ok())
-            .collect()
-    };
-    for cancel in pending {
-        let _ = cancel.wait();
-    }
-    // Evict the dead entries (and their undrained output buffers): a
-    // server living through thousands of connect/feed/disconnect cycles
-    // must not accumulate registry garbage per past session.
-    shared.rt.write().evict_cancelled(session.owner);
-    // Leave the seat last: an empty registry tells the drain that no
-    // session state remains in the runtime.
-    shared.seats.lock().unwrap().remove(&seat_id);
-}
-
-/// The frame a draining server sends in place of any further response.
-fn goaway_frame(shared: &Shared) -> Frame {
-    Frame::GoAway {
-        reason: "server draining".into(),
-        drain_millis: shared.drain_millis.load(Ordering::SeqCst),
-    }
-}
-
-/// The typed farewell of an idle-timeout close.
-fn idle_timeout_frame(shared: &Shared) -> Frame {
-    let window = shared.limits.idle_timeout.unwrap_or_default();
-    error_frame(
-        ErrorCode::Protocol,
-        format!("idle timeout: no complete request within {window:?}"),
-    )
-}
-
-/// Execute one request frame against the shared runtime.
-fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
+/// Execute one request frame against the shared runtime. Pure with
+/// respect to session state: changes come back as an [`Effect`] for the
+/// reactor to apply.
+fn dispatch(shared: &Shared, view: &SessionView, frame: Frame) -> (Frame, Effect) {
     shared.metrics.count_frame(frame.kind());
-    match frame {
+    let reply = match frame {
         Frame::Hello { .. } => error_frame(ErrorCode::Protocol, "duplicate Hello".into()),
         Frame::Submit { text } => {
             // Plan first under the read lock; only a DETECT registration
@@ -636,27 +489,32 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
                     // racing submits cannot both squeeze under the cap.
                     if let Some(max) = shared.limits.owner_max_queries {
                         let live = rt
-                            .queries_for(session.owner)
+                            .queries_for(view.owner)
                             .iter()
                             .filter(|d| d.state != QueryState::Cancelled)
                             .count();
                         if live >= max {
                             shared.metrics.quota_rejections.inc();
-                            return error_frame(
-                                ErrorCode::QuotaExceeded,
-                                format!(
-                                    "session holds {live} live queries (limit {max}); \
-                                     cancel one to free a slot"
+                            return (
+                                error_frame(
+                                    ErrorCode::QuotaExceeded,
+                                    format!(
+                                        "session holds {live} live queries (limit {max}); \
+                                         cancel one to free a slot"
+                                    ),
                                 ),
+                                Effect::None,
                             );
                         }
                     }
-                    match rt.submit_detect_for(session.owner, *plan) {
+                    match rt.session(view.owner).submit_detect(*plan) {
                         Ok(id) => {
-                            session.queries.push(id);
-                            Frame::Registered {
-                                query: (session.queries.len() - 1) as u64,
-                            }
+                            return (
+                                Frame::Registered {
+                                    query: view.queries.len() as u64,
+                                },
+                                Effect::NewQuery(id),
+                            );
                         }
                         Err(e) => runtime_error_frame(&e),
                     }
@@ -681,63 +539,59 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
                 Err(e) => runtime_error_frame(&e),
             }
         }
-        Frame::Feed { stream, points } => feed(shared, session, &stream, &points),
+        Frame::Feed { stream, points } => feed(shared, view, &stream, &points),
         Frame::Poll { query, max } => {
             let local = query;
-            match session.resolve(local) {
+            if view.subscribed.contains(&local) {
+                return (
+                    error_frame(
+                        ErrorCode::InvalidTransition,
+                        format!(
+                            "query Q{local} is subscribed (push delivery); \
+                             Unsubscribe before polling"
+                        ),
+                    ),
+                    Effect::None,
+                );
+            }
+            match view.resolve(local) {
                 Ok(id) => {
                     let rt = shared.rt.read();
                     match rt.poll_batch(id, max as usize) {
-                        Ok(mut batch) => {
-                            // Page by encoded size: a window that would
-                            // push the page past the budget goes back
-                            // into the buffer for the client's next page
-                            // request, so a response only ever exceeds
-                            // POLL_PAGE_BYTES when a *single* window
-                            // does — and one beyond the protocol's frame
-                            // cap is refused as a typed error rather
-                            // than shipped as an undecodable frame.
-                            let mut windows = Vec::new();
-                            let mut bytes = 0usize;
-                            while let Some((window, clusters)) = batch.next() {
-                                let w = WireWindow { window, clusters };
-                                let cost = w.encoded_len();
-                                if cost > sgs_wire::MAX_FRAME_LEN - 1024 {
-                                    batch.put_back(w.window, w.clusters);
-                                    if windows.is_empty() {
-                                        return error_frame(
-                                            ErrorCode::Internal,
-                                            format!(
-                                                "window {} encodes to {cost} bytes, beyond \
-                                                 the frame cap — cancel the query to discard it",
-                                                w.window.0
-                                            ),
-                                        );
-                                    }
-                                    break;
-                                }
-                                if !windows.is_empty() && bytes + cost > POLL_PAGE_BYTES {
-                                    batch.put_back(w.window, w.clusters);
-                                    break;
-                                }
-                                bytes += cost;
-                                windows.push(w);
-                                if bytes >= POLL_PAGE_BYTES {
-                                    break;
-                                }
-                            }
-                            Frame::Windows {
+                        Ok(mut batch) => match page_windows(&mut batch) {
+                            Ok(windows) => Frame::Windows {
                                 query: local,
                                 windows,
-                            }
-                        }
+                            },
+                            Err(oversized) => error_frame(
+                                ErrorCode::Internal,
+                                format!(
+                                    "window {oversized} encodes beyond the frame cap — \
+                                     cancel the query to discard it"
+                                ),
+                            ),
+                        },
                         Err(e) => runtime_error_frame(&e),
                     }
                 }
                 Err(e) => e,
             }
         }
-        Frame::StatsReq { query } => match session.resolve(query) {
+        Frame::Subscribe { query } => match view.resolve(query) {
+            // Idempotent: re-subscribing re-arms the notify hook, which
+            // simply re-fires for any backlog.
+            Ok(_) => return (Frame::OkAck, Effect::Subscribe(query)),
+            Err(e) => e,
+        },
+        Frame::Unsubscribe { query } => match view.resolve(query) {
+            Ok(_) if view.subscribed.contains(&query) => {
+                return (Frame::OkAck, Effect::Unsubscribe(query));
+            }
+            // Unsubscribing a non-subscribed query is a no-op ack.
+            Ok(_) => Frame::OkAck,
+            Err(e) => e,
+        },
+        Frame::StatsReq { query } => match view.resolve(query) {
             Ok(id) => {
                 let rt = shared.rt.read();
                 match (rt.state(id), rt.stats(id), rt.text_of(id)) {
@@ -754,10 +608,9 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
         },
         Frame::ListQueries => {
             let rt = shared.rt.read();
-            let descriptors = rt.queries_for(session.owner);
+            let descriptors = rt.queries_for(view.owner);
             Frame::Queries(
-                session
-                    .queries
+                view.queries
                     .iter()
                     .enumerate()
                     .filter_map(|(local, id)| {
@@ -769,9 +622,9 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
                     .collect(),
             )
         }
-        Frame::Pause { query } => lifecycle(shared, session, query, |rt, id| rt.pause(id)),
-        Frame::Resume { query } => lifecycle(shared, session, query, |rt, id| rt.resume(id)),
-        Frame::Cancel { query } => match session.resolve(query) {
+        Frame::Pause { query } => lifecycle(shared, view, query, |rt, id| rt.pause(id)),
+        Frame::Resume { query } => lifecycle(shared, view, query, |rt, id| rt.resume(id)),
+        Frame::Cancel { query } => match view.resolve(query) {
             // Queue the stop under the write lock, but wait for the
             // backlog drain with the lock released — a cancel of a
             // deeply-queued query must not stall other sessions. The
@@ -794,7 +647,10 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
             // Sgs invariants before the summary enters the shared
             // binding namespace every session's matching reads.
             if let Err(e) = sgs.validate() {
-                return error_frame(ErrorCode::Plan, format!("invalid cluster summary: {e}"));
+                return (
+                    error_frame(ErrorCode::Plan, format!("invalid cluster summary: {e}")),
+                    Effect::None,
+                );
             }
             shared.rt.write().bind_cluster(&name, sgs);
             Frame::OkAck
@@ -803,7 +659,7 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
             // Barrier over this session's queries only (its feeds target
             // nothing else). Snapshot under the lock, wait without it —
             // the barrier can take as long as the queued work.
-            let feeder = shared.rt.read().feeder(Some(session.owner), None);
+            let feeder = shared.rt.read().feeder(Some(view.owner), None);
             feeder.quiesce();
             Frame::OkAck
         }
@@ -834,7 +690,45 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
             ErrorCode::Protocol,
             format!("frame kind {:#04x} is not a request", other.kind()),
         ),
+    };
+    (reply, Effect::None)
+}
+
+/// Collect one page of windows from a poll batch, bounded by
+/// [`POLL_PAGE_BYTES`]: a window that would push the page past the
+/// budget goes back into the buffer for the next page request, so a
+/// response only ever exceeds the budget when a *single* window does —
+/// and one beyond the protocol's frame cap is refused (`Err` carries
+/// its window id) rather than shipped as an undecodable frame.
+///
+/// Shared between the `Poll` reply and the subscription push path, so
+/// pushed `Windows` frames are byte-identical to what polling the same
+/// buffer would have returned.
+fn page_windows(batch: &mut sgs_runtime::PollBatch) -> Result<Vec<WireWindow>, u64> {
+    let mut windows = Vec::new();
+    let mut bytes = 0usize;
+    while let Some((window, clusters)) = batch.next() {
+        let w = WireWindow { window, clusters };
+        let cost = w.encoded_len();
+        if cost > sgs_wire::MAX_FRAME_LEN - 1024 {
+            let id = w.window.0;
+            batch.put_back(w.window, w.clusters);
+            if windows.is_empty() {
+                return Err(id);
+            }
+            break;
+        }
+        if !windows.is_empty() && bytes + cost > POLL_PAGE_BYTES {
+            batch.put_back(w.window, w.clusters);
+            break;
+        }
+        bytes += cost;
+        windows.push(w);
+        if bytes >= POLL_PAGE_BYTES {
+            break;
+        }
     }
+    Ok(windows)
 }
 
 /// `Feed` dispatch: validate against the catalog, then route through the
@@ -846,7 +740,7 @@ fn dispatch(shared: &Shared, session: &mut Session, frame: Frame) -> Frame {
 /// backpressure block — otherwise one stalled session would wedge every
 /// write operation (submits, teardowns, even new sessions' handshakes)
 /// server-wide.
-fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> Frame {
+fn feed(shared: &Shared, view: &SessionView, stream: &str, points: &[Point]) -> Frame {
     let feeder = {
         let rt = shared.rt.read();
         let Some(dim) = rt.planner().catalog().dim_of(stream) else {
@@ -873,7 +767,7 @@ fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> F
         // feed more — the non-blocking counterpart of `Block`.
         if let Some(max) = shared.limits.owner_max_queue_bytes {
             let incoming: usize = points.iter().map(|p| 16 + 8 * p.dim()).sum();
-            let queued = rt.input_queue_bytes_for(session.owner);
+            let queued = rt.input_queue_bytes_for(view.owner);
             if queued.saturating_add(incoming) > max {
                 shared.metrics.quota_rejections.inc();
                 return error_frame(
@@ -887,7 +781,7 @@ fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> F
             }
         }
         if let Some(max) = shared.limits.owner_max_buffer_bytes {
-            let buffered = rt.output_bytes_for(session.owner);
+            let buffered = rt.output_bytes_for(view.owner);
             if buffered > max {
                 shared.metrics.quota_rejections.inc();
                 return error_frame(
@@ -899,7 +793,7 @@ fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> F
                 );
             }
         }
-        rt.feeder(Some(session.owner), Some(stream))
+        rt.feeder(Some(view.owner), Some(stream))
     };
     {
         let _block = sgs_obs::SpanGuard::new(&shared.metrics.feed_block_nanos);
@@ -910,11 +804,11 @@ fn feed(shared: &Shared, session: &Session, stream: &str, points: &[Point]) -> F
 
 fn lifecycle(
     shared: &Shared,
-    session: &Session,
+    view: &SessionView,
     local: u64,
     op: impl FnOnce(&mut Runtime, QueryId) -> Result<(), RuntimeError>,
 ) -> Frame {
-    match session.resolve(local) {
+    match view.resolve(local) {
         Ok(id) => match op(&mut shared.rt.write(), id) {
             Ok(()) => Frame::OkAck,
             Err(e) => runtime_error_frame(&e),
@@ -926,6 +820,23 @@ fn lifecycle(
 // ---------------------------------------------------------------------------
 // Runtime → wire mappings
 // ---------------------------------------------------------------------------
+
+/// The frame a draining server sends in place of any further response.
+fn goaway_frame(shared: &Shared) -> Frame {
+    Frame::GoAway {
+        reason: "server draining".into(),
+        drain_millis: shared.drain_millis.load(Ordering::SeqCst),
+    }
+}
+
+/// The typed farewell of an idle-timeout close.
+fn idle_timeout_frame(shared: &Shared) -> Frame {
+    let window = shared.limits.idle_timeout.unwrap_or_default();
+    error_frame(
+        ErrorCode::Protocol,
+        format!("idle timeout: no complete request within {window:?}"),
+    )
+}
 
 fn wire_state(state: QueryState) -> WireQueryState {
     match state {

@@ -1,8 +1,8 @@
 //! Server-layer instrumentation (`DESIGN.md` §11): session and frame
-//! accounting, transport byte counts, and the optional HTTP scrape
-//! endpoint serving the Prometheus text exposition.
+//! accounting, reactor activity, transport byte counts, and the optional
+//! HTTP scrape endpoint serving the Prometheus text exposition.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
@@ -25,6 +25,8 @@ fn kind_name(kind: u8) -> &'static str {
         0x0B => "quiesce",
         0x0C => "goodbye",
         0x0D => "metrics",
+        0x0E => "subscribe",
+        0x0F => "unsubscribe",
         _ => "other",
     }
 }
@@ -59,18 +61,30 @@ pub(crate) struct ServerMetrics {
     ///
     /// [`ServerHandle::drain`]: crate::ServerHandle::drain
     pub drains: Arc<Counter>,
-    /// Vanished peers detected by the per-session disconnect watcher
-    /// (each one force-released the owner's output buffers).
+    /// Vanished peers detected by the reactor's hangup readiness while a
+    /// request was executing (each one force-released the owner's output
+    /// buffers so a wedged `Feed` unblocks).
     pub disconnect_reaps: Arc<Counter>,
     /// Malformed frames received (sessions ended with a typed Protocol
     /// error rather than a hang or a panic).
     pub wire_errors: Arc<Counter>,
+    /// Times the reactor's readiness wait returned (socket readiness, a
+    /// waker byte from a dispatch completion or an output-buffer notify,
+    /// or a timeout tick).
+    pub reactor_wakeups: Arc<Counter>,
+    /// Windows delivered as unsolicited pushed `Windows` frames to
+    /// subscribed sessions.
+    pub pushed_windows: Arc<Counter>,
+    /// `Hello` frames refused for a missing or unknown auth token.
+    pub auth_failures: Arc<Counter>,
+    /// Query subscriptions currently active across all sessions.
+    pub subscriptions: Arc<Gauge>,
 }
 
 impl ServerMetrics {
     pub(crate) fn new() -> ServerMetrics {
         let r = registry();
-        let frames = (0u8..=0x0D)
+        let frames = (0u8..=0x0F)
             .map(|k| {
                 r.counter(&labeled(
                     "sgs_server_frames_total",
@@ -91,6 +105,10 @@ impl ServerMetrics {
             drains: r.counter("sgs_server_drains_total"),
             disconnect_reaps: r.counter("sgs_server_disconnect_reaps_total"),
             wire_errors: r.counter("sgs_server_wire_errors_total"),
+            reactor_wakeups: r.counter("sgs_server_reactor_wakeups_total"),
+            pushed_windows: r.counter("sgs_server_pushed_windows_total"),
+            auth_failures: r.counter("sgs_server_auth_failures_total"),
+            subscriptions: r.gauge("sgs_server_subscriptions"),
         }
     }
 
@@ -102,51 +120,6 @@ impl ServerMetrics {
             0
         };
         self.frames[idx].inc();
-    }
-}
-
-/// A `Read`/`Write` transport wrapper that counts the bytes actually
-/// moved over the socket (frame overhead included — this measures the
-/// wire, not the payloads).
-pub(crate) struct CountingStream {
-    inner: TcpStream,
-    bytes_in: Arc<Counter>,
-    bytes_out: Arc<Counter>,
-}
-
-impl CountingStream {
-    pub(crate) fn new(inner: TcpStream, m: &ServerMetrics) -> CountingStream {
-        CountingStream {
-            inner,
-            bytes_in: m.bytes_in.clone(),
-            bytes_out: m.bytes_out.clone(),
-        }
-    }
-
-    /// The underlying socket — for timeouts, `try_clone` (the
-    /// disconnect watcher and the drain seat registry), and shutdown.
-    pub(crate) fn get_ref(&self) -> &TcpStream {
-        &self.inner
-    }
-}
-
-impl Read for CountingStream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.bytes_in.add(n as u64);
-        Ok(n)
-    }
-}
-
-impl Write for CountingStream {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let n = self.inner.write(buf)?;
-        self.bytes_out.add(n as u64);
-        Ok(n)
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        self.inner.flush()
     }
 }
 

@@ -405,7 +405,10 @@ impl Frame {
 
     fn encode_body(&self, out: &mut Vec<u8>) {
         match self {
-            Frame::Hello { client } => put_str(out, client),
+            Frame::Hello { client, token } => {
+                put_str(out, client);
+                put_opt_str(out, token.as_deref());
+            }
             Frame::Submit { text } => put_str(out, text),
             Frame::Feed { stream, points } => {
                 put_str(out, stream);
@@ -422,6 +425,8 @@ impl Frame {
             | Frame::Pause { query }
             | Frame::Resume { query }
             | Frame::Cancel { query }
+            | Frame::Subscribe { query }
+            | Frame::Unsubscribe { query }
             | Frame::Registered { query } => put_u64(out, *query),
             Frame::ListQueries
             | Frame::Quiesce
@@ -493,7 +498,10 @@ impl Frame {
 
     fn decode_body(kind: u8, rd: &mut Rd<'_>) -> Result<Frame, WireError> {
         Ok(match kind {
-            0x01 => Frame::Hello { client: rd.str()? },
+            0x01 => Frame::Hello {
+                client: rd.str()?,
+                token: rd.opt_str()?,
+            },
             0x02 => Frame::Submit { text: rd.str()? },
             0x03 => {
                 let stream = rd.str()?;
@@ -520,6 +528,8 @@ impl Frame {
             0x0B => Frame::Quiesce,
             0x0C => Frame::Goodbye,
             0x0D => Frame::MetricsReq,
+            0x0E => Frame::Subscribe { query: rd.u64()? },
+            0x0F => Frame::Unsubscribe { query: rd.u64()? },
             0x81 => Frame::HelloAck {
                 server: rd.str()?,
                 protocol: rd.u8()?,

@@ -230,6 +230,7 @@ mod tests {
     fn hello() -> Frame {
         Frame::Hello {
             client: "chaos".into(),
+            token: None,
         }
     }
 

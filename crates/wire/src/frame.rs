@@ -197,6 +197,10 @@ pub enum ErrorCode {
     /// output bytes). The session stays usable: cancel queries or poll
     /// windows to release the quota, then retry.
     QuotaExceeded,
+    /// The `Hello` carried no token (or a wrong one) on a server that
+    /// requires authentication. The server closes the connection after
+    /// this, like [`ErrorCode::Protocol`].
+    Unauthorized,
 }
 
 impl ErrorCode {
@@ -211,6 +215,7 @@ impl ErrorCode {
             ErrorCode::Dimension => 7,
             ErrorCode::Internal => 8,
             ErrorCode::QuotaExceeded => 9,
+            ErrorCode::Unauthorized => 10,
         }
     }
 
@@ -225,12 +230,13 @@ impl ErrorCode {
             7 => ErrorCode::Dimension,
             8 => ErrorCode::Internal,
             9 => ErrorCode::QuotaExceeded,
+            10 => ErrorCode::Unauthorized,
             _ => return None,
         })
     }
 }
 
-/// Every message of the protocol. Kinds `0x01..=0x0D` are requests
+/// Every message of the protocol. Kinds `0x01..=0x0F` are requests
 /// (client → server), `0x81..` and `0xFF` are responses; the kind byte
 /// is noted on each variant. A request's point encoding is
 /// `ts:u64 dim:u16 coords:f64×dim` per point.
@@ -238,9 +244,17 @@ impl ErrorCode {
 pub enum Frame {
     // ---- requests -------------------------------------------------------
     /// `0x01` — opens a session; must be the first frame on a connection.
+    ///
+    /// Body grammar: `client:string token:opt_str`. A server configured
+    /// with `--auth-token` rejects a missing or unknown token with
+    /// [`ErrorCode::Unauthorized`] and closes the connection; the token
+    /// names the session's principal (its fair-share weight and quota
+    /// identity attach here).
     Hello {
         /// Client software name, for the server log.
         client: String,
+        /// Shared-secret credential, when the server requires one.
+        token: Option<String>,
     },
     /// `0x02` — submit one statement of either template (DETECT registers
     /// a continuous query → [`Frame::Registered`]; GIVEN/SELECT executes
@@ -311,6 +325,25 @@ pub enum Frame {
     /// (all sessions, queries, and layers), unlike the session-scoped
     /// query statistics.
     MetricsReq,
+    /// `0x0E` — switch one of this session's queries from poll to push
+    /// delivery → [`Frame::OkAck`], then the server sends that query's
+    /// completed windows as **unsolicited** [`Frame::Windows`] frames,
+    /// gated by the connection's write readiness. While subscribed, a
+    /// [`Frame::Poll`] for the same query is rejected with
+    /// [`ErrorCode::InvalidTransition`] — push and poll are exclusive
+    /// consumption modes.
+    Subscribe {
+        /// Session-local query id.
+        query: u64,
+    },
+    /// `0x0F` — revert a subscribed query to poll delivery →
+    /// [`Frame::OkAck`]. Windows buffered after the ack are readable via
+    /// [`Frame::Poll`] again; pushed frames already in flight may still
+    /// arrive before the ack.
+    Unsubscribe {
+        /// Session-local query id.
+        query: u64,
+    },
 
     // ---- responses ------------------------------------------------------
     /// `0x81` — handshake acknowledgement.
@@ -334,7 +367,10 @@ pub enum Frame {
         /// The matches.
         matches: Vec<WireMatch>,
     },
-    /// `0x84` — polled windows of one query, oldest first.
+    /// `0x84` — windows of one query, oldest first: the response to a
+    /// [`Frame::Poll`], or — for a subscribed query — an **unsolicited
+    /// push** (the same grammar either way, so pushed windows are
+    /// byte-identical to polled ones).
     Windows {
         /// Session-local query id.
         query: u64,
@@ -398,6 +434,8 @@ impl Frame {
             Frame::Quiesce => 0x0B,
             Frame::Goodbye => 0x0C,
             Frame::MetricsReq => 0x0D,
+            Frame::Subscribe { .. } => 0x0E,
+            Frame::Unsubscribe { .. } => 0x0F,
             Frame::HelloAck { .. } => 0x81,
             Frame::Registered { .. } => 0x82,
             Frame::Matches { .. } => 0x83,

@@ -104,6 +104,7 @@ mod tests {
         let frames = vec![
             Frame::Hello {
                 client: "test".into(),
+                token: Some("secret".into()),
             },
             Frame::Poll { query: 3, max: 16 },
             Frame::OkAck,
@@ -123,6 +124,7 @@ mod tests {
     fn eof_mid_frame_is_an_io_error_not_a_clean_close() {
         let bytes = Frame::Hello {
             client: "abc".into(),
+            token: None,
         }
         .encode();
         let mut cursor = io::Cursor::new(bytes[..bytes.len() - 1].to_vec());

@@ -61,8 +61,12 @@ pub use io::{read_frame, write_frame, RecvError};
 /// History: `1` — initial protocol; `2` — added the
 /// [`Frame::MetricsReq`] / [`Frame::MetricsReply`] pair; `3` — added
 /// [`Frame::GoAway`] (graceful drain) and
-/// [`ErrorCode::QuotaExceeded`] (per-owner admission control).
-pub const WIRE_VERSION: u8 = 3;
+/// [`ErrorCode::QuotaExceeded`] (per-owner admission control); `4` —
+/// [`Frame::Hello`] gained an option-flagged auth token, and
+/// [`Frame::Subscribe`] / [`Frame::Unsubscribe`] switched a query to
+/// server-push delivery ([`ErrorCode::Unauthorized`] rejects a bad
+/// credential).
+pub const WIRE_VERSION: u8 = 4;
 
 /// Hard cap on one frame's payload length (64 MiB). Applied before any
 /// allocation, so a corrupt or hostile length prefix cannot balloon

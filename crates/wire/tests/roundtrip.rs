@@ -135,12 +135,17 @@ fn rand_query(rng: &mut StdRng) -> WireQuery {
     }
 }
 
-/// One random frame of each of the 24 kinds.
+/// One random frame of each of the 26 kinds.
 fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
     let q = |rng: &mut StdRng| rng.gen_range(0u64..1 << 20);
     vec![
         Frame::Hello {
             client: rand_string(rng, 40),
+            token: if rng.gen_bool(0.5) {
+                Some(rand_string(rng, 32))
+            } else {
+                None
+            },
         },
         Frame::Submit {
             text: rand_string(rng, 200),
@@ -168,6 +173,8 @@ fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
         Frame::Quiesce,
         Frame::Goodbye,
         Frame::MetricsReq,
+        Frame::Subscribe { query: q(rng) },
+        Frame::Unsubscribe { query: q(rng) },
         Frame::HelloAck {
             server: rand_string(rng, 40),
             protocol: rng.gen_range(0u32..256) as u8,
@@ -230,7 +237,8 @@ fn all_frame_kinds(rng: &mut StdRng) -> Vec<Frame> {
                 ErrorCode::Dimension,
                 ErrorCode::Internal,
                 ErrorCode::QuotaExceeded,
-            ][rng.gen_range(0usize..9)],
+                ErrorCode::Unauthorized,
+            ][rng.gen_range(0usize..10)],
             message: rand_string(rng, 80),
         },
     ]
@@ -254,6 +262,8 @@ fn assert_generator_covers(frame: &Frame) {
         | Frame::Quiesce
         | Frame::Goodbye
         | Frame::MetricsReq
+        | Frame::Subscribe { .. }
+        | Frame::Unsubscribe { .. }
         | Frame::HelloAck { .. }
         | Frame::Registered { .. }
         | Frame::Matches { .. }
@@ -356,5 +366,5 @@ fn generator_covers_every_kind_byte_exactly_once() {
     let mut kinds: Vec<u8> = all_frame_kinds(&mut rng).iter().map(|f| f.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 24, "one generated frame per protocol kind");
+    assert_eq!(kinds.len(), 26, "one generated frame per protocol kind");
 }

@@ -3,7 +3,8 @@
 //! `streamsum-server`, `feed` generates stream data client-side and
 //! ships it over the wire, windows come back as `sgs-wire` frames, and
 //! GIVEN statements match bound clusters against the server's shared
-//! history.
+//! history. `subscribe` switches a query to server-push delivery: the
+//! server sends `Windows` frames as they are produced, no polling.
 //!
 //! Point it at a running server:
 //!
@@ -11,6 +12,9 @@
 //! cargo run --release -p sgs-server --bin streamsum-server -- --addr 127.0.0.1:7878 &
 //! REMOTE_CONSOLE_ADDR=127.0.0.1:7878 cargo run --release --example remote_console
 //! ```
+//!
+//! Against a server started with `--auth-token`, pass the shared secret
+//! with `--token <secret>` (or `REMOTE_CONSOLE_TOKEN`).
 //!
 //! With no `REMOTE_CONSOLE_ADDR` (or `--addr`) it spins up an
 //! in-process server on a loopback port and talks to that — still
@@ -27,17 +31,26 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write as _};
+use std::time::Duration;
 
 use streamsum::prelude::*;
 
 /// A transport-class failure described without the `error:` marker (the
 /// CI transcript grep treats that as a statement failure; a dead
 /// transport is a different condition with a different exit path).
-fn transport_summary(e: &ClientError) -> Option<&'static str> {
-    e.is_transient().then_some(match e {
-        ClientError::Timeout => "the server stopped answering (request deadline expired)",
-        ClientError::GoAway { .. } => "the server is shutting down",
-        _ => "the connection to the server was lost",
+fn transport_summary(e: &ClientError) -> Option<String> {
+    e.is_transient().then(|| match e {
+        ClientError::Timeout => {
+            "the server stopped answering (request deadline expired)".to_string()
+        }
+        ClientError::GoAway {
+            reason,
+            drain_millis,
+        } => format!(
+            "the server is shutting down ({reason}) — {:.1}s left to finish up",
+            *drain_millis as f64 / 1000.0
+        ),
+        _ => "the connection to the server was lost".to_string(),
     })
 }
 
@@ -64,6 +77,9 @@ commands:
   GIVEN ...                 run a matching query against the server's shared history (Fig. 3 syntax)
   feed <stream> <n>         generate n tuples client-side (gmti | stt) and ship them over the wire
   bind <name> [Qk]          bind the largest cluster of query Qk's newest window (default: first query with one)
+  subscribe Qk [<stream> <n>]  server-push: stream Qk's windows as they arrive (stops after 2s of
+                            quiet); with a stream and count, feeds that data first so the
+                            subscription's backlog arrives as pushed frames
   stats                     per-query table: state, windows, clusters, archive, latency
   metrics                   server-wide metric registry snapshot (all sessions and layers)
   pause Qk | resume Qk | cancel Qk
@@ -73,31 +89,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Explicit address → talk to that server; otherwise serve ourselves
     // on a loopback port (the wire path is identical either way).
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let addr_arg = args
-        .iter()
-        .position(|a| a == "--addr")
-        .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| std::env::var("REMOTE_CONSOLE_ADDR").ok());
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let addr_arg = flag("--addr").or_else(|| std::env::var("REMOTE_CONSOLE_ADDR").ok());
+    let token = flag("--token").or_else(|| std::env::var("REMOTE_CONSOLE_TOKEN").ok());
+    let config = match token {
+        Some(secret) => ClientConfig::new().with_auth_token(secret),
+        None => ClientConfig::new(),
+    };
     let mut client = match addr_arg {
         Some(addr) => {
             println!("remote console — connecting to {addr}");
-            match Client::connect(addr.as_str()) {
+            match Session::connect_with(addr.as_str(), config) {
                 Ok(client) => client,
+                Err(e) if e.is_unauthorized() => {
+                    println!("the server refused the credential (pass --token <secret>) — closing the console");
+                    std::process::exit(1);
+                }
                 Err(e) => {
-                    let why = transport_summary(&e).unwrap_or("the server refused the session");
+                    let why = transport_summary(&e)
+                        .unwrap_or_else(|| "the server refused the session".to_string());
                     println!("{why} — closing the console");
                     std::process::exit(1);
                 }
             }
         }
         None => {
-            let mut config = ServerConfig::default();
-            config.runtime.metrics = true; // so `metrics` shows live values
-            let server = Server::bind("127.0.0.1:0", config)?;
+            let mut server_config = ServerConfig::default();
+            server_config.runtime.metrics = true; // so `metrics` shows live values
+            let server = Server::bind("127.0.0.1:0", server_config)?;
             let addr = server.local_addr()?;
             std::thread::spawn(move || server.run());
             println!("remote console — no --addr/REMOTE_CONSOLE_ADDR, serving myself on {addr}");
-            Client::connect(addr)?
+            Session::connect_with(addr, config)?
         }
     };
 
@@ -136,6 +163,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("error: {e}");
                 }
             },
+            "subscribe" => match parse_qid(words.get(1).copied()) {
+                Some(id) => match subscribe(&mut client, &mut newest, id, &words[2..]) {
+                    Ok(msg) => println!("{msg}"),
+                    Err(e) => {
+                        bail_if_disconnected_boxed(e.as_ref());
+                        println!("error: {e}");
+                    }
+                },
+                None => println!("usage: subscribe Qk [<gmti|stt> <n>]"),
+            },
             "stats" => match client.queries() {
                 Ok(queries) => print_stats(&queries),
                 Err(e) => {
@@ -153,9 +190,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "pause" | "resume" | "cancel" => match parse_qid(words.get(1).copied()) {
                 Some(id) => {
                     let result = match cmd.as_str() {
-                        "pause" => client.pause(id).map(|()| format!("Q{id} paused")),
-                        "resume" => client.resume(id).map(|()| format!("Q{id} resumed")),
-                        _ => client.cancel(id).map(|stats| {
+                        "pause" => client.query(id).pause().map(|()| format!("Q{id} paused")),
+                        "resume" => client.query(id).resume().map(|()| format!("Q{id} resumed")),
+                        _ => client.query(id).cancel().map(|stats| {
                             newest.remove(&id);
                             format!(
                                 "Q{id} cancelled after {} windows, {} archived patterns",
@@ -209,7 +246,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// `feed <stream> <n>`: generate client-side, ship, quiesce, then drain
 /// every query's windows over the wire so `bind` sees the newest.
 fn feed(
-    client: &mut Client,
+    client: &mut Session,
     newest: &mut HashMap<u64, WindowOutput>,
     words: &[&str],
 ) -> Result<String, Box<dyn std::error::Error>> {
@@ -235,7 +272,7 @@ fn feed(
         if q.state == WireQueryState::Cancelled {
             continue;
         }
-        let windows = client.poll(q.query, 0)?;
+        let windows = client.query(q.query).poll(0)?;
         if let Some((_, clusters)) = windows.last() {
             newest.insert(q.query, clusters.clone());
         }
@@ -252,10 +289,72 @@ fn feed(
     Ok(format!("fed {n} tuples of {stream} → {}", parts.join(", ")))
 }
 
+/// `subscribe Qk [<stream> <n>]`: switch the query to server-push
+/// delivery and stream window batches as the server sends them. With a
+/// stream and count, that data is fed (without draining) first, so the
+/// subscription's backlog arrives as genuinely pushed frames. The
+/// console is a line-driven loop, so the demo is bounded: after two
+/// seconds with no pushed frame it unsubscribes and hands the prompt
+/// back (a long-lived consumer would just keep iterating the handle).
+fn subscribe(
+    client: &mut Session,
+    newest: &mut HashMap<u64, WindowOutput>,
+    id: u64,
+    rest: &[&str],
+) -> Result<String, Box<dyn std::error::Error>> {
+    match rest {
+        [] => {}
+        [stream, n] => {
+            let stream = stream.to_ascii_lowercase();
+            let n = n.parse::<usize>()?;
+            let points = match stream.as_str() {
+                "gmti" => generate_gmti(&GmtiConfig {
+                    n_records: n,
+                    ..GmtiConfig::default()
+                }),
+                "stt" => generate_stt(&SttConfig {
+                    n_records: n,
+                    ..SttConfig::default()
+                }),
+                other => return Err(format!("unknown stream {other:?} (try gmti or stt)").into()),
+            };
+            client.feed(&stream, &points)?;
+            client.quiesce()?;
+        }
+        _ => return Err("usage: subscribe Qk [<gmti|stt> <n>]".into()),
+    }
+    let mut sub = client.subscribe(id)?;
+    println!("subscribed to Q{id} — streaming pushed windows (quiet for 2s ends the stream)");
+    let mut batches = 0usize;
+    let mut windows = 0usize;
+    let mut last: Option<(WindowId, WindowOutput)> = None;
+    while let Some(batch) = sub.wait_windows(Duration::from_secs(2))? {
+        batches += 1;
+        for (window, clusters) in batch {
+            windows += 1;
+            println!(
+                "  pushed {window}: {} clusters, {} points",
+                clusters.len(),
+                clusters.iter().map(|c| c.population()).sum::<usize>()
+            );
+            last = Some((window, clusters));
+        }
+    }
+    let leftover = sub.unsubscribe()?;
+    windows += leftover.len();
+    if let Some((window, clusters)) = leftover.into_iter().last().or(last) {
+        let _ = window;
+        newest.insert(id, clusters);
+    }
+    Ok(format!(
+        "Q{id} unsubscribed after {batches} pushed batches ({windows} windows)"
+    ))
+}
+
 /// `bind <name> [Qk]`: bind the largest cluster of a query's newest
 /// window on the server.
 fn bind(
-    client: &mut Client,
+    client: &mut Session,
     newest: &HashMap<u64, WindowOutput>,
     words: &[&str],
 ) -> Result<String, Box<dyn std::error::Error>> {

@@ -116,7 +116,9 @@ pub use pipeline::StreamPipeline;
 pub mod prelude {
     pub use crate::pipeline::StreamPipeline;
     pub use sgs_archive::{ArchivePolicy, MatchOutcome, MatchResult, PatternBase, PatternId};
-    pub use sgs_client::{Client, ClientError, Submitted};
+    pub use sgs_client::{
+        ClientConfig, ClientError, QueryHandle, Session, Submitted, SubscribeHandle,
+    };
     pub use sgs_cluster::{cluster_snapshot, CanonicalClustering, ExtraN, NaiveClusterer};
     pub use sgs_core::{
         ClusterQuery, Error, Point, PointId, PoolThreads, Result, ShardCount, WindowId, WindowSpec,
@@ -131,7 +133,7 @@ pub mod prelude {
         DetectPlan, MatchPlan, OutputPolicy, OwnerId, PollBatch, QueryId, QueryPlan, QueryReport,
         QueryState, QueryStats, Runtime, RuntimeConfig, RuntimeError, Submission,
     };
-    pub use sgs_server::{Server, ServerConfig, ServerHandle};
+    pub use sgs_server::{AuthToken, Server, ServerConfig, ServerHandle};
     pub use sgs_stream::{replay, WindowConsumer, WindowEngine};
     pub use sgs_summarize::{Crd, MemberSet, Rsp, Sgs, SkPs};
     pub use sgs_wire::{

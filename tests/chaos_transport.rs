@@ -64,13 +64,14 @@ fn scripted_session(
         request_timeout: Some(timeout),
         connect_timeout: Some(timeout.max(Duration::from_secs(2))),
         retry: None,
+        auth_token: None,
     };
-    let mut client = Client::connect_with(addr, config)?;
+    let mut client = Session::connect_with(addr, config)?;
     let q = client.detect(DETECT)?;
     client.feed("gmti", stream)?;
     client.quiesce()?;
-    let windows = client.poll(q, 0)?;
-    let stats = client.stats(q)?;
+    let windows = client.query(q).poll(0)?;
+    let stats = client.query(q).stats()?;
     if stats.stats.windows != windows.len() as u64 {
         return Err(ClientError::Unexpected("stats disagree with poll"));
     }
@@ -256,7 +257,7 @@ fn fault_sweep_yields_typed_errors_and_a_healthy_server() {
 
 /// Read one server counter over the wire (the `metrics` request).
 fn server_counter(addr: SocketAddr, name: &str) -> u64 {
-    let mut client = Client::connect(addr).expect("metrics probe connects");
+    let mut client = Session::connect(addr).expect("metrics probe connects");
     let metrics = client.metrics().expect("metrics probe");
     let value = metrics
         .iter()

@@ -92,7 +92,7 @@ fn both_scrape_paths_see_live_consistent_monotone_metrics() {
     let http_addr = streamsum::server::spawn_metrics_listener("127.0.0.1:0").unwrap();
 
     // Two continuous queries in one session, fed over TCP.
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     let q0 = client.detect(DETECT).unwrap();
     let q1 = client.detect(DETECT).unwrap();
     let stream = gmti(3000);
@@ -100,10 +100,10 @@ fn both_scrape_paths_see_live_consistent_monotone_metrics() {
     client.quiesce().unwrap();
 
     let polled_windows =
-        (client.poll(q0, 0).unwrap().len() + client.poll(q1, 0).unwrap().len()) as u64;
+        (client.query(q0).poll(0).unwrap().len() + client.query(q1).poll(0).unwrap().len()) as u64;
     assert!(polled_windows > 0, "workload must emit windows");
-    let archived =
-        client.stats(q0).unwrap().stats.archived + client.stats(q1).unwrap().stats.archived;
+    let archived = client.query(q0).stats().unwrap().stats.archived
+        + client.query(q1).stats().unwrap().stats.archived;
     assert!(archived > 0, "workload must archive patterns");
 
     // -- Scrape 1: the wire path. ----------------------------------------
@@ -161,8 +161,8 @@ fn both_scrape_paths_see_live_consistent_monotone_metrics() {
     // -- More work, then scrape 3: counters are monotone. -----------------
     client.feed("gmti", &stream).unwrap();
     client.quiesce().unwrap();
-    let _ = client.poll(q0, 0).unwrap();
-    let _ = client.poll(q1, 0).unwrap();
+    let _ = client.query(q0).poll(0).unwrap();
+    let _ = client.query(q1).poll(0).unwrap();
     let second = client.metrics().unwrap();
     for before in &first {
         if let WireMetricValue::Counter(v0) = before.value {

@@ -71,19 +71,19 @@ fn concurrent_sessions_are_isolated_and_byte_identical_to_a_solo_run() {
             .map(|_| {
                 let stream = &stream;
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).unwrap();
+                    let mut client = Session::connect(addr).unwrap();
                     let q = client.detect(DETECT).unwrap();
                     client.feed("gmti", stream).unwrap();
                     client.quiesce().unwrap();
-                    let windows = client.poll(q, 0).unwrap();
-                    let stats = client.stats(q).unwrap();
+                    let windows = client.query(q).poll(0).unwrap();
+                    let stats = client.query(q).stats().unwrap();
                     assert_eq!(stats.stats.points, stream.len() as u64);
                     assert_eq!(stats.stats.windows, windows.len() as u64);
                     // The session sees exactly its own registry.
                     let listing = client.queries().unwrap();
                     assert_eq!(listing.len(), 1);
                     assert_eq!(listing[0].query, q);
-                    let report = client.cancel(q).unwrap();
+                    let report = client.query(q).cancel().unwrap();
                     assert_eq!(report.points, stream.len() as u64);
                     client.goodbye().unwrap();
                     (q, window_bytes(&windows), stats.stats.windows)
@@ -111,14 +111,17 @@ fn concurrent_sessions_are_isolated_and_byte_identical_to_a_solo_run() {
 #[test]
 fn cross_session_handles_do_not_resolve_and_bad_requests_fail_cleanly() {
     let (addr, handle) = start_server();
-    let mut alice = Client::connect(addr).unwrap();
-    let mut bob = Client::connect(addr).unwrap();
+    let mut alice = Session::connect(addr).unwrap();
+    let mut bob = Session::connect(addr).unwrap();
 
     let qa = alice.detect(DETECT).unwrap();
     assert_eq!(qa, 0);
     // Bob never registered anything: Alice's Q0 does not resolve in his
     // session, so he can neither read nor cancel her query.
-    for result in [bob.poll(0, 0).map(|_| ()), bob.cancel(0).map(|_| ())] {
+    for result in [
+        bob.query(0).poll(0).map(|_| ()),
+        bob.query(0).cancel().map(|_| ()),
+    ] {
         match result {
             Err(ClientError::Server { code, .. }) => {
                 assert_eq!(code, streamsum::wire::ErrorCode::UnknownQuery)
@@ -152,7 +155,7 @@ fn cross_session_handles_do_not_resolve_and_bad_requests_fail_cleanly() {
     }
     alice.feed("gmti", &gmti(100)).unwrap();
     alice.quiesce().unwrap();
-    assert_eq!(alice.stats(qa).unwrap().stats.points, 100);
+    assert_eq!(alice.query(qa).stats().unwrap().stats.points, 100);
 
     alice.goodbye().unwrap();
     bob.goodbye().unwrap();
@@ -162,11 +165,11 @@ fn cross_session_handles_do_not_resolve_and_bad_requests_fail_cleanly() {
 #[test]
 fn matching_statements_run_against_the_shared_history_over_the_wire() {
     let (addr, handle) = start_server();
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     let q = client.detect(DETECT).unwrap();
     client.feed("gmti", &gmti(5000)).unwrap();
     client.quiesce().unwrap();
-    let windows = client.poll(q, 0).unwrap();
+    let windows = client.query(q).poll(0).unwrap();
     let cluster = windows
         .iter()
         .rev()
@@ -213,15 +216,15 @@ fn matching_statements_run_against_the_shared_history_over_the_wire() {
 #[test]
 fn poll_max_pages_through_buffered_windows() {
     let (addr, handle) = start_server();
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     let q = client.detect(DETECT).unwrap();
     client.feed("gmti", &gmti(3000)).unwrap();
     client.quiesce().unwrap();
-    let total = client.stats(q).unwrap().stats.windows;
+    let total = client.query(q).stats().unwrap().stats.windows;
     assert!(total > 2);
-    let first = client.poll(q, 2).unwrap();
+    let first = client.query(q).poll(2).unwrap();
     assert_eq!(first.len(), 2);
-    let rest = client.poll(q, 0).unwrap();
+    let rest = client.query(q).poll(0).unwrap();
     assert_eq!(rest.len() as u64, total - 2);
     let ids: Vec<u64> = first.iter().chain(rest.iter()).map(|(w, _)| w.0).collect();
     assert_eq!(ids, (0..total).collect::<Vec<_>>(), "oldest first, no gaps");

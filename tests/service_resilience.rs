@@ -55,7 +55,7 @@ fn quota_error(result: Result<impl std::fmt::Debug, ClientError>) -> String {
 fn await_counter(addr: SocketAddr, name: &str, at_least: u64, deadline: Duration) -> u64 {
     let end = Instant::now() + deadline;
     loop {
-        let mut probe = Client::connect(addr).expect("counter probe connects");
+        let mut probe = Session::connect(addr).expect("counter probe connects");
         let value = probe
             .metrics()
             .expect("counter probe")
@@ -94,7 +94,7 @@ fn connecting_to_a_listener_that_never_answers_times_out() {
         ..ClientConfig::default()
     };
     let started = Instant::now();
-    match Client::connect_with(addr, config).map(|_| ()) {
+    match Session::connect_with(addr, config).map(|_| ()) {
         Err(ClientError::Timeout) => {}
         other => panic!("expected Timeout, got {other:?}"),
     }
@@ -117,7 +117,7 @@ fn accept_then_close_fails_fast_with_a_typed_error() {
             }
         }
     });
-    match Client::connect(addr).map(|_| ()) {
+    match Session::connect(addr).map(|_| ()) {
         Err(ClientError::Closed) | Err(ClientError::ConnectionLost) => {}
         other => panic!("expected Closed/ConnectionLost, got {other:?}"),
     }
@@ -134,19 +134,19 @@ fn owner_max_queries_caps_live_queries_per_session() {
         ..ServerConfig::default()
     };
     let (addr, handle, _join) = start_server(config);
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     let q0 = client.detect(DETECT).unwrap();
     client.detect(DETECT).unwrap();
     let message = quota_error(client.detect(DETECT));
     assert!(message.contains("2 live queries"), "{message}");
 
     // The quota is per owner: another session still has its full budget.
-    let mut other = Client::connect(addr).unwrap();
+    let mut other = Session::connect(addr).unwrap();
     other.detect(DETECT).unwrap();
     other.goodbye().unwrap();
 
     // Cancelling frees a slot.
-    client.cancel(q0).unwrap();
+    client.query(q0).cancel().unwrap();
     client.detect(DETECT).unwrap();
     client.goodbye().unwrap();
     handle.shutdown();
@@ -162,19 +162,19 @@ fn owner_max_queue_bytes_rejects_an_oversized_feed_whole() {
         ..ServerConfig::default()
     };
     let (addr, handle, _join) = start_server(config);
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     let q = client.detect(DETECT).unwrap();
 
     let message = quota_error(client.feed("gmti", &gmti(200)));
     assert!(message.contains("input-queue limit of 4096"), "{message}");
     // Rejected whole: no partial batch reached the query.
     client.quiesce().unwrap();
-    assert_eq!(client.stats(q).unwrap().stats.points, 0);
+    assert_eq!(client.query(q).stats().unwrap().stats.points, 0);
 
     // An in-budget batch is admitted normally.
     client.feed("gmti", &gmti(100)).unwrap();
     client.quiesce().unwrap();
-    assert_eq!(client.stats(q).unwrap().stats.points, 100);
+    assert_eq!(client.query(q).stats().unwrap().stats.points, 100);
     client.goodbye().unwrap();
     handle.shutdown();
 }
@@ -186,19 +186,19 @@ fn owner_max_buffer_bytes_requires_polling_to_feed_again() {
         ..ServerConfig::default()
     };
     let (addr, handle, _join) = start_server(config);
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     let q = client.detect(DETECT).unwrap();
 
     // Build up unpolled windows well past the 64-byte cap.
     client.feed("gmti", &gmti(3000)).unwrap();
     client.quiesce().unwrap();
-    assert!(client.stats(q).unwrap().stats.windows > 0);
+    assert!(client.query(q).stats().unwrap().stats.windows > 0);
 
     let message = quota_error(client.feed("gmti", &gmti(10)));
     assert!(message.contains("poll to release"), "{message}");
 
     // Draining the buffer releases the quota.
-    let windows = client.poll(q, 0).unwrap();
+    let windows = client.query(q).poll(0).unwrap();
     assert!(!windows.is_empty());
     client.feed("gmti", &gmti(10)).unwrap();
     client.goodbye().unwrap();
@@ -218,7 +218,7 @@ fn idle_sessions_are_closed_with_a_typed_error() {
     config.runtime.metrics = true;
     let (addr, handle, _join) = start_server(config);
 
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     client.detect(DETECT).unwrap();
     // Go silent past the idle deadline; the server closes the session
     // with a typed Protocol error naming the timeout.
@@ -248,7 +248,7 @@ fn idle_sessions_are_closed_with_a_typed_error() {
 #[test]
 fn draining_notifies_idle_sessions_with_goaway_and_completes() {
     let (addr, handle, join) = start_server(ServerConfig::default());
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     client.detect(DETECT).unwrap();
 
     let drainer = {
@@ -264,7 +264,7 @@ fn draining_notifies_idle_sessions_with_goaway_and_completes() {
                 assert!(Instant::now() < end, "server never started draining");
                 std::thread::sleep(Duration::from_millis(20));
             }
-            Err(ClientError::GoAway { reason }) => {
+            Err(ClientError::GoAway { reason, .. }) => {
                 assert!(reason.contains("draining"), "{reason}");
                 break;
             }
@@ -301,11 +301,11 @@ fn drain_checkpoints_the_durable_archive_byte_identically() {
     config.runtime.durable_archive = Some(DurableArchive::at(dir.join("live")));
     let (addr, handle, join) = start_server(config);
 
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Session::connect(addr).unwrap();
     let q = client.detect(DETECT).unwrap();
     client.feed("gmti", &gmti(4000)).unwrap();
     client.quiesce().unwrap();
-    let archived = client.stats(q).unwrap().stats.archived;
+    let archived = client.query(q).stats().unwrap().stats.archived;
     assert!(archived > 0, "workload must archive patterns");
     client.goodbye().unwrap();
 
@@ -358,6 +358,7 @@ fn a_session_killed_mid_feed_against_a_full_block_buffer_is_reaped() {
         &mut raw,
         &Frame::Hello {
             client: "raw".into(),
+            token: None,
         },
     );
     assert!(matches!(
@@ -434,7 +435,7 @@ proptest! {
         let mut sock = TcpStream::connect(addr).unwrap();
         sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
         if after_hello == 1 {
-            sock.write_all(&Frame::Hello { client: "garbage".into() }.encode()).unwrap();
+            sock.write_all(&Frame::Hello { client: "garbage".into(), token: None }.encode()).unwrap();
             let ack = read_frame(&mut sock).unwrap();
             prop_assert!(matches!(ack, Frame::HelloAck { .. }));
         }
@@ -458,7 +459,7 @@ proptest! {
 
         // The server took the garbage in stride: a fresh, well-formed
         // session still works.
-        let mut probe = Client::connect(addr).unwrap();
+        let mut probe = Session::connect(addr).unwrap();
         prop_assert!(probe.queries().unwrap().is_empty());
         probe.goodbye().unwrap();
     }
@@ -480,7 +481,7 @@ fn output_buffer_byte_accounting_matches_the_wire_encoding() {
     let QueryPlan::Detect(plan) = rt.plan(DETECT).unwrap() else {
         panic!("expected a DETECT plan");
     };
-    let id = rt.submit_detect_for(owner, *plan).unwrap();
+    let id = rt.session(owner).submit_detect(*plan).unwrap();
     rt.push_batch(&gmti(3000)).unwrap();
     rt.quiesce().unwrap();
 

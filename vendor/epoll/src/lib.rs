@@ -1,0 +1,460 @@
+//! Offline stand-in for the [`epoll`](https://crates.io/crates/epoll)
+//! crate.
+//!
+//! The build environment has no network access, so the reactor front-end
+//! (`DESIGN.md` §14) is satisfied by this thin safe wrapper over the
+//! kernel's epoll interface (see the "Vendored dependency shims" section
+//! of `DESIGN.md`). It reproduces the part of the API the workspace
+//! relies on: [`create`] / [`ctl`] / [`wait`] / [`close`], the packed
+//! [`Event`] struct, and the [`Events`] interest flags. The syscalls are
+//! declared directly (`std` already links libc, the same arrangement the
+//! server uses for its `SIGTERM` handler) — no new dependency.
+//!
+//! On non-Linux unix targets the same API is emulated over `poll(2)`
+//! with a process-local interest table, level-triggered only (`EPOLLET`
+//! and `EPOLLONESHOT` are ignored there); non-unix targets return
+//! `Unsupported`.
+
+use std::io;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// Raw file descriptor alias, so callers need no `libc` types.
+pub type RawFd = i32;
+
+/// Interest / readiness flags, numerically identical to the kernel's
+/// `EPOLL*` constants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Events(u32);
+
+impl Events {
+    /// The associated file is readable.
+    pub const EPOLLIN: Events = Events(0x001);
+    /// The associated file is writable.
+    pub const EPOLLOUT: Events = Events(0x004);
+    /// Error condition (always reported; never needs registering).
+    pub const EPOLLERR: Events = Events(0x008);
+    /// Hang-up (always reported; never needs registering).
+    pub const EPOLLHUP: Events = Events(0x010);
+    /// Peer closed its writing half.
+    pub const EPOLLRDHUP: Events = Events(0x2000);
+    /// One-shot delivery: the fd is disabled after one event.
+    pub const EPOLLONESHOT: Events = Events(1 << 30);
+    /// Edge-triggered delivery.
+    pub const EPOLLET: Events = Events(1 << 31);
+
+    /// Empty flag set.
+    pub fn empty() -> Events {
+        Events(0)
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct from raw bits (unknown bits are kept, matching the
+    /// kernel's pass-through behavior).
+    pub fn from_bits_truncate(bits: u32) -> Events {
+        Events(bits)
+    }
+
+    /// Does `self` contain every bit of `other`?
+    pub fn contains(self, other: Events) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Does `self` share any bit with `other`?
+    pub fn intersects(self, other: Events) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl BitOr for Events {
+    type Output = Events;
+    fn bitor(self, rhs: Events) -> Events {
+        Events(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Events {
+    fn bitor_assign(&mut self, rhs: Events) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Events {
+    type Output = Events;
+    fn bitand(self, rhs: Events) -> Events {
+        Events(self.0 & rhs.0)
+    }
+}
+
+/// One registration / readiness record: the kernel's `struct
+/// epoll_event` (packed on x86-64, per the kernel ABI).
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct Event {
+    /// Interest bits in, readiness bits out ([`Events::bits`]).
+    pub events: u32,
+    /// Caller-owned cookie returned verbatim with each readiness record
+    /// (the reactor stores its connection token here).
+    pub data: u64,
+}
+
+impl Event {
+    /// Build a record from an interest set and a cookie.
+    pub fn new(events: Events, data: u64) -> Event {
+        Event {
+            events: events.bits(),
+            data,
+        }
+    }
+
+    /// The readiness bits as a typed flag set.
+    pub fn events(&self) -> Events {
+        Events(self.events)
+    }
+}
+
+/// `epoll_ctl` operation selector. The variants keep the kernel's
+/// spelling (and the real crate's), hence the case exception.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(i32)]
+pub enum ControlOptions {
+    /// Register a new fd.
+    EPOLL_CTL_ADD = 1,
+    /// Remove a registered fd.
+    EPOLL_CTL_DEL = 2,
+    /// Change a registered fd's interest set.
+    EPOLL_CTL_MOD = 3,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{ControlOptions, Event, RawFd};
+    use std::io;
+    use std::os::raw::c_int;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut Event) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut Event, maxevents: c_int, timeout: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn create(close_exec: bool) -> io::Result<RawFd> {
+        let flags = if close_exec { EPOLL_CLOEXEC } else { 0 };
+        cvt(unsafe { epoll_create1(flags) })
+    }
+
+    pub fn ctl(epfd: RawFd, op: ControlOptions, fd: RawFd, mut event: Event) -> io::Result<()> {
+        cvt(unsafe { epoll_ctl(epfd, op as c_int, fd, &mut event) }).map(|_| ())
+    }
+
+    pub fn wait(epfd: RawFd, timeout: i32, buf: &mut [Event]) -> io::Result<usize> {
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    epfd,
+                    buf.as_mut_ptr(),
+                    buf.len().min(c_int::MAX as usize) as c_int,
+                    timeout,
+                )
+            };
+            match cvt(n) {
+                Ok(n) => return Ok(n as usize),
+                // Retry on signal interruption (the server installs a
+                // SIGTERM handler; its delivery must not kill the wait).
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub fn close_fd(fd: RawFd) -> io::Result<()> {
+        cvt(unsafe { close(fd) }).map(|_| ())
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! `poll(2)` emulation for unix targets without epoll: a
+    //! process-local interest table keyed by a synthetic "epoll fd".
+    //! Level-triggered only; `EPOLLET`/`EPOLLONESHOT` bits are ignored.
+    use super::{ControlOptions, Event, Events, RawFd};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    fn table() -> &'static Mutex<HashMap<RawFd, HashMap<RawFd, Event>>> {
+        static TABLE: OnceLock<Mutex<HashMap<RawFd, HashMap<RawFd, Event>>>> = OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub fn create(_close_exec: bool) -> io::Result<RawFd> {
+        // Synthetic ids count downward from -2 so they can never collide
+        // with a real descriptor (or with -1, the error sentinel).
+        static NEXT: AtomicI32 = AtomicI32::new(-2);
+        let id = NEXT.fetch_sub(1, Ordering::SeqCst);
+        table().lock().unwrap().insert(id, HashMap::new());
+        Ok(id)
+    }
+
+    pub fn ctl(epfd: RawFd, op: ControlOptions, fd: RawFd, event: Event) -> io::Result<()> {
+        let mut table = table().lock().unwrap();
+        let set = table
+            .get_mut(&epfd)
+            .ok_or_else(|| io::Error::from_raw_os_error(9 /* EBADF */))?;
+        match op {
+            ControlOptions::EPOLL_CTL_ADD => {
+                if set.insert(fd, event).is_some() {
+                    return Err(io::Error::from_raw_os_error(17 /* EEXIST */));
+                }
+            }
+            ControlOptions::EPOLL_CTL_MOD => {
+                *set.get_mut(&fd)
+                    .ok_or_else(|| io::Error::from_raw_os_error(2 /* ENOENT */))? = event;
+            }
+            ControlOptions::EPOLL_CTL_DEL => {
+                set.remove(&fd)
+                    .ok_or_else(|| io::Error::from_raw_os_error(2 /* ENOENT */))?;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn wait(epfd: RawFd, timeout: i32, buf: &mut [Event]) -> io::Result<usize> {
+        let interests: Vec<(RawFd, Event)> = {
+            let table = table().lock().unwrap();
+            let set = table
+                .get(&epfd)
+                .ok_or_else(|| io::Error::from_raw_os_error(9 /* EBADF */))?;
+            set.iter().map(|(&fd, &ev)| (fd, ev)).collect()
+        };
+        let mut fds: Vec<PollFd> = interests
+            .iter()
+            .map(|(fd, ev)| {
+                let want = Events::from_bits_truncate(ev.events);
+                let mut events = 0;
+                if want.contains(Events::EPOLLIN) {
+                    events |= POLLIN;
+                }
+                if want.contains(Events::EPOLLOUT) {
+                    events |= POLLOUT;
+                }
+                PollFd {
+                    fd: *fd,
+                    events,
+                    revents: 0,
+                }
+            })
+            .collect();
+        loop {
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            break;
+        }
+        let mut out = 0;
+        for (slot, (_, registered)) in fds.iter().zip(&interests) {
+            if out == buf.len() {
+                break;
+            }
+            let mut ready = Events::empty();
+            if slot.revents & POLLIN != 0 {
+                ready |= Events::EPOLLIN;
+            }
+            if slot.revents & POLLOUT != 0 {
+                ready |= Events::EPOLLOUT;
+            }
+            if slot.revents & POLLERR != 0 {
+                ready |= Events::EPOLLERR;
+            }
+            if slot.revents & POLLHUP != 0 {
+                ready |= Events::EPOLLHUP;
+            }
+            if ready != Events::empty() {
+                buf[out] = Event::new(ready, registered.data);
+                out += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn close_fd(fd: RawFd) -> io::Result<()> {
+        table().lock().unwrap().remove(&fd);
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{ControlOptions, Event, RawFd};
+    use std::io;
+
+    pub fn create(_close_exec: bool) -> io::Result<RawFd> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll shim: no readiness backend on this platform",
+        ))
+    }
+
+    pub fn ctl(_: RawFd, _: ControlOptions, _: RawFd, _: Event) -> io::Result<()> {
+        Err(io::ErrorKind::Unsupported.into())
+    }
+
+    pub fn wait(_: RawFd, _: i32, _: &mut [Event]) -> io::Result<usize> {
+        Err(io::ErrorKind::Unsupported.into())
+    }
+
+    pub fn close_fd(_: RawFd) -> io::Result<()> {
+        Err(io::ErrorKind::Unsupported.into())
+    }
+}
+
+/// Create an epoll instance, returning its file descriptor.
+pub fn create(close_exec: bool) -> io::Result<RawFd> {
+    sys::create(close_exec)
+}
+
+/// Add, modify, or remove one fd's registration on `epfd`.
+pub fn ctl(epfd: RawFd, op: ControlOptions, fd: RawFd, event: Event) -> io::Result<()> {
+    sys::ctl(epfd, op, fd, event)
+}
+
+/// Wait up to `timeout` milliseconds (−1 = forever, 0 = poll) for
+/// readiness, filling `buf` and returning how many records were written.
+/// Signal interruptions are retried internally.
+pub fn wait(epfd: RawFd, timeout: i32, buf: &mut [Event]) -> io::Result<usize> {
+    sys::wait(epfd, timeout, buf)
+}
+
+/// Close an epoll instance created by [`create`].
+pub fn close(epfd: RawFd) -> io::Result<()> {
+    sys::close_fd(epfd)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    fn fd(s: &UnixStream) -> RawFd {
+        use std::os::unix::io::AsRawFd;
+        s.as_raw_fd()
+    }
+
+    #[test]
+    fn readiness_roundtrip_over_a_socketpair() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        let ep = create(true).unwrap();
+        // Writable immediately; not readable until the peer writes.
+        ctl(
+            ep,
+            ControlOptions::EPOLL_CTL_ADD,
+            fd(&b),
+            Event::new(Events::EPOLLIN, 7),
+        )
+        .unwrap();
+        let mut buf = [Event::default(); 8];
+        assert_eq!(wait(ep, 0, &mut buf).unwrap(), 0, "no data yet");
+
+        a.write_all(b"x").unwrap();
+        let n = wait(ep, 1000, &mut buf).unwrap();
+        assert_eq!(n, 1);
+        let cookie = { buf[0].data }; // copy out of the packed struct
+        assert_eq!(cookie, 7);
+        assert!(buf[0].events().contains(Events::EPOLLIN));
+
+        // MOD to write interest: a fresh socket is writable at once.
+        ctl(
+            ep,
+            ControlOptions::EPOLL_CTL_MOD,
+            fd(&b),
+            Event::new(Events::EPOLLIN | Events::EPOLLOUT, 7),
+        )
+        .unwrap();
+        let n = wait(ep, 1000, &mut buf).unwrap();
+        assert_eq!(n, 1);
+        assert!(buf[0].events().contains(Events::EPOLLOUT));
+
+        // Drain, deregister, and confirm silence.
+        let mut byte = [0u8; 1];
+        b.read_exact(&mut byte).unwrap();
+        ctl(ep, ControlOptions::EPOLL_CTL_DEL, fd(&b), Event::default()).unwrap();
+        a.write_all(b"y").unwrap();
+        assert_eq!(wait(ep, 0, &mut buf).unwrap(), 0, "deregistered fd is mute");
+        close(ep).unwrap();
+    }
+
+    #[test]
+    fn hangup_is_reported_without_registration() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let ep = create(true).unwrap();
+        ctl(
+            ep,
+            ControlOptions::EPOLL_CTL_ADD,
+            fd(&b),
+            Event::new(Events::EPOLLIN, 3),
+        )
+        .unwrap();
+        drop(a);
+        let mut buf = [Event::default(); 4];
+        let n = wait(ep, 1000, &mut buf).unwrap();
+        assert_eq!(n, 1);
+        assert!(
+            buf[0]
+                .events()
+                .intersects(Events::EPOLLHUP | Events::EPOLLIN),
+            "a closed peer surfaces as HUP (or readable EOF): {:?}",
+            buf[0].events()
+        );
+        close(ep).unwrap();
+    }
+
+    #[test]
+    fn zero_timeout_wait_does_not_block() {
+        let ep = create(false).unwrap();
+        let mut buf = [Event::default(); 2];
+        let started = std::time::Instant::now();
+        assert_eq!(wait(ep, 0, &mut buf).unwrap(), 0);
+        assert!(started.elapsed() < std::time::Duration::from_secs(1));
+        close(ep).unwrap();
+    }
+}
